@@ -1,0 +1,102 @@
+// E5 (§7.1): full-mesh iBGP needs O(n^2) sessions; route reflection is
+// the scalable alternative. Reports session counts and construction time
+// for both designs across AS sizes — the crossover and the quadratic vs
+// linear growth are the shapes to observe.
+#include <benchmark/benchmark.h>
+
+#include "core/workflow.hpp"
+#include "design/bgp.hpp"
+#include "topology/generators.hpp"
+
+namespace {
+
+using namespace autonet;
+
+graph::Graph single_as(std::size_t n) {
+  return topology::make_random_connected(n, 0.1, 7);
+}
+
+void BM_Ibgp_FullMesh(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::Workflow wf;
+  wf.load(single_as(n));
+  std::size_t sessions = 0;
+  for (auto _ : state) {
+    auto g = design::build_ibgp_full_mesh(wf.anm());
+    sessions = design::session_count(g);
+    benchmark::DoNotOptimize(sessions);
+    state.PauseTiming();
+    wf.anm().remove_overlay("ibgp");
+    state.ResumeTiming();
+  }
+  state.counters["sessions"] = static_cast<double>(sessions);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Ibgp_FullMesh)
+    ->RangeMultiplier(2)
+    ->Range(8, 512)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_Ibgp_RouteReflectors(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::Workflow wf;
+  wf.load(single_as(n));
+  design::RrSelectOptions select;
+  select.per_as = 2;
+  design::select_route_reflectors(wf.anm(), select);
+  std::size_t sessions = 0;
+  for (auto _ : state) {
+    auto g = design::build_ibgp_route_reflectors(wf.anm());
+    sessions = design::session_count(g);
+    benchmark::DoNotOptimize(sessions);
+    state.PauseTiming();
+    wf.anm().remove_overlay("ibgp");
+    state.ResumeTiming();
+  }
+  state.counters["sessions"] = static_cast<double>(sessions);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Ibgp_RouteReflectors)
+    ->RangeMultiplier(2)
+    ->Range(8, 512)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity(benchmark::oN);
+
+// The algorithmic designation itself (§7.1: centrality over the per-AS
+// subgraph) at different sizes and metrics.
+void BM_Ibgp_SelectReflectorsDegree(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::Workflow wf;
+    wf.load(single_as(n));
+    design::RrSelectOptions select;
+    select.per_as = 2;
+    select.metric = "degree";
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(design::select_route_reflectors(wf.anm(), select));
+  }
+}
+BENCHMARK(BM_Ibgp_SelectReflectorsDegree)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Ibgp_SelectReflectorsBetweenness(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::Workflow wf;
+    wf.load(single_as(n));
+    design::RrSelectOptions select;
+    select.per_as = 2;
+    select.metric = "betweenness";
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(design::select_route_reflectors(wf.anm(), select));
+  }
+}
+BENCHMARK(BM_Ibgp_SelectReflectorsBetweenness)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// E8 (§5.3): automatic IP allocation — "allocation must follow certain
+// rules (primarily uniqueness and consistency)". Verifies the invariants
+// at NREN scale once, then measures allocation throughput across sizes
+// (the allocator is the "compiler and operating system" of address
+// resources).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <set>
+
+#include "addressing/allocator.hpp"
+#include "core/workflow.hpp"
+#include "design/ip_allocation.hpp"
+#include "topology/generators.hpp"
+
+namespace {
+
+using namespace autonet;
+
+void verify_invariants_at_scale() {
+  core::Workflow wf;
+  wf.load(topology::make_nren_model());
+  design::build_ip(wf.anm());
+  auto g_ip = wf.anm()["ip"];
+  std::set<std::string> addresses;
+  std::size_t cds = 0;
+  bool unique = true;
+  for (const auto& n : g_ip.nodes()) {
+    if (n.attr("collision_domain").truthy()) {
+      ++cds;
+      for (const auto& e : n.edges()) {
+        if (const auto* ip = e.attr("ip").as_string()) {
+          unique = addresses.insert(*ip).second && unique;
+        }
+      }
+    } else if (const auto* lo = n.attr("loopback").as_string()) {
+      unique = addresses.insert(*lo).second && unique;
+    }
+  }
+  std::printf("# IP invariants at NREN scale: %zu collision domains, %zu "
+              "addresses, uniqueness %s\n",
+              cds, addresses.size(), unique ? "HOLDS" : "VIOLATED");
+}
+
+void BM_IpAllocation_BuildOverlay(benchmark::State& state) {
+  topology::MultiAsOptions opts;
+  opts.as_count = static_cast<std::size_t>(state.range(0));
+  opts.max_routers_per_as = 10;
+  opts.seed = 21;
+  const auto input = topology::make_multi_as(opts);
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::Workflow wf;
+    wf.load(input);
+    state.ResumeTiming();
+    auto g = design::build_ip(wf.anm());
+    benchmark::DoNotOptimize(g.node_count());
+  }
+}
+BENCHMARK(BM_IpAllocation_BuildOverlay)
+    ->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IpAllocation_DualStack(benchmark::State& state) {
+  topology::MultiAsOptions opts;
+  opts.as_count = 32;
+  opts.seed = 21;
+  const auto input = topology::make_multi_as(opts);
+  design::IpOptions ip;
+  ip.ipv6 = true;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::Workflow wf;
+    wf.load(input);
+    state.ResumeTiming();
+    auto g = design::build_ip(wf.anm(), ip);
+    benchmark::DoNotOptimize(g.node_count());
+  }
+}
+BENCHMARK(BM_IpAllocation_DualStack)->Unit(benchmark::kMillisecond);
+
+void BM_IpAllocation_RawSubnetAllocator(benchmark::State& state) {
+  for (auto _ : state) {
+    addressing::SubnetAllocator alloc(
+        *addressing::Ipv4Prefix::parse("10.0.0.0/8"));
+    for (int i = 0; i < 10000; ++i) {
+      benchmark::DoNotOptimize(alloc.allocate(30));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_IpAllocation_RawSubnetAllocator);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  verify_invariants_at_scale();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

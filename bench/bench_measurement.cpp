@@ -1,0 +1,99 @@
+// E7 (§6.1, Fig. 7): the measurement round trip — deploy the
+// Small-Internet lab, run traceroutes from the measurement client, parse
+// with TextFSM, map addresses back to device names, and derive AS paths.
+// Prints the paper's example path and measures collection throughput
+// ("a single measurement client ... speeding up data collection").
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/workflow.hpp"
+#include "topology/builtin.hpp"
+#include "viz/export.hpp"
+
+namespace {
+
+using namespace autonet;
+
+core::Workflow& deployed() {
+  static core::Workflow wf = [] {
+    core::Workflow w;
+    w.run(topology::small_internet());
+    return w;
+  }();
+  return wf;
+}
+
+void print_paper_traceroute() {
+  auto& wf = deployed();
+  auto lo = wf.network().router("as100r2")->config().loopback->address;
+  auto trace = wf.measurement().traceroute("as300r2", lo.to_string());
+  std::printf("# §6.1 traceroute as300r2 -> as100r2 (paper: [as300r2, as40r1, "
+              "as1r1, as20r3, as20r2, as100r1, as100r2])\n# measured: [");
+  for (std::size_t i = 0; i < trace.node_path.size(); ++i) {
+    std::printf("%s%s", i ? ", " : "", trace.node_path[i].c_str());
+  }
+  std::printf("]\n# AS path: [");
+  for (std::size_t i = 0; i < trace.as_path.size(); ++i) {
+    std::printf("%s%lld", i ? ", " : "", static_cast<long long>(trace.as_path[i]));
+  }
+  std::printf("]\n");
+}
+
+void BM_Measure_SingleTraceroute(benchmark::State& state) {
+  auto& wf = deployed();
+  auto client = wf.measurement();
+  auto lo = wf.network().router("as100r2")->config().loopback->address.to_string();
+  for (auto _ : state) {
+    auto trace = client.traceroute("as300r2", lo);
+    benchmark::DoNotOptimize(trace.as_path);
+  }
+}
+BENCHMARK(BM_Measure_SingleTraceroute);
+
+void BM_Measure_FanOutAllRouters(benchmark::State& state) {
+  auto& wf = deployed();
+  auto client = wf.measurement();
+  auto lo = wf.network().router("as1r1")->config().loopback->address.to_string();
+  for (auto _ : state) {
+    auto traces = client.traceroute_all(lo);
+    benchmark::DoNotOptimize(traces.size());
+  }
+  state.counters["routers"] = 14;
+}
+BENCHMARK(BM_Measure_FanOutAllRouters)->Unit(benchmark::kMillisecond);
+
+void BM_Measure_TextFsmParse(benchmark::State& state) {
+  auto& wf = deployed();
+  auto lo = wf.network().router("as100r2")->config().loopback->address;
+  const std::string raw =
+      wf.network().exec("as300r2", "traceroute -naU " + lo.to_string());
+  const auto& fsm = measure::TextFsm::traceroute_template();
+  for (auto _ : state) {
+    auto records = fsm.run(raw);
+    benchmark::DoNotOptimize(records.size());
+  }
+}
+BENCHMARK(BM_Measure_TextFsmParse);
+
+void BM_Measure_HighlightExport(benchmark::State& state) {
+  auto& wf = deployed();
+  auto lo = wf.network().router("as100r2")->config().loopback->address.to_string();
+  auto trace = wf.measurement().traceroute("as300r2", lo);
+  for (auto _ : state) {
+    // Fig. 7: msg.highlight([path[0], path[-1]], [], [path]).
+    auto json = viz::highlight_json({trace.node_path.front(), trace.node_path.back()},
+                                    {}, {trace.node_path});
+    benchmark::DoNotOptimize(json.size());
+  }
+}
+BENCHMARK(BM_Measure_HighlightExport);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_paper_traceroute();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// E4 (Fig. 5, Eqs. 1-3): overlay-rule evaluation. Verifies the exact
+// Fig. 5 edge sets once, then measures the cost of evaluating each rule
+// as the input graph grows — the rules are simple edge filters (OSPF,
+// eBGP) or per-AS products (iBGP), and their cost should reflect that.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <set>
+
+#include "core/workflow.hpp"
+#include "design/bgp.hpp"
+#include "design/igp.hpp"
+#include "topology/builtin.hpp"
+#include "topology/generators.hpp"
+
+namespace {
+
+using namespace autonet;
+
+void verify_figure5_rules() {
+  core::Workflow wf;
+  wf.load(topology::figure5());
+  auto g_ospf = design::build_ospf(wf.anm());
+  auto g_ebgp = design::build_ebgp(wf.anm());
+  auto g_ibgp = design::build_ibgp_full_mesh(wf.anm());
+  std::set<std::string> ospf;
+  for (const auto& e : g_ospf.edges()) {
+    std::string a = e.src().name();
+    std::string b = e.dst().name();
+    if (b < a) std::swap(a, b);
+    ospf.insert(a + "," + b);
+  }
+  const std::set<std::string> expect{"r1,r2", "r1,r3", "r2,r4", "r3,r4"};
+  std::printf("# Fig.5 rule check: E_ospf %s (4 edges), E_ebgp %zu sessions, "
+              "E_ibgp %zu sessions\n",
+              ospf == expect ? "EXACT" : "MISMATCH",
+              design::session_count(g_ebgp), design::session_count(g_ibgp));
+}
+
+void BM_Rules_OspfEdgeFilter(benchmark::State& state) {
+  topology::MultiAsOptions opts;
+  opts.as_count = static_cast<std::size_t>(state.range(0));
+  opts.max_routers_per_as = 10;
+  opts.seed = 5;
+  core::Workflow wf;
+  wf.load(topology::make_multi_as(opts));
+  for (auto _ : state) {
+    auto g = design::build_ospf(wf.anm());
+    benchmark::DoNotOptimize(g.edge_count());
+    state.PauseTiming();
+    wf.anm().remove_overlay("ospf");
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_Rules_OspfEdgeFilter)->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Rules_EbgpEdgeFilter(benchmark::State& state) {
+  topology::MultiAsOptions opts;
+  opts.as_count = static_cast<std::size_t>(state.range(0));
+  opts.max_routers_per_as = 10;
+  opts.seed = 5;
+  core::Workflow wf;
+  wf.load(topology::make_multi_as(opts));
+  for (auto _ : state) {
+    auto g = design::build_ebgp(wf.anm());
+    benchmark::DoNotOptimize(g.edge_count());
+    state.PauseTiming();
+    wf.anm().remove_overlay("ebgp");
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_Rules_EbgpEdgeFilter)->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Rules_IbgpMeshProduct(benchmark::State& state) {
+  topology::MultiAsOptions opts;
+  opts.as_count = static_cast<std::size_t>(state.range(0));
+  opts.max_routers_per_as = 10;
+  opts.seed = 5;
+  core::Workflow wf;
+  wf.load(topology::make_multi_as(opts));
+  for (auto _ : state) {
+    auto g = design::build_ibgp_full_mesh(wf.anm());
+    benchmark::DoNotOptimize(g.edge_count());
+    state.PauseTiming();
+    wf.anm().remove_overlay("ibgp");
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_Rules_IbgpMeshProduct)->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  verify_figure5_rules();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// E3 (§3.2/§6): scaling with topology size — "scalable to networks with
+// over a thousand devices". Sweeps the full design+compile+render
+// pipeline over growing multi-AS topologies; phases should scale
+// near-linearly in devices+links, except full-mesh iBGP whose session
+// count is quadratic per AS (see bench_ibgp_rr for that ablation).
+#include <benchmark/benchmark.h>
+
+#include "core/workflow.hpp"
+#include "topology/generators.hpp"
+
+namespace {
+
+using namespace autonet;
+
+graph::Graph topo_of_size(std::size_t as_count) {
+  topology::MultiAsOptions opts;
+  opts.as_count = as_count;
+  opts.min_routers_per_as = 4;
+  opts.max_routers_per_as = 12;
+  opts.links_per_as = 2;
+  opts.seed = 99;
+  return topology::make_multi_as(opts);
+}
+
+void BM_Scaling_DesignCompileRender(benchmark::State& state) {
+  const auto input = topo_of_size(static_cast<std::size_t>(state.range(0)));
+  std::size_t devices = 0;
+  for (auto _ : state) {
+    core::Workflow wf;
+    wf.load(input).design().compile().render();
+    devices = wf.nidb().device_count();
+    benchmark::DoNotOptimize(wf.configs().file_count());
+  }
+  state.counters["devices"] = static_cast<double>(devices);
+  state.counters["links"] = static_cast<double>(input.edge_count());
+  state.SetComplexityN(static_cast<std::int64_t>(devices));
+}
+BENCHMARK(BM_Scaling_DesignCompileRender)
+    ->RangeMultiplier(2)
+    ->Range(4, 128)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+// Full pipeline including boot + control-plane convergence on the
+// emulated substrate (the part the paper offloads to Netkit hardware).
+void BM_Scaling_FullPipelineWithEmulation(benchmark::State& state) {
+  const auto input = topo_of_size(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    core::WorkflowOptions opts;
+    opts.ibgp = "rr-auto";
+    core::Workflow wf(opts);
+    wf.run(input);
+    if (!wf.deploy_result().success) state.SkipWithError("deploy failed");
+    benchmark::DoNotOptimize(wf.deploy_result().convergence.rounds);
+  }
+}
+BENCHMARK(BM_Scaling_FullPipelineWithEmulation)
+    ->RangeMultiplier(2)
+    ->Range(4, 32)
+    ->Unit(benchmark::kMillisecond);
+
+// Attribute-graph substrate cost at scale: overlay construction alone.
+void BM_Scaling_OverlayBuildOnly(benchmark::State& state) {
+  const auto input = topo_of_size(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    core::Workflow wf;
+    wf.load(input);
+    design::build_ospf(wf.anm());
+    design::build_ebgp(wf.anm());
+    benchmark::DoNotOptimize(wf.anm()["ospf"].edge_count());
+  }
+}
+BENCHMARK(BM_Scaling_OverlayBuildOnly)
+    ->RangeMultiplier(2)
+    ->Range(4, 128)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// E11 (§5.7/§8): automated design-vs-running validation — collect OSPF
+// neighbors / BGP sessions from every router of the running emulation,
+// rebuild the observed graphs, and compare them against the design
+// overlays ("an essential step in the scientific method"). Measures the
+// cost of a full validation pass at several scales.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/workflow.hpp"
+#include "measure/validate.hpp"
+#include "topology/builtin.hpp"
+#include "topology/generators.hpp"
+
+namespace {
+
+using namespace autonet;
+
+void BM_Validate_OspfSmallInternet(benchmark::State& state) {
+  core::Workflow wf;
+  wf.run(topology::small_internet());
+  for (auto _ : state) {
+    auto report = measure::validate_ospf(wf.network(), wf.anm());
+    if (!report.ok) state.SkipWithError("validation failed");
+    benchmark::DoNotOptimize(report.ok);
+  }
+}
+BENCHMARK(BM_Validate_OspfSmallInternet);
+
+void BM_Validate_BgpSmallInternet(benchmark::State& state) {
+  core::Workflow wf;
+  wf.run(topology::small_internet());
+  for (auto _ : state) {
+    auto report = measure::validate_bgp(wf.network(), wf.anm());
+    if (!report.ok) state.SkipWithError("validation failed");
+    benchmark::DoNotOptimize(report.ok);
+  }
+}
+BENCHMARK(BM_Validate_BgpSmallInternet);
+
+void BM_Validate_OspfAtScale(benchmark::State& state) {
+  topology::MultiAsOptions gen;
+  gen.as_count = static_cast<std::size_t>(state.range(0));
+  gen.max_routers_per_as = 8;
+  gen.seed = 77;
+  core::WorkflowOptions opts;
+  opts.ibgp = "rr-auto";
+  core::Workflow wf(opts);
+  wf.run(topology::make_multi_as(gen));
+  if (!wf.deploy_result().success) {
+    state.SkipWithError("deploy failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto report = measure::validate_ospf(wf.network(), wf.anm());
+    benchmark::DoNotOptimize(report.ok);
+  }
+}
+BENCHMARK(BM_Validate_OspfAtScale)->Arg(8)->Arg(24)->Unit(benchmark::kMillisecond);
+
+// Negative-path cost: detecting an injected mismatch is as cheap as a
+// clean pass.
+void BM_Validate_DetectsSabotage(benchmark::State& state) {
+  core::Workflow wf;
+  wf.run(topology::small_internet());
+  wf.anm()["ospf"].add_edge("as1r1", "as300r4");
+  for (auto _ : state) {
+    auto report = measure::validate_ospf(wf.network(), wf.anm());
+    if (report.ok) state.SkipWithError("sabotage not detected");
+    benchmark::DoNotOptimize(report.missing.size());
+  }
+}
+BENCHMARK(BM_Validate_DetectsSabotage);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("# §5.7 design-vs-running validation benchmarks\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

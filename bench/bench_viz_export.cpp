@@ -1,0 +1,59 @@
+// E9 (§5.6): visualization export — "the visualization system ... uses
+// the JSON interchange format". Measures D3-document generation for the
+// Small-Internet figures (Figs. 1/6/7) and at NREN scale, where the
+// real-time feedback loop must stay interactive.
+#include <benchmark/benchmark.h>
+
+#include "core/workflow.hpp"
+#include "topology/builtin.hpp"
+#include "topology/generators.hpp"
+#include "viz/export.hpp"
+
+namespace {
+
+using namespace autonet;
+
+void BM_Viz_SmallInternetOverlay(benchmark::State& state) {
+  core::Workflow wf;
+  wf.load(topology::small_internet()).design();
+  auto overlay = wf.anm()["ebgp"];  // Fig. 6: the eBGP overlay plot
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(viz::overlay_to_d3_json(overlay));
+  }
+}
+BENCHMARK(BM_Viz_SmallInternetOverlay);
+
+void BM_Viz_SmallInternetAllOverlays(benchmark::State& state) {
+  core::Workflow wf;
+  wf.load(topology::small_internet()).design();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(viz::anm_to_d3_json(wf.anm()));
+  }
+}
+BENCHMARK(BM_Viz_SmallInternetAllOverlays);
+
+void BM_Viz_NrenScaleAllOverlays(benchmark::State& state) {
+  core::Workflow wf;
+  wf.load(topology::make_nren_model()).design();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    auto json = viz::anm_to_d3_json(wf.anm());
+    bytes = json.size();
+    benchmark::DoNotOptimize(json);
+  }
+  state.counters["json_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_Viz_NrenScaleAllOverlays)->Unit(benchmark::kMillisecond);
+
+void BM_Viz_NidbDump(benchmark::State& state) {
+  core::Workflow wf;
+  wf.load(topology::make_nren_model()).design().compile();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(viz::nidb_to_json(wf.nidb()));
+  }
+}
+BENCHMARK(BM_Viz_NidbDump)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

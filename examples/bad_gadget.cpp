@@ -1,0 +1,64 @@
+// §7.2: validating theory — the Bad-Gadget routing oscillation. Runs the
+// same gadget model on all four target platforms and reports which
+// oscillate: the paper found IOS, Junos and C-BGP oscillate while Quagga
+// converges, because Quagga's bgpd skips the IGP-metric tie-break by
+// default. Demonstrates the oscillation with repeated traceroute-style
+// snapshots of the selected exit.
+#include <cstdio>
+
+#include "core/workflow.hpp"
+#include "emulation/network.hpp"
+#include "topology/builtin.hpp"
+
+int main() {
+  using namespace autonet;
+
+  std::printf("Bad-Gadget (cyclic hot-potato preferences over route "
+              "reflection)\n%-12s %-12s %-8s %s\n",
+              "platform", "software", "rounds", "behaviour");
+
+  struct Row {
+    const char* platform;
+    const char* software;
+  };
+  bool shape_ok = true;
+  for (Row row : {Row{"netkit", "Quagga"}, Row{"dynagen", "IOS"},
+                  Row{"junosphere", "Junos"}, Row{"cbgp", "C-BGP"}}) {
+    core::WorkflowOptions opts;
+    opts.platform = row.platform;
+    opts.ibgp = "rr";
+    core::Workflow wf(opts);
+    wf.run(topology::bad_gadget());
+    const auto& c = wf.deploy_result().convergence;
+    std::printf("%-12s %-12s %-8zu %s\n", row.platform, row.software, c.rounds,
+                c.oscillating
+                    ? ("OSCILLATES (period " + std::to_string(c.period) + ")").c_str()
+                    : "converges");
+    const bool expect_osc = std::string(row.platform) != "netkit";
+    shape_ok = shape_ok && (c.oscillating == expect_osc);
+  }
+
+  // Show the oscillation the way the paper does: repeated measurements
+  // see different forwarding decisions at rr1.
+  std::printf("\nrepeated snapshots of rr1's selected exit on IOS:\n");
+  core::WorkflowOptions opts;
+  opts.platform = "dynagen";
+  opts.ibgp = "rr";
+  core::Workflow wf(opts);
+  wf.load(topology::bad_gadget()).design().compile().render();
+  for (std::size_t rounds = 3; rounds <= 8; ++rounds) {
+    auto net = emulation::EmulatedNetwork::from_nidb(wf.nidb(), wf.configs());
+    net.start(rounds);
+    const auto& best = net.router("rr1")->bgp_best();
+    auto it = best.find("203.0.113.0/24");
+    std::string exit = "none";
+    if (it != best.end()) {
+      if (auto owner = net.owner_of(it->second.next_hop)) exit = *owner;
+    }
+    std::printf("  after %zu rounds: exit via %s\n", rounds, exit.c_str());
+  }
+
+  std::printf("\npaper shape %s: oscillation on IOS/Junos/C-BGP, not Quagga\n",
+              shape_ok ? "REPRODUCED" : "NOT reproduced");
+  return shape_ok ? 0 : 1;
+}

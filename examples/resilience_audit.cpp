@@ -1,0 +1,59 @@
+// Resilience audit: a what-if study built on the emulation (§8: tools to
+// "emulate workflow, or incidents", "what-if analysis"). For each
+// physical link of the Small-Internet lab: fail it, reconverge, and count
+// which router pairs lose connectivity; compare with static bridge
+// analysis of the topology graph.
+#include <cstdio>
+
+#include "core/workflow.hpp"
+#include "graph/algorithms.hpp"
+#include "topology/builtin.hpp"
+
+int main() {
+  using namespace autonet;
+
+  auto input = topology::small_internet();
+  core::Workflow wf;
+  wf.run(input);
+  if (!wf.deploy_result().success) return 1;
+  auto& net = wf.network();
+
+  // Static prediction: bridge links are single points of failure.
+  auto bridge_edges = graph::bridges(input);
+  std::printf("static analysis: %zu bridge link(s) in the physical graph\n",
+              bridge_edges.size());
+  for (auto e : bridge_edges) {
+    std::printf("  bridge: %s -- %s\n",
+                input.node_name(input.edge_src(e)).c_str(),
+                input.node_name(input.edge_dst(e)).c_str());
+  }
+
+  auto client = wf.measurement();
+  auto reachable_pairs = [&client]() {
+    return client.reachability().reachable_pairs();
+  };
+
+  const std::size_t baseline = reachable_pairs();
+  std::printf("\nbaseline: %zu reachable ordered pairs\n\n", baseline);
+  std::printf("%-24s %-10s %s\n", "failed link", "pairs", "lost");
+
+  for (auto e : input.edges()) {
+    const std::string a = input.node_name(input.edge_src(e));
+    const std::string b = input.node_name(input.edge_dst(e));
+    if (!net.fail_link(a, b)) continue;
+    net.start();
+    std::size_t now = reachable_pairs();
+    std::printf("%-24s %-10zu %zu\n", (a + " -- " + b).c_str(), now,
+                baseline - now);
+    net.restore_link(a, b);
+  }
+  net.start();
+  std::printf("\nrestored: %zu pairs (baseline %s)\n", reachable_pairs(),
+              reachable_pairs() == baseline ? "recovered" : "NOT recovered");
+  std::printf(
+      "\nnote: the graph is 2-edge-connected (no bridges), yet some link\n"
+      "failures still partition reachability — AS200's no-transit policy\n"
+      "means physical redundancy is not routing redundancy. Exactly the\n"
+      "kind of emergent behaviour emulated what-if analysis exposes.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+#include "addressing/allocator.hpp"
+
+namespace autonet::addressing {
+
+SubnetAllocator::SubnetAllocator(Ipv4Prefix block) : block_(block) {}
+
+Ipv4Prefix SubnetAllocator::allocate(unsigned length) {
+  if (length < block_.length() || length > 32) {
+    throw AllocationError("subnet length " + std::to_string(length) +
+                          " invalid for block " + block_.to_string());
+  }
+  const std::uint64_t size = std::uint64_t{1} << (32 - length);
+  // Align the cursor up to the subnet size so the result is a valid CIDR
+  // block (its start is a multiple of its size within the parent).
+  const std::uint64_t aligned = (cursor_ + size - 1) & ~(size - 1);
+  if (aligned + size > block_.size()) {
+    throw AllocationError("block " + block_.to_string() + " exhausted allocating /" +
+                          std::to_string(length));
+  }
+  cursor_ = aligned + size;
+  return Ipv4Prefix(block_.network() + static_cast<std::uint32_t>(aligned), length);
+}
+
+HostAllocator::HostAllocator(Ipv4Prefix subnet) : subnet_(subnet) {
+  if (subnet.length() >= 31) {
+    first_ = 0;
+    end_ = subnet.size();
+  } else {
+    first_ = 1;                  // skip network address
+    end_ = subnet.size() - 1;    // skip broadcast
+  }
+  next_ = first_;
+}
+
+Ipv4Interface HostAllocator::allocate() {
+  if (next_ >= end_) {
+    throw AllocationError("subnet " + subnet_.to_string() + " has no free hosts");
+  }
+  return Ipv4Interface{subnet_.nth(next_++), subnet_};
+}
+
+SubnetAllocator6::SubnetAllocator6(Ipv6Prefix block, unsigned child_length)
+    : block_(block), child_length_(child_length) {
+  if (child_length < block.length() || child_length > 128) {
+    throw AllocationError("IPv6 child length invalid for block " + block.to_string());
+  }
+  const unsigned bits = child_length - block.length();
+  count_ = bits >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits);
+}
+
+Ipv6Prefix SubnetAllocator6::allocate() {
+  if (next_ >= count_) {
+    throw AllocationError("IPv6 block " + block_.to_string() + " exhausted");
+  }
+  return block_.nth_subnet(child_length_, next_++);
+}
+
+}  // namespace autonet::addressing

@@ -1,0 +1,81 @@
+// Resource allocators (paper §5.3): "allocation must follow certain rules
+// (primarily uniqueness and consistency), but in most emulated networks the
+// actual values allocated are inconsequential... similar to allocating
+// memory in traditional programming".
+//
+// SubnetAllocator carves fixed- or variable-length subnets out of a parent
+// block sequentially; HostAllocator hands out host addresses within one
+// subnet. Both guarantee uniqueness and containment by construction.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "addressing/ipv4.hpp"
+#include "addressing/ipv6.hpp"
+
+namespace autonet::addressing {
+
+/// Thrown when a block is exhausted.
+class AllocationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Sequentially allocates child subnets from an IPv4 parent block.
+/// Variable lengths are supported; allocation is first-fit on a rolling
+/// cursor with alignment to the requested subnet size, so all results are
+/// valid CIDR blocks and mutually disjoint.
+class SubnetAllocator {
+ public:
+  explicit SubnetAllocator(Ipv4Prefix block);
+
+  [[nodiscard]] const Ipv4Prefix& block() const { return block_; }
+
+  /// Next free subnet of the given prefix length.
+  Ipv4Prefix allocate(unsigned length);
+
+  /// Addresses already consumed (including alignment padding).
+  [[nodiscard]] std::uint64_t consumed() const { return cursor_; }
+  [[nodiscard]] std::uint64_t remaining() const { return block_.size() - cursor_; }
+
+ private:
+  Ipv4Prefix block_;
+  std::uint64_t cursor_ = 0;  // offset in addresses from block start
+};
+
+/// Sequentially allocates host addresses within one subnet, skipping the
+/// network and broadcast addresses where applicable.
+class HostAllocator {
+ public:
+  explicit HostAllocator(Ipv4Prefix subnet);
+
+  [[nodiscard]] const Ipv4Prefix& subnet() const { return subnet_; }
+  Ipv4Interface allocate();
+  [[nodiscard]] std::uint64_t allocated() const { return next_ - first_; }
+
+ private:
+  Ipv4Prefix subnet_;
+  std::uint64_t first_;
+  std::uint64_t next_;
+  std::uint64_t end_;  // one past the last usable offset
+};
+
+/// IPv6 equivalent of SubnetAllocator (fixed-length children only, which
+/// is how the design rules use it: /64 per link, /128 per loopback).
+class SubnetAllocator6 {
+ public:
+  SubnetAllocator6(Ipv6Prefix block, unsigned child_length);
+
+  [[nodiscard]] const Ipv6Prefix& block() const { return block_; }
+  Ipv6Prefix allocate();
+
+ private:
+  Ipv6Prefix block_;
+  unsigned child_length_;
+  std::uint64_t next_ = 0;
+  std::uint64_t count_;
+};
+
+}  // namespace autonet::addressing

@@ -1,0 +1,130 @@
+#include "addressing/ipv4.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace autonet::addressing {
+
+namespace {
+
+std::optional<std::uint32_t> parse_u32(std::string_view text, std::uint32_t max) {
+  std::uint32_t v = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc{} || ptr != text.data() + text.size() || v > max) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::string dotted(std::uint32_t v) {
+  return std::to_string((v >> 24) & 0xFF) + "." + std::to_string((v >> 16) & 0xFF) +
+         "." + std::to_string((v >> 8) & 0xFF) + "." + std::to_string(v & 0xFF);
+}
+
+constexpr std::uint32_t mask_for(unsigned length) {
+  return length == 0 ? 0U : ~std::uint32_t{0} << (32 - length);
+}
+
+}  // namespace
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  for (int octet = 0; octet < 4; ++octet) {
+    auto dot = text.find('.');
+    std::string_view part = octet < 3 ? text.substr(0, dot) : text;
+    if (octet < 3 && dot == std::string_view::npos) return std::nullopt;
+    if (part.empty() || part.size() > 3) return std::nullopt;
+    auto v = parse_u32(part, 255);
+    if (!v) return std::nullopt;
+    value = (value << 8) | *v;
+    if (octet < 3) text.remove_prefix(dot + 1);
+  }
+  return Ipv4Addr(value);
+}
+
+std::string Ipv4Addr::to_string() const { return dotted(value_); }
+
+Ipv4Prefix::Ipv4Prefix(Ipv4Addr addr, unsigned length)
+    : addr_(addr.value() & mask_for(length)), length_(length) {
+  if (length > 32) throw std::invalid_argument("IPv4 prefix length > 32");
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = Ipv4Addr::parse(text.substr(0, slash));
+  auto len = parse_u32(text.substr(slash + 1), 32);
+  if (!addr || !len) return std::nullopt;
+  return Ipv4Prefix(*addr, *len);
+}
+
+Ipv4Addr Ipv4Prefix::broadcast() const {
+  return Ipv4Addr(addr_.value() | ~mask_for(length_));
+}
+
+std::uint32_t Ipv4Prefix::netmask() const { return mask_for(length_); }
+
+std::string Ipv4Prefix::netmask_string() const { return dotted(netmask()); }
+
+std::string Ipv4Prefix::wildcard_string() const { return dotted(wildcard()); }
+
+std::uint64_t Ipv4Prefix::size() const {
+  return std::uint64_t{1} << (32 - length_);
+}
+
+std::uint64_t Ipv4Prefix::host_count() const {
+  if (length_ >= 31) return size();
+  return size() - 2;
+}
+
+bool Ipv4Prefix::contains(Ipv4Addr a) const {
+  return (a.value() & mask_for(length_)) == addr_.value();
+}
+
+bool Ipv4Prefix::contains(const Ipv4Prefix& other) const {
+  return other.length_ >= length_ && contains(other.addr_);
+}
+
+bool Ipv4Prefix::overlaps(const Ipv4Prefix& other) const {
+  return contains(other.addr_) || other.contains(addr_);
+}
+
+Ipv4Addr Ipv4Prefix::nth(std::uint64_t i) const {
+  if (i >= size()) throw std::out_of_range("address index beyond prefix " + to_string());
+  return Ipv4Addr(addr_.value() + static_cast<std::uint32_t>(i));
+}
+
+Ipv4Prefix Ipv4Prefix::nth_subnet(unsigned new_length, std::uint64_t i) const {
+  if (new_length < length_ || new_length > 32) {
+    throw std::invalid_argument("invalid subnet length " + std::to_string(new_length) +
+                                " for prefix " + to_string());
+  }
+  const std::uint64_t count = std::uint64_t{1} << (new_length - length_);
+  if (i >= count) throw std::out_of_range("subnet index beyond prefix " + to_string());
+  const auto offset = static_cast<std::uint32_t>(i << (32 - new_length));
+  return Ipv4Prefix(Ipv4Addr(addr_.value() + offset), new_length);
+}
+
+std::vector<Ipv4Prefix> Ipv4Prefix::subnets(unsigned new_length) const {
+  if (new_length < length_ || new_length > 32) {
+    throw std::invalid_argument("invalid subnet length");
+  }
+  const std::uint64_t count = std::uint64_t{1} << (new_length - length_);
+  if (count > (std::uint64_t{1} << 20)) {
+    throw std::invalid_argument("subnet expansion too large; iterate with nth_subnet");
+  }
+  std::vector<Ipv4Prefix> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) out.push_back(nth_subnet(new_length, i));
+  return out;
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(length_);
+}
+
+std::string Ipv4Interface::to_string() const {
+  return address.to_string() + "/" + std::to_string(prefix.length());
+}
+
+}  // namespace autonet::addressing

@@ -1,0 +1,93 @@
+// IPv4 address and prefix arithmetic (the paper delegates this to the
+// Python `netaddr` library; built from scratch here).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autonet::addressing {
+
+/// An IPv4 address as a host-order 32-bit value.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | d) {}
+
+  /// Parses dotted-quad; nullopt on malformed input.
+  static std::optional<Ipv4Addr> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] std::string to_string() const;
+
+  constexpr Ipv4Addr operator+(std::uint32_t offset) const {
+    return Ipv4Addr(value_ + offset);
+  }
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A CIDR prefix: network address + length. The address is always stored
+/// masked to the prefix length.
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+  Ipv4Prefix(Ipv4Addr addr, unsigned length);
+
+  /// Parses "a.b.c.d/len"; nullopt on malformed input.
+  static std::optional<Ipv4Prefix> parse(std::string_view text);
+
+  [[nodiscard]] Ipv4Addr network() const { return addr_; }
+  [[nodiscard]] unsigned length() const { return length_; }
+  [[nodiscard]] Ipv4Addr broadcast() const;
+  [[nodiscard]] std::uint32_t netmask() const;
+  /// Inverse mask, as used by IOS OSPF network statements.
+  [[nodiscard]] std::uint32_t wildcard() const { return ~netmask(); }
+  [[nodiscard]] std::string netmask_string() const;
+  [[nodiscard]] std::string wildcard_string() const;
+
+  /// Number of addresses covered (2^(32-len); 0 means 2^32 for /0).
+  [[nodiscard]] std::uint64_t size() const;
+  /// Usable host count: size-2 for len<31, 2 for /31, 1 for /32.
+  [[nodiscard]] std::uint64_t host_count() const;
+
+  [[nodiscard]] bool contains(Ipv4Addr a) const;
+  [[nodiscard]] bool contains(const Ipv4Prefix& other) const;
+  [[nodiscard]] bool overlaps(const Ipv4Prefix& other) const;
+
+  /// The i-th address in the prefix (0 = network address).
+  [[nodiscard]] Ipv4Addr nth(std::uint64_t i) const;
+  /// The i-th subnet of the given (longer) length.
+  [[nodiscard]] Ipv4Prefix nth_subnet(unsigned new_length, std::uint64_t i) const;
+  /// All subnets of the given length (throws if that would exceed 1<<20).
+  [[nodiscard]] std::vector<Ipv4Prefix> subnets(unsigned new_length) const;
+
+  /// "a.b.c.d/len".
+  [[nodiscard]] std::string to_string() const;
+
+  friend auto operator<=>(const Ipv4Prefix&, const Ipv4Prefix&) = default;
+
+ private:
+  Ipv4Addr addr_;
+  unsigned length_ = 0;
+};
+
+/// An interface address: host address + the prefix it lives in
+/// (e.g. 192.168.1.5/30).
+struct Ipv4Interface {
+  Ipv4Addr address;
+  Ipv4Prefix prefix;
+
+  [[nodiscard]] std::string to_string() const;  // "a.b.c.d/len"
+  friend auto operator<=>(const Ipv4Interface&, const Ipv4Interface&) = default;
+};
+
+}  // namespace autonet::addressing

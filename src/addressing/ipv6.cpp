@@ -1,0 +1,198 @@
+#include "addressing/ipv6.hpp"
+
+#include <array>
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+#include <vector>
+
+namespace autonet::addressing {
+
+namespace {
+
+std::optional<std::uint16_t> parse_hextet(std::string_view text) {
+  if (text.empty() || text.size() > 4) return std::nullopt;
+  std::uint16_t v = 0;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), v, 16);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) return std::nullopt;
+  return v;
+}
+
+std::vector<std::string_view> split(std::string_view text, char sep) {
+  std::vector<std::string_view> parts;
+  std::size_t start = 0;
+  while (true) {
+    auto pos = text.find(sep, start);
+    parts.push_back(text.substr(start, pos - start));
+    if (pos == std::string_view::npos) break;
+    start = pos + 1;
+  }
+  return parts;
+}
+
+void mask_in_place(std::uint64_t& hi, std::uint64_t& lo, unsigned length) {
+  if (length == 0) {
+    hi = lo = 0;
+  } else if (length <= 64) {
+    hi &= length == 64 ? ~std::uint64_t{0} : ~std::uint64_t{0} << (64 - length);
+    lo = 0;
+  } else if (length < 128) {
+    lo &= ~std::uint64_t{0} << (128 - length);
+  }
+}
+
+}  // namespace
+
+std::optional<Ipv6Addr> Ipv6Addr::parse(std::string_view text) {
+  // Split on "::" first; each side is a list of hextets.
+  std::vector<std::uint16_t> head;
+  std::vector<std::uint16_t> tail;
+  auto gap = text.find("::");
+  auto parse_side = [](std::string_view side, std::vector<std::uint16_t>& out) {
+    if (side.empty()) return true;
+    for (auto part : split(side, ':')) {
+      auto h = parse_hextet(part);
+      if (!h) return false;
+      out.push_back(*h);
+    }
+    return true;
+  };
+  if (gap == std::string_view::npos) {
+    if (!parse_side(text, head) || head.size() != 8) return std::nullopt;
+  } else {
+    if (text.find("::", gap + 1) != std::string_view::npos) return std::nullopt;
+    if (!parse_side(text.substr(0, gap), head)) return std::nullopt;
+    if (!parse_side(text.substr(gap + 2), tail)) return std::nullopt;
+    if (head.size() + tail.size() >= 8) return std::nullopt;
+  }
+  std::array<std::uint16_t, 8> hextets{};
+  for (std::size_t i = 0; i < head.size(); ++i) hextets[i] = head[i];
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    hextets[8 - tail.size() + i] = tail[i];
+  }
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  for (int i = 0; i < 4; ++i) hi = (hi << 16) | hextets[i];
+  for (int i = 4; i < 8; ++i) lo = (lo << 16) | hextets[i];
+  return Ipv6Addr(hi, lo);
+}
+
+std::string Ipv6Addr::to_string() const {
+  std::array<std::uint16_t, 8> hextets{};
+  for (int i = 0; i < 4; ++i) hextets[i] = static_cast<std::uint16_t>(hi_ >> (48 - 16 * i));
+  for (int i = 0; i < 4; ++i) hextets[4 + i] = static_cast<std::uint16_t>(lo_ >> (48 - 16 * i));
+
+  // Find the longest run of zero hextets (length >= 2) for compression.
+  int best_start = -1;
+  int best_len = 1;
+  for (int i = 0; i < 8;) {
+    if (hextets[i] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && hextets[j] == 0) ++j;
+    if (j - i > best_len) {
+      best_len = j - i;
+      best_start = i;
+    }
+    i = j;
+  }
+
+  // Emit hextets, substituting the compressed run with an empty token so
+  // joining with ':' yields "::" (and leading/trailing runs work out).
+  std::vector<std::string> tokens;
+  char buf[8];
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      if (i == 0) tokens.emplace_back();
+      tokens.emplace_back();
+      i += best_len;
+      if (i == 8) tokens.emplace_back();
+      continue;
+    }
+    std::snprintf(buf, sizeof buf, "%x", hextets[i]);
+    tokens.emplace_back(buf);
+    ++i;
+  }
+  std::string out;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (i != 0) out += ':';
+    out += tokens[i];
+  }
+  return out;
+}
+
+Ipv6Addr Ipv6Addr::plus(std::uint64_t offset) const {
+  std::uint64_t lo = lo_ + offset;
+  std::uint64_t hi = hi_ + (lo < lo_ ? 1 : 0);
+  return Ipv6Addr(hi, lo);
+}
+
+Ipv6Prefix::Ipv6Prefix(Ipv6Addr addr, unsigned length) : length_(length) {
+  if (length > 128) throw std::invalid_argument("IPv6 prefix length > 128");
+  std::uint64_t hi = addr.hi();
+  std::uint64_t lo = addr.lo();
+  mask_in_place(hi, lo, length);
+  addr_ = Ipv6Addr(hi, lo);
+}
+
+std::optional<Ipv6Prefix> Ipv6Prefix::parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = Ipv6Addr::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  unsigned len = 0;
+  auto tail = text.substr(slash + 1);
+  auto [ptr, ec] = std::from_chars(tail.data(), tail.data() + tail.size(), len);
+  if (ec != std::errc{} || ptr != tail.data() + tail.size() || len > 128) {
+    return std::nullopt;
+  }
+  return Ipv6Prefix(*addr, len);
+}
+
+bool Ipv6Prefix::contains(Ipv6Addr a) const {
+  std::uint64_t hi = a.hi();
+  std::uint64_t lo = a.lo();
+  mask_in_place(hi, lo, length_);
+  return hi == addr_.hi() && lo == addr_.lo();
+}
+
+bool Ipv6Prefix::contains(const Ipv6Prefix& other) const {
+  return other.length_ >= length_ && contains(other.addr_);
+}
+
+Ipv6Prefix Ipv6Prefix::nth_subnet(unsigned new_length, std::uint64_t i) const {
+  if (new_length < length_ || new_length > 128) {
+    throw std::invalid_argument("invalid IPv6 subnet length");
+  }
+  const unsigned shift_bits = new_length - length_;
+  if (shift_bits < 64 && i >= (std::uint64_t{1} << shift_bits)) {
+    throw std::out_of_range("IPv6 subnet index beyond prefix");
+  }
+  // Place index i into bits [length_, new_length) of the address.
+  std::uint64_t hi = addr_.hi();
+  std::uint64_t lo = addr_.lo();
+  if (new_length <= 64) {
+    hi |= i << (64 - new_length);
+  } else if (length_ >= 64) {
+    lo |= i << (128 - new_length);
+  } else {
+    // Index straddles the 64-bit boundary.
+    const unsigned lo_bits = new_length - 64;
+    hi |= i >> lo_bits;
+    lo |= lo_bits == 64 ? i : (i << (64 - lo_bits));
+  }
+  return Ipv6Prefix(Ipv6Addr(hi, lo), new_length);
+}
+
+Ipv6Addr Ipv6Prefix::nth(std::uint64_t i) const {
+  return addr_.plus(i);
+}
+
+std::string Ipv6Prefix::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace autonet::addressing

@@ -1,0 +1,63 @@
+// IPv6 address and prefix arithmetic. The design rules allocate IPv6 the
+// same way as IPv4 (loopback + infrastructure blocks); only the formatting
+// differs. Stored as two host-order 64-bit halves.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace autonet::addressing {
+
+class Ipv6Addr {
+ public:
+  constexpr Ipv6Addr() = default;
+  constexpr Ipv6Addr(std::uint64_t hi, std::uint64_t lo) : hi_(hi), lo_(lo) {}
+
+  /// Parses full or `::`-compressed hextet notation.
+  static std::optional<Ipv6Addr> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint64_t hi() const { return hi_; }
+  [[nodiscard]] constexpr std::uint64_t lo() const { return lo_; }
+
+  /// RFC 5952 canonical text (lower-case, longest zero run compressed).
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] Ipv6Addr plus(std::uint64_t offset) const;
+
+  friend constexpr auto operator<=>(Ipv6Addr, Ipv6Addr) = default;
+
+ private:
+  std::uint64_t hi_ = 0;
+  std::uint64_t lo_ = 0;
+};
+
+class Ipv6Prefix {
+ public:
+  constexpr Ipv6Prefix() = default;
+  Ipv6Prefix(Ipv6Addr addr, unsigned length);
+
+  static std::optional<Ipv6Prefix> parse(std::string_view text);
+
+  [[nodiscard]] Ipv6Addr network() const { return addr_; }
+  [[nodiscard]] unsigned length() const { return length_; }
+  [[nodiscard]] bool contains(Ipv6Addr a) const;
+  [[nodiscard]] bool contains(const Ipv6Prefix& other) const;
+
+  /// The i-th subnet of the given (longer) length; subnet-index space is
+  /// limited to 64 bits, ample for network design.
+  [[nodiscard]] Ipv6Prefix nth_subnet(unsigned new_length, std::uint64_t i) const;
+  [[nodiscard]] Ipv6Addr nth(std::uint64_t i) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend auto operator<=>(const Ipv6Prefix&, const Ipv6Prefix&) = default;
+
+ private:
+  Ipv6Addr addr_;
+  unsigned length_ = 0;
+};
+
+}  // namespace autonet::addressing

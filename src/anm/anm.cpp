@@ -1,0 +1,56 @@
+#include "anm/anm.hpp"
+
+#include <stdexcept>
+
+namespace autonet::anm {
+
+AbstractNetworkModel::AbstractNetworkModel() {
+  add_overlay("input");
+  add_overlay("phy");
+}
+
+OverlayGraph AbstractNetworkModel::add_overlay(std::string_view name, bool directed) {
+  if (has_overlay(name)) {
+    throw std::invalid_argument("overlay '" + std::string(name) + "' already exists");
+  }
+  auto g = std::make_unique<graph::Graph>(directed, std::string(name));
+  auto* ptr = g.get();
+  overlays_.emplace(std::string(name), std::move(g));
+  order_.emplace_back(name);
+  return OverlayGraph(this, ptr);
+}
+
+OverlayGraph AbstractNetworkModel::add_overlay(
+    std::string_view name, const std::vector<OverlayNode>& nodes, bool directed,
+    const std::vector<std::string>& retain) {
+  OverlayGraph g = add_overlay(name, directed);
+  g.add_nodes_from(nodes, retain);
+  return g;
+}
+
+bool AbstractNetworkModel::has_overlay(std::string_view name) const {
+  return overlays_.find(name) != overlays_.end();
+}
+
+OverlayGraph AbstractNetworkModel::overlay(std::string_view name) const {
+  auto it = overlays_.find(name);
+  if (it == overlays_.end()) {
+    throw std::out_of_range("no overlay named '" + std::string(name) + "'");
+  }
+  return OverlayGraph(this, it->second.get());
+}
+
+void AbstractNetworkModel::remove_overlay(std::string_view name) {
+  auto it = overlays_.find(name);
+  if (it == overlays_.end()) {
+    throw std::out_of_range("no overlay named '" + std::string(name) + "'");
+  }
+  overlays_.erase(it);
+  std::erase(order_, std::string(name));
+}
+
+std::vector<std::string> AbstractNetworkModel::overlay_names() const {
+  return order_;
+}
+
+}  // namespace autonet::anm

@@ -1,0 +1,54 @@
+// The Abstract Network Model (paper §5.2): a named collection of overlay
+// attribute graphs sharing node identity (by device name), with the
+// 'input' and 'phy' overlays present by default.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "anm/overlay.hpp"
+#include "graph/graph.hpp"
+
+namespace autonet::anm {
+
+class AbstractNetworkModel {
+ public:
+  AbstractNetworkModel();
+
+  AbstractNetworkModel(const AbstractNetworkModel&) = delete;
+  AbstractNetworkModel& operator=(const AbstractNetworkModel&) = delete;
+  AbstractNetworkModel(AbstractNetworkModel&&) = default;
+  AbstractNetworkModel& operator=(AbstractNetworkModel&&) = default;
+
+  /// Creates a new overlay; throws if the name is taken.
+  OverlayGraph add_overlay(std::string_view name, bool directed = false);
+
+  /// Creates a new overlay pre-populated with the given nodes (paper:
+  /// `anm.add_overlay("ospf", rtrs)`).
+  OverlayGraph add_overlay(std::string_view name,
+                           const std::vector<OverlayNode>& nodes,
+                           bool directed = false,
+                           const std::vector<std::string>& retain = {});
+
+  [[nodiscard]] bool has_overlay(std::string_view name) const;
+  /// Access an overlay; throws if absent. Also spelled anm["ospf"].
+  [[nodiscard]] OverlayGraph overlay(std::string_view name) const;
+  [[nodiscard]] OverlayGraph operator[](std::string_view name) const {
+    return overlay(name);
+  }
+  void remove_overlay(std::string_view name);
+
+  /// Overlay names in creation order.
+  [[nodiscard]] std::vector<std::string> overlay_names() const;
+
+ private:
+  // unique_ptr keeps Graph addresses stable across map growth so the
+  // lightweight accessors can hold raw pointers.
+  std::map<std::string, std::unique_ptr<graph::Graph>, std::less<>> overlays_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace autonet::anm

@@ -1,0 +1,145 @@
+#include "anm/overlay.hpp"
+
+#include "anm/anm.hpp"
+
+namespace autonet::anm {
+
+std::vector<OverlayEdge> OverlayNode::edges() const {
+  std::vector<OverlayEdge> out;
+  for (graph::EdgeId e : g_->out_edges(id_)) out.emplace_back(anm_, g_, e);
+  return out;
+}
+
+std::vector<OverlayNode> OverlayNode::neighbors() const {
+  std::vector<OverlayNode> out;
+  for (graph::NodeId n : g_->neighbors(id_)) out.emplace_back(anm_, g_, n);
+  return out;
+}
+
+std::optional<OverlayNode> OverlayNode::in_layer(std::string_view overlay) const {
+  if (anm_ == nullptr || !anm_->has_overlay(overlay)) return std::nullopt;
+  return anm_->overlay(overlay).node(name());
+}
+
+OverlayNode OverlayGraph::add_node(std::string_view name) {
+  return OverlayNode(anm_, g_, g_->add_node(name));
+}
+
+std::optional<OverlayNode> OverlayGraph::node(std::string_view name) const {
+  graph::NodeId id = g_->find_node(name);
+  if (id == graph::kInvalidNode) return std::nullopt;
+  return OverlayNode(anm_, g_, id);
+}
+
+OverlayNode OverlayGraph::node(graph::NodeId id) const {
+  return OverlayNode(anm_, g_, id);
+}
+
+std::vector<OverlayNode> OverlayGraph::nodes() const {
+  std::vector<OverlayNode> out;
+  out.reserve(g_->node_count());
+  for (graph::NodeId id : g_->nodes()) out.emplace_back(anm_, g_, id);
+  return out;
+}
+
+std::vector<OverlayNode> OverlayGraph::nodes(const NodePredicate& pred) const {
+  std::vector<OverlayNode> out;
+  for (graph::NodeId id : g_->nodes()) {
+    OverlayNode n(anm_, g_, id);
+    if (pred(n)) out.push_back(n);
+  }
+  return out;
+}
+
+std::vector<OverlayNode> OverlayGraph::nodes_where(
+    std::string_view attr, const graph::AttrValue& value) const {
+  return nodes([&](const OverlayNode& n) { return n.attr(attr) == value; });
+}
+
+OverlayEdge OverlayGraph::add_edge(const OverlayNode& u, const OverlayNode& v) {
+  // Endpoints may come from another overlay; resolve by name.
+  return add_edge(u.name(), v.name());
+}
+
+OverlayEdge OverlayGraph::add_edge(std::string_view u, std::string_view v) {
+  return OverlayEdge(anm_, g_, g_->add_edge(u, v));
+}
+
+void OverlayGraph::remove_edges(const std::vector<OverlayEdge>& edges) {
+  for (const auto& e : edges) g_->remove_edge(e.id());
+}
+
+std::vector<OverlayEdge> OverlayGraph::edges() const {
+  std::vector<OverlayEdge> out;
+  out.reserve(g_->edge_count());
+  for (graph::EdgeId id : g_->edges()) out.emplace_back(anm_, g_, id);
+  return out;
+}
+
+std::vector<OverlayEdge> OverlayGraph::edges(const EdgePredicate& pred) const {
+  std::vector<OverlayEdge> out;
+  for (graph::EdgeId id : g_->edges()) {
+    OverlayEdge e(anm_, g_, id);
+    if (pred(e)) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<OverlayEdge> OverlayGraph::edges_where(
+    std::string_view attr, const graph::AttrValue& value) const {
+  return edges([&](const OverlayEdge& e) { return e.attr(attr) == value; });
+}
+
+std::vector<OverlayNode> OverlayGraph::add_nodes_from(
+    const std::vector<OverlayNode>& nodes, const std::vector<std::string>& retain) {
+  std::vector<OverlayNode> out;
+  out.reserve(nodes.size());
+  for (const auto& src : nodes) {
+    OverlayNode dst = add_node(src.name());
+    for (const auto& key : retain) {
+      const auto& v = src.attr(key);
+      if (v.is_set()) dst.set(key, v);
+    }
+    out.push_back(dst);
+  }
+  return out;
+}
+
+std::vector<OverlayNode> OverlayGraph::add_nodes_from(
+    const OverlayGraph& src, const std::vector<std::string>& retain) {
+  return add_nodes_from(src.nodes(), retain);
+}
+
+std::vector<OverlayEdge> OverlayGraph::add_edges_from(
+    const std::vector<OverlayEdge>& edges, const std::vector<std::string>& retain,
+    bool bidirected) {
+  std::vector<OverlayEdge> out;
+  for (const auto& src : edges) {
+    const std::string& u = src.src().name();
+    const std::string& v = src.dst().name();
+    if (!has_node(u) || !has_node(v)) continue;
+    auto copy_to = [&](OverlayEdge dst) {
+      for (const auto& key : retain) {
+        const auto& val = src.attr(key);
+        if (val.is_set()) dst.set(key, val);
+      }
+      out.push_back(dst);
+    };
+    copy_to(add_edge(u, v));
+    if (bidirected && directed()) copy_to(add_edge(v, u));
+  }
+  return out;
+}
+
+void copy_attr_from(const OverlayGraph& src, OverlayGraph& dst,
+                    std::string_view attr, std::string_view dst_attr) {
+  const std::string target(dst_attr.empty() ? attr : dst_attr);
+  for (const auto& n : src.nodes()) {
+    if (auto d = dst.node(n.name())) {
+      const auto& v = n.attr(attr);
+      if (v.is_set()) d->set(target, v);
+    }
+  }
+}
+
+}  // namespace autonet::anm

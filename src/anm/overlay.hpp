@@ -1,0 +1,199 @@
+// Overlay accessors (paper §5.2): lightweight wrappers over the underlying
+// attribute graphs that present nodes and edges as objects with attribute
+// access and cross-layer lookup, mirroring the reference system's API
+// (`G_ip.node(ibgp_node).loopback` style access).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace autonet::anm {
+
+class AbstractNetworkModel;
+class OverlayGraph;
+class OverlayEdge;
+
+/// A node in one overlay. Identity across overlays is the node name, so
+/// `in_layer("ip")` finds the same device in the IP overlay.
+class OverlayNode {
+ public:
+  OverlayNode(const AbstractNetworkModel* anm, graph::Graph* g, graph::NodeId id)
+      : anm_(anm), g_(g), id_(id) {}
+
+  [[nodiscard]] graph::NodeId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return g_->node_name(id_); }
+  [[nodiscard]] const std::string& overlay_name() const { return g_->name(); }
+
+  /// Attribute access; returns the unset value for missing keys.
+  [[nodiscard]] const graph::AttrValue& attr(std::string_view key) const {
+    return g_->node_attr(id_, key);
+  }
+  [[nodiscard]] const graph::AttrValue& operator[](std::string_view key) const {
+    return attr(key);
+  }
+  void set(std::string_view key, graph::AttrValue value) const {
+    g_->set_node_attr(id_, key, std::move(value));
+  }
+
+  /// Common attribute shortcuts used throughout the design rules.
+  [[nodiscard]] std::int64_t asn() const { return attr("asn").as_int().value_or(0); }
+  [[nodiscard]] std::string device_type() const {
+    const auto* s = attr("device_type").as_string();
+    return s ? *s : "";
+  }
+  [[nodiscard]] bool is_router() const { return device_type() == "router"; }
+  [[nodiscard]] bool is_server() const { return device_type() == "server"; }
+  [[nodiscard]] bool is_switch() const { return device_type() == "switch"; }
+
+  /// Incident edges in this overlay (outgoing for directed overlays).
+  [[nodiscard]] std::vector<OverlayEdge> edges() const;
+  [[nodiscard]] std::vector<OverlayNode> neighbors() const;
+  [[nodiscard]] std::size_t degree() const { return g_->degree(id_); }
+
+  /// The same device in another overlay; nullopt if it is not present
+  /// there (paper §5.2.3 cross-layer access).
+  [[nodiscard]] std::optional<OverlayNode> in_layer(std::string_view overlay) const;
+
+  friend bool operator==(const OverlayNode& a, const OverlayNode& b) {
+    return a.g_ == b.g_ && a.id_ == b.id_;
+  }
+  friend bool operator<(const OverlayNode& a, const OverlayNode& b) {
+    return a.g_ == b.g_ ? a.id_ < b.id_ : a.g_ < b.g_;
+  }
+
+ private:
+  friend class OverlayGraph;
+  const AbstractNetworkModel* anm_;
+  graph::Graph* g_;
+  graph::NodeId id_;
+};
+
+/// An edge in one overlay, with endpoint and attribute access.
+class OverlayEdge {
+ public:
+  OverlayEdge(const AbstractNetworkModel* anm, graph::Graph* g, graph::EdgeId id)
+      : anm_(anm), g_(g), id_(id) {}
+
+  [[nodiscard]] graph::EdgeId id() const { return id_; }
+  [[nodiscard]] OverlayNode src() const {
+    return OverlayNode(anm_, g_, g_->edge_src(id_));
+  }
+  [[nodiscard]] OverlayNode dst() const {
+    return OverlayNode(anm_, g_, g_->edge_dst(id_));
+  }
+  /// The endpoint that is not `n`.
+  [[nodiscard]] OverlayNode other(const OverlayNode& n) const {
+    return OverlayNode(anm_, g_, g_->edge_other(id_, n.id()));
+  }
+
+  [[nodiscard]] const graph::AttrValue& attr(std::string_view key) const {
+    return g_->edge_attr(id_, key);
+  }
+  [[nodiscard]] const graph::AttrValue& operator[](std::string_view key) const {
+    return attr(key);
+  }
+  void set(std::string_view key, graph::AttrValue value) const {
+    g_->set_edge_attr(id_, key, std::move(value));
+  }
+
+  friend bool operator==(const OverlayEdge& a, const OverlayEdge& b) {
+    return a.g_ == b.g_ && a.id_ == b.id_;
+  }
+
+ private:
+  const AbstractNetworkModel* anm_;
+  graph::Graph* g_;
+  graph::EdgeId id_;
+};
+
+/// Predicate used by node/edge selectors.
+using NodePredicate = std::function<bool(const OverlayNode&)>;
+using EdgePredicate = std::function<bool(const OverlayEdge&)>;
+
+/// A named overlay within the ANM, wrapping one attribute graph.
+class OverlayGraph {
+ public:
+  OverlayGraph(const AbstractNetworkModel* anm, graph::Graph* g)
+      : anm_(anm), g_(g) {}
+
+  [[nodiscard]] const std::string& name() const { return g_->name(); }
+  [[nodiscard]] bool directed() const { return g_->directed(); }
+  [[nodiscard]] std::size_t node_count() const { return g_->node_count(); }
+  [[nodiscard]] std::size_t edge_count() const { return g_->edge_count(); }
+
+  /// Overlay-level data (paper §5.2.1, e.g. per-AS infrastructure blocks).
+  [[nodiscard]] graph::AttrMap& data() { return g_->data(); }
+  [[nodiscard]] const graph::AttrMap& data() const { return g_->data(); }
+
+  /// Direct access to the underlying attribute graph (paper §7.1
+  /// `unwrap_graph`), for running graph algorithms.
+  [[nodiscard]] graph::Graph& unwrap() { return *g_; }
+  [[nodiscard]] const graph::Graph& unwrap() const { return *g_; }
+
+  // --- Nodes ---
+  OverlayNode add_node(std::string_view name);
+  [[nodiscard]] std::optional<OverlayNode> node(std::string_view name) const;
+  [[nodiscard]] OverlayNode node(graph::NodeId id) const;
+  [[nodiscard]] bool has_node(std::string_view name) const {
+    return g_->has_node(name);
+  }
+  void remove_node(const OverlayNode& n) { g_->remove_node(n.id()); }
+
+  [[nodiscard]] std::vector<OverlayNode> nodes() const;
+  [[nodiscard]] std::vector<OverlayNode> nodes(const NodePredicate& pred) const;
+  /// Attribute-equality selector (paper: G_in.nodes(type="physical")).
+  [[nodiscard]] std::vector<OverlayNode> nodes_where(std::string_view attr,
+                                                     const graph::AttrValue& value) const;
+  [[nodiscard]] std::vector<OverlayNode> routers() const {
+    return nodes_where("device_type", "router");
+  }
+  [[nodiscard]] std::vector<OverlayNode> servers() const {
+    return nodes_where("device_type", "server");
+  }
+  [[nodiscard]] std::vector<OverlayNode> switches() const {
+    return nodes_where("device_type", "switch");
+  }
+
+  // --- Edges ---
+  OverlayEdge add_edge(const OverlayNode& u, const OverlayNode& v);
+  OverlayEdge add_edge(std::string_view u, std::string_view v);
+  void remove_edge(const OverlayEdge& e) { g_->remove_edge(e.id()); }
+  void remove_edges(const std::vector<OverlayEdge>& edges);
+
+  [[nodiscard]] std::vector<OverlayEdge> edges() const;
+  [[nodiscard]] std::vector<OverlayEdge> edges(const EdgePredicate& pred) const;
+  [[nodiscard]] std::vector<OverlayEdge> edges_where(std::string_view attr,
+                                                     const graph::AttrValue& value) const;
+
+  /// Copies nodes from another overlay, retaining the listed attributes
+  /// (paper §5.2.1 `add_nodes_from(..., retain=[...])`).
+  std::vector<OverlayNode> add_nodes_from(
+      const std::vector<OverlayNode>& nodes,
+      const std::vector<std::string>& retain = {});
+  std::vector<OverlayNode> add_nodes_from(
+      const OverlayGraph& src, const std::vector<std::string>& retain = {});
+
+  /// Copies edges (by endpoint names) from another overlay. Endpoints must
+  /// already exist in this overlay; edges whose endpoints are missing are
+  /// skipped, mirroring the reference semantics of selective overlays.
+  std::vector<OverlayEdge> add_edges_from(
+      const std::vector<OverlayEdge>& edges,
+      const std::vector<std::string>& retain = {},
+      bool bidirected = false);
+
+ private:
+  const AbstractNetworkModel* anm_;
+  graph::Graph* g_;
+};
+
+/// Copies a node attribute between overlays for all shared nodes
+/// (paper: copy_attr_from(G_in, G_ospf, "ospf_area", dst_attr="area")).
+void copy_attr_from(const OverlayGraph& src, OverlayGraph& dst,
+                    std::string_view attr, std::string_view dst_attr = {});
+
+}  // namespace autonet::anm

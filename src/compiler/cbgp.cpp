@@ -1,0 +1,49 @@
+// C-BGP device compiler. C-BGP is a routing solver scripted through
+// net/bgp add statements; nodes are identified by address rather than
+// hostname, so the compiler records the loopback as the node id.
+#include "compiler/device_compiler.hpp"
+
+namespace autonet::compiler {
+
+namespace {
+
+std::string strip_len(std::string addr) {
+  if (auto slash = addr.find('/'); slash != std::string::npos) addr.resize(slash);
+  return addr;
+}
+
+}  // namespace
+
+void CbgpCompiler::compile(const CompileContext& ctx,
+                           nidb::DeviceRecord& rec) const {
+  DeviceCompiler::compile(ctx, rec);
+  if (!ctx.loopback.empty()) {
+    rec.data["cbgp_id"] = strip_len(ctx.loopback);
+  }
+  // C-BGP addresses peers by node id (loopback), not by interface
+  // address: rewrite the eBGP neighbor endpoints accordingly.
+  if (nidb::Value* bgp = [&rec]() -> nidb::Value* {
+        return rec.data.find("bgp") != nullptr ? &rec.data["bgp"] : nullptr;
+      }()) {
+    const nidb::Value* ebgp = bgp->find("ebgp_neighbors");
+    if (ebgp != nullptr && ebgp->as_array() != nullptr) {
+      nidb::Array rewritten;
+      for (const nidb::Value& n : *ebgp->as_array()) {
+        nidb::Object entry = *n.as_object();
+        const nidb::Value* desc = n.find("description");
+        const std::string* peer = desc ? desc->as_string() : nullptr;
+        if (peer != nullptr && ctx.anm->has_overlay("ip")) {
+          if (auto peer_node = ctx.anm->overlay("ip").node(*peer)) {
+            if (const auto* lo = peer_node->attr("loopback").as_string()) {
+              entry["neighbor"] = strip_len(*lo);
+            }
+          }
+        }
+        rewritten.emplace_back(std::move(entry));
+      }
+      (*bgp)["ebgp_neighbors"] = nidb::Value(std::move(rewritten));
+    }
+  }
+}
+
+}  // namespace autonet::compiler

@@ -1,0 +1,361 @@
+#include "compiler/device_compiler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/attr.hpp"
+
+namespace autonet::compiler {
+
+using nidb::Array;
+using nidb::Object;
+using nidb::Value;
+
+namespace {
+
+std::string strip_len(std::string addr) {
+  if (auto slash = addr.find('/'); slash != std::string::npos) addr.resize(slash);
+  return addr;
+}
+
+/// The address the peer uses on the collision domain shared with
+/// `device` (for eBGP session endpoints).
+std::string peer_address_on_shared_link(const anm::AbstractNetworkModel& anm,
+                                        std::string_view device,
+                                        std::string_view peer) {
+  if (!anm.has_overlay("ip")) return "";
+  auto g_ip = anm["ip"];
+  auto dev = g_ip.node(device);
+  auto peer_node = g_ip.node(peer);
+  if (!dev || !peer_node) return "";
+  for (const auto& e : dev->edges()) {
+    auto cd = e.other(*dev);
+    if (!cd.attr("collision_domain").truthy()) continue;
+    for (const auto& pe : cd.edges()) {
+      if (pe.other(cd).name() == peer) {
+        if (const auto* ip = pe.attr("ip").as_string()) return strip_len(*ip);
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+void DeviceCompiler::compile(const CompileContext& ctx,
+                             nidb::DeviceRecord& rec) const {
+  base(ctx, rec);
+  interfaces(ctx, rec);
+  ospf(ctx, rec);
+  isis(ctx, rec);
+  bgp(ctx, rec);
+  services(ctx, rec);
+}
+
+void DeviceCompiler::base(const CompileContext& ctx, nidb::DeviceRecord& rec) const {
+  const auto& anm = *ctx.anm;
+  auto phy = anm["phy"].node(ctx.device);
+  if (!phy) throw std::invalid_argument("compile: unknown device " + ctx.device);
+
+  rec.data["hostname"] = ctx.hostname.empty() ? ctx.device : ctx.hostname;
+  rec.data["asn"] = phy->asn();
+  rec.data["device_type"] = phy->device_type();
+  rec.data["syntax"] = syntax();
+  if (!ctx.loopback.empty()) {
+    rec.data["loopback"] = ctx.loopback;
+    rec.data["loopback_id"] = ctx.loopback_id;
+  }
+  rec.data.set_path("render.base", template_base());
+}
+
+void DeviceCompiler::interfaces(const CompileContext& ctx,
+                                nidb::DeviceRecord& rec) const {
+  Array out;
+  for (const auto& iface : ctx.interfaces) {
+    Object i;
+    i["id"] = iface.id;
+    i["description"] = iface.description;
+    i["ip_address"] = iface.ip;
+    i["prefixlen"] = static_cast<std::int64_t>(iface.prefixlen);
+    i["subnet"] = iface.subnet;
+    i["collision_domain"] = iface.collision_domain;
+    i["ospf_cost"] = iface.ospf_cost;
+    if (iface.stub) i["stub"] = true;
+    if (!iface.ip6.empty()) i["ip6_address"] = iface.ip6;
+    out.emplace_back(std::move(i));
+  }
+  rec.data["interfaces"] = Value(std::move(out));
+}
+
+void DeviceCompiler::ospf(const CompileContext& ctx, nidb::DeviceRecord& rec) const {
+  const auto& anm = *ctx.anm;
+  if (!anm.has_overlay("ospf")) return;
+  auto node = anm["ospf"].node(ctx.device);
+  if (!node) return;
+
+  Object o;
+  o["process_id"] = 1;
+  if (!ctx.loopback.empty()) o["router_id"] = strip_len(ctx.loopback);
+  Array links;
+  for (const auto& iface : ctx.interfaces) {
+    // Only intra-AS adjacencies participate; inter-AS links are covered
+    // by eBGP (Eq. 1 vs Eq. 3 separation), and attached stub networks
+    // stay out of the IGP.
+    if (iface.stub) continue;
+    if (!iface.peer.empty()) {
+      auto peer = anm["phy"].node(iface.peer);
+      auto self = anm["phy"].node(ctx.device);
+      if (peer && self && peer->asn() != self->asn()) continue;
+    }
+    Object link;
+    link["network"] = iface.subnet;
+    link["area"] = iface.area;
+    link["interface"] = iface.id;
+    link["cost"] = iface.ospf_cost;
+    links.emplace_back(std::move(link));
+  }
+  if (!ctx.loopback.empty()) {
+    Object link;
+    link["network"] = ctx.loopback;
+    // The loopback joins the router's own area (a router wholly inside a
+    // non-zero area has no area-0 presence to advertise into).
+    link["area"] = node->attr("area").as_int().value_or(0);
+    link["interface"] = ctx.loopback_id;
+    link["cost"] = 0;
+    links.emplace_back(std::move(link));
+  }
+  o["ospf_links"] = Value(std::move(links));
+  rec.data["ospf"] = Value(std::move(o));
+}
+
+void DeviceCompiler::isis(const CompileContext& ctx, nidb::DeviceRecord& rec) const {
+  const auto& anm = *ctx.anm;
+  if (!anm.has_overlay("isis")) return;
+  auto node = anm["isis"].node(ctx.device);
+  if (!node) return;
+
+  Object o;
+  if (const auto* area = node->attr("isis_area").as_string()) {
+    // NET: <area>.<system-id>.00 with the system id from the loopback.
+    std::string system_id = "0000.0000.0000";
+    if (!ctx.loopback.empty()) {
+      // 10.0.1.2 -> 0100.0000.1002-style padding (common convention).
+      auto addr = strip_len(ctx.loopback);
+      std::string digits;
+      for (char c : addr) {
+        if (c == '.') continue;
+        digits += c;
+      }
+      while (digits.size() < 12) digits.insert(digits.begin(), '0');
+      system_id = digits.substr(0, 4) + "." + digits.substr(4, 4) + "." +
+                  digits.substr(8, 4);
+    }
+    o["net"] = *area + "." + system_id + ".00";
+  }
+  if (const auto* level = node->attr("level").as_string()) o["level"] = *level;
+  Array ifaces;
+  for (const auto& iface : ctx.interfaces) {
+    if (iface.stub) continue;
+    if (!iface.peer.empty()) {
+      auto peer = anm["phy"].node(iface.peer);
+      auto self = anm["phy"].node(ctx.device);
+      if (peer && self && peer->asn() != self->asn()) continue;
+    }
+    Object entry;
+    entry["id"] = iface.id;
+    entry["metric"] = iface.isis_metric;
+    ifaces.emplace_back(std::move(entry));
+  }
+  o["interfaces"] = Value(std::move(ifaces));
+  rec.data["isis"] = Value(std::move(o));
+}
+
+void DeviceCompiler::bgp(const CompileContext& ctx, nidb::DeviceRecord& rec) const {
+  const auto& anm = *ctx.anm;
+  const bool in_ebgp = anm.has_overlay("ebgp") && anm["ebgp"].has_node(ctx.device);
+  const bool in_ibgp = anm.has_overlay("ibgp") && anm["ibgp"].has_node(ctx.device);
+  if (!in_ebgp && !in_ibgp) return;
+
+  auto phy = anm["phy"].node(ctx.device);
+  Object o;
+  o["asn"] = phy->asn();
+  if (!ctx.loopback.empty()) o["router_id"] = strip_len(ctx.loopback);
+  // Vendor default: the IGP-cost step participates in best-path selection
+  // (§7.2); Quagga overrides this to false.
+  o["igp_tiebreak"] = true;
+
+  // Originated networks: the AS's infrastructure and loopback blocks
+  // (so inter-AS traceroutes to loopbacks resolve) plus any explicitly
+  // advertised prefix.
+  Array networks;
+  if (anm.has_overlay("ip")) {
+    const auto& data = anm["ip"].data();
+    for (const char* kind : {"infra_block_", "loopback_block_"}) {
+      const auto& block =
+          graph::attr_or_unset(data, kind + std::to_string(phy->asn()));
+      if (block.is_set()) networks.emplace_back(block.to_string());
+    }
+  }
+  if (const auto* adv = phy->attr("advertise_prefix").as_string()) {
+    networks.emplace_back(*adv);
+  }
+  o["networks"] = Value(std::move(networks));
+
+  Array ibgp_neighbors;
+  if (in_ibgp) {
+    auto node = *anm["ibgp"].node(ctx.device);
+    for (const auto& e : node.edges()) {
+      auto peer = e.dst();
+      auto peer_ip = anm["ip"].node(peer.name());
+      std::string peer_loopback;
+      if (peer_ip) {
+        if (const auto* lo = peer_ip->attr("loopback").as_string()) {
+          peer_loopback = strip_len(*lo);
+        }
+      }
+      Object n;
+      n["neighbor"] = peer_loopback;
+      n["remote_as"] = phy->asn();
+      n["description"] = peer.name();
+      n["update_source"] = ctx.loopback_id;
+      n["next_hop_self"] = true;
+      if (e.attr("rr_client").truthy()) n["rr_client"] = true;
+      ibgp_neighbors.emplace_back(std::move(n));
+    }
+  }
+  o["ibgp_neighbors"] = Value(std::move(ibgp_neighbors));
+
+  // Stub (no-transit) routers export only locally originated prefixes to
+  // their eBGP peers — the classic "^$" as-path filter.
+  const bool no_transit = phy->attr("no_transit").truthy();
+  if (no_transit) o["no_transit"] = true;
+
+  Array ebgp_neighbors;
+  if (in_ebgp) {
+    auto node = *anm["ebgp"].node(ctx.device);
+    for (const auto& e : node.edges()) {
+      auto peer = e.dst();
+      auto peer_phy = anm["phy"].node(peer.name());
+      Object n;
+      n["neighbor"] = peer_address_on_shared_link(anm, ctx.device, peer.name());
+      n["remote_as"] = peer_phy ? peer_phy->asn() : 0;
+      n["description"] = peer.name();
+      if (no_transit) n["only_local_out"] = true;
+      // Ingress preference / egress MED policies from the session edge
+      // (§7.3).
+      if (auto lp = e.attr("local_pref").as_int()) n["local_pref_in"] = *lp;
+      if (auto med = e.attr("med").as_int()) n["med_out"] = *med;
+      ebgp_neighbors.emplace_back(std::move(n));
+    }
+  }
+  o["ebgp_neighbors"] = Value(std::move(ebgp_neighbors));
+
+  rec.data["bgp"] = Value(std::move(o));
+}
+
+void DeviceCompiler::services(const CompileContext& ctx,
+                              nidb::DeviceRecord& rec) const {
+  const auto& anm = *ctx.anm;
+  if (anm.has_overlay("dns")) {
+    auto node = anm["dns"].node(ctx.device);
+    if (node) {
+      Object d;
+      if (node->attr("dns_server").truthy()) {
+        d["server"] = true;
+        if (const auto* zone = node->attr("zone").as_string()) d["zone"] = *zone;
+        // Zone contents, derived from the IP allocations so names and
+        // addresses stay consistent (§3.3).
+        Array records;
+        if (anm.has_overlay("ip")) {
+          auto g_ip = anm["ip"];
+          auto phy_self = anm["phy"].node(ctx.device);
+          for (const auto& member : g_ip.nodes()) {
+            if (member.attr("collision_domain").truthy()) continue;
+            if (phy_self && member.asn() != phy_self->asn()) continue;
+            std::string addr;
+            if (const auto* lo = member.attr("loopback").as_string()) {
+              addr = strip_len(*lo);
+            } else {
+              for (const auto& ie : member.edges()) {
+                if (const auto* ip = ie.attr("ip").as_string()) {
+                  addr = strip_len(*ip);
+                  break;
+                }
+              }
+            }
+            if (addr.empty()) continue;
+            Object record;
+            record["name"] = member.name();
+            record["address"] = addr;
+            records.emplace_back(std::move(record));
+          }
+        }
+        d["records"] = Value(std::move(records));
+      } else {
+        // Find this client's resolver: the target of its resolves_via edge.
+        for (const auto& e : node->edges()) {
+          auto server = e.dst();
+          auto server_ip = anm["ip"].node(server.name());
+          std::string resolver;
+          if (server_ip) {
+            if (const auto* lo = server_ip->attr("loopback").as_string()) {
+              resolver = strip_len(*lo);
+            } else {
+              for (const auto& ie : server_ip->edges()) {
+                if (const auto* ip = ie.attr("ip").as_string()) {
+                  resolver = strip_len(*ip);
+                  break;
+                }
+              }
+            }
+          }
+          d["resolver"] = resolver;
+          break;
+        }
+      }
+      rec.data["dns"] = Value(std::move(d));
+    }
+  }
+
+  if (anm.has_overlay("rpki")) {
+    auto node = anm["rpki"].node(ctx.device);
+    if (node) {
+      Object r;
+      if (const auto* role = node->attr("rpki_role").as_string()) r["role"] = *role;
+      if (node->attr("trust_anchor").truthy()) r["trust_anchor"] = true;
+      Array children;
+      for (const auto& e : node->edges()) {
+        Object child;
+        child["name"] = e.dst().name();
+        if (const auto* rel = e.attr("relation").as_string()) child["relation"] = *rel;
+        children.emplace_back(std::move(child));
+      }
+      r["children"] = Value(std::move(children));
+      rec.data["rpki"] = Value(std::move(r));
+    }
+  }
+}
+
+void LinuxCompiler::compile(const CompileContext& ctx,
+                            nidb::DeviceRecord& rec) const {
+  base(ctx, rec);
+  interfaces(ctx, rec);
+  services(ctx, rec);
+}
+
+const DeviceCompiler& device_compiler_for(std::string_view syntax) {
+  static const QuaggaCompiler quagga;
+  static const IosCompiler ios;
+  static const JunosCompiler junos;
+  static const CbgpCompiler cbgp;
+  static const LinuxCompiler linux_host;
+  if (syntax == "quagga") return quagga;
+  if (syntax == "ios") return ios;
+  if (syntax == "junos") return junos;
+  if (syntax == "cbgp") return cbgp;
+  if (syntax == "linux") return linux_host;
+  throw std::invalid_argument("no device compiler for syntax '" +
+                              std::string(syntax) + "'");
+}
+
+}  // namespace autonet::compiler

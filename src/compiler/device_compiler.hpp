@@ -1,0 +1,114 @@
+// Device compilers (paper §5.4): condense the overlay graphs into each
+// device's attribute vector in the Resource Database. "The generic router
+// compiler consists of base functions: compile(), ospf(), interfaces().
+// These can be overwritten in the inherited device compilers, extended by
+// calling the super() module, or added to for new overlays."
+//
+// The base class computes the device-independent structure (interface
+// list, OSPF links, BGP sessions, IS-IS, service blocks) from the
+// overlays; per-syntax subclasses adjust naming/semantics and the render
+// attributes pointing at their template set.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "anm/anm.hpp"
+#include "nidb/nidb.hpp"
+
+namespace autonet::compiler {
+
+/// One resolved interface of a device, produced by the platform compiler
+/// (interface naming is platform-specific) and consumed by the device
+/// compilers.
+struct ResolvedInterface {
+  std::string id;             // e.g. "eth1" / "FastEthernet0/0"
+  std::string collision_domain;
+  std::string ip;             // host address, no prefix length
+  std::string ip6;            // optional
+  unsigned prefixlen = 0;
+  std::string subnet;         // CIDR of the collision domain
+  std::string description;    // "as100r1 to as100r3"
+  std::int64_t ospf_cost = 1;
+  std::int64_t isis_metric = 10;
+  std::int64_t area = 0;
+  std::string peer;           // other device for p2p links, "" for LANs
+  /// Attached stub network (an `advertise_prefix` origin LAN): carries
+  /// addresses and a connected route, but joins no IGP.
+  bool stub = false;
+};
+
+/// Everything a device compiler needs to see.
+struct CompileContext {
+  const anm::AbstractNetworkModel* anm = nullptr;
+  std::string platform;
+  std::string device;        // ANM node name (lookup key)
+  std::string hostname;      // platform-sanitised hostname
+  std::vector<ResolvedInterface> interfaces;
+  std::string loopback;      // "10.0.0.1/32" or ""
+  std::string loopback_id;   // platform loopback name ("lo", "Loopback0")
+};
+
+class DeviceCompiler {
+ public:
+  virtual ~DeviceCompiler() = default;
+
+  /// The configuration syntax this compiler targets ("quagga", ...).
+  [[nodiscard]] virtual std::string syntax() const = 0;
+  /// Template directory for the renderer ("templates/quagga").
+  [[nodiscard]] virtual std::string template_base() const {
+    return "templates/" + syntax();
+  }
+
+  /// Fills the record; calls the hooks below in order.
+  virtual void compile(const CompileContext& ctx, nidb::DeviceRecord& rec) const;
+
+ protected:
+  virtual void base(const CompileContext& ctx, nidb::DeviceRecord& rec) const;
+  virtual void interfaces(const CompileContext& ctx, nidb::DeviceRecord& rec) const;
+  virtual void ospf(const CompileContext& ctx, nidb::DeviceRecord& rec) const;
+  virtual void isis(const CompileContext& ctx, nidb::DeviceRecord& rec) const;
+  virtual void bgp(const CompileContext& ctx, nidb::DeviceRecord& rec) const;
+  virtual void services(const CompileContext& ctx, nidb::DeviceRecord& rec) const;
+};
+
+class QuaggaCompiler : public DeviceCompiler {
+ public:
+  [[nodiscard]] std::string syntax() const override { return "quagga"; }
+  void compile(const CompileContext& ctx, nidb::DeviceRecord& rec) const override;
+};
+
+class IosCompiler : public DeviceCompiler {
+ public:
+  [[nodiscard]] std::string syntax() const override { return "ios"; }
+  void compile(const CompileContext& ctx, nidb::DeviceRecord& rec) const override;
+};
+
+class JunosCompiler : public DeviceCompiler {
+ public:
+  [[nodiscard]] std::string syntax() const override { return "junos"; }
+  void compile(const CompileContext& ctx, nidb::DeviceRecord& rec) const override;
+};
+
+/// C-BGP is a routing *solver*; its "configuration" is a script driving
+/// the simulator, so the compiler emits net/bgp add statements data.
+class CbgpCompiler : public DeviceCompiler {
+ public:
+  [[nodiscard]] std::string syntax() const override { return "cbgp"; }
+  void compile(const CompileContext& ctx, nidb::DeviceRecord& rec) const override;
+};
+
+/// Plain Linux hosts (servers in Netkit labs): interface bring-up plus
+/// service blocks, no routing protocols.
+class LinuxCompiler : public DeviceCompiler {
+ public:
+  [[nodiscard]] std::string syntax() const override { return "linux"; }
+  void compile(const CompileContext& ctx, nidb::DeviceRecord& rec) const override;
+};
+
+/// Syntax registry used by platform compilers; throws on unknown syntax.
+[[nodiscard]] const DeviceCompiler& device_compiler_for(std::string_view syntax);
+
+}  // namespace autonet::compiler

@@ -1,0 +1,16 @@
+// Cisco IOS device compiler: one monolithic configuration file; OSPF
+// network statements use wildcard masks (handled by the template's
+// `wildcard` filter over the same canonical subnet data).
+#include "compiler/device_compiler.hpp"
+
+namespace autonet::compiler {
+
+void IosCompiler::compile(const CompileContext& ctx,
+                          nidb::DeviceRecord& rec) const {
+  DeviceCompiler::compile(ctx, rec);
+  nidb::Object ios;
+  ios["version"] = "15.2";
+  rec.data["ios"] = nidb::Value(std::move(ios));
+}
+
+}  // namespace autonet::compiler

@@ -1,0 +1,15 @@
+// Juniper Junos device compiler: hierarchical configuration; the template
+// renders the braces structure from the same canonical record.
+#include "compiler/device_compiler.hpp"
+
+namespace autonet::compiler {
+
+void JunosCompiler::compile(const CompileContext& ctx,
+                            nidb::DeviceRecord& rec) const {
+  DeviceCompiler::compile(ctx, rec);
+  nidb::Object junos;
+  junos["version"] = "12.1";
+  rec.data["junos"] = nidb::Value(std::move(junos));
+}
+
+}  // namespace autonet::compiler

@@ -1,0 +1,21 @@
+// Quagga device compiler: Netkit's default syntax. Configuration lives in
+// /etc/quagga with one daemon config per protocol (zebra, ospfd, bgpd).
+#include "compiler/device_compiler.hpp"
+
+namespace autonet::compiler {
+
+void QuaggaCompiler::compile(const CompileContext& ctx,
+                             nidb::DeviceRecord& rec) const {
+  DeviceCompiler::compile(ctx, rec);
+  nidb::Object zebra;
+  zebra["hostname"] = ctx.device;
+  zebra["password"] = "1234";
+  rec.data["zebra"] = nidb::Value(std::move(zebra));
+  // Quagga's bgpd does not apply the IGP-metric tie-break by default —
+  // the behaviour the paper's Bad-Gadget experiment exposed (§7.2).
+  if (rec.data.find("bgp") != nullptr) {
+    rec.data["bgp"]["igp_tiebreak"] = false;
+  }
+}
+
+}  // namespace autonet::compiler

@@ -1,0 +1,153 @@
+#include "core/workflow.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace autonet::core {
+
+using Clock = std::chrono::steady_clock;
+
+double PhaseTimings::total() const {
+  double sum = 0;
+  for (const auto& [phase, value] : ms) sum += value;
+  return sum;
+}
+
+std::string PhaseTimings::to_string() const {
+  std::ostringstream out;
+  for (const char* phase : {"load", "design", "compile", "render", "deploy"}) {
+    auto it = ms.find(phase);
+    if (it != ms.end()) out << phase << "=" << it->second << "ms ";
+  }
+  out << "total=" << total() << "ms";
+  return out.str();
+}
+
+Workflow::Workflow(WorkflowOptions options) : options_(std::move(options)) {}
+Workflow::~Workflow() = default;
+Workflow::Workflow(Workflow&&) noexcept = default;
+Workflow& Workflow::operator=(Workflow&&) noexcept = default;
+
+template <typename F>
+void Workflow::timed(const std::string& phase, F&& f) {
+  auto start = Clock::now();
+  f();
+  auto end = Clock::now();
+  timings_.ms[phase] =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(end -
+                                                                            start)
+          .count();
+}
+
+Workflow& Workflow::load(const graph::Graph& input) {
+  timed("load", [this, &input]() {
+    auto g_in = anm_["input"];
+    // Copy the raw input graph into the 'input' overlay, every attribute
+    // retained.
+    for (graph::NodeId n : input.nodes()) {
+      auto node = g_in.add_node(input.node_name(n));
+      for (const auto& [key, value] : input.node_attrs(n)) node.set(key, value);
+      // Apply paper defaults: device_type=router, platform, syntax.
+      if (!node.attr("device_type").is_set()) node.set("device_type", "router");
+    }
+    for (graph::EdgeId e : input.edges()) {
+      auto edge = g_in.add_edge(input.node_name(input.edge_src(e)),
+                                input.node_name(input.edge_dst(e)));
+      for (const auto& [key, value] : input.edge_attrs(e)) edge.set(key, value);
+    }
+    design::build_phy(anm_);
+    loaded_ = true;
+  });
+  return *this;
+}
+
+Workflow& Workflow::design() {
+  if (!loaded_) throw std::logic_error("Workflow::design before load");
+  timed("design", [this]() {
+    design::build_ospf(anm_, options_.ospf);
+    if (options_.enable_isis) design::build_isis(anm_);
+    design::build_ebgp(anm_);
+    if (options_.ibgp == "mesh") {
+      design::build_ibgp_full_mesh(anm_);
+    } else if (options_.ibgp == "rr") {
+      design::build_ibgp_route_reflectors(anm_);
+    } else if (options_.ibgp == "rr-auto") {
+      design::select_route_reflectors(anm_, options_.rr_select);
+      design::build_ibgp_route_reflectors(anm_);
+    } else {
+      throw std::invalid_argument("unknown ibgp mode '" + options_.ibgp + "'");
+    }
+    design::build_ip(anm_, options_.ip);
+    if (options_.enable_dns) design::build_dns(anm_);
+    if (options_.enable_rpki) design::build_rpki(anm_);
+  });
+  return *this;
+}
+
+Workflow& Workflow::compile() {
+  if (!anm_.has_overlay("ip")) throw std::logic_error("Workflow::compile before design");
+  timed("compile", [this]() {
+    const auto& pc = compiler::platform_compiler_for(options_.platform);
+    nidb_ = pc.compile(anm_);
+  });
+  return *this;
+}
+
+Workflow& Workflow::render() {
+  if (!nidb_) throw std::logic_error("Workflow::render before compile");
+  timed("render", [this]() { configs_ = render::render_configs(*nidb_); });
+  return *this;
+}
+
+Workflow& Workflow::deploy() {
+  if (!configs_) throw std::logic_error("Workflow::deploy before render");
+  timed("deploy", [this]() {
+    host_ = std::make_unique<deploy::EmulationHost>("localhost");
+    deploy::Deployer deployer(*host_);
+    deploy_result_ = deployer.deploy(*configs_, *nidb_);
+  });
+  return *this;
+}
+
+Workflow& Workflow::run(const graph::Graph& input) {
+  return load(input).design().compile().render().deploy();
+}
+
+const nidb::Nidb& Workflow::nidb() const {
+  if (!nidb_) throw std::logic_error("compile() has not run");
+  return *nidb_;
+}
+
+const render::ConfigTree& Workflow::configs() const {
+  if (!configs_) throw std::logic_error("render() has not run");
+  return *configs_;
+}
+
+emulation::EmulatedNetwork& Workflow::network() {
+  if (!host_ || host_->network() == nullptr) {
+    throw std::logic_error("deploy() has not run successfully");
+  }
+  return *host_->network();
+}
+
+const deploy::DeployResult& Workflow::deploy_result() const { return deploy_result_; }
+
+measure::MeasurementClient Workflow::measurement() const {
+  if (!host_ || host_->network() == nullptr || !nidb_) {
+    throw std::logic_error("deploy() has not run successfully");
+  }
+  return measure::MeasurementClient(*host_->network(), *nidb_);
+}
+
+verify::Report Workflow::static_check() const {
+  return verify::static_check(nidb());
+}
+
+measure::ValidationReport Workflow::validate_ospf() const {
+  if (!host_ || host_->network() == nullptr) {
+    throw std::logic_error("deploy() has not run successfully");
+  }
+  return measure::validate_ospf(*host_->network(), anm_);
+}
+
+}  // namespace autonet::core

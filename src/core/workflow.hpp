@@ -1,0 +1,106 @@
+// The Workflow façade: the paper's Figure-2 pipeline as one API.
+//   input topology -> network design -> compile -> render -> deploy ->
+//   measure (with visualization export at any stage)
+// Each phase is timed, reproducing the §3.2 measurement methodology
+// ("15 seconds to load and build network topologies, 27 seconds to
+// compile the network model, and 2 minutes to render").
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "anm/anm.hpp"
+#include "compiler/platform_compiler.hpp"
+#include "deploy/deployer.hpp"
+#include "design/bgp.hpp"
+#include "design/igp.hpp"
+#include "design/ip_allocation.hpp"
+#include "design/services.hpp"
+#include "measure/client.hpp"
+#include "measure/validate.hpp"
+#include "nidb/nidb.hpp"
+#include "render/renderer.hpp"
+#include "verify/static_check.hpp"
+
+namespace autonet::core {
+
+struct WorkflowOptions {
+  std::string platform = "netkit";
+  /// iBGP mode: "mesh", "rr" (attribute-based), or "rr-auto"
+  /// (centrality-selected reflectors, §7.1).
+  std::string ibgp = "mesh";
+  bool enable_isis = false;
+  bool enable_dns = false;
+  bool enable_rpki = false;
+  design::IpOptions ip;
+  design::OspfOptions ospf;
+  design::RrSelectOptions rr_select;
+};
+
+struct PhaseTimings {
+  /// Milliseconds per phase, keyed "load", "design", "compile", "render",
+  /// "deploy".
+  std::map<std::string, double> ms;
+  [[nodiscard]] double total() const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Drives the full pipeline over an input topology graph. The individual
+/// modules remain directly usable; Workflow wires the default
+/// composition used by the examples and benchmarks.
+class Workflow {
+ public:
+  explicit Workflow(WorkflowOptions options = {});
+  ~Workflow();
+  Workflow(Workflow&&) noexcept;
+  Workflow& operator=(Workflow&&) noexcept;
+
+  /// Phase 1: loads the input graph into the ANM ('input' + 'phy').
+  Workflow& load(const graph::Graph& input);
+  /// Phase 2: runs the design rules (OSPF, eBGP, iBGP, IP, services).
+  Workflow& design();
+  /// Phase 3: platform compilation into the Resource Database.
+  Workflow& compile();
+  /// Phase 4: template rendering into the configuration tree.
+  Workflow& render();
+  /// Phase 5: archive/transfer/extract/boot on a simulated host; starts
+  /// the emulated network.
+  Workflow& deploy();
+
+  /// All phases in order.
+  Workflow& run(const graph::Graph& input);
+
+  // --- Results ----------------------------------------------------------
+  [[nodiscard]] anm::AbstractNetworkModel& anm() { return anm_; }
+  [[nodiscard]] const anm::AbstractNetworkModel& anm() const { return anm_; }
+  [[nodiscard]] const nidb::Nidb& nidb() const;
+  [[nodiscard]] const render::ConfigTree& configs() const;
+  [[nodiscard]] emulation::EmulatedNetwork& network();
+  [[nodiscard]] const deploy::DeployResult& deploy_result() const;
+  [[nodiscard]] const PhaseTimings& timings() const { return timings_; }
+
+  /// A measurement client bound to the running network.
+  [[nodiscard]] measure::MeasurementClient measurement() const;
+  /// Design-vs-running validation of OSPF adjacencies.
+  [[nodiscard]] measure::ValidationReport validate_ospf() const;
+  /// Pre-deployment static verification of the compiled NIDB (§8).
+  [[nodiscard]] verify::Report static_check() const;
+
+ private:
+  template <typename F>
+  void timed(const std::string& phase, F&& f);
+
+  WorkflowOptions options_;
+  anm::AbstractNetworkModel anm_;
+  std::optional<nidb::Nidb> nidb_;
+  std::optional<render::ConfigTree> configs_;
+  std::unique_ptr<deploy::EmulationHost> host_;
+  deploy::DeployResult deploy_result_;
+  PhaseTimings timings_;
+  bool loaded_ = false;
+};
+
+}  // namespace autonet::core

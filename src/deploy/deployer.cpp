@@ -1,0 +1,79 @@
+#include "deploy/deployer.hpp"
+
+#include "deploy/archive.hpp"
+
+namespace autonet::deploy {
+
+const char* to_string(DeployPhase phase) {
+  switch (phase) {
+    case DeployPhase::kArchive: return "archive";
+    case DeployPhase::kTransfer: return "transfer";
+    case DeployPhase::kExtract: return "extract";
+    case DeployPhase::kBoot: return "boot";
+    case DeployPhase::kStarted: return "started";
+    case DeployPhase::kFailed: return "failed";
+  }
+  return "?";
+}
+
+void Deployer::emit(DeployPhase phase, std::string detail) {
+  DeployEvent event{phase, std::move(detail)};
+  log_.push_back(std::string(to_string(phase)) + ": " + event.detail);
+  if (logger_) logger_(event);
+}
+
+DeployResult Deployer::deploy(const render::ConfigTree& configs,
+                              const nidb::Nidb& nidb, const DeployOptions& opts) {
+  DeployResult result;
+
+  emit(DeployPhase::kArchive,
+       std::to_string(configs.file_count()) + " files, " +
+           std::to_string(configs.total_bytes()) + " bytes");
+  const std::string blob = pack(configs);
+
+  // Transfer + extract with retry on corruption.
+  bool extracted = false;
+  for (int attempt = 1; attempt <= opts.max_transfer_attempts; ++attempt) {
+    result.transfer_attempts = attempt;
+    emit(DeployPhase::kTransfer, opts.username + "@" + host_->name() +
+                                     " attempt " + std::to_string(attempt));
+    host_->receive(blob);
+    if (host_->extract()) {
+      extracted = true;
+      emit(DeployPhase::kExtract, "archive verified and extracted");
+      break;
+    }
+    emit(DeployPhase::kExtract, "checksum mismatch, retrying");
+  }
+  if (!extracted) {
+    emit(DeployPhase::kFailed, "transfer failed after " +
+                                   std::to_string(opts.max_transfer_attempts) +
+                                   " attempts");
+    return result;
+  }
+
+  auto booted = host_->lstart(nidb, [this, &result](const std::string& m, bool ok) {
+    emit(DeployPhase::kBoot, m + (ok ? " up" : " FAILED"));
+    if (!ok) result.failed_machines.push_back(m);
+  });
+  result.booted = std::move(booted);
+
+  if (!result.failed_machines.empty() ||
+      result.booted.size() != nidb.device_count()) {
+    emit(DeployPhase::kFailed,
+         std::to_string(result.failed_machines.size()) + " machines failed to boot");
+    return result;
+  }
+
+  result.convergence = host_->convergence();
+  result.success = true;
+  emit(DeployPhase::kStarted,
+       std::to_string(result.booted.size()) + " machines, BGP " +
+           (result.convergence.converged
+                ? "converged in " + std::to_string(result.convergence.rounds) +
+                      " rounds"
+                : (result.convergence.oscillating ? "OSCILLATING" : "not converged")));
+  return result;
+}
+
+}  // namespace autonet::deploy

@@ -1,0 +1,69 @@
+// The deployment automation (paper §5.7): "archives the generated
+// configuration files, transfers them to the emulation host, extracts
+// them, and runs the Netkit lstart command. The progress is monitored
+// with updates provided to the user through logs."
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "deploy/host.hpp"
+#include "nidb/nidb.hpp"
+#include "render/config_tree.hpp"
+
+namespace autonet::deploy {
+
+enum class DeployPhase {
+  kArchive,
+  kTransfer,
+  kExtract,
+  kBoot,
+  kStarted,
+  kFailed,
+};
+
+[[nodiscard]] const char* to_string(DeployPhase phase);
+
+struct DeployEvent {
+  DeployPhase phase;
+  std::string detail;
+};
+
+struct DeployOptions {
+  std::string username = "autonet";
+  /// Transfer retries on checksum failure.
+  int max_transfer_attempts = 3;
+};
+
+struct DeployResult {
+  bool success = false;
+  std::vector<std::string> booted;
+  std::vector<std::string> failed_machines;
+  int transfer_attempts = 0;
+  emulation::ConvergenceReport convergence;
+};
+
+class Deployer {
+ public:
+  using Logger = std::function<void(const DeployEvent&)>;
+
+  explicit Deployer(EmulationHost& host, Logger logger = {})
+      : host_(&host), logger_(std::move(logger)) {}
+
+  /// Runs the full pipeline. On success the host's network() is running.
+  DeployResult deploy(const render::ConfigTree& configs, const nidb::Nidb& nidb,
+                      const DeployOptions& opts = {});
+
+  /// Collected log lines (also passed to the logger as events happen).
+  [[nodiscard]] const std::vector<std::string>& log() const { return log_; }
+
+ private:
+  void emit(DeployPhase phase, std::string detail);
+
+  EmulationHost* host_;
+  Logger logger_;
+  std::vector<std::string> log_;
+};
+
+}  // namespace autonet::deploy

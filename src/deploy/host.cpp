@@ -1,0 +1,56 @@
+#include "deploy/host.hpp"
+
+#include "deploy/archive.hpp"
+
+namespace autonet::deploy {
+
+void EmulationHost::receive(std::string blob) {
+  if (corrupt_next_ && blob.size() > 16) {
+    blob.resize(blob.size() / 2);  // truncated transfer
+    corrupt_next_ = false;
+  }
+  inbox_ = std::move(blob);
+}
+
+bool EmulationHost::extract() {
+  try {
+    fs_ = unpack(inbox_);
+    return true;
+  } catch (const ArchiveError&) {
+    return false;
+  }
+}
+
+std::vector<std::string> EmulationHost::boot_assigned(
+    const nidb::Nidb& nidb,
+    const std::function<void(const std::string& machine, bool ok)>& progress) {
+  std::vector<std::string> booted;
+  for (const auto* rec : nidb.devices()) {
+    const nidb::Value* host = rec->data.find("host");
+    const std::string* host_name = host ? host->as_string() : nullptr;
+    if (host_name == nullptr || *host_name != name_) continue;
+    const bool ok = !boot_failures_.contains(rec->name);
+    if (progress) progress(rec->name, ok);
+    if (ok) booted.push_back(rec->name);
+  }
+  return booted;
+}
+
+std::vector<std::string> EmulationHost::lstart(
+    const nidb::Nidb& nidb,
+    const std::function<void(const std::string& machine, bool ok)>& progress) {
+  std::vector<std::string> booted;
+  for (const auto* rec : nidb.devices()) {
+    const bool ok = !boot_failures_.contains(rec->name);
+    if (progress) progress(rec->name, ok);
+    if (ok) booted.push_back(rec->name);
+  }
+  if (booted.size() == nidb.device_count()) {
+    network_ = std::make_unique<emulation::EmulatedNetwork>(
+        emulation::EmulatedNetwork::from_nidb(nidb, fs_));
+    convergence_ = network_->start();
+  }
+  return booted;
+}
+
+}  // namespace autonet::deploy

@@ -1,0 +1,75 @@
+// A simulated emulation host (StarBed node / lab server): receives
+// archives over a simulated transfer, extracts them into its filesystem,
+// and boots the lab (`lstart`). Failure injection covers the paths a
+// real deployment can break on — truncated transfers and machines that
+// fail to boot — so the deployer's retry/monitoring logic is testable.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "emulation/network.hpp"
+#include "nidb/nidb.hpp"
+#include "render/config_tree.hpp"
+
+namespace autonet::deploy {
+
+class EmulationHost {
+ public:
+  explicit EmulationHost(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  // --- Failure injection -------------------------------------------------
+  /// The next transfer is truncated (checksum failure at extract).
+  void corrupt_next_transfer() { corrupt_next_ = true; }
+  /// The named machine fails to boot until cleared.
+  void fail_boot_of(std::string machine) { boot_failures_.insert(std::move(machine)); }
+  void clear_boot_failures() { boot_failures_.clear(); }
+
+  // --- Deployment steps ------------------------------------------------
+  /// Simulated scp: stores the blob (possibly corrupted by injection).
+  void receive(std::string blob);
+  /// Unpacks the stored blob into the host filesystem; false on checksum
+  /// failure (the deployer then retries the transfer).
+  bool extract();
+  [[nodiscard]] const render::ConfigTree& filesystem() const { return fs_; }
+
+  /// Boots machines one at a time (Netkit lstart semantics), invoking
+  /// `progress` per machine. Machines in the boot-failure set report
+  /// false. Returns the booted machine names.
+  std::vector<std::string> lstart(
+      const nidb::Nidb& nidb,
+      const std::function<void(const std::string& machine, bool ok)>& progress = {});
+
+  /// Boots only the machines assigned to this host (device records whose
+  /// `host` field equals name()), without starting a control plane —
+  /// used by distributed deployments where one coordinator runs the
+  /// combined network (§5.4 cross-host stitching).
+  std::vector<std::string> boot_assigned(
+      const nidb::Nidb& nidb,
+      const std::function<void(const std::string& machine, bool ok)>& progress = {});
+
+  /// The running emulated network; nullptr before a successful lstart.
+  [[nodiscard]] emulation::EmulatedNetwork* network() { return network_.get(); }
+  [[nodiscard]] const emulation::EmulatedNetwork* network() const {
+    return network_.get();
+  }
+  [[nodiscard]] const emulation::ConvergenceReport& convergence() const {
+    return convergence_;
+  }
+
+ private:
+  std::string name_;
+  std::string inbox_;
+  render::ConfigTree fs_;
+  std::unique_ptr<emulation::EmulatedNetwork> network_;
+  emulation::ConvergenceReport convergence_;
+  bool corrupt_next_ = false;
+  std::set<std::string> boot_failures_;
+};
+
+}  // namespace autonet::deploy

@@ -1,0 +1,125 @@
+#include "deploy/multihost.hpp"
+
+#include <stdexcept>
+
+#include "deploy/archive.hpp"
+
+namespace autonet::deploy {
+
+MultiHostDeployer::MultiHostDeployer(std::vector<EmulationHost*> hosts,
+                                     Deployer::Logger logger)
+    : hosts_(std::move(hosts)), logger_(std::move(logger)) {
+  if (hosts_.empty()) {
+    throw std::invalid_argument("MultiHostDeployer: no hosts");
+  }
+}
+
+void MultiHostDeployer::emit(DeployPhase phase, std::string detail) {
+  DeployEvent event{phase, std::move(detail)};
+  log_.push_back(std::string(to_string(phase)) + ": " + event.detail);
+  if (logger_) logger_(event);
+}
+
+MultiHostResult MultiHostDeployer::deploy(const render::ConfigTree& configs,
+                                          const nidb::Nidb& nidb,
+                                          const DeployOptions& opts) {
+  MultiHostResult result;
+
+  // Shared artefacts (lab.conf, topology.net, network.cli, ...): any file
+  // not under a host directory goes to every host.
+  render::ConfigTree shared;
+  for (const auto& [path, content] : configs) {
+    bool host_scoped = false;
+    for (const auto* host : hosts_) {
+      if (path.starts_with(host->name() + "/")) host_scoped = true;
+    }
+    if (!host_scoped) shared.put(path, content);
+  }
+
+  // Per-host: slice, archive, transfer (with retry), extract.
+  for (auto* host : hosts_) {
+    HostSlice slice;
+    slice.host = host->name();
+    render::ConfigTree tree = shared;
+    for (const auto& path : configs.paths_under(host->name() + "/")) {
+      tree.put(path, *configs.get(path));
+    }
+    slice.files = tree.file_count();
+    emit(DeployPhase::kArchive,
+         host->name() + ": " + std::to_string(slice.files) + " files");
+    const std::string blob = pack(tree);
+    bool extracted = false;
+    for (int attempt = 1; attempt <= opts.max_transfer_attempts; ++attempt) {
+      slice.transfer_attempts = attempt;
+      emit(DeployPhase::kTransfer, opts.username + "@" + host->name() +
+                                       " attempt " + std::to_string(attempt));
+      host->receive(blob);
+      if (host->extract()) {
+        extracted = true;
+        break;
+      }
+      emit(DeployPhase::kExtract, host->name() + ": checksum mismatch, retrying");
+    }
+    if (!extracted) {
+      emit(DeployPhase::kFailed, host->name() + ": transfer failed");
+      result.slices.push_back(std::move(slice));
+      return result;
+    }
+    emit(DeployPhase::kExtract, host->name() + ": extracted");
+    result.slices.push_back(std::move(slice));
+  }
+
+  // Boot each host's assigned machines.
+  std::size_t total_booted = 0;
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    auto* host = hosts_[i];
+    auto& slice = result.slices[i];
+    slice.booted = host->boot_assigned(
+        nidb, [this, host, &slice](const std::string& machine, bool ok) {
+          emit(DeployPhase::kBoot,
+               host->name() + ": " + machine + (ok ? " up" : " FAILED"));
+          if (!ok) slice.failed.push_back(machine);
+        });
+    total_booted += slice.booted.size();
+    if (!slice.failed.empty()) {
+      emit(DeployPhase::kFailed, host->name() + ": " +
+                                     std::to_string(slice.failed.size()) +
+                                     " machines failed");
+      return result;
+    }
+  }
+  if (total_booted != nidb.device_count()) {
+    emit(DeployPhase::kFailed,
+         "only " + std::to_string(total_booted) + "/" +
+             std::to_string(nidb.device_count()) +
+             " machines assigned to the given hosts");
+    return result;
+  }
+
+  // Cross-host stitching is part of the compiled lab (GRE tunnel list in
+  // the network data); report it and boot the combined control plane.
+  if (const nidb::Value* cross = nidb.data().find("cross_connects")) {
+    if (const nidb::Array* arr = cross->as_array()) {
+      result.cross_connects = arr->size();
+      for (const nidb::Value& t : *arr) {
+        const nidb::Value* tunnel = t.find("tunnel");
+        emit(DeployPhase::kBoot,
+             "stitch " + (tunnel ? tunnel->to_display() : "gre") + " " +
+                 t.find("src_host")->to_display() + " <-> " +
+                 t.find("dst_host")->to_display());
+      }
+    }
+  }
+
+  network_ = std::make_unique<emulation::EmulatedNetwork>(
+      emulation::EmulatedNetwork::from_nidb(nidb, configs));
+  result.convergence = network_->start();
+  result.success = true;
+  emit(DeployPhase::kStarted,
+       std::to_string(total_booted) + " machines on " +
+           std::to_string(hosts_.size()) + " hosts, " +
+           std::to_string(result.cross_connects) + " cross-host links");
+  return result;
+}
+
+}  // namespace autonet::deploy

@@ -1,0 +1,62 @@
+// Distributed deployment (paper §3.3/§5.4: "we deploy the many VMs
+// together with their networking to a suitable set of hosts, currently
+// StarBed"; cross-host links are realised as "GRE tunnels between
+// distributed Open vSwitches").
+//
+// Each emulation host receives only its slice of the configuration tree
+// (the devices whose `host` attribute names it) plus the shared lab
+// artefacts; the coordinator boots the combined control plane once every
+// host reports its machines up, stitching cross-host links.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "deploy/deployer.hpp"
+#include "deploy/host.hpp"
+
+namespace autonet::deploy {
+
+struct HostSlice {
+  std::string host;
+  std::size_t files = 0;
+  std::vector<std::string> booted;
+  std::vector<std::string> failed;
+  int transfer_attempts = 0;
+};
+
+struct MultiHostResult {
+  bool success = false;
+  std::vector<HostSlice> slices;
+  std::size_t cross_connects = 0;
+  emulation::ConvergenceReport convergence;
+};
+
+class MultiHostDeployer {
+ public:
+  /// Hosts must be named to match the device `host` attributes; the
+  /// first host acts as the coordinator running the combined network.
+  explicit MultiHostDeployer(std::vector<EmulationHost*> hosts,
+                             Deployer::Logger logger = {});
+
+  MultiHostResult deploy(const render::ConfigTree& configs,
+                         const nidb::Nidb& nidb, const DeployOptions& opts = {});
+
+  /// The combined running network (on the coordinator); nullptr before a
+  /// successful deploy.
+  [[nodiscard]] emulation::EmulatedNetwork* network() { return network_.get(); }
+
+  [[nodiscard]] const std::vector<std::string>& log() const { return log_; }
+
+ private:
+  void emit(DeployPhase phase, std::string detail);
+
+  std::vector<EmulationHost*> hosts_;
+  Deployer::Logger logger_;
+  std::vector<std::string> log_;
+  std::unique_ptr<emulation::EmulatedNetwork> network_;
+  emulation::ConvergenceReport convergence_;
+};
+
+}  // namespace autonet::deploy

@@ -1,0 +1,48 @@
+// BGP design rules (paper Eqs. 2-3 and §7.1):
+//   E_ibgp = {(i,j) in N x N | asn(i) == asn(j)}        (full mesh)
+//   E_ebgp = {(i,j) in E_in  | asn(i) != asn(j)}
+// plus the two route-reflector hierarchy constructions: attribute-based
+// (`rr` flag on nodes) and algorithmic (most-central routers per AS).
+#pragma once
+
+#include <cstddef>
+
+#include "anm/anm.hpp"
+
+namespace autonet::design {
+
+/// Builds the directed 'ebgp' overlay (Eq. 3): bidirectional sessions on
+/// physical inter-AS links between routers.
+anm::OverlayGraph build_ebgp(anm::AbstractNetworkModel& anm);
+
+/// Builds the directed 'ibgp' overlay as a full mesh per AS (Eq. 2).
+/// Session counts grow O(n^2) per AS — see build_ibgp_route_reflectors.
+anm::OverlayGraph build_ibgp_full_mesh(anm::AbstractNetworkModel& anm);
+
+/// Builds the directed 'ibgp' overlay as a route-reflector hierarchy from
+/// node attributes (§7.1): nodes with `rr == true` peer in a full mesh;
+/// each client peers with the reflectors of its AS (all of them, or the
+/// one named by its `rr_cluster` attribute when present). Session edges
+/// from a reflector to a client carry `rr_client = true`.
+anm::OverlayGraph build_ibgp_route_reflectors(anm::AbstractNetworkModel& anm);
+
+struct RrSelectOptions {
+  /// Reflectors chosen per AS (clamped to the AS size).
+  std::size_t per_as = 2;
+  /// "degree", "betweenness" or "closeness".
+  std::string metric = "degree";
+  /// ASes with at most this many routers skip reflection (mesh is fine).
+  std::size_t min_as_size = 4;
+};
+
+/// The §7.1 algorithmic designation: runs a centrality algorithm on each
+/// AS's physical subgraph and marks the most central routers with
+/// `rr = true` on the phy overlay. Returns the number marked.
+std::size_t select_route_reflectors(anm::AbstractNetworkModel& anm,
+                                    const RrSelectOptions& opts = {});
+
+/// Total sessions in an overlay counting each directed pair once
+/// (the number the §7.1 scalability argument is about).
+[[nodiscard]] std::size_t session_count(const anm::OverlayGraph& g);
+
+}  // namespace autonet::design

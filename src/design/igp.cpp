@@ -1,0 +1,96 @@
+#include "design/igp.hpp"
+
+namespace autonet::design {
+
+using anm::OverlayEdge;
+using anm::OverlayGraph;
+using anm::OverlayNode;
+
+OverlayGraph build_phy(anm::AbstractNetworkModel& anm) {
+  OverlayGraph g_in = anm["input"];
+  OverlayGraph g_phy = anm["phy"];
+  // Copy every user attribute (internal "_"-prefixed bookkeeping stays in
+  // the input layer) so later design rules can select on any annotation.
+  for (const auto& n : g_in.nodes()) {
+    auto copy = g_phy.add_node(n.name());
+    for (const auto& [key, value] : g_in.unwrap().node_attrs(n.id())) {
+      if (!key.starts_with("_")) copy.set(key, value);
+    }
+  }
+  // Only explicitly non-physical edges (service relationships etc.) are
+  // excluded; untyped edges default to physical.
+  for (const auto& e : g_in.edges([](const OverlayEdge& e) {
+         const auto& type = e.attr("type");
+         return !type.is_set() || type == graph::AttrValue("physical");
+       })) {
+    auto copy = g_phy.add_edge(e.src().name(), e.dst().name());
+    for (const auto& [key, value] : g_in.unwrap().edge_attrs(e.id())) {
+      if (!key.starts_with("_")) copy.set(key, value);
+    }
+  }
+  return g_phy;
+}
+
+OverlayGraph build_ospf(anm::AbstractNetworkModel& anm, const OspfOptions& opts) {
+  OverlayGraph g_phy = anm["phy"];
+  OverlayGraph g_ospf = anm.add_overlay("ospf", g_phy.routers(), false, {"asn"});
+
+  // Area comes from the input node attribute when present.
+  anm::copy_attr_from(g_phy, g_ospf, opts.area_attr, "area");
+  for (const auto& n : g_ospf.nodes()) {
+    if (!n.attr("area").is_set()) n.set("area", opts.default_area);
+  }
+
+  // Eq. 1: keep physical edges internal to one AS.
+  auto intra = g_phy.edges([](const OverlayEdge& e) {
+    return e.src().asn() == e.dst().asn() && e.src().is_router() &&
+           e.dst().is_router();
+  });
+  auto added = g_ospf.add_edges_from(intra, {opts.cost_attr});
+  for (const auto& e : added) {
+    if (!e.attr(opts.cost_attr).is_set()) e.set(opts.cost_attr, opts.default_cost);
+    // An adjacency's area is the lower of its endpoints' areas; backbone
+    // (area 0) wins on inter-area links, matching common ABR practice.
+    auto a1 = e.src().attr("area").as_int().value_or(opts.default_area);
+    auto a2 = e.dst().attr("area").as_int().value_or(opts.default_area);
+    e.set("area", std::min(a1, a2));
+  }
+
+  // §5.2.2: mark backbone routers (any adjacency in area 0).
+  for (const auto& node : g_ospf.nodes()) {
+    for (const auto& e : node.edges()) {
+      if (e.attr("area") == graph::AttrValue(std::int64_t{0})) {
+        node.set("backbone", true);
+        break;
+      }
+    }
+  }
+  return g_ospf;
+}
+
+OverlayGraph build_isis(anm::AbstractNetworkModel& anm, const IsisOptions& opts) {
+  OverlayGraph g_phy = anm["phy"];
+  // The two design lines of §7: same-AS physical edges over routers.
+  OverlayGraph g_isis = anm.add_overlay("isis", g_phy.routers(), false, {"asn"});
+  auto added = g_isis.add_edges_from(
+      g_phy.edges([](const OverlayEdge& e) {
+        return e.src().asn() == e.dst().asn() && e.src().is_router() &&
+               e.dst().is_router();
+      }),
+      {opts.metric_attr});
+  for (const auto& e : added) {
+    if (!e.attr(opts.metric_attr).is_set()) {
+      e.set(opts.metric_attr, opts.default_metric);
+    }
+  }
+  for (const auto& n : g_isis.nodes()) {
+    n.set("level", std::string("level-2"));
+    char area[16];
+    std::snprintf(area, sizeof area, "%s.%04lld", opts.net_prefix.c_str(),
+                  static_cast<long long>(n.asn()));
+    n.set("isis_area", std::string(area));
+  }
+  return g_isis;
+}
+
+}  // namespace autonet::design

@@ -1,0 +1,47 @@
+// IGP design rules (paper §4.2.1, Eq. 1 and §7):
+//   E_ospf = {(i,j) in E_in | asn(i) == asn(j)}
+// plus OSPF area handling, backbone marking (§5.2.2), and the IS-IS
+// extension the paper uses to demonstrate extensibility.
+#pragma once
+
+#include <string>
+
+#include "anm/anm.hpp"
+
+namespace autonet::design {
+
+/// Populates the default 'phy' overlay from 'input': copies every node
+/// (retaining device_type/asn/platform/host/syntax and any x/y layout
+/// hints) and the physical edges. Mirrors the §6.1 walkthrough.
+anm::OverlayGraph build_phy(anm::AbstractNetworkModel& anm);
+
+struct OspfOptions {
+  std::int64_t default_area = 0;
+  std::int64_t default_cost = 1;
+  /// Name of the input edge attribute carrying explicit costs.
+  std::string cost_attr = "ospf_cost";
+  /// Name of the input node attribute carrying explicit areas.
+  std::string area_attr = "ospf_area";
+};
+
+/// Builds the 'ospf' overlay over routers using Eq. 1, copying costs and
+/// areas from the input attributes (defaulting otherwise), and marks
+/// nodes with an area-0 adjacency as backbone routers (§5.2.2 example).
+anm::OverlayGraph build_ospf(anm::AbstractNetworkModel& anm,
+                             const OspfOptions& opts = {});
+
+struct IsisOptions {
+  std::int64_t default_metric = 10;
+  std::string metric_attr = "isis_metric";
+  /// IS-IS area in NET format is derived from the ASN: 49.<asn, 4 digits>.
+  std::string net_prefix = "49";
+};
+
+/// The §7 extensibility example: "adding IS-IS requires ... 2 lines of
+/// design code". The rule is the same edge algebra as OSPF; the overlay
+/// carries metric and level attributes and per-node NET addresses are
+/// assigned by the compiler.
+anm::OverlayGraph build_isis(anm::AbstractNetworkModel& anm,
+                             const IsisOptions& opts = {});
+
+}  // namespace autonet::design

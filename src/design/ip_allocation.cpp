@@ -1,0 +1,210 @@
+#include "design/ip_allocation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "graph/transforms.hpp"
+
+namespace autonet::design {
+
+using addressing::HostAllocator;
+using addressing::Ipv4Prefix;
+using addressing::SubnetAllocator;
+using anm::OverlayGraph;
+using anm::OverlayNode;
+
+namespace {
+
+/// Prefix length that fits `hosts` usable addresses (+ network/broadcast).
+unsigned subnet_length_for(std::size_t hosts) {
+  std::size_t need = hosts + 2;
+  unsigned bits = 1;
+  while ((std::size_t{1} << bits) < need) ++bits;
+  return 32 - bits;
+}
+
+/// Smallest power-of-two-aligned block length holding `count` children of
+/// length `child_len`.
+unsigned block_length_for(std::size_t count, unsigned child_len) {
+  unsigned bits = 0;
+  while ((std::size_t{1} << bits) < count) ++bits;
+  return child_len >= bits ? child_len - bits : 0;
+}
+
+}  // namespace
+
+OverlayGraph build_ip(anm::AbstractNetworkModel& anm, const IpOptions& opts) {
+  auto infra_block = Ipv4Prefix::parse(opts.infra_block);
+  auto loopback_block = Ipv4Prefix::parse(opts.loopback_block);
+  if (!infra_block || !loopback_block) {
+    throw std::invalid_argument("build_ip: malformed block prefix");
+  }
+
+  OverlayGraph g_phy = anm["phy"];
+  OverlayGraph g_ip = anm.add_overlay("ip");
+  // Devices that terminate layer 3: routers and servers.
+  for (const auto& n : g_phy.nodes()) {
+    if (n.is_router() || n.is_server() || n.is_switch()) {
+      auto copy = g_ip.add_node(n.name());
+      copy.set("asn", n.asn());
+      copy.set("device_type", n.device_type());
+    }
+  }
+  g_ip.add_edges_from(g_phy.edges());
+
+  graph::Graph& g = g_ip.unwrap();
+
+  // Aggregate each switch cluster into a single collision domain
+  // (paper §5.2.4), then split remaining point-to-point links.
+  std::size_t sw_index = 0;
+  while (true) {
+    // Find a still-present switch and collect its connected switch group.
+    graph::NodeId seed = graph::kInvalidNode;
+    for (graph::NodeId n : g.nodes()) {
+      if (g_ip.node(n).is_switch()) {
+        seed = n;
+        break;
+      }
+    }
+    if (seed == graph::kInvalidNode) break;
+    std::vector<graph::NodeId> cluster{seed};
+    std::set<graph::NodeId> seen{seed};
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      for (graph::NodeId m : g.neighbors(cluster[i])) {
+        if (g_ip.node(m).is_switch() && seen.insert(m).second) cluster.push_back(m);
+      }
+    }
+    graph::NodeId cd =
+        graph::aggregate_nodes(g, cluster, "cd_sw" + std::to_string(sw_index++));
+    g.set_node_attr(cd, "collision_domain", true);
+  }
+
+  std::vector<graph::EdgeId> p2p;
+  for (graph::EdgeId e : g.edges()) {
+    bool src_cd = g.node_attr(g.edge_src(e), "collision_domain").truthy();
+    bool dst_cd = g.node_attr(g.edge_dst(e), "collision_domain").truthy();
+    if (!src_cd && !dst_cd) p2p.push_back(e);
+  }
+  for (graph::NodeId cd : graph::split_edges(g, p2p)) {
+    g.set_node_attr(cd, "collision_domain", true);
+  }
+
+  // Group collision domains and routers by AS. A collision domain joins
+  // an AS when all attached devices share it; otherwise it is inter-AS
+  // (bucket 0, allocated from a shared range).
+  std::map<std::int64_t, std::vector<graph::NodeId>> cds_by_as;
+  std::map<std::int64_t, std::vector<graph::NodeId>> routers_by_as;
+  for (graph::NodeId n : g.nodes()) {
+    OverlayNode node = g_ip.node(n);
+    if (node.attr("collision_domain").truthy()) {
+      std::set<std::int64_t> asns;
+      for (graph::NodeId m : g.neighbors(n)) asns.insert(g_ip.node(m).asn());
+      cds_by_as[asns.size() == 1 ? *asns.begin() : 0].push_back(n);
+    } else if (node.is_router()) {
+      routers_by_as[node.asn()].push_back(n);
+    }
+  }
+
+  // --- IPv4 infrastructure ---
+  SubnetAllocator infra_alloc(*infra_block);
+  for (const auto& [asn, cds] : cds_by_as) {
+    // Worst-case per-AS need: a /30-sized child per point-to-point domain
+    // is the common case; switch domains may need more, so size the AS
+    // block from the actual lengths.
+    std::size_t addresses = 0;
+    std::vector<std::pair<graph::NodeId, unsigned>> lengths;
+    lengths.reserve(cds.size());
+    for (graph::NodeId cd : cds) {
+      unsigned len = subnet_length_for(g.degree(cd));
+      lengths.emplace_back(cd, len);
+      addresses += std::size_t{1} << (32 - len);
+    }
+    unsigned bits = 2;  // x2 headroom absorbs alignment padding
+    while ((std::size_t{1} << bits) < addresses * 2) ++bits;
+    Ipv4Prefix as_block = infra_alloc.allocate(std::min(32 - bits, 30u));
+    g_ip.data().insert_or_assign("infra_block_" + std::to_string(asn),
+                                 as_block.to_string());
+    SubnetAllocator as_alloc(as_block);
+    for (auto& [cd, len] : lengths) {
+      Ipv4Prefix subnet = as_alloc.allocate(len);
+      g.set_node_attr(cd, "subnet", subnet.to_string());
+      HostAllocator hosts(subnet);
+      // Deterministic order: attached devices sorted by name.
+      std::vector<graph::NodeId> attached = g.neighbors(cd);
+      std::sort(attached.begin(), attached.end(), [&g](auto a, auto b) {
+        return g.node_name(a) < g.node_name(b);
+      });
+      for (graph::NodeId dev : attached) {
+        graph::EdgeId e = g.find_edge(cd, dev);
+        g.set_edge_attr(e, "ip", hosts.allocate().to_string());
+      }
+    }
+  }
+
+  // --- IPv4 loopbacks (routers only, paper §5.3) ---
+  SubnetAllocator loop_alloc(*loopback_block);
+  for (const auto& [asn, routers] : routers_by_as) {
+    unsigned as_len = block_length_for(std::max<std::size_t>(routers.size(), 1), 32);
+    Ipv4Prefix as_block = loop_alloc.allocate(as_len);
+    g_ip.data().insert_or_assign("loopback_block_" + std::to_string(asn),
+                                 as_block.to_string());
+    SubnetAllocator as_alloc(as_block);
+    std::vector<graph::NodeId> ordered = routers;
+    std::sort(ordered.begin(), ordered.end(), [&g](auto a, auto b) {
+      return g.node_name(a) < g.node_name(b);
+    });
+    for (graph::NodeId r : ordered) {
+      g.set_node_attr(r, "loopback", as_alloc.allocate(32).to_string());
+    }
+  }
+
+  // --- Optional IPv6 (mirrors the IPv4 structure) ---
+  if (opts.ipv6) {
+    auto infra6 = addressing::Ipv6Prefix::parse(opts.ipv6_infra_block);
+    auto loop6 = addressing::Ipv6Prefix::parse(opts.ipv6_loopback_block);
+    if (!infra6 || !loop6) throw std::invalid_argument("build_ip: malformed IPv6 block");
+    addressing::SubnetAllocator6 infra_alloc6(*infra6, 64);
+    for (const auto& [asn, cds] : cds_by_as) {
+      (void)asn;
+      for (graph::NodeId cd : cds) {
+        auto subnet = infra_alloc6.allocate();
+        g.set_node_attr(cd, "subnet6", subnet.to_string());
+        std::vector<graph::NodeId> attached = g.neighbors(cd);
+        std::sort(attached.begin(), attached.end(), [&g](auto a, auto b) {
+          return g.node_name(a) < g.node_name(b);
+        });
+        std::uint64_t host = 1;
+        for (graph::NodeId dev : attached) {
+          graph::EdgeId e = g.find_edge(cd, dev);
+          g.set_edge_attr(e, "ip6", subnet.nth(host++).to_string() + "/64");
+        }
+      }
+    }
+    addressing::SubnetAllocator6 loop_alloc6(*loop6, 128);
+    for (const auto& [asn, routers] : routers_by_as) {
+      (void)asn;
+      std::vector<graph::NodeId> ordered = routers;
+      std::sort(ordered.begin(), ordered.end(), [&g](auto a, auto b) {
+        return g.node_name(a) < g.node_name(b);
+      });
+      for (graph::NodeId r : ordered) {
+        g.set_node_attr(r, "loopback6", loop_alloc6.allocate().to_string());
+      }
+    }
+  }
+  return g_ip;
+}
+
+std::string loopback_of(const anm::AbstractNetworkModel& anm,
+                        std::string_view device) {
+  if (!anm.has_overlay("ip")) return "";
+  auto node = anm["ip"].node(device);
+  if (!node) return "";
+  const auto* lo = node->attr("loopback").as_string();
+  return lo ? *lo : "";
+}
+
+}  // namespace autonet::design

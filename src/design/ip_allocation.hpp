@@ -1,0 +1,41 @@
+// IP addressing design (paper §5.3): builds the 'ip' overlay whose nodes
+// are the devices plus one collision-domain node per layer-2 segment
+// (point-to-point links are split(); switch clusters are aggregate()d),
+// then automatically allocates loopback and infrastructure addresses in
+// two distinct blocks, per AS, guaranteeing uniqueness and consistency.
+#pragma once
+
+#include <string>
+
+#include "addressing/allocator.hpp"
+#include "anm/anm.hpp"
+
+namespace autonet::design {
+
+struct IpOptions {
+  /// Block carved into per-AS ranges for link subnets.
+  std::string infra_block = "192.168.0.0/16";
+  /// Block carved into per-AS ranges for router loopbacks (/32 each).
+  std::string loopback_block = "10.0.0.0/16";
+  /// Also allocate IPv6 (dual stack) when true.
+  bool ipv6 = false;
+  std::string ipv6_infra_block = "2001:db8::/32";
+  std::string ipv6_loopback_block = "2001:db8:ffff::/48";
+};
+
+/// Builds and allocates the 'ip' overlay:
+///  - collision-domain nodes carry `collision_domain=true` and `subnet`
+///  - device->cd edges carry `ip` (and `ip6` when dual stack)
+///  - router nodes carry `loopback`
+///  - per-AS blocks are recorded in overlay data as
+///    `infra_block_<asn>` / `loopback_block_<asn>` (paper §5.2.1)
+/// Inter-AS collision domains are allocated from the reserved `_asn 0`
+/// range. Throws addressing::AllocationError when a block is exhausted.
+anm::OverlayGraph build_ip(anm::AbstractNetworkModel& anm, const IpOptions& opts = {});
+
+/// Convenience lookups used by compilers and measurement: the loopback of
+/// a device in the ip overlay ("" if absent).
+[[nodiscard]] std::string loopback_of(const anm::AbstractNetworkModel& anm,
+                                      std::string_view device);
+
+}  // namespace autonet::design

@@ -1,0 +1,176 @@
+#include "design/services.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace autonet::design {
+
+using anm::OverlayEdge;
+using anm::OverlayGraph;
+using anm::OverlayNode;
+
+OverlayGraph build_dns(anm::AbstractNetworkModel& anm, const DnsOptions& opts) {
+  OverlayGraph g_phy = anm["phy"];
+  OverlayGraph g_dns = anm.add_overlay("dns", /*directed=*/true);
+
+  std::map<std::int64_t, std::vector<OverlayNode>> members;
+  for (const auto& n : g_phy.nodes()) {
+    if (n.is_router() || n.is_server()) members[n.asn()].push_back(n);
+  }
+
+  for (const auto& [asn, devices] : members) {
+    // Pick the zone server: explicit mark wins, then any server device,
+    // then the lowest-named router.
+    const OverlayNode* server = nullptr;
+    for (const auto& d : devices) {
+      if (d.attr("dns_server").truthy()) {
+        server = &d;
+        break;
+      }
+    }
+    if (server == nullptr && opts.auto_nominate) {
+      for (const auto& d : devices) {
+        if (d.is_server() && (server == nullptr || d.name() < server->name())) {
+          server = &d;
+        }
+      }
+      if (server == nullptr) {
+        for (const auto& d : devices) {
+          if (server == nullptr || d.name() < server->name()) server = &d;
+        }
+      }
+    }
+    if (server == nullptr) continue;
+
+    const std::string zone = "as" + std::to_string(asn) + "." + opts.domain_suffix;
+    g_dns.data().insert_or_assign("zone_" + std::to_string(asn), zone);
+
+    OverlayNode s = g_dns.add_node(server->name());
+    s.set("dns_server", true);
+    s.set("zone", zone);
+    s.set("asn", asn);
+    for (const auto& d : devices) {
+      if (d.name() == server->name()) continue;
+      OverlayNode c = g_dns.add_node(d.name());
+      c.set("asn", asn);
+      auto e = g_dns.add_edge(c, s);
+      e.set("relation", std::string("resolves_via"));
+    }
+  }
+  return g_dns;
+}
+
+std::vector<DnsRecord> dns_zone_records(const anm::AbstractNetworkModel& anm,
+                                        std::int64_t asn) {
+  std::vector<DnsRecord> records;
+  if (!anm.has_overlay("ip")) return records;
+  OverlayGraph g_ip = anm["ip"];
+  for (const auto& n : g_ip.nodes()) {
+    if (n.asn() != asn || n.attr("collision_domain").truthy()) continue;
+    if (const auto* lo = n.attr("loopback").as_string()) {
+      // Strip the /32 suffix: zone records carry bare addresses.
+      std::string addr = *lo;
+      if (auto slash = addr.find('/'); slash != std::string::npos) {
+        addr.resize(slash);
+      }
+      records.push_back({n.name(), addr});
+    } else {
+      // Servers have no loopback; use their first interface address.
+      for (const auto& e : n.edges()) {
+        if (const auto* ip = e.attr("ip").as_string()) {
+          std::string addr = *ip;
+          if (auto slash = addr.find('/'); slash != std::string::npos) {
+            addr.resize(slash);
+          }
+          records.push_back({n.name(), addr});
+          break;
+        }
+      }
+    }
+  }
+  std::sort(records.begin(), records.end(),
+            [](const DnsRecord& a, const DnsRecord& b) { return a.name < b.name; });
+  return records;
+}
+
+OverlayGraph build_rpki(anm::AbstractNetworkModel& anm, const RpkiOptions& opts) {
+  OverlayGraph g_in = anm["input"];
+  OverlayGraph g_rpki = anm.add_overlay("rpki", /*directed=*/true);
+
+  for (const auto& n : g_in.nodes()) {
+    const auto* role = n.attr("rpki_role").as_string();
+    if (role == nullptr) continue;
+    if (*role != "ca" && *role != "publication" && *role != "cache") {
+      throw std::invalid_argument("build_rpki: unknown rpki_role '" + *role + "'");
+    }
+    OverlayNode copy = g_rpki.add_node(n.name());
+    copy.set("rpki_role", *role);
+    copy.set("asn", n.asn());
+  }
+
+  for (const auto& e : g_in.edges()) {
+    const auto* relation = e.attr("relation").as_string();
+    if (relation == nullptr) continue;
+    if (!g_rpki.has_node(e.src().name()) || !g_rpki.has_node(e.dst().name())) {
+      continue;
+    }
+    // Input edges are undirected; orient them down the hierarchy from the
+    // role pair. `parent` edges point parent->child between CAs.
+    auto oriented = g_rpki.add_edge(e.src().name(), e.dst().name());
+    oriented.set("relation", *relation);
+  }
+
+  // Identify (or validate) the trust anchor: a CA with no incoming
+  // `parent` edge.
+  std::set<std::string> has_parent;
+  for (const auto& e : g_rpki.edges_where("relation", "parent")) {
+    has_parent.insert(e.dst().name());
+  }
+  std::string anchor = opts.trust_anchor;
+  for (const auto& n : g_rpki.nodes_where("rpki_role", "ca")) {
+    if (!has_parent.contains(n.name())) {
+      if (anchor.empty()) anchor = n.name();
+      n.set("trust_anchor", n.name() == anchor);
+    }
+  }
+  if (anchor.empty()) {
+    throw std::invalid_argument("build_rpki: no trust-anchor CA found");
+  }
+  g_rpki.data().insert_or_assign("trust_anchor", anchor);
+  return g_rpki;
+}
+
+std::vector<Roa> derive_roas(const anm::AbstractNetworkModel& anm) {
+  std::vector<Roa> roas;
+  if (!anm.has_overlay("ip")) return roas;
+  OverlayGraph g_ip = anm["ip"];
+
+  std::string anchor;
+  std::map<std::int64_t, std::string> ca_by_as;
+  if (anm.has_overlay("rpki")) {
+    OverlayGraph g_rpki = anm["rpki"];
+    if (const auto* a = graph::attr_or_unset(g_rpki.data(), "trust_anchor").as_string()) {
+      anchor = *a;
+    }
+    for (const auto& ca : g_rpki.nodes_where("rpki_role", "ca")) {
+      ca_by_as.emplace(ca.asn(), ca.name());
+    }
+  }
+
+  for (const auto& [key, value] : g_ip.data()) {
+    constexpr std::string_view kPrefix = "infra_block_";
+    if (!key.starts_with(kPrefix)) continue;
+    std::int64_t asn = std::stoll(key.substr(kPrefix.size()));
+    if (asn == 0) continue;  // shared inter-AS range has no single origin
+    auto it = ca_by_as.find(asn);
+    roas.push_back(Roa{value.to_string(), asn,
+                       it != ca_by_as.end() ? it->second : anchor});
+  }
+  std::sort(roas.begin(), roas.end(),
+            [](const Roa& a, const Roa& b) { return a.asn < b.asn; });
+  return roas;
+}
+
+}  // namespace autonet::design

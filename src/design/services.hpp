@@ -1,0 +1,68 @@
+// Service overlays (paper §3.3): DNS and RPKI. Services are just more
+// overlay graphs — nodes offering or consuming a service, edges the
+// service relationships — compiled through the same pipeline as routing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "anm/anm.hpp"
+
+namespace autonet::design {
+
+struct DnsOptions {
+  /// Zone suffix; per-AS zones are "as<asn>.<suffix>".
+  std::string domain_suffix = "lab";
+  /// When an AS has no node marked `dns_server`, nominate one: an
+  /// existing server if present, else the lowest-named router.
+  bool auto_nominate = true;
+};
+
+/// Builds the directed 'dns' overlay: client -> server edges within each
+/// AS, server nodes marked `dns_server=true` and labelled with their
+/// zone. Requires the 'ip' overlay (zone data maps names to loopbacks).
+/// Per-AS zone names are recorded in overlay data as `zone_<asn>`.
+anm::OverlayGraph build_dns(anm::AbstractNetworkModel& anm,
+                            const DnsOptions& opts = {});
+
+/// One forward record of a DNS zone.
+struct DnsRecord {
+  std::string name;
+  std::string address;  // loopback (routers) or interface address
+};
+
+/// Zone contents for one AS, derived from the ip overlay allocations
+/// ("configuration has to be consistent with the name and IP address
+/// allocations in the network").
+[[nodiscard]] std::vector<DnsRecord> dns_zone_records(
+    const anm::AbstractNetworkModel& anm, std::int64_t asn);
+
+struct RpkiOptions {
+  /// Name of the trust-anchor CA node; auto-detected (the CA with no
+  /// parent) when empty.
+  std::string trust_anchor;
+};
+
+/// Builds the directed 'rpki' overlay from input nodes labelled with
+/// `rpki_role` in {"ca","publication","cache"} and labelled edges with
+/// `relation` in {"parent","publishes_to","feeds"} (paper §3.3: "this
+/// graph holds the CA services and uses labelled edges to express the
+/// relationships between the servers"). Edges point down the hierarchy:
+/// parent CA -> child CA, CA -> publication point, publication -> cache,
+/// cache -> router.
+anm::OverlayGraph build_rpki(anm::AbstractNetworkModel& anm,
+                             const RpkiOptions& opts = {});
+
+/// A Route Origin Authorisation: this ASN may originate this prefix.
+struct Roa {
+  std::string prefix;
+  std::int64_t asn = 0;
+  std::string issuing_ca;
+};
+
+/// Derives the ROA set from the ip overlay's per-AS infrastructure
+/// blocks, issued by each AS's nearest CA in the rpki overlay (falling
+/// back to the trust anchor).
+[[nodiscard]] std::vector<Roa> derive_roas(const anm::AbstractNetworkModel& anm);
+
+}  // namespace autonet::design

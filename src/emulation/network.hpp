@@ -1,0 +1,161 @@
+// The emulated network (the substrate substituting for Netkit/Dynagen/
+// Junosphere): boots virtual routers from rendered configurations, wires
+// them by collision-domain subnets, runs OSPF SPF and the BGP decision
+// process to convergence (with oscillation detection, §7.2), and forwards
+// packets hop by hop for traceroute/ping measurements.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "emulation/router.hpp"
+#include "nidb/nidb.hpp"
+#include "render/config_tree.hpp"
+
+namespace autonet::emulation {
+
+struct ConvergenceReport {
+  bool converged = false;
+  bool oscillating = false;
+  std::size_t rounds = 0;
+  /// Cycle length when oscillating (state revisit distance).
+  std::size_t period = 0;
+  /// Advertisement messages processed.
+  std::size_t updates = 0;
+};
+
+struct TracerouteHop {
+  addressing::Ipv4Addr address;
+  std::string router;  // resolved from the emulation's address table
+  double rtt_ms = 0;   // synthetic: 0.1ms per hop
+};
+
+struct TracerouteResult {
+  bool reached = false;
+  std::vector<TracerouteHop> hops;
+  /// Raw output in the standard Linux traceroute text format (the
+  /// measurement module parses this with TextFSM, as the paper does).
+  [[nodiscard]] std::string to_text() const;
+};
+
+class EmulatedNetwork {
+ public:
+  /// Boots from an NIDB + rendered configuration tree: each device's
+  /// config directory is parsed with the parser for its syntax.
+  static EmulatedNetwork from_nidb(const nidb::Nidb& nidb,
+                                   const render::ConfigTree& configs);
+
+  /// Boots purely from a rendered Netkit directory tree (lab.conf +
+  /// device folders under `<host>/netkit/`), with no knowledge of the
+  /// design-side model — the strictest fidelity check.
+  static EmulatedNetwork from_netkit_tree(const render::ConfigTree& configs,
+                                          const std::string& host = "localhost");
+
+  /// Boots from a network-wide C-BGP script.
+  static EmulatedNetwork from_cbgp_script(std::string_view script);
+
+  /// Direct construction from parsed configs (unit tests / synthetic).
+  static EmulatedNetwork from_router_configs(std::vector<RouterConfig> configs);
+
+  /// Runs the control plane: OSPF SPF, then BGP to convergence (or until
+  /// `max_bgp_rounds`), then installs BGP routes in the FIBs.
+  ConvergenceReport start(std::size_t max_bgp_rounds = 128);
+
+  // --- What-if experimentation (paper §8: "creating tools to emulate
+  // workflow, or incidents") -------------------------------------------
+  /// Takes the link between two routers down (their shared collision
+  /// domain stops carrying traffic and adjacencies). Returns false when
+  /// the routers share no link. Call start() again to reconverge.
+  bool fail_link(std::string_view router_a, std::string_view router_b);
+  /// Restores a previously failed link.
+  bool restore_link(std::string_view router_a, std::string_view router_b);
+  [[nodiscard]] std::size_t failed_link_count() const {
+    return failed_subnets_.size();
+  }
+
+  // --- Introspection ------------------------------------------------------
+  [[nodiscard]] std::size_t router_count() const { return routers_.size(); }
+  [[nodiscard]] std::vector<std::string> router_names() const;
+  [[nodiscard]] const VirtualRouter* router(std::string_view name) const;
+  [[nodiscard]] VirtualRouter* router(std::string_view name);
+  [[nodiscard]] const ConvergenceReport& last_report() const { return report_; }
+
+  /// Which router owns this address (interface or loopback)?
+  [[nodiscard]] std::optional<std::string> owner_of(addressing::Ipv4Addr addr) const;
+
+  // --- Data plane -----------------------------------------------------------
+  [[nodiscard]] TracerouteResult traceroute(std::string_view src_router,
+                                            addressing::Ipv4Addr dst,
+                                            int max_ttl = 30) const;
+  [[nodiscard]] TracerouteResult traceroute(std::string_view src_router,
+                                            std::string_view dst_router,
+                                            int max_ttl = 30) const;
+  [[nodiscard]] bool ping(std::string_view src_router,
+                          addressing::Ipv4Addr dst) const;
+
+  /// Runs a command against a router, emulating the measurement client's
+  /// remote execution: supports "traceroute -naU <ip>" and
+  /// "show ip ospf neighbor". Returns raw text output.
+  [[nodiscard]] std::string exec(std::string_view router_name,
+                                 std::string_view command) const;
+
+  // Internals shared by the ospf/bgp/dataplane translation units.
+  struct SegmentMember {
+    std::size_t router;
+    std::size_t iface;  // index into RouterConfig::interfaces
+  };
+  struct Segment {
+    addressing::Ipv4Prefix subnet;
+    std::vector<SegmentMember> members;
+  };
+  struct BgpSession {
+    std::size_t local;           // router index
+    std::size_t peer;            // router index
+    addressing::Ipv4Addr local_addr;
+    addressing::Ipv4Addr peer_addr;
+    bool ebgp = false;
+    bool peer_is_client = false;  // local reflects to peer
+    bool next_hop_self = false;
+    bool only_local_out = false;  // "^$" export policy on this session
+    std::int64_t med_out = -1;    // egress MED; -1 = none
+  };
+
+ private:
+  EmulatedNetwork() = default;
+
+  void index_addresses();
+  void build_segments();
+  void compute_ospf();        // ospf.cpp
+  ConvergenceReport run_bgp(std::size_t max_rounds);  // bgp.cpp
+  void install_bgp_routes();  // bgp.cpp
+
+  /// IGP metric from router r to address `addr`; infinity when unknown.
+  [[nodiscard]] double igp_metric_to(std::size_t r, addressing::Ipv4Addr addr) const;
+
+  std::vector<VirtualRouter> routers_;
+  std::map<std::string, std::size_t, std::less<>> by_name_;
+  std::map<std::uint32_t, std::size_t> by_address_;  // addr -> router index
+  std::vector<Segment> segments_;
+  std::vector<BgpSession> sessions_;
+  /// igp_dist_[r] : router index -> distance (same IGP domain only).
+  std::vector<std::map<std::size_t, double>> igp_dist_;
+  /// Explicit adjacency (C-BGP mode): pairs + weight; empty otherwise.
+  std::vector<CbgpLink> explicit_links_;
+  /// Direct neighbors per router (explicit-links mode), irrespective of
+  /// IGP domain — used for eBGP next-hop resolution.
+  std::vector<std::set<std::size_t>> direct_neighbors_;
+  /// Subnets whose segment is administratively down (what-if analysis).
+  std::set<addressing::Ipv4Prefix> failed_subnets_;
+  ConvergenceReport report_;
+  bool started_ = false;
+
+  friend struct NetworkTestPeer;
+};
+
+}  // namespace autonet::emulation

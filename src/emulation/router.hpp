@@ -1,0 +1,116 @@
+// The virtual router: configuration plus control-plane state (RIB/FIB,
+// BGP Adj-RIB-In and selections). The emulation substitutes for running
+// real Quagga/IOS images: it implements the same decision processes —
+// including the vendor divergence in the BGP IGP-metric tie-break that
+// the paper's §7.2 experiment hinges on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "emulation/config_parse.hpp"
+
+namespace autonet::emulation {
+
+/// Route source, with conventional administrative distances.
+enum class RouteSource { kConnected, kOspf, kEbgp, kIbgp };
+
+[[nodiscard]] constexpr int admin_distance(RouteSource s) {
+  switch (s) {
+    case RouteSource::kConnected: return 0;
+    case RouteSource::kEbgp: return 20;
+    case RouteSource::kOspf: return 110;
+    case RouteSource::kIbgp: return 200;
+  }
+  return 255;
+}
+
+struct FibEntry {
+  addressing::Ipv4Prefix prefix;
+  RouteSource source = RouteSource::kConnected;
+  std::string out_interface;  // "" for loopback-owned prefixes
+  /// Immediate next hop; nullopt when the destination is on-link.
+  std::optional<addressing::Ipv4Addr> next_hop;
+  double metric = 0;
+};
+
+/// A BGP route as held in Adj-RIB-In (attributes after ingress policy).
+struct BgpRoute {
+  addressing::Ipv4Prefix prefix;
+  std::vector<std::int64_t> as_path;
+  addressing::Ipv4Addr next_hop;
+  std::int64_t local_pref = 100;
+  std::int64_t med = 0;
+  /// Cisco-style weight; locally originated routes get 32768.
+  std::int64_t weight = 0;
+  bool ebgp_learned = false;   // session type at *this* router
+  bool local_originated = false;
+  addressing::Ipv4Addr originator_id;  // original router-id (RR-safe)
+  std::vector<addressing::Ipv4Addr> cluster_list;
+  addressing::Ipv4Addr from_peer;      // session address it arrived over
+
+  /// Stable identity for oscillation detection.
+  [[nodiscard]] std::string fingerprint() const;
+
+  friend bool operator==(const BgpRoute&, const BgpRoute&) = default;
+};
+
+class VirtualRouter {
+ public:
+  explicit VirtualRouter(RouterConfig config) : config_(std::move(config)) {}
+
+  [[nodiscard]] const RouterConfig& config() const { return config_; }
+  [[nodiscard]] const std::string& name() const { return config_.hostname; }
+  /// Renames the router (used when mapping C-BGP address-named nodes back
+  /// to device names).
+  void rename(std::string hostname) { config_.hostname = std::move(hostname); }
+  [[nodiscard]] std::int64_t asn() const { return config_.asn; }
+
+  /// The router id: explicit, else loopback, else highest interface.
+  [[nodiscard]] addressing::Ipv4Addr router_id() const;
+
+  /// True when this router's OSPF process covers `subnet` (a network
+  /// statement matches it); `area` receives the configured area.
+  [[nodiscard]] bool ospf_covers(const addressing::Ipv4Prefix& subnet,
+                                 std::int64_t* area = nullptr) const;
+
+  /// Does any local address (interface or loopback) equal `addr`?
+  [[nodiscard]] bool owns_address(addressing::Ipv4Addr addr) const;
+
+  // --- FIB --------------------------------------------------------------
+  [[nodiscard]] const std::vector<FibEntry>& fib() const { return fib_; }
+  std::vector<FibEntry>& mutable_fib() { return fib_; }
+  /// Longest-prefix match (ties: lowest admin distance, then metric);
+  /// nullptr when no route covers `dst`.
+  [[nodiscard]] const FibEntry* lookup(addressing::Ipv4Addr dst) const;
+
+  // --- OSPF state -------------------------------------------------------
+  [[nodiscard]] const std::vector<std::string>& ospf_neighbors() const {
+    return ospf_neighbors_;
+  }
+  std::vector<std::string>& mutable_ospf_neighbors() { return ospf_neighbors_; }
+
+  // --- BGP state ----------------------------------------------------------
+  /// Adj-RIB-In keyed by (prefix, from_peer): at most one route per
+  /// neighbor per prefix.
+  using RibInKey = std::pair<std::string, std::uint32_t>;
+  [[nodiscard]] std::map<RibInKey, BgpRoute>& rib_in() { return rib_in_; }
+  [[nodiscard]] const std::map<RibInKey, BgpRoute>& rib_in() const { return rib_in_; }
+
+  [[nodiscard]] std::map<std::string, BgpRoute>& bgp_best() { return bgp_best_; }
+  [[nodiscard]] const std::map<std::string, BgpRoute>& bgp_best() const {
+    return bgp_best_;
+  }
+
+ private:
+  RouterConfig config_;
+  std::vector<FibEntry> fib_;
+  std::vector<std::string> ospf_neighbors_;
+  std::map<RibInKey, BgpRoute> rib_in_;
+  std::map<std::string, BgpRoute> bgp_best_;  // key: prefix string
+};
+
+}  // namespace autonet::emulation

@@ -1,0 +1,287 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <stack>
+#include <stdexcept>
+
+namespace autonet::graph {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+std::vector<NodeId> bfs_order(const Graph& g, NodeId start) {
+  std::vector<NodeId> order;
+  std::vector<char> seen(start + 1, 0);
+  auto mark = [&seen](NodeId n) {
+    if (n >= seen.size()) seen.resize(n + 1, 0);
+    seen[n] = 1;
+  };
+  auto is_seen = [&seen](NodeId n) { return n < seen.size() && seen[n]; };
+
+  std::deque<NodeId> queue{start};
+  mark(start);
+  while (!queue.empty()) {
+    NodeId n = queue.front();
+    queue.pop_front();
+    order.push_back(n);
+    for (NodeId m : g.neighbors(n)) {
+      if (!is_seen(m)) {
+        mark(m);
+        queue.push_back(m);
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<std::vector<NodeId>> connected_components(const Graph& g) {
+  std::vector<std::vector<NodeId>> components;
+  std::vector<char> seen;
+  auto is_seen = [&seen](NodeId n) { return n < seen.size() && seen[n]; };
+  auto mark = [&seen](NodeId n) {
+    if (n >= seen.size()) seen.resize(n + 1, 0);
+    seen[n] = 1;
+  };
+
+  for (NodeId start : g.nodes()) {
+    if (is_seen(start)) continue;
+    std::vector<NodeId> comp;
+    std::deque<NodeId> queue{start};
+    mark(start);
+    while (!queue.empty()) {
+      NodeId n = queue.front();
+      queue.pop_front();
+      comp.push_back(n);
+      // Weak connectivity: walk both edge directions.
+      for (EdgeId e : g.incident_edges(n)) {
+        NodeId m = g.edge_other(e, n);
+        if (!is_seen(m)) {
+          mark(m);
+          queue.push_back(m);
+        }
+      }
+    }
+    std::sort(comp.begin(), comp.end());
+    components.push_back(std::move(comp));
+  }
+  return components;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.node_count() == 0) return true;
+  return connected_components(g).size() == 1;
+}
+
+bool ShortestPaths::reached(NodeId n) const {
+  return n < dist.size() && dist[n] < kInf;
+}
+
+std::vector<NodeId> ShortestPaths::path_to(const Graph& g, NodeId target) const {
+  if (!reached(target)) return {};
+  std::vector<NodeId> path{target};
+  NodeId cur = target;
+  while (pred_edge[cur] != kInvalidEdge) {
+    cur = g.edge_other(pred_edge[cur], cur);
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+ShortestPaths dijkstra(const Graph& g, NodeId source, const WeightFn& weight) {
+  if (!g.has_node(source)) throw std::out_of_range("dijkstra: invalid source");
+  std::size_t cap = 0;
+  for (NodeId n : g.nodes()) cap = std::max<std::size_t>(cap, n + 1);
+
+  ShortestPaths sp;
+  sp.dist.assign(cap, kInf);
+  sp.pred_edge.assign(cap, kInvalidEdge);
+  sp.dist[source] = 0.0;
+
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  heap.emplace(0.0, source);
+
+  while (!heap.empty()) {
+    auto [d, n] = heap.top();
+    heap.pop();
+    if (d > sp.dist[n]) continue;
+    for (EdgeId e : g.out_edges(n)) {
+      // Undirected adjacency lists contain every incident edge; only relax
+      // outgoing direction for directed graphs (out_edges guarantees that).
+      NodeId m = g.edge_other(e, n);
+      double w = 1.0;
+      if (weight) {
+        auto maybe = weight(e);
+        if (!maybe) continue;
+        w = *maybe;
+      }
+      if (w < 0) throw std::invalid_argument("dijkstra: negative edge weight");
+      double nd = d + w;
+      if (nd < sp.dist[m]) {
+        sp.dist[m] = nd;
+        sp.pred_edge[m] = e;
+        heap.emplace(nd, m);
+      }
+    }
+  }
+  return sp;
+}
+
+std::map<NodeId, double> degree_centrality(const Graph& g) {
+  std::map<NodeId, double> out;
+  const auto nodes = g.nodes();
+  const double denom = nodes.size() > 1 ? static_cast<double>(nodes.size() - 1) : 1.0;
+  for (NodeId n : nodes) out[n] = static_cast<double>(g.degree(n)) / denom;
+  return out;
+}
+
+std::map<NodeId, double> closeness_centrality(const Graph& g) {
+  std::map<NodeId, double> out;
+  const auto nodes = g.nodes();
+  for (NodeId n : nodes) {
+    auto sp = dijkstra(g, n);
+    double total = 0.0;
+    std::size_t reached = 0;
+    for (NodeId m : nodes) {
+      if (m != n && sp.reached(m)) {
+        total += sp.dist[m];
+        ++reached;
+      }
+    }
+    if (reached == 0 || total == 0.0) {
+      out[n] = 0.0;
+    } else {
+      // NetworkX convention: scale by the fraction of reachable nodes so
+      // disconnected graphs stay comparable.
+      double frac = static_cast<double>(reached) / static_cast<double>(nodes.size() - 1);
+      out[n] = frac * static_cast<double>(reached) / total;
+    }
+  }
+  return out;
+}
+
+std::map<NodeId, double> betweenness_centrality(const Graph& g) {
+  // Brandes' algorithm, unweighted.
+  const auto nodes = g.nodes();
+  std::map<NodeId, double> bc;
+  for (NodeId n : nodes) bc[n] = 0.0;
+  std::size_t cap = 0;
+  for (NodeId n : nodes) cap = std::max<std::size_t>(cap, n + 1);
+
+  for (NodeId s : nodes) {
+    std::stack<NodeId> order;
+    std::vector<std::vector<NodeId>> preds(cap);
+    std::vector<double> sigma(cap, 0.0);
+    std::vector<double> dist(cap, -1.0);
+    sigma[s] = 1.0;
+    dist[s] = 0.0;
+    std::deque<NodeId> queue{s};
+    while (!queue.empty()) {
+      NodeId v = queue.front();
+      queue.pop_front();
+      order.push(v);
+      for (NodeId w : g.neighbors(v)) {
+        if (dist[w] < 0) {
+          dist[w] = dist[v] + 1;
+          queue.push_back(w);
+        }
+        if (dist[w] == dist[v] + 1) {
+          sigma[w] += sigma[v];
+          preds[w].push_back(v);
+        }
+      }
+    }
+    std::vector<double> delta(cap, 0.0);
+    while (!order.empty()) {
+      NodeId w = order.top();
+      order.pop();
+      for (NodeId v : preds[w]) {
+        delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+      }
+      if (w != s) bc[w] += delta[w];
+    }
+  }
+
+  const auto n = static_cast<double>(nodes.size());
+  if (n > 2) {
+    // Normalise to [0,1]. Undirected accumulation counts each pair twice,
+    // which exactly cancels the factor-2 in the undirected normalisation,
+    // so the scale is the same either way.
+    const double scale = 1.0 / ((n - 1) * (n - 2));
+    for (auto& [id, v] : bc) v *= scale;
+  }
+  return bc;
+}
+
+std::vector<EdgeId> bridges(const Graph& g) {
+  // Iterative Tarjan low-link over the undirected view. Parallel edges
+  // between the same pair are never bridges (the twin survives).
+  std::size_t cap = 0;
+  for (NodeId n : g.nodes()) cap = std::max<std::size_t>(cap, n + 1);
+  std::vector<int> disc(cap, -1);
+  std::vector<int> low(cap, 0);
+  std::vector<EdgeId> out;
+  int timer = 0;
+
+  struct Frame {
+    NodeId node;
+    EdgeId via;  // edge taken to reach node (kInvalidEdge at roots)
+    std::vector<EdgeId> edges;
+    std::size_t next = 0;
+  };
+
+  for (NodeId root : g.nodes()) {
+    if (disc[root] >= 0) continue;
+    std::vector<Frame> stack;
+    stack.push_back({root, kInvalidEdge, g.incident_edges(root), 0});
+    disc[root] = low[root] = timer++;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      if (frame.next < frame.edges.size()) {
+        EdgeId e = frame.edges[frame.next++];
+        if (e == frame.via) continue;  // don't retraverse the tree edge
+        NodeId m = g.edge_other(e, frame.node);
+        if (disc[m] < 0) {
+          disc[m] = low[m] = timer++;
+          stack.push_back({m, e, g.incident_edges(m), 0});
+        } else {
+          low[frame.node] = std::min(low[frame.node], disc[m]);
+        }
+      } else {
+        NodeId n = frame.node;
+        EdgeId via = frame.via;
+        stack.pop_back();
+        if (!stack.empty()) {
+          NodeId parent = stack.back().node;
+          low[parent] = std::min(low[parent], low[n]);
+          if (low[n] > disc[parent]) out.push_back(via);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<NodeId> top_k_central(const Graph& g,
+                                  const std::map<NodeId, double>& centrality,
+                                  std::size_t k) {
+  std::vector<NodeId> ids;
+  ids.reserve(centrality.size());
+  for (const auto& [id, score] : centrality) ids.push_back(id);
+  std::sort(ids.begin(), ids.end(), [&](NodeId a, NodeId b) {
+    double sa = centrality.at(a);
+    double sb = centrality.at(b);
+    if (sa != sb) return sa > sb;
+    return g.node_name(a) < g.node_name(b);
+  });
+  if (ids.size() > k) ids.resize(k);
+  return ids;
+}
+
+}  // namespace autonet::graph

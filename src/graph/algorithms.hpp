@@ -1,0 +1,62 @@
+// Graph algorithms used by the design rules and compilers:
+// traversal, components, shortest paths (IGP cost model), and the
+// centralities used for algorithmic route-reflector selection (§7.1).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace autonet::graph {
+
+/// Edge weight callback; return std::nullopt to skip the edge.
+using WeightFn = std::function<std::optional<double>(EdgeId)>;
+
+/// Nodes reachable from `start` in BFS order (respects direction).
+[[nodiscard]] std::vector<NodeId> bfs_order(const Graph& g, NodeId start);
+
+/// Connected components (weakly connected for directed graphs), each a
+/// list of node ids; components ordered by smallest contained id.
+[[nodiscard]] std::vector<std::vector<NodeId>> connected_components(const Graph& g);
+
+[[nodiscard]] bool is_connected(const Graph& g);
+
+struct ShortestPaths {
+  /// dist[n] is infinity when unreachable.
+  std::vector<double> dist;
+  /// Predecessor edge on a shortest path; kInvalidEdge at the source and
+  /// for unreachable nodes.
+  std::vector<EdgeId> pred_edge;
+
+  [[nodiscard]] bool reached(NodeId n) const;
+  /// Node sequence source..target, empty when unreachable.
+  [[nodiscard]] std::vector<NodeId> path_to(const Graph& g, NodeId target) const;
+};
+
+/// Dijkstra from `source`. Default weight is 1.0 per edge.
+[[nodiscard]] ShortestPaths dijkstra(const Graph& g, NodeId source,
+                                     const WeightFn& weight = {});
+
+/// Degree centrality: degree / (n - 1), keyed by node id.
+[[nodiscard]] std::map<NodeId, double> degree_centrality(const Graph& g);
+
+/// Closeness centrality (unweighted distances), 0 for isolated nodes.
+[[nodiscard]] std::map<NodeId, double> closeness_centrality(const Graph& g);
+
+/// Brandes betweenness centrality (unweighted, normalised).
+[[nodiscard]] std::map<NodeId, double> betweenness_centrality(const Graph& g);
+
+/// The k node ids with the highest centrality score, ties broken by
+/// node name for determinism.
+[[nodiscard]] std::vector<NodeId> top_k_central(
+    const Graph& g, const std::map<NodeId, double>& centrality, std::size_t k);
+
+/// Bridge edges (whose removal disconnects their component), by Tarjan's
+/// low-link algorithm — used for resilience auditing: a bridge in the
+/// physical topology is a single point of failure.
+[[nodiscard]] std::vector<EdgeId> bridges(const Graph& g);
+
+}  // namespace autonet::graph

@@ -1,0 +1,102 @@
+#include "graph/attr.hpp"
+
+#include <cstdio>
+
+namespace autonet::graph {
+
+bool AttrValue::truthy() const {
+  struct Visitor {
+    bool operator()(std::monostate) const { return false; }
+    bool operator()(bool v) const { return v; }
+    bool operator()(std::int64_t v) const { return v != 0; }
+    bool operator()(double v) const { return v != 0.0; }
+    bool operator()(const std::string& v) const { return !v.empty(); }
+    bool operator()(const std::vector<std::int64_t>& v) const { return !v.empty(); }
+    bool operator()(const std::vector<std::string>& v) const { return !v.empty(); }
+  };
+  return std::visit(Visitor{}, value_);
+}
+
+std::optional<std::int64_t> AttrValue::as_int() const {
+  if (const auto* v = std::get_if<std::int64_t>(&value_)) return *v;
+  if (const auto* v = std::get_if<bool>(&value_)) return *v ? 1 : 0;
+  return std::nullopt;
+}
+
+std::optional<double> AttrValue::as_double() const {
+  if (const auto* v = std::get_if<double>(&value_)) return *v;
+  if (auto i = as_int()) return static_cast<double>(*i);
+  return std::nullopt;
+}
+
+std::optional<bool> AttrValue::as_bool() const {
+  if (const auto* v = std::get_if<bool>(&value_)) return *v;
+  return std::nullopt;
+}
+
+const std::string* AttrValue::as_string() const {
+  return std::get_if<std::string>(&value_);
+}
+
+const std::vector<std::int64_t>* AttrValue::as_int_list() const {
+  return std::get_if<std::vector<std::int64_t>>(&value_);
+}
+
+const std::vector<std::string>* AttrValue::as_string_list() const {
+  return std::get_if<std::vector<std::string>>(&value_);
+}
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+template <typename T, typename Fmt>
+std::string join_list(const std::vector<T>& items, Fmt fmt) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out += ",";
+    out += fmt(items[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string AttrValue::to_string() const {
+  struct Visitor {
+    std::string operator()(std::monostate) const { return ""; }
+    std::string operator()(bool v) const { return v ? "true" : "false"; }
+    std::string operator()(std::int64_t v) const { return std::to_string(v); }
+    std::string operator()(double v) const { return format_double(v); }
+    std::string operator()(const std::string& v) const { return v; }
+    std::string operator()(const std::vector<std::int64_t>& v) const {
+      return join_list(v, [](std::int64_t x) { return std::to_string(x); });
+    }
+    std::string operator()(const std::vector<std::string>& v) const {
+      return join_list(v, [](const std::string& x) { return x; });
+    }
+  };
+  return std::visit(Visitor{}, value_);
+}
+
+bool operator<(const AttrValue& a, const AttrValue& b) {
+  // Numeric values order numerically even across int/double/bool; other
+  // mixed types order by variant index so AttrValue can key std::map.
+  auto da = a.as_double();
+  auto db = b.as_double();
+  if (da && db) return *da < *db;
+  if (a.value_.index() != b.value_.index()) return a.value_.index() < b.value_.index();
+  return a.value_ < b.value_;
+}
+
+const AttrValue& attr_or_unset(const AttrMap& attrs, std::string_view key) {
+  static const AttrValue kUnset{};
+  auto it = attrs.find(key);
+  return it == attrs.end() ? kUnset : it->second;
+}
+
+}  // namespace autonet::graph

@@ -1,0 +1,94 @@
+// Typed attribute values for attribute graphs (paper §4.2.1).
+//
+// Every node, edge, and graph in the system carries a string-keyed map of
+// AttrValue. The variant covers the primitive types the paper's design
+// rules manipulate (booleans such as `rr`, integers such as `asn` and
+// `ospf_cost`, strings such as `device_type`) plus homogeneous lists used
+// by service overlays.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace autonet::graph {
+
+/// A single attribute value. `std::monostate` encodes "unset".
+class AttrValue {
+ public:
+  using Storage = std::variant<std::monostate, bool, std::int64_t, double,
+                               std::string, std::vector<std::int64_t>,
+                               std::vector<std::string>>;
+
+  AttrValue() = default;
+  AttrValue(bool v) : value_(v) {}                          // NOLINT(google-explicit-constructor)
+  AttrValue(std::int64_t v) : value_(v) {}                  // NOLINT
+  AttrValue(int v) : value_(static_cast<std::int64_t>(v)) {}  // NOLINT
+  AttrValue(unsigned v) : value_(static_cast<std::int64_t>(v)) {}  // NOLINT
+  AttrValue(double v) : value_(v) {}                        // NOLINT
+  AttrValue(std::string v) : value_(std::move(v)) {}        // NOLINT
+  AttrValue(const char* v) : value_(std::string(v)) {}      // NOLINT
+  AttrValue(std::vector<std::int64_t> v) : value_(std::move(v)) {}  // NOLINT
+  AttrValue(std::vector<std::string> v) : value_(std::move(v)) {}   // NOLINT
+
+  [[nodiscard]] bool is_set() const {
+    return !std::holds_alternative<std::monostate>(value_);
+  }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  [[nodiscard]] bool is_int() const { return std::holds_alternative<std::int64_t>(value_); }
+  [[nodiscard]] bool is_double() const { return std::holds_alternative<double>(value_); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  [[nodiscard]] bool is_int_list() const {
+    return std::holds_alternative<std::vector<std::int64_t>>(value_);
+  }
+  [[nodiscard]] bool is_string_list() const {
+    return std::holds_alternative<std::vector<std::string>>(value_);
+  }
+
+  /// Truthiness in the Python sense: unset, false, 0, 0.0, "" and empty
+  /// lists are falsy. Used by selector predicates and templates.
+  [[nodiscard]] bool truthy() const;
+
+  /// Numeric coercions return nullopt on type mismatch (bool coerces to
+  /// int, int coerces to double).
+  [[nodiscard]] std::optional<std::int64_t> as_int() const;
+  [[nodiscard]] std::optional<double> as_double() const;
+  [[nodiscard]] std::optional<bool> as_bool() const;
+  [[nodiscard]] const std::string* as_string() const;
+  [[nodiscard]] const std::vector<std::int64_t>* as_int_list() const;
+  [[nodiscard]] const std::vector<std::string>* as_string_list() const;
+
+  /// Human/template rendering: "true"/"false" for bool, %g-style for
+  /// double, comma-joined for lists, "" for unset.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] const Storage& storage() const { return value_; }
+
+  friend bool operator==(const AttrValue& a, const AttrValue& b) {
+    // Cross-type numeric equality (1 == 1.0) mirrors the Python reference
+    // implementation, where attribute values are duck-typed.
+    if (a.value_.index() != b.value_.index()) {
+      auto da = a.as_double();
+      auto db = b.as_double();
+      return da && db && *da == *db;
+    }
+    return a.value_ == b.value_;
+  }
+  friend bool operator!=(const AttrValue& a, const AttrValue& b) { return !(a == b); }
+  friend bool operator<(const AttrValue& a, const AttrValue& b);
+
+ private:
+  Storage value_;
+};
+
+/// String-keyed attribute map attached to every node, edge, and graph.
+using AttrMap = std::map<std::string, AttrValue, std::less<>>;
+
+/// Lookup helper: unset AttrValue if the key is absent.
+[[nodiscard]] const AttrValue& attr_or_unset(const AttrMap& attrs, std::string_view key);
+
+}  // namespace autonet::graph

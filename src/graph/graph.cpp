@@ -1,0 +1,218 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace autonet::graph {
+
+Graph::Graph(bool directed, std::string name)
+    : directed_(directed), name_(std::move(name)) {}
+
+void Graph::check_node(NodeId id) const {
+  if (id >= nodes_.size() || !nodes_[id].alive) {
+    throw std::out_of_range("graph '" + name_ + "': invalid node id " +
+                            std::to_string(id));
+  }
+}
+
+void Graph::check_edge(EdgeId id) const {
+  if (id >= edges_.size() || !edges_[id].alive) {
+    throw std::out_of_range("graph '" + name_ + "': invalid edge id " +
+                            std::to_string(id));
+  }
+}
+
+NodeId Graph::add_node(std::string_view name) {
+  if (auto it = by_name_.find(std::string(name)); it != by_name_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{.name = std::string(name), .attrs = {}, .out = {}, .in = {}, .alive = true});
+  by_name_.emplace(std::string(name), id);
+  ++live_nodes_;
+  return id;
+}
+
+NodeId Graph::find_node(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kInvalidNode : it->second;
+}
+
+bool Graph::has_node(NodeId id) const {
+  return id < nodes_.size() && nodes_[id].alive;
+}
+
+void Graph::remove_node(NodeId id) {
+  check_node(id);
+  // Copy: remove_edge mutates the adjacency vectors we iterate.
+  auto incident = incident_edges(id);
+  for (EdgeId e : incident) remove_edge(e);
+  by_name_.erase(nodes_[id].name);
+  nodes_[id].alive = false;
+  --live_nodes_;
+}
+
+const std::string& Graph::node_name(NodeId id) const {
+  check_node(id);
+  return nodes_[id].name;
+}
+
+AttrMap& Graph::node_attrs(NodeId id) {
+  check_node(id);
+  return nodes_[id].attrs;
+}
+
+const AttrMap& Graph::node_attrs(NodeId id) const {
+  check_node(id);
+  return nodes_[id].attrs;
+}
+
+const AttrValue& Graph::node_attr(NodeId id, std::string_view key) const {
+  return attr_or_unset(node_attrs(id), key);
+}
+
+void Graph::set_node_attr(NodeId id, std::string_view key, AttrValue value) {
+  node_attrs(id).insert_or_assign(std::string(key), std::move(value));
+}
+
+std::vector<NodeId> Graph::nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(live_nodes_);
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].alive) out.push_back(id);
+  }
+  return out;
+}
+
+EdgeId Graph::add_edge(NodeId u, NodeId v) {
+  check_node(u);
+  check_node(v);
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{.src = u, .dst = v, .attrs = {}, .alive = true});
+  nodes_[u].out.push_back(id);
+  if (directed_) {
+    nodes_[v].in.push_back(id);
+  } else if (u != v) {
+    nodes_[v].out.push_back(id);
+  }
+  ++live_edges_;
+  return id;
+}
+
+EdgeId Graph::add_edge(std::string_view u, std::string_view v) {
+  return add_edge(add_node(u), add_node(v));
+}
+
+void Graph::remove_edge(EdgeId id) {
+  check_edge(id);
+  Edge& e = edges_[id];
+  auto erase_from = [id](std::vector<EdgeId>& v) {
+    v.erase(std::remove(v.begin(), v.end(), id), v.end());
+  };
+  erase_from(nodes_[e.src].out);
+  if (directed_) {
+    erase_from(nodes_[e.dst].in);
+  } else if (e.src != e.dst) {
+    erase_from(nodes_[e.dst].out);
+  }
+  e.alive = false;
+  --live_edges_;
+}
+
+bool Graph::has_edge(EdgeId id) const {
+  return id < edges_.size() && edges_[id].alive;
+}
+
+EdgeId Graph::find_edge(NodeId u, NodeId v) const {
+  check_node(u);
+  check_node(v);
+  for (EdgeId e : nodes_[u].out) {
+    const Edge& edge = edges_[e];
+    if (edge.src == u ? edge.dst == v : edge.src == v) return e;
+  }
+  return kInvalidEdge;
+}
+
+NodeId Graph::edge_src(EdgeId id) const {
+  check_edge(id);
+  return edges_[id].src;
+}
+
+NodeId Graph::edge_dst(EdgeId id) const {
+  check_edge(id);
+  return edges_[id].dst;
+}
+
+NodeId Graph::edge_other(EdgeId id, NodeId n) const {
+  check_edge(id);
+  const Edge& e = edges_[id];
+  if (e.src == n) return e.dst;
+  if (e.dst == n) return e.src;
+  throw std::invalid_argument("edge " + std::to_string(id) +
+                              " is not incident to node " + std::to_string(n));
+}
+
+AttrMap& Graph::edge_attrs(EdgeId id) {
+  check_edge(id);
+  return edges_[id].attrs;
+}
+
+const AttrMap& Graph::edge_attrs(EdgeId id) const {
+  check_edge(id);
+  return edges_[id].attrs;
+}
+
+const AttrValue& Graph::edge_attr(EdgeId id, std::string_view key) const {
+  return attr_or_unset(edge_attrs(id), key);
+}
+
+void Graph::set_edge_attr(EdgeId id, std::string_view key, AttrValue value) {
+  edge_attrs(id).insert_or_assign(std::string(key), std::move(value));
+}
+
+std::vector<EdgeId> Graph::edges() const {
+  std::vector<EdgeId> out;
+  out.reserve(live_edges_);
+  for (EdgeId id = 0; id < edges_.size(); ++id) {
+    if (edges_[id].alive) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<EdgeId> Graph::out_edges(NodeId n) const {
+  check_node(n);
+  return nodes_[n].out;
+}
+
+std::vector<EdgeId> Graph::in_edges(NodeId n) const {
+  check_node(n);
+  return directed_ ? nodes_[n].in : nodes_[n].out;
+}
+
+std::vector<EdgeId> Graph::incident_edges(NodeId n) const {
+  check_node(n);
+  if (!directed_) return nodes_[n].out;
+  std::vector<EdgeId> out = nodes_[n].out;
+  out.insert(out.end(), nodes_[n].in.begin(), nodes_[n].in.end());
+  return out;
+}
+
+std::vector<NodeId> Graph::neighbors(NodeId n) const {
+  check_node(n);
+  std::vector<NodeId> out;
+  out.reserve(nodes_[n].out.size());
+  for (EdgeId e : nodes_[n].out) {
+    NodeId other = edge_other(e, n);
+    // An undirected self-loop lists the edge once; report n once too.
+    if (std::find(out.begin(), out.end(), other) == out.end()) out.push_back(other);
+  }
+  return out;
+}
+
+std::size_t Graph::degree(NodeId n) const {
+  check_node(n);
+  return directed_ ? nodes_[n].out.size() + nodes_[n].in.size()
+                   : nodes_[n].out.size();
+}
+
+}  // namespace autonet::graph

@@ -1,0 +1,130 @@
+// Attribute graph: the foundational substrate the paper builds on
+// (NetworkX in the reference implementation; built from scratch here).
+//
+// A Graph is a directed or undirected multigraph. Nodes have stable ids
+// and unique string names; nodes, edges, and the graph itself carry
+// AttrMaps. Removal tombstones entries so ids handed out to callers stay
+// valid for the life of the graph.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/attr.hpp"
+
+namespace autonet::graph {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+class Graph {
+ public:
+  explicit Graph(bool directed = false, std::string name = "");
+
+  [[nodiscard]] bool directed() const { return directed_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Graph-level attributes (paper §5.2.1: e.g. per-AS IP blocks are
+  /// stored on the overlay graph, not duplicated per node).
+  [[nodiscard]] AttrMap& data() { return data_; }
+  [[nodiscard]] const AttrMap& data() const { return data_; }
+
+  // --- Nodes -------------------------------------------------------------
+
+  /// Adds a node with a unique name. Returns the existing id if a live
+  /// node with this name is already present (idempotent adds make the
+  /// overlay copy operations simple).
+  NodeId add_node(std::string_view name);
+
+  /// kInvalidNode if absent.
+  [[nodiscard]] NodeId find_node(std::string_view name) const;
+
+  [[nodiscard]] bool has_node(NodeId id) const;
+  [[nodiscard]] bool has_node(std::string_view name) const {
+    return find_node(name) != kInvalidNode;
+  }
+
+  /// Removes the node and all incident edges.
+  void remove_node(NodeId id);
+
+  [[nodiscard]] const std::string& node_name(NodeId id) const;
+  [[nodiscard]] AttrMap& node_attrs(NodeId id);
+  [[nodiscard]] const AttrMap& node_attrs(NodeId id) const;
+  [[nodiscard]] const AttrValue& node_attr(NodeId id, std::string_view key) const;
+  void set_node_attr(NodeId id, std::string_view key, AttrValue value);
+
+  [[nodiscard]] std::size_t node_count() const { return live_nodes_; }
+  /// Live node ids in insertion order.
+  [[nodiscard]] std::vector<NodeId> nodes() const;
+
+  // --- Edges -------------------------------------------------------------
+
+  EdgeId add_edge(NodeId u, NodeId v);
+  EdgeId add_edge(std::string_view u, std::string_view v);
+  void remove_edge(EdgeId id);
+  [[nodiscard]] bool has_edge(EdgeId id) const;
+
+  /// First live edge u->v (or either direction when undirected);
+  /// kInvalidEdge if none.
+  [[nodiscard]] EdgeId find_edge(NodeId u, NodeId v) const;
+
+  [[nodiscard]] NodeId edge_src(EdgeId id) const;
+  [[nodiscard]] NodeId edge_dst(EdgeId id) const;
+  /// The endpoint of `id` that is not `n`.
+  [[nodiscard]] NodeId edge_other(EdgeId id, NodeId n) const;
+  [[nodiscard]] AttrMap& edge_attrs(EdgeId id);
+  [[nodiscard]] const AttrMap& edge_attrs(EdgeId id) const;
+  [[nodiscard]] const AttrValue& edge_attr(EdgeId id, std::string_view key) const;
+  void set_edge_attr(EdgeId id, std::string_view key, AttrValue value);
+
+  [[nodiscard]] std::size_t edge_count() const { return live_edges_; }
+  [[nodiscard]] std::vector<EdgeId> edges() const;
+
+  /// Edges incident to n. For directed graphs: outgoing only for
+  /// out_edges, incoming only for in_edges; edges(n) returns both.
+  [[nodiscard]] std::vector<EdgeId> out_edges(NodeId n) const;
+  [[nodiscard]] std::vector<EdgeId> in_edges(NodeId n) const;
+  [[nodiscard]] std::vector<EdgeId> incident_edges(NodeId n) const;
+
+  /// Unique neighbor node ids (successors for directed graphs).
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId n) const;
+  [[nodiscard]] std::size_t degree(NodeId n) const;
+
+ private:
+  struct Node {
+    std::string name;
+    AttrMap attrs;
+    std::vector<EdgeId> out;  // undirected: all incident edges live here
+    std::vector<EdgeId> in;   // directed only
+    bool alive = true;
+  };
+  struct Edge {
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    AttrMap attrs;
+    bool alive = true;
+  };
+
+  void check_node(NodeId id) const;
+  void check_edge(EdgeId id) const;
+
+  bool directed_;
+  std::string name_;
+  AttrMap data_;
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::unordered_map<std::string, NodeId> by_name_;
+  std::size_t live_nodes_ = 0;
+  std::size_t live_edges_ = 0;
+};
+
+}  // namespace autonet::graph

@@ -1,0 +1,91 @@
+#include "graph/transforms.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace autonet::graph {
+
+namespace {
+
+std::string unique_name(const Graph& g, std::string base) {
+  if (!g.has_node(base)) return base;
+  for (int i = 1;; ++i) {
+    std::string candidate = base + "_" + std::to_string(i);
+    if (!g.has_node(candidate)) return candidate;
+  }
+}
+
+}  // namespace
+
+NodeId split_edge(Graph& g, EdgeId e, const std::string& name_prefix) {
+  const NodeId u = g.edge_src(e);
+  const NodeId v = g.edge_dst(e);
+  const AttrMap attrs = g.edge_attrs(e);
+  const std::string name =
+      unique_name(g, name_prefix + g.node_name(u) + "_" + g.node_name(v));
+  g.remove_edge(e);
+  const NodeId mid = g.add_node(name);
+  const EdgeId e1 = g.add_edge(u, mid);
+  const EdgeId e2 = g.add_edge(mid, v);
+  g.edge_attrs(e1) = attrs;
+  g.edge_attrs(e2) = attrs;
+  return mid;
+}
+
+std::vector<NodeId> split_edges(Graph& g, std::span<const EdgeId> edges,
+                                const std::string& name_prefix) {
+  std::vector<NodeId> out;
+  out.reserve(edges.size());
+  for (EdgeId e : edges) out.push_back(split_edge(g, e, name_prefix));
+  return out;
+}
+
+NodeId aggregate_nodes(Graph& g, std::span<const NodeId> members,
+                       const std::string& into) {
+  if (members.empty()) throw std::invalid_argument("aggregate_nodes: empty member set");
+  const std::set<NodeId> member_set(members.begin(), members.end());
+
+  // Collect outside attachments before mutating.
+  std::vector<std::pair<NodeId, AttrMap>> attachments;
+  std::set<NodeId> attached;
+  for (NodeId m : members) {
+    for (EdgeId e : g.incident_edges(m)) {
+      NodeId other = g.edge_other(e, m);
+      if (member_set.contains(other) || attached.contains(other)) continue;
+      attached.insert(other);
+      attachments.emplace_back(other, g.edge_attrs(e));
+    }
+  }
+  for (NodeId m : members) g.remove_node(m);
+
+  const NodeId agg = g.add_node(unique_name(g, into));
+  for (auto& [other, attrs] : attachments) {
+    EdgeId e = g.add_edge(agg, other);
+    g.edge_attrs(e) = std::move(attrs);
+  }
+  return agg;
+}
+
+std::vector<EdgeId> explode_node(Graph& g, NodeId n) {
+  const std::vector<NodeId> nbrs = g.neighbors(n);
+  g.remove_node(n);
+  std::vector<EdgeId> added;
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+      if (g.find_edge(nbrs[i], nbrs[j]) == kInvalidEdge) {
+        added.push_back(g.add_edge(nbrs[i], nbrs[j]));
+      }
+    }
+  }
+  return added;
+}
+
+std::map<AttrValue, std::vector<NodeId>> group_by(const Graph& g,
+                                                  std::string_view attr) {
+  std::map<AttrValue, std::vector<NodeId>> groups;
+  for (NodeId n : g.nodes()) groups[g.node_attr(n, attr)].push_back(n);
+  return groups;
+}
+
+}  // namespace autonet::graph

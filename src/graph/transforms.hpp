@@ -1,0 +1,42 @@
+// Attribute-based graph transforms (paper §5.2.4): split() inserts
+// collision-domain nodes on point-to-point links, aggregate() collapses
+// switches into one collision domain, explode() forms a clique of a
+// node's neighbors, and groupby() buckets nodes by attribute value.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace autonet::graph {
+
+/// Splits edge `e` by inserting a new node between its endpoints.
+/// The new node is named `<name_prefix><src>_<dst>` (made unique if
+/// taken) and the two replacement edges inherit the old edge attributes.
+/// Returns the new node id.
+NodeId split_edge(Graph& g, EdgeId e, const std::string& name_prefix = "cd_");
+
+/// Splits every edge in `edges`; returns the new nodes, in order.
+std::vector<NodeId> split_edges(Graph& g, std::span<const EdgeId> edges,
+                                const std::string& name_prefix = "cd_");
+
+/// Collapses `members` into a single new node named `into`. Edges from a
+/// member to an outside node are re-attached to the new node (duplicate
+/// edges to the same outside node are merged); edges among members
+/// disappear. Returns the new node id.
+NodeId aggregate_nodes(Graph& g, std::span<const NodeId> members,
+                       const std::string& into);
+
+/// Removes node `n` and connects every pair of its former neighbors with
+/// a new edge (skipping pairs already adjacent). Returns the new edges.
+std::vector<EdgeId> explode_node(Graph& g, NodeId n);
+
+/// Buckets all live nodes by the value of `attr` (paper: groupby()).
+/// Nodes where the attribute is unset land under the unset AttrValue key.
+[[nodiscard]] std::map<AttrValue, std::vector<NodeId>> group_by(
+    const Graph& g, std::string_view attr);
+
+}  // namespace autonet::graph

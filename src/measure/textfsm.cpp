@@ -1,0 +1,235 @@
+#include "measure/textfsm.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace autonet::measure {
+
+namespace {
+
+std::vector<std::string> lines_of(std::string_view text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    auto nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      if (start < text.size()) lines.emplace_back(text.substr(start));
+      break;
+    }
+    lines.emplace_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+std::string strip(const std::string& s) {
+  auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+TextFsm TextFsm::parse(std::string_view template_text) {
+  TextFsm fsm;
+  std::string current_state;
+
+  for (const auto& raw : lines_of(template_text)) {
+    const std::string line = strip(raw);
+    if (line.empty() || line[0] == '#') continue;
+
+    if (line.starts_with("Value ")) {
+      std::istringstream in(line.substr(6));
+      ValueDef def;
+      std::string tok;
+      std::vector<std::string> tokens;
+      while (in >> tok) tokens.push_back(tok);
+      // [options] NAME (regex) — regex may contain spaces; rejoin.
+      std::size_t name_index = 0;
+      while (name_index < tokens.size() &&
+             (tokens[name_index] == "Filldown" || tokens[name_index] == "Required" ||
+              tokens[name_index] == "List")) {
+        if (tokens[name_index] == "Filldown") def.filldown = true;
+        if (tokens[name_index] == "Required") def.required = true;
+        if (tokens[name_index] == "List") def.list = true;
+        ++name_index;
+      }
+      if (name_index >= tokens.size()) throw TextFsmError("Value without a name");
+      def.name = tokens[name_index];
+      for (char c : def.name) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+          throw TextFsmError("bad Value name '" + def.name + "'");
+        }
+      }
+      auto open = line.find('(');
+      auto close = line.rfind(')');
+      if (open == std::string::npos || close == std::string::npos || close < open) {
+        throw TextFsmError("Value " + def.name + " missing (regex)");
+      }
+      def.pattern = line.substr(open + 1, close - open - 1);
+      fsm.values_[def.name] = def;
+      fsm.value_order_.push_back(def.name);
+      continue;
+    }
+
+    if (line[0] == '^') {
+      if (current_state.empty()) {
+        throw TextFsmError("rule outside of a state: " + line);
+      }
+      // Split "pattern -> actions"
+      std::string pattern = line;
+      std::string actions;
+      if (auto arrow = line.rfind(" -> "); arrow != std::string::npos) {
+        pattern = line.substr(0, arrow);
+        actions = strip(line.substr(arrow + 4));
+      }
+      // Substitute ${NAME} / $NAME with capture groups.
+      Rule rule;
+      std::string regex_text;
+      for (std::size_t i = 0; i < pattern.size();) {
+        if (pattern[i] != '$' || i + 1 >= pattern.size()) {
+          regex_text += pattern[i++];
+          continue;
+        }
+        std::size_t name_start = i + 1;
+        bool braced = pattern[name_start] == '{';
+        if (braced) ++name_start;
+        std::size_t name_end = name_start;
+        while (name_end < pattern.size() &&
+               (std::isalnum(static_cast<unsigned char>(pattern[name_end])) ||
+                pattern[name_end] == '_')) {
+          ++name_end;
+        }
+        std::string name = pattern.substr(name_start, name_end - name_start);
+        auto it = fsm.values_.find(name);
+        if (name.empty() || it == fsm.values_.end()) {
+          regex_text += pattern[i++];  // literal '$'
+          continue;
+        }
+        regex_text += "(" + it->second.pattern + ")";
+        rule.captures.push_back(name);
+        i = name_end + (braced ? 1 : 0);
+      }
+      rule.pattern = std::regex(regex_text.substr(1));  // drop '^': we anchor below
+      // actions: "Record", "Error", "Record State", "State"
+      std::istringstream in(actions);
+      std::string act;
+      while (in >> act) {
+        if (act == "Record") rule.record = true;
+        else if (act == "Error") rule.error = true;
+        else if (act == "Next" || act == "Continue") {
+          // default behaviour
+        } else {
+          rule.next_state = act;
+        }
+      }
+      fsm.states_[current_state].push_back(std::move(rule));
+      continue;
+    }
+
+    // A bare word opens a state.
+    current_state = line;
+    fsm.states_.try_emplace(current_state);
+  }
+  if (!fsm.states_.contains("Start")) throw TextFsmError("missing Start state");
+  return fsm;
+}
+
+std::vector<Record> TextFsm::run(std::string_view input) const {
+  std::vector<Record> records;
+  Record row;
+  Record filldown;
+
+  auto clear_row = [this, &row, &filldown]() {
+    row.clear();
+    for (const auto& [name, def] : values_) {
+      if (def.filldown && filldown.contains(name)) row[name] = filldown[name];
+    }
+  };
+  auto record_row = [this, &records, &row, &clear_row]() {
+    for (const auto& [name, def] : values_) {
+      if (def.required && (!row.contains(name) || row[name].empty())) {
+        clear_row();
+        return;
+      }
+    }
+    // Normalise: every value present.
+    for (const auto& name : value_order_) row.try_emplace(name, "");
+    records.push_back(row);
+    clear_row();
+  };
+
+  clear_row();
+  std::string state = "Start";
+  for (const auto& line : lines_of(input)) {
+    if (state == "End") break;
+    auto it = states_.find(state);
+    if (it == states_.end()) break;
+    for (const auto& rule : it->second) {
+      std::smatch m;
+      if (!std::regex_search(line, m, rule.pattern,
+                             std::regex_constants::match_continuous)) {
+        continue;
+      }
+      if (rule.error) {
+        throw TextFsmError("input matched Error rule in state " + state + ": " + line);
+      }
+      for (std::size_t g = 0; g < rule.captures.size(); ++g) {
+        const std::string& name = rule.captures[g];
+        std::string captured = m[g + 1].str();
+        const ValueDef& def = values_.at(name);
+        if (def.list && row.contains(name) && !row[name].empty()) {
+          row[name] += "," + captured;
+        } else {
+          row[name] = captured;
+        }
+        if (def.filldown) filldown[name] = row[name];
+      }
+      if (rule.record) record_row();
+      if (!rule.next_state.empty()) state = rule.next_state;
+      break;  // first matching rule wins
+    }
+  }
+  return records;
+}
+
+const TextFsm& TextFsm::traceroute_template() {
+  static const TextFsm fsm = TextFsm::parse(R"(# Linux traceroute -n
+Value Required TTL (\d+)
+Value Required IP (\d+\.\d+\.\d+\.\d+)
+Value RTT ([\d.]+)
+
+Start
+  ^\s*${TTL}\s+${IP}\s+${RTT} ms -> Record
+  ^\s*${TTL}\s+\* \* \*
+)");
+  return fsm;
+}
+
+const TextFsm& TextFsm::ospf_neighbor_template() {
+  static const TextFsm fsm = TextFsm::parse(R"(# show ip ospf neighbor
+Value Required NEIGHBOR_ID (\d+\.\d+\.\d+\.\d+)
+Value STATE (\w+)
+Value NAME (\S+)
+
+Start
+  ^\s*${NEIGHBOR_ID}\s+${STATE}\s+# ${NAME} -> Record
+  ^\s*${NEIGHBOR_ID}\s+${STATE} -> Record
+)");
+  return fsm;
+}
+
+const TextFsm& TextFsm::bgp_table_template() {
+  static const TextFsm fsm = TextFsm::parse(R"(# show ip bgp (best routes)
+Value Required PREFIX (\d+\.\d+\.\d+\.\d+/\d+)
+Value NEXTHOP (\d+\.\d+\.\d+\.\d+)
+Value ASPATH ([0-9 ]*)
+
+Start
+  ^>\s+${PREFIX}\s+${NEXTHOP}\s+${ASPATH}[ie] -> Record
+)");
+  return fsm;
+}
+
+}  // namespace autonet::measure

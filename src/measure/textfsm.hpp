@@ -1,0 +1,73 @@
+// A TextFSM-compatible parser engine (paper §5.7: "TextFSM is used to
+// parse the results back in a structured manner, and provides a reference
+// template for Linux traceroute. It is user extendable").
+//
+// Supported template subset (the constructs the reference templates use):
+//   Value [Filldown|Required|List] NAME (regex)
+//   <blank line>
+//   Start                       # and further state names
+//     ^pattern -> Record
+//     ^pattern -> NextState
+//     ^pattern -> Record NextState
+//     ^pattern -> Error
+//     ^pattern                  # match, continue in state
+// ${NAME} or $NAME inside patterns references a Value's regex as a
+// capture group.
+#pragma once
+
+#include <map>
+#include <regex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autonet::measure {
+
+class TextFsmError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One parsed row: value name -> captured text ("" when absent).
+using Record = std::map<std::string, std::string>;
+
+class TextFsm {
+ public:
+  /// Compiles a template; throws TextFsmError on malformed templates.
+  static TextFsm parse(std::string_view template_text);
+
+  /// Runs the FSM over input text, returning the recorded rows.
+  [[nodiscard]] std::vector<Record> run(std::string_view input) const;
+
+  [[nodiscard]] const std::vector<std::string>& value_names() const {
+    return value_order_;
+  }
+
+  /// Reference templates.
+  static const TextFsm& traceroute_template();
+  static const TextFsm& ospf_neighbor_template();
+  static const TextFsm& bgp_table_template();
+
+ private:
+  struct ValueDef {
+    std::string name;
+    std::string pattern;
+    bool filldown = false;
+    bool required = false;
+    bool list = false;
+  };
+  struct Rule {
+    std::regex pattern;
+    std::vector<std::string> captures;  // value name per capture group
+    bool record = false;
+    bool error = false;
+    std::string next_state;  // "" = stay
+  };
+
+  std::map<std::string, ValueDef> values_;
+  std::vector<std::string> value_order_;
+  std::map<std::string, std::vector<Rule>> states_;
+};
+
+}  // namespace autonet::measure

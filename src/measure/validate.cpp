@@ -1,0 +1,100 @@
+#include "measure/validate.hpp"
+
+#include <set>
+
+#include "measure/textfsm.hpp"
+
+namespace autonet::measure {
+
+namespace {
+
+std::string edge_key(const std::string& a, const std::string& b) {
+  return a < b ? a + "--" + b : b + "--" + a;
+}
+
+ValidationReport compare(const std::set<std::string>& designed,
+                         const std::set<std::string>& running) {
+  ValidationReport report;
+  for (const auto& e : designed) {
+    if (!running.contains(e)) {
+      report.missing.push_back(e);
+      report.ok = false;
+    }
+  }
+  for (const auto& e : running) {
+    if (!designed.contains(e)) {
+      report.unexpected.push_back(e);
+      report.ok = false;
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+std::string ValidationReport::to_string() const {
+  if (ok) return "OK: running network matches the design overlay";
+  std::string out = "MISMATCH:";
+  for (const auto& e : missing) out += "\n  missing (designed, not running): " + e;
+  for (const auto& e : unexpected) out += "\n  unexpected (running, not designed): " + e;
+  return out;
+}
+
+ValidationReport validate_ospf(const emulation::EmulatedNetwork& network,
+                               const anm::AbstractNetworkModel& anm) {
+  std::set<std::string> designed;
+  if (anm.has_overlay("ospf")) {
+    for (const auto& e : anm["ospf"].edges()) {
+      designed.insert(edge_key(e.src().name(), e.dst().name()));
+    }
+  }
+
+  // Collect adjacencies the way an experimenter would: run the neighbors
+  // command on every router and parse it.
+  std::set<std::string> running;
+  const auto& parser = TextFsm::ospf_neighbor_template();
+  for (const auto& name : network.router_names()) {
+    const std::string raw = network.exec(name, "show ip ospf neighbor");
+    for (const auto& rec : parser.run(raw)) {
+      auto it = rec.find("NAME");
+      if (it != rec.end() && !it->second.empty()) {
+        running.insert(edge_key(name, it->second));
+      }
+    }
+  }
+  return compare(designed, running);
+}
+
+ValidationReport validate_bgp(const emulation::EmulatedNetwork& network,
+                              const anm::AbstractNetworkModel& anm) {
+  std::set<std::string> designed;
+  for (const char* overlay : {"ibgp", "ebgp"}) {
+    if (!anm.has_overlay(overlay)) continue;
+    for (const auto& e : anm[overlay].edges()) {
+      designed.insert(edge_key(e.src().name(), e.dst().name()));
+    }
+  }
+
+  std::set<std::string> running;
+  static const TextFsm parser = TextFsm::parse(R"(Value Required PEER (\d+\.\d+\.\d+\.\d+)
+Value AS (\d+)
+
+Start
+  ^\s*${PEER}\s+AS${AS}\s+Established -> Record
+)");
+  for (const auto& name : network.router_names()) {
+    const std::string raw = network.exec(name, "show ip bgp summary");
+    for (const auto& rec : parser.run(raw)) {
+      auto it = rec.find("PEER");
+      if (it == rec.end()) continue;
+      if (auto addr = addressing::Ipv4Addr::parse(it->second)) {
+        if (auto peer = network.owner_of(*addr)) {
+          running.insert(edge_key(name, *peer));
+        }
+      }
+    }
+  }
+  return compare(designed, running);
+}
+
+}  // namespace autonet::measure

@@ -1,0 +1,40 @@
+// Design-vs-running validation (paper §5.7/§8): "the OSPF neighbors
+// command could be run on each router, used to construct the OSPF graph
+// of the running network, and compared against the OSPF overlay
+// constructed at design-time ... a powerful framework for automated
+// validation that the experimental topology is indeed correct — an
+// essential step in the scientific method."
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "anm/anm.hpp"
+#include "emulation/network.hpp"
+
+namespace autonet::measure {
+
+struct ValidationReport {
+  bool ok = true;
+  /// Edges present in the design overlay but not observed running.
+  std::vector<std::string> missing;
+  /// Adjacencies observed running but absent from the design.
+  std::vector<std::string> unexpected;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Collects OSPF adjacencies from the running network (via the
+/// measurement interface) and compares them against the design overlay
+/// `G_ospf`.
+[[nodiscard]] ValidationReport validate_ospf(
+    const emulation::EmulatedNetwork& network,
+    const anm::AbstractNetworkModel& anm);
+
+/// Compares established BGP sessions against the design 'ibgp' and
+/// 'ebgp' overlays.
+[[nodiscard]] ValidationReport validate_bgp(
+    const emulation::EmulatedNetwork& network,
+    const anm::AbstractNetworkModel& anm);
+
+}  // namespace autonet::measure

@@ -1,0 +1,134 @@
+#include "nidb/nidb.hpp"
+
+namespace autonet::nidb {
+
+namespace {
+
+std::string strip_prefix_len(std::string ip) {
+  if (auto slash = ip.find('/'); slash != std::string::npos) ip.resize(slash);
+  return ip;
+}
+
+}  // namespace
+
+std::string DeviceRecord::template_base() const {
+  const Value* v = data.find_path("render.base");
+  const std::string* s = v ? v->as_string() : nullptr;
+  return s ? *s : "";
+}
+
+std::string DeviceRecord::dst_folder() const {
+  const Value* v = data.find_path("render.base_dst_folder");
+  const std::string* s = v ? v->as_string() : nullptr;
+  return s ? *s : "";
+}
+
+DeviceRecord& Nidb::add_device(std::string_view name) {
+  ip_index_built_ = false;
+  auto [it, inserted] = devices_.try_emplace(std::string(name));
+  if (inserted) it->second.name = name;
+  return it->second;
+}
+
+const DeviceRecord* Nidb::device(std::string_view name) const {
+  auto it = devices_.find(name);
+  return it == devices_.end() ? nullptr : &it->second;
+}
+
+DeviceRecord* Nidb::device(std::string_view name) {
+  auto it = devices_.find(name);
+  return it == devices_.end() ? nullptr : &it->second;
+}
+
+std::vector<const DeviceRecord*> Nidb::devices() const {
+  std::vector<const DeviceRecord*> out;
+  out.reserve(devices_.size());
+  for (const auto& [name, rec] : devices_) out.push_back(&rec);
+  return out;
+}
+
+std::vector<const DeviceRecord*> Nidb::devices_of_type(std::string_view type) const {
+  std::vector<const DeviceRecord*> out;
+  for (const auto& [name, rec] : devices_) {
+    const Value* v = rec.data.find("device_type");
+    const std::string* s = v ? v->as_string() : nullptr;
+    if (s != nullptr && *s == type) out.push_back(&rec);
+  }
+  return out;
+}
+
+std::optional<std::string> Nidb::device_for_ip(std::string_view ip) const {
+  if (!ip_index_built_) {
+    ip_index_.clear();
+    for (const auto& [name, rec] : devices_) {
+      if (const Value* lo = rec.data.find("loopback")) {
+        if (const auto* s = lo->as_string()) {
+          ip_index_.emplace(strip_prefix_len(*s), name);
+        }
+      }
+      const Value* interfaces = rec.data.find("interfaces");
+      const Array* arr = interfaces ? interfaces->as_array() : nullptr;
+      if (arr == nullptr) continue;
+      for (const Value& iface : *arr) {
+        const Value* addr = iface.find("ip_address");
+        const std::string* s = addr ? addr->as_string() : nullptr;
+        if (s != nullptr) ip_index_.emplace(strip_prefix_len(*s), name);
+      }
+    }
+    ip_index_built_ = true;
+  }
+  auto it = ip_index_.find(strip_prefix_len(std::string(ip)));
+  if (it == ip_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+Nidb Nidb::from_json(std::string_view text) {
+  Value doc = parse_json(text);
+  const Object* root = doc.as_object();
+  if (root == nullptr) throw std::runtime_error("NIDB JSON: not an object");
+  Nidb out;
+  if (const Value* devices = doc.find("devices")) {
+    const Object* map = devices->as_object();
+    if (map == nullptr) throw std::runtime_error("NIDB JSON: 'devices' not an object");
+    for (const auto& [name, data] : *map) {
+      out.add_device(name).data = data;
+    }
+  }
+  if (const Value* links = doc.find("links")) {
+    const Array* arr = links->as_array();
+    if (arr == nullptr) throw std::runtime_error("NIDB JSON: 'links' not an array");
+    for (const Value& l : *arr) {
+      auto field = [&l](const char* key) {
+        const Value* v = l.find(key);
+        const std::string* s = v ? v->as_string() : nullptr;
+        return s ? *s : std::string{};
+      };
+      out.add_link({field("src"), field("src_int"), field("dst"),
+                    field("dst_int"), field("subnet")});
+    }
+  }
+  if (const Value* data = doc.find("data")) out.data_ = *data;
+  return out;
+}
+
+std::string Nidb::to_json(bool pretty) const {
+  Object root;
+  Object devices;
+  for (const auto& [name, rec] : devices_) devices[name] = rec.data;
+  root["devices"] = Value(std::move(devices));
+  Array links;
+  for (const auto& link : links_) {
+    Object l;
+    l["src"] = link.src_device;
+    l["src_int"] = link.src_interface;
+    l["dst"] = link.dst_device;
+    l["dst_int"] = link.dst_interface;
+    l["subnet"] = link.subnet;
+    links.emplace_back(std::move(l));
+  }
+  root["links"] = Value(std::move(links));
+  root["data"] = data_;
+  return Value(std::move(root)).to_json(pretty);
+}
+
+}  // namespace autonet::nidb

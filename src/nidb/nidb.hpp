@@ -1,0 +1,85 @@
+// The Resource Database / Network Information DB (paper §5.4): the
+// device-level view the compiler produces and the renderer consumes. It
+// is "a device-level graph, based on the nodes and edges in the physical
+// graph": one record per device holding the attribute vector (a Value
+// tree, see Listing 5.4) plus the inter-device links with their resolved
+// interface names.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nidb/value.hpp"
+
+namespace autonet::nidb {
+
+/// One device's record: the attribute vector pushed into templates.
+struct DeviceRecord {
+  std::string name;
+  /// Root of the value tree; templates see it as `node`.
+  Value data;
+
+  // Render attributes (paper §5.5).
+  [[nodiscard]] std::string template_base() const;
+  [[nodiscard]] std::string dst_folder() const;
+};
+
+/// A resolved device-to-device link at the device level.
+struct NidbLink {
+  std::string src_device;
+  std::string src_interface;  // platform-formatted, e.g. "eth1"
+  std::string dst_device;
+  std::string dst_interface;
+  std::string subnet;  // collision-domain subnet, "" if unallocated
+};
+
+class Nidb {
+ public:
+  /// Adds (or returns) a device record.
+  DeviceRecord& add_device(std::string_view name);
+  [[nodiscard]] const DeviceRecord* device(std::string_view name) const;
+  [[nodiscard]] DeviceRecord* device(std::string_view name);
+  [[nodiscard]] std::size_t device_count() const { return devices_.size(); }
+  /// Devices in name order (deterministic rendering).
+  [[nodiscard]] std::vector<const DeviceRecord*> devices() const;
+
+  /// Devices whose `device_type` field matches.
+  [[nodiscard]] std::vector<const DeviceRecord*> devices_of_type(
+      std::string_view type) const;
+  [[nodiscard]] std::vector<const DeviceRecord*> routers() const {
+    return devices_of_type("router");
+  }
+
+  void add_link(NidbLink link) { links_.push_back(std::move(link)); }
+  [[nodiscard]] const std::vector<NidbLink>& links() const { return links_; }
+
+  /// Network-wide data (deployment host, management network, ...).
+  [[nodiscard]] Value& data() { return data_; }
+  [[nodiscard]] const Value& data() const { return data_; }
+
+  /// Reverse mapping from allocated IP address to device name (paper
+  /// §5.7: "as we know the IP allocations, we map the IP addresses back
+  /// into the hosts they represent"). Indexed lazily from the device
+  /// records' interfaces and loopbacks.
+  [[nodiscard]] std::optional<std::string> device_for_ip(std::string_view ip) const;
+
+  /// Whole-database JSON dump (diagnostics and the visualization module).
+  [[nodiscard]] std::string to_json(bool pretty = true) const;
+
+  /// Restores a database from a to_json() dump — decouples compilation
+  /// from deployment (compile once, archive the NIDB, deploy later).
+  /// Throws std::runtime_error on malformed documents.
+  static Nidb from_json(std::string_view text);
+
+ private:
+  std::map<std::string, DeviceRecord, std::less<>> devices_;
+  std::vector<NidbLink> links_;
+  Value data_;
+  mutable std::map<std::string, std::string, std::less<>> ip_index_;
+  mutable bool ip_index_built_ = false;
+};
+
+}  // namespace autonet::nidb

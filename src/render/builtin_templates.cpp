@@ -1,0 +1,534 @@
+// Reference template sets (paper §4.1: templates "closely mirror the
+// target configuration language"). One set per device syntax plus the
+// platform-level artefacts. Users can override any of these by
+// registering their own TemplateStore entries or directories.
+#include "render/renderer.hpp"
+
+namespace autonet::render::detail {
+
+namespace {
+
+// --- Quagga (Netkit's default syntax) ---------------------------------------
+
+constexpr const char* kQuaggaDaemons = R"(zebra=yes
+% if node.ospf:
+ospfd=yes
+% else:
+ospfd=no
+% endif
+% if node.isis:
+isisd=yes
+% else:
+isisd=no
+% endif
+% if node.bgp:
+bgpd=yes
+% else:
+bgpd=no
+% endif
+)";
+
+constexpr const char* kQuaggaZebra = R"(hostname ${node.zebra.hostname}
+password ${node.zebra.password}
+enable password ${node.zebra.password}
+!
+% for interface in node.interfaces:
+interface ${interface.id}
+ description ${interface.description}
+!
+% endfor
+log file /var/log/zebra/zebra.log
+)";
+
+constexpr const char* kQuaggaOspfd = R"(% if node.ospf:
+hostname ${node.zebra.hostname}
+password ${node.zebra.password}
+!
+% for interface in node.interfaces:
+interface ${interface.id}
+ ip ospf cost ${interface.ospf_cost}
+!
+% endfor
+router ospf
+% if node.ospf.router_id:
+ ospf router-id ${node.ospf.router_id}
+% endif
+% for link in node.ospf.ospf_links:
+ network ${link.network | cidr} area ${link.area}
+% endfor
+!
+log file /var/log/zebra/ospfd.log
+% endif
+)";
+
+constexpr const char* kQuaggaIsisd = R"(% if node.isis:
+hostname ${node.zebra.hostname}
+password ${node.zebra.password}
+!
+% for interface in node.isis.interfaces:
+interface ${interface.id}
+ ip router isis autonet
+ isis metric ${interface.metric}
+!
+% endfor
+router isis autonet
+ net ${node.isis.net}
+ is-type ${node.isis.level}
+!
+% endif
+)";
+
+constexpr const char* kQuaggaBgpd = R"(% if node.bgp:
+hostname ${node.zebra.hostname}
+password ${node.zebra.password}
+!
+router bgp ${node.bgp.asn}
+% if node.bgp.router_id:
+ bgp router-id ${node.bgp.router_id}
+% endif
+% for net in node.bgp.networks:
+ network ${net | cidr}
+% endfor
+% for n in node.bgp.ibgp_neighbors:
+ neighbor ${n.neighbor} remote-as ${n.remote_as}
+ neighbor ${n.neighbor} description ${n.description}
+ neighbor ${n.neighbor} update-source ${n.update_source}
+% if n.next_hop_self:
+ neighbor ${n.neighbor} next-hop-self
+% endif
+% if n.rr_client:
+ neighbor ${n.neighbor} route-reflector-client
+% endif
+% endfor
+% for n in node.bgp.ebgp_neighbors:
+ neighbor ${n.neighbor} remote-as ${n.remote_as}
+ neighbor ${n.neighbor} description ${n.description}
+% if n.only_local_out:
+ neighbor ${n.neighbor} route-map only-local out
+% endif
+% if n.local_pref_in:
+ neighbor ${n.neighbor} route-map lp-${n.neighbor} in
+% endif
+% if n.med_out:
+ neighbor ${n.neighbor} route-map med-${n.neighbor} out
+% endif
+% endfor
+!
+% if node.bgp.no_transit:
+ip as-path access-list 1 permit ^$
+route-map only-local permit 10
+ match as-path 1
+!
+% endif
+% for n in node.bgp.ebgp_neighbors:
+% if n.local_pref_in:
+route-map lp-${n.neighbor} permit 10
+ set local-preference ${n.local_pref_in}
+!
+% endif
+% if n.med_out:
+route-map med-${n.neighbor} permit 10
+ set metric ${n.med_out}
+!
+% endif
+% endfor
+log file /var/log/zebra/bgpd.log
+% endif
+)";
+
+constexpr const char* kNetkitStartup = R"(% for interface in node.interfaces:
+/sbin/ifconfig ${interface.id} ${interface.ip_address} netmask ${interface.subnet | netmask} up
+% if interface.ip6_address:
+/sbin/ifconfig ${interface.id} add ${interface.ip6_address}
+% endif
+% endfor
+% if node.loopback:
+/sbin/ifconfig lo:1 ${node.loopback | ip} netmask 255.255.255.255 up
+% endif
+% if node.dns:
+% if node.dns.server:
+/etc/init.d/dnsmasq start
+% endif
+% endif
+/etc/init.d/zebra start
+)";
+
+constexpr const char* kResolvConf = R"(% if node.dns:
+% if node.dns.resolver:
+nameserver ${node.dns.resolver}
+% endif
+% endif
+)";
+
+constexpr const char* kDnsmasqConf = R"(% if node.dns:
+% if node.dns.server:
+domain=${node.dns.zone}
+expand-hosts
+no-resolv
+% for r in node.dns.records:
+address=/${r.name}.${node.dns.zone}/${r.address}
+% endfor
+% endif
+% endif
+)";
+
+constexpr const char* kRpkiConf = R"(% if node.rpki:
+role ${node.rpki.role}
+% if node.rpki.trust_anchor:
+trust-anchor yes
+% endif
+% for c in node.rpki.children:
+${c.relation} ${c.name}
+% endfor
+% endif
+)";
+
+// --- Cisco IOS ---------------------------------------------------------------
+
+constexpr const char* kIosConfig = R"(!
+version ${node.ios.version}
+service timestamps debug datetime msec
+hostname ${node.hostname}
+!
+% if node.loopback:
+interface ${node.loopback_id}
+ ip address ${node.loopback | ip} 255.255.255.255
+!
+% endif
+% for interface in node.interfaces:
+interface ${interface.id}
+ description ${interface.description}
+ ip address ${interface.ip_address} ${interface.subnet | netmask}
+% if node.ospf:
+ ip ospf cost ${interface.ospf_cost}
+% endif
+ no shutdown
+!
+% endfor
+% if node.ospf:
+router ospf ${node.ospf.process_id}
+% if node.ospf.router_id:
+ router-id ${node.ospf.router_id}
+% endif
+% for link in node.ospf.ospf_links:
+ network ${link.network | network} ${link.network | wildcard} area ${link.area}
+% endfor
+!
+% endif
+% if node.isis:
+router isis
+ net ${node.isis.net}
+ is-type ${node.isis.level}
+!
+% endif
+% if node.bgp:
+router bgp ${node.bgp.asn}
+% if node.bgp.router_id:
+ bgp router-id ${node.bgp.router_id}
+% endif
+% for net in node.bgp.networks:
+ network ${net | network} mask ${net | netmask}
+% endfor
+% for n in node.bgp.ibgp_neighbors:
+ neighbor ${n.neighbor} remote-as ${n.remote_as}
+ neighbor ${n.neighbor} description ${n.description}
+ neighbor ${n.neighbor} update-source ${n.update_source}
+% if n.next_hop_self:
+ neighbor ${n.neighbor} next-hop-self
+% endif
+% if n.rr_client:
+ neighbor ${n.neighbor} route-reflector-client
+% endif
+% endfor
+% for n in node.bgp.ebgp_neighbors:
+ neighbor ${n.neighbor} remote-as ${n.remote_as}
+ neighbor ${n.neighbor} description ${n.description}
+% if n.only_local_out:
+ neighbor ${n.neighbor} route-map only-local out
+% endif
+% if n.local_pref_in:
+ neighbor ${n.neighbor} route-map lp-${n.neighbor} in
+% endif
+% if n.med_out:
+ neighbor ${n.neighbor} route-map med-${n.neighbor} out
+% endif
+% endfor
+!
+% if node.bgp.no_transit:
+ip as-path access-list 1 permit ^$
+route-map only-local permit 10
+ match as-path 1
+!
+% endif
+% for n in node.bgp.ebgp_neighbors:
+% if n.local_pref_in:
+route-map lp-${n.neighbor} permit 10
+ set local-preference ${n.local_pref_in}
+!
+% endif
+% if n.med_out:
+route-map med-${n.neighbor} permit 10
+ set metric ${n.med_out}
+!
+% endif
+% endfor
+% endif
+end
+)";
+
+// --- Juniper Junos -----------------------------------------------------------
+
+constexpr const char* kJunosConfig = R"(system {
+    host-name ${node.hostname};
+}
+interfaces {
+% for interface in node.interfaces:
+    ${interface.id} {
+        description "${interface.description}";
+        unit 0 {
+            family inet {
+                address ${interface.ip_address}/${interface.prefixlen};
+            }
+% if interface.ip6_address:
+            family inet6 {
+                address ${interface.ip6_address};
+            }
+% endif
+        }
+    }
+% endfor
+% if node.loopback:
+    ${node.loopback_id} {
+        unit 0 {
+            family inet {
+                address ${node.loopback};
+            }
+        }
+    }
+% endif
+}
+routing-options {
+% if node.bgp:
+    autonomous-system ${node.bgp.asn};
+% if node.bgp.networks | length:
+    static {
+% for net in node.bgp.networks:
+        route ${net | cidr} discard;
+% endfor
+    }
+% endif
+% endif
+% if node.ospf:
+% if node.ospf.router_id:
+    router-id ${node.ospf.router_id};
+% endif
+% endif
+}
+protocols {
+% if node.ospf:
+    ospf {
+        area 0.0.0.0 {
+% for link in node.ospf.ospf_links:
+% if link.interface:
+            interface ${link.interface}.0 {
+                metric ${link.cost};
+            }
+% endif
+% endfor
+        }
+    }
+% endif
+% if node.bgp:
+    bgp {
+        group ibgp {
+            type internal;
+% if node.loopback:
+            local-address ${node.loopback | ip};
+% endif
+% for n in node.bgp.ibgp_neighbors:
+            neighbor ${n.neighbor} {
+                description "${n.description}";
+% if n.rr_client:
+                cluster ${node.bgp.router_id};
+% endif
+            }
+% endfor
+        }
+        group ebgp {
+            type external;
+% if node.bgp.no_transit:
+            export only-local;
+% endif
+% for n in node.bgp.ebgp_neighbors:
+            neighbor ${n.neighbor} {
+                description "${n.description}";
+% if n.local_pref_in:
+                import lp-${n.neighbor};
+% endif
+% if n.med_out:
+                metric-out ${n.med_out};
+% endif
+                peer-as ${n.remote_as};
+            }
+% endfor
+        }
+    }
+% endif
+}
+% if node.bgp:
+% if node.bgp.no_transit:
+policy-options {
+    policy-statement only-local {
+        term locals {
+            from as-path empty;
+            then accept;
+        }
+        then reject;
+    }
+}
+% endif
+% for n in node.bgp.ebgp_neighbors:
+% if n.local_pref_in:
+policy-options {
+    policy-statement lp-${n.neighbor} {
+        then {
+            local-preference ${n.local_pref_in};
+            accept;
+        }
+    }
+}
+% endif
+% endfor
+% endif
+)";
+
+// --- C-BGP ---------------------------------------------------------------
+
+// Per-device fragment (kept for inspection; the solver consumes the
+// network-wide script below).
+constexpr const char* kCbgpNode = R"(% if node.cbgp_id:
+# node ${node.hostname}
+net add node ${node.cbgp_id}
+% if node.bgp:
+bgp add router ${node.bgp.asn} ${node.cbgp_id}
+% endif
+% endif
+)";
+
+constexpr const char* kCbgpNetwork = R"(# C-BGP network script (generated)
+% for node in devices:
+% if node.cbgp_id:
+net add node ${node.cbgp_id}
+% endif
+% endfor
+% for asn in data.asns:
+net add domain ${asn} igp
+% endfor
+% for node in devices:
+% if node.cbgp_id:
+net node ${node.cbgp_id} domain ${node.asn}
+% endif
+% endfor
+% for link in data.links:
+% if link.src_loopback:
+% if link.dst_loopback:
+net add link ${link.src_loopback} ${link.dst_loopback}
+net link ${link.src_loopback} ${link.dst_loopback} igp-weight --bidir ${link.cost}
+% endif
+% endif
+% endfor
+% for node in devices:
+% if node.cbgp_id:
+% if node.bgp:
+bgp add router ${node.bgp.asn} ${node.cbgp_id}
+bgp router ${node.cbgp_id}
+% for net in node.bgp.networks:
+  add network ${net | cidr}
+% endfor
+% for n in node.bgp.ibgp_neighbors:
+  add peer ${n.remote_as} ${n.neighbor}
+% if n.rr_client:
+  peer ${n.neighbor} rr-client
+% endif
+  peer ${n.neighbor} up
+% endfor
+% for n in node.bgp.ebgp_neighbors:
+  add peer ${n.remote_as} ${n.neighbor}
+% if n.only_local_out:
+  peer ${n.neighbor} filter out path-empty
+% endif
+% if n.local_pref_in:
+  peer ${n.neighbor} local-pref ${n.local_pref_in}
+% endif
+% if n.med_out:
+  peer ${n.neighbor} med ${n.med_out}
+% endif
+  peer ${n.neighbor} up
+% endfor
+  exit
+% endif
+% endif
+% endfor
+% for asn in data.asns:
+net domain ${asn} compute
+% endfor
+sim run
+)";
+
+// --- Platform artefacts --------------------------------------------------
+
+constexpr const char* kNetkitLabConf = R"(LAB_DESCRIPTION="generated by autonet"
+LAB_VERSION=1.0
+LAB_AUTHOR=autonet
+% for entry in data.lab_conf:
+${entry.machine}[${entry.interface_index}]=${entry.collision_domain}
+% endfor
+)";
+
+constexpr const char* kDynagenNet = R"([localhost]
+% for r in data.dynagen_routers:
+    [[router ${r.name}]]
+        model = ${r.model}
+% endfor
+)";
+
+// --- Linux servers ---------------------------------------------------------
+
+constexpr const char* kLinuxStartup = R"(% for interface in node.interfaces:
+/sbin/ifconfig ${interface.id} ${interface.ip_address} netmask ${interface.subnet | netmask} up
+% endfor
+% if node.dns:
+% if node.dns.server:
+/etc/init.d/dnsmasq start
+% endif
+% endif
+)";
+
+}  // namespace
+
+void register_builtin_templates(TemplateStore& store) {
+  store.add("templates/quagga", "etc/quagga/daemons", kQuaggaDaemons);
+  store.add("templates/quagga", "etc/quagga/zebra.conf", kQuaggaZebra);
+  store.add("templates/quagga", "etc/quagga/ospfd.conf", kQuaggaOspfd);
+  store.add("templates/quagga", "etc/quagga/isisd.conf", kQuaggaIsisd);
+  store.add("templates/quagga", "etc/quagga/bgpd.conf", kQuaggaBgpd);
+  store.add("templates/quagga", ".startup", kNetkitStartup);
+  store.add("templates/quagga", "etc/resolv.conf", kResolvConf);
+  store.add("templates/quagga", "etc/dnsmasq.conf", kDnsmasqConf);
+  store.add("templates/quagga", "etc/rpki.conf", kRpkiConf);
+
+  store.add("templates/ios", "startup-config.cfg", kIosConfig);
+  store.add("templates/junos", "juniper.conf", kJunosConfig);
+  store.add("templates/cbgp", "node.cli", kCbgpNode);
+
+  store.add("templates/linux", ".startup", kLinuxStartup);
+  store.add("templates/linux", "etc/resolv.conf", kResolvConf);
+  store.add("templates/linux", "etc/dnsmasq.conf", kDnsmasqConf);
+  store.add("templates/linux", "etc/rpki.conf", kRpkiConf);
+
+  store.add("platform/netkit", "lab.conf", kNetkitLabConf);
+  store.add("platform/dynagen", "topology.net", kDynagenNet);
+  store.add("platform/cbgp", "network.cli", kCbgpNetwork);
+}
+
+}  // namespace autonet::render::detail

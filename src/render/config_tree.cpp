@@ -1,0 +1,82 @@
+#include "render/config_tree.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace autonet::render {
+
+namespace fs = std::filesystem;
+
+void ConfigTree::put(std::string path, std::string content) {
+  files_.insert_or_assign(std::move(path), std::move(content));
+}
+
+const std::string* ConfigTree::get(std::string_view path) const {
+  auto it = files_.find(std::string(path));
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> ConfigTree::paths() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, content] : files_) out.push_back(path);
+  return out;
+}
+
+std::vector<std::string> ConfigTree::paths_under(std::string_view prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [path, content] : files_) {
+    if (path.starts_with(prefix)) out.push_back(path);
+  }
+  return out;
+}
+
+std::size_t ConfigTree::item_count() const {
+  std::set<std::string> dirs;
+  for (const auto& [path, content] : files_) {
+    std::string_view p = path;
+    while (true) {
+      auto slash = p.rfind('/');
+      if (slash == std::string_view::npos) break;
+      p = p.substr(0, slash);
+      dirs.insert(std::string(p));
+    }
+  }
+  return files_.size() + dirs.size();
+}
+
+std::size_t ConfigTree::total_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [path, content] : files_) total += content.size();
+  return total;
+}
+
+void ConfigTree::write_to_disk(const std::string& root) const {
+  for (const auto& [path, content] : files_) {
+    fs::path full = fs::path(root) / path;
+    fs::create_directories(full.parent_path());
+    std::ofstream out(full, std::ios::binary);
+    if (!out) throw std::runtime_error("cannot write " + full.string());
+    out << content;
+  }
+}
+
+ConfigTree ConfigTree::read_from_disk(const std::string& root) {
+  ConfigTree tree;
+  if (!fs::exists(root)) {
+    throw std::runtime_error("no such directory: " + root);
+  }
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    tree.put(fs::relative(entry.path(), root).generic_string(), ss.str());
+  }
+  return tree;
+}
+
+}  // namespace autonet::render

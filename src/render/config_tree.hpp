@@ -1,0 +1,48 @@
+// An in-memory tree of rendered configuration files. The paper's §3.2
+// experiment counts the rendered corpus ("20MB uncompressed, with 16,144
+// items"), and deployment archives it — both work on this structure
+// before (optionally) touching the filesystem.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autonet::render {
+
+class ConfigTree {
+ public:
+  /// Stores (or replaces) a file at a '/'-separated relative path.
+  void put(std::string path, std::string content);
+  [[nodiscard]] const std::string* get(std::string_view path) const;
+  [[nodiscard]] bool contains(std::string_view path) const {
+    return get(path) != nullptr;
+  }
+
+  /// All paths in lexical order.
+  [[nodiscard]] std::vector<std::string> paths() const;
+  /// Paths under a directory prefix ("localhost/netkit/as100r1").
+  [[nodiscard]] std::vector<std::string> paths_under(std::string_view prefix) const;
+
+  /// Items = files plus the distinct directories containing them (the
+  /// unit §3.2 counts).
+  [[nodiscard]] std::size_t item_count() const;
+  [[nodiscard]] std::size_t file_count() const { return files_.size(); }
+  [[nodiscard]] std::size_t total_bytes() const;
+
+  /// Writes every file below `root`, creating directories as needed.
+  void write_to_disk(const std::string& root) const;
+  /// Reads every regular file below `root` into a tree.
+  static ConfigTree read_from_disk(const std::string& root);
+
+  [[nodiscard]] auto begin() const { return files_.begin(); }
+  [[nodiscard]] auto end() const { return files_.end(); }
+
+  friend bool operator==(const ConfigTree&, const ConfigTree&) = default;
+
+ private:
+  std::map<std::string, std::string> files_;
+};
+
+}  // namespace autonet::render

@@ -1,0 +1,92 @@
+// Internal AST shared by the template lexer, parser and evaluator.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "nidb/value.hpp"
+
+namespace autonet::templates::detail {
+
+// --- Expression AST --------------------------------------------------------
+
+enum class BinOp {
+  kEq, kNe, kLt, kLe, kGt, kGe, kAnd, kOr, kAdd, kSub,
+};
+
+struct Expr {
+  struct Literal {
+    nidb::Value value;
+  };
+  struct Path {
+    std::string dotted;  // "node.zebra.hostname"
+  };
+  struct Unary {  // not
+    std::unique_ptr<Expr> operand;
+  };
+  struct Binary {
+    BinOp op;
+    std::unique_ptr<Expr> lhs;
+    std::unique_ptr<Expr> rhs;
+  };
+  struct FilterCall {
+    std::string name;
+    std::unique_ptr<Expr> input;
+    std::vector<Expr> args;
+  };
+
+  std::variant<Literal, Path, Unary, Binary, FilterCall> node;
+};
+
+/// Parses an expression (used by ${...}, % if, and % for collections).
+/// Throws TemplateError on syntax errors.
+[[nodiscard]] Expr parse_expression(std::string_view text);
+
+// --- Template AST -----------------------------------------------------------
+
+struct TemplateNode;
+
+struct TextNode {
+  std::string text;
+};
+struct OutputNode {
+  Expr expr;
+};
+struct ForNode {
+  std::string var;
+  Expr collection;
+  std::vector<TemplateNode> body;
+};
+struct IfBranch {
+  // Null expr == else branch.
+  std::unique_ptr<Expr> condition;
+  std::vector<TemplateNode> body;
+};
+struct IfNode {
+  std::vector<IfBranch> branches;
+};
+
+struct TemplateNode {
+  std::variant<TextNode, OutputNode, ForNode, IfNode> node;
+};
+
+// --- Lexer ------------------------------------------------------------------
+
+/// A template is segmented into raw-text runs, ${...} expressions, and
+/// %-control lines.
+struct Segment {
+  enum class Kind { kText, kExpr, kControl };
+  Kind kind = Kind::kText;
+  std::string text;  // raw text / expression body / control line body
+  int line = 0;
+};
+
+[[nodiscard]] std::vector<Segment> lex(std::string_view text);
+
+/// Parses lexed segments into a template AST.
+[[nodiscard]] std::vector<TemplateNode> parse_segments(
+    const std::vector<Segment>& segments, const std::string& template_name);
+
+}  // namespace autonet::templates::detail

@@ -1,0 +1,196 @@
+#include "templates/detail.hpp"
+#include "templates/template.hpp"
+
+namespace autonet::templates {
+
+using detail::BinOp;
+using detail::Expr;
+using detail::TemplateNode;
+using nidb::Value;
+
+nidb::Value Context::lookup(std::string_view dotted) const {
+  auto dot = dotted.find('.');
+  std::string_view head = dotted.substr(0, dot);
+  auto it = vars_.find(head);
+  if (it == vars_.end()) return Value(nullptr);
+  if (dot == std::string_view::npos) return it->second;
+  const Value* v = it->second.find_path(dotted.substr(dot + 1));
+  return v == nullptr ? Value(nullptr) : *v;
+}
+
+namespace {
+
+class Scope {
+ public:
+  explicit Scope(const Context& root) : root_(root) {}
+
+  void push(const std::string& name, Value v) {
+    locals_.emplace_back(name, std::move(v));
+  }
+  void pop() { locals_.pop_back(); }
+
+  [[nodiscard]] Value lookup(std::string_view dotted) const {
+    auto dot = dotted.find('.');
+    std::string_view head = dotted.substr(0, dot);
+    // innermost loop variable wins
+    for (auto it = locals_.rbegin(); it != locals_.rend(); ++it) {
+      if (it->first == head) {
+        if (dot == std::string_view::npos) return it->second;
+        const Value* v = it->second.find_path(dotted.substr(dot + 1));
+        return v == nullptr ? Value(nullptr) : *v;
+      }
+    }
+    return root_.lookup(dotted);
+  }
+
+ private:
+  const Context& root_;
+  std::vector<std::pair<std::string, Value>> locals_;
+};
+
+bool values_equal(const Value& a, const Value& b) { return a == b; }
+
+int compare_values(const Value& a, const Value& b) {
+  auto da = a.as_double();
+  auto db = b.as_double();
+  if (da && db) return *da < *db ? -1 : (*da > *db ? 1 : 0);
+  const auto* sa = a.as_string();
+  const auto* sb = b.as_string();
+  if (sa && sb) return sa->compare(*sb) < 0 ? -1 : (*sa == *sb ? 0 : 1);
+  throw TemplateError("cannot order values '" + a.to_display() + "' and '" +
+                      b.to_display() + "'");
+}
+
+Value eval(const Expr& expr, const Scope& scope) {
+  struct Visitor {
+    const Scope& scope;
+
+    Value operator()(const Expr::Literal& lit) const { return lit.value; }
+    Value operator()(const Expr::Path& path) const { return scope.lookup(path.dotted); }
+    Value operator()(const Expr::Unary& u) const {
+      return Value(!eval(*u.operand, scope).truthy());
+    }
+    Value operator()(const Expr::Binary& b) const {
+      switch (b.op) {
+        case BinOp::kAnd: {
+          Value lhs = eval(*b.lhs, scope);
+          return lhs.truthy() ? eval(*b.rhs, scope) : lhs;
+        }
+        case BinOp::kOr: {
+          Value lhs = eval(*b.lhs, scope);
+          return lhs.truthy() ? lhs : eval(*b.rhs, scope);
+        }
+        default: break;
+      }
+      Value lhs = eval(*b.lhs, scope);
+      Value rhs = eval(*b.rhs, scope);
+      switch (b.op) {
+        case BinOp::kEq: return Value(values_equal(lhs, rhs));
+        case BinOp::kNe: return Value(!values_equal(lhs, rhs));
+        case BinOp::kLt: return Value(compare_values(lhs, rhs) < 0);
+        case BinOp::kLe: return Value(compare_values(lhs, rhs) <= 0);
+        case BinOp::kGt: return Value(compare_values(lhs, rhs) > 0);
+        case BinOp::kGe: return Value(compare_values(lhs, rhs) >= 0);
+        case BinOp::kAdd: {
+          // '+' concatenates strings, else adds numerically.
+          if (lhs.is_string() || rhs.is_string()) {
+            return Value(lhs.to_display() + rhs.to_display());
+          }
+          if (lhs.is_int() && rhs.is_int()) return Value(*lhs.as_int() + *rhs.as_int());
+          auto da = lhs.as_double();
+          auto db = rhs.as_double();
+          if (da && db) return Value(*da + *db);
+          throw TemplateError("cannot add values");
+        }
+        case BinOp::kSub: {
+          if (lhs.is_int() && rhs.is_int()) return Value(*lhs.as_int() - *rhs.as_int());
+          auto da = lhs.as_double();
+          auto db = rhs.as_double();
+          if (da && db) return Value(*da - *db);
+          throw TemplateError("cannot subtract values");
+        }
+        default: throw TemplateError("internal: bad binary op");
+      }
+    }
+    Value operator()(const Expr::FilterCall& call) const {
+      const auto& filters = builtin_filters();
+      auto it = filters.find(call.name);
+      if (it == filters.end()) {
+        throw TemplateError("unknown filter '" + call.name + "'");
+      }
+      Value input = eval(*call.input, scope);
+      std::vector<Value> args;
+      args.reserve(call.args.size());
+      for (const auto& a : call.args) args.push_back(eval(a, scope));
+      return it->second(input, args);
+    }
+  };
+  return std::visit(Visitor{scope}, expr.node);
+}
+
+void render_nodes(const std::vector<TemplateNode>& nodes, Scope& scope,
+                  std::string& out) {
+  struct Visitor {
+    Scope& scope;
+    std::string& out;
+
+    void operator()(const detail::TextNode& n) const { out += n.text; }
+    void operator()(const detail::OutputNode& n) const {
+      out += eval(n.expr, scope).to_display();
+    }
+    void operator()(const detail::ForNode& n) const {
+      Value coll = eval(n.collection, scope);
+      auto iterate = [&](const Value& item) {
+        scope.push(n.var, item);
+        render_nodes(n.body, scope, out);
+        scope.pop();
+      };
+      if (const nidb::Array* arr = coll.as_array()) {
+        for (const Value& item : *arr) iterate(item);
+      } else if (const nidb::Object* obj = coll.as_object()) {
+        for (const auto& [key, item] : *obj) {
+          (void)item;
+          iterate(Value(key));  // iterating an object yields its keys
+        }
+      } else if (!coll.is_null()) {
+        iterate(coll);  // scalars iterate once, easing optional lists
+      }
+    }
+    void operator()(const detail::IfNode& n) const {
+      for (const auto& branch : n.branches) {
+        if (branch.condition == nullptr || eval(*branch.condition, scope).truthy()) {
+          render_nodes(branch.body, scope, out);
+          return;
+        }
+      }
+    }
+  };
+  for (const TemplateNode& n : nodes) std::visit(Visitor{scope, out}, n.node);
+}
+
+}  // namespace
+
+Template::Template() = default;
+Template::Template(Template&&) noexcept = default;
+Template& Template::operator=(Template&&) noexcept = default;
+Template::~Template() = default;
+
+Template Template::parse(std::string_view text, std::string name) {
+  Template t;
+  t.name_ = std::move(name);
+  t.nodes_ = detail::parse_segments(detail::lex(text), t.name_);
+  return t;
+}
+
+std::string Template::render(const Context& context) const {
+  std::string out;
+  Scope scope(context);
+  render_nodes(nodes_, scope, out);
+  return out;
+}
+
+std::string render(std::string_view template_text, const Context& context) {
+  return Template::parse(template_text).render(context);
+}
+
+}  // namespace autonet::templates

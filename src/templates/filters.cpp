@@ -1,0 +1,133 @@
+// Built-in template filters. The addressing filters implement the
+// "basic formatting, such as IP addresses, as found in the PRESTO
+// system" the paper allows inside templates (§4.1) — e.g. IOS network
+// statements need netmask or wildcard forms of the same prefix.
+#include <algorithm>
+#include <cctype>
+
+#include "addressing/ipv4.hpp"
+#include "templates/template.hpp"
+
+namespace autonet::templates {
+
+namespace {
+
+using nidb::Value;
+
+addressing::Ipv4Prefix require_prefix(const Value& v, const char* filter) {
+  const std::string* s = v.as_string();
+  if (s != nullptr) {
+    if (auto p = addressing::Ipv4Prefix::parse(*s)) return *p;
+    // A bare address is treated as a /32.
+    if (auto a = addressing::Ipv4Addr::parse(*s)) {
+      return addressing::Ipv4Prefix(*a, 32);
+    }
+  }
+  throw TemplateError(std::string(filter) + ": '" + v.to_display() +
+                      "' is not an IPv4 prefix");
+}
+
+std::string host_part(const Value& v, const char* filter) {
+  const std::string* s = v.as_string();
+  if (s == nullptr) {
+    throw TemplateError(std::string(filter) + ": expected an address string");
+  }
+  auto slash = s->find('/');
+  return slash == std::string::npos ? *s : s->substr(0, slash);
+}
+
+Value filter_upper(const Value& v, const std::vector<Value>&) {
+  std::string s = v.to_display();
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return Value(std::move(s));
+}
+
+Value filter_lower(const Value& v, const std::vector<Value>&) {
+  std::string s = v.to_display();
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return Value(std::move(s));
+}
+
+Value filter_join(const Value& v, const std::vector<Value>& args) {
+  const nidb::Array* arr = v.as_array();
+  if (arr == nullptr) throw TemplateError("join: expected an array");
+  std::string sep = args.empty() ? "," : args[0].to_display();
+  std::string out;
+  for (std::size_t i = 0; i < arr->size(); ++i) {
+    if (i != 0) out += sep;
+    out += (*arr)[i].to_display();
+  }
+  return Value(std::move(out));
+}
+
+Value filter_length(const Value& v, const std::vector<Value>&) {
+  if (const auto* arr = v.as_array()) return Value(arr->size());
+  if (const auto* obj = v.as_object()) return Value(obj->size());
+  if (const auto* s = v.as_string()) return Value(s->size());
+  throw TemplateError("length: expected array, object, or string");
+}
+
+Value filter_first(const Value& v, const std::vector<Value>&) {
+  const nidb::Array* arr = v.as_array();
+  if (arr == nullptr || arr->empty()) return Value(nullptr);
+  return arr->front();
+}
+
+Value filter_last(const Value& v, const std::vector<Value>&) {
+  const nidb::Array* arr = v.as_array();
+  if (arr == nullptr || arr->empty()) return Value(nullptr);
+  return arr->back();
+}
+
+Value filter_default(const Value& v, const std::vector<Value>& args) {
+  if (args.empty()) throw TemplateError("default: requires an argument");
+  return v.is_null() ? args[0] : v;
+}
+
+}  // namespace
+
+const std::map<std::string, Filter, std::less<>>& builtin_filters() {
+  static const std::map<std::string, Filter, std::less<>> kFilters = {
+      // "192.168.1.4/30" -> "192.168.1.4/30" (canonical network/len)
+      {"cidr",
+       [](const Value& v, const std::vector<Value>&) {
+         return Value(require_prefix(v, "cidr").to_string());
+       }},
+      // -> "192.168.1.4"
+      {"network",
+       [](const Value& v, const std::vector<Value>&) {
+         return Value(require_prefix(v, "network").network().to_string());
+       }},
+      // -> "255.255.255.252"
+      {"netmask",
+       [](const Value& v, const std::vector<Value>&) {
+         return Value(require_prefix(v, "netmask").netmask_string());
+       }},
+      // -> "0.0.0.3" (IOS wildcard form)
+      {"wildcard",
+       [](const Value& v, const std::vector<Value>&) {
+         return Value(require_prefix(v, "wildcard").wildcard_string());
+       }},
+      // -> 30
+      {"prefixlen",
+       [](const Value& v, const std::vector<Value>&) {
+         return Value(static_cast<std::int64_t>(require_prefix(v, "prefixlen").length()));
+       }},
+      // "10.0.0.1/32" -> "10.0.0.1" (host address without the length)
+      {"ip", [](const Value& v, const std::vector<Value>&) {
+         return Value(host_part(v, "ip"));
+       }},
+      {"upper", filter_upper},
+      {"lower", filter_lower},
+      {"join", filter_join},
+      {"length", filter_length},
+      {"first", filter_first},
+      {"last", filter_last},
+      {"default", filter_default},
+  };
+  return kFilters;
+}
+
+}  // namespace autonet::templates

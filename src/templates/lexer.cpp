@@ -1,0 +1,121 @@
+#include <cctype>
+
+#include "templates/detail.hpp"
+#include "templates/template.hpp"
+
+namespace autonet::templates::detail {
+
+namespace {
+
+/// True when `line` is a control line: optional whitespace then '%' (but
+/// not '%%', the escape for a literal percent).
+bool is_control_line(std::string_view line) {
+  std::size_t i = 0;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  return i < line.size() && line[i] == '%' &&
+         (i + 1 >= line.size() || line[i + 1] != '%');
+}
+
+std::string strip_control(std::string_view line) {
+  std::size_t i = 0;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  ++i;  // '%'
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  std::size_t end = line.size();
+  while (end > i && std::isspace(static_cast<unsigned char>(line[end - 1]))) --end;
+  return std::string(line.substr(i, end - i));
+}
+
+/// Splits a text run on ${...} expressions (handles nested braces inside
+/// the expression, e.g. dict literals are not supported but parenthesised
+/// filters with string args containing '}' inside quotes are).
+void lex_inline(std::string_view text, int line, std::vector<Segment>& out) {
+  std::size_t pos = 0;
+  int cur_line = line;
+  while (pos < text.size()) {
+    auto open = text.find("${", pos);
+    if (open == std::string_view::npos) {
+      out.push_back({Segment::Kind::kText, std::string(text.substr(pos)), cur_line});
+      return;
+    }
+    if (open > pos) {
+      std::string_view chunk = text.substr(pos, open - pos);
+      out.push_back({Segment::Kind::kText, std::string(chunk), cur_line});
+      for (char c : chunk) {
+        if (c == '\n') ++cur_line;
+      }
+    }
+    // Find the matching '}' respecting quotes.
+    std::size_t i = open + 2;
+    char quote = 0;
+    for (; i < text.size(); ++i) {
+      char c = text[i];
+      if (quote != 0) {
+        if (c == quote) quote = 0;
+      } else if (c == '\'' || c == '"') {
+        quote = c;
+      } else if (c == '}') {
+        break;
+      }
+    }
+    if (i >= text.size()) {
+      throw TemplateError("line " + std::to_string(cur_line) +
+                          ": unterminated ${...} expression");
+    }
+    out.push_back({Segment::Kind::kExpr,
+                   std::string(text.substr(open + 2, i - open - 2)), cur_line});
+    pos = i + 1;
+  }
+}
+
+}  // namespace
+
+std::vector<Segment> lex(std::string_view text) {
+  std::vector<Segment> out;
+  int line_no = 1;
+  std::size_t pos = 0;
+  std::string pending_text;
+  int pending_line = 1;
+
+  auto flush_pending = [&out, &pending_text, &pending_line]() {
+    if (!pending_text.empty()) {
+      lex_inline(pending_text, pending_line, out);
+      pending_text.clear();
+    }
+  };
+
+  while (pos <= text.size()) {
+    auto nl = text.find('\n', pos);
+    bool last = nl == std::string_view::npos;
+    std::string_view line = text.substr(pos, last ? text.size() - pos : nl - pos);
+    if (is_control_line(line)) {
+      flush_pending();
+      out.push_back({Segment::Kind::kControl, strip_control(line), line_no});
+      // Control lines swallow their own trailing newline.
+    } else {
+      if (pending_text.empty()) pending_line = line_no;
+      // Un-escape '%%' at line start to a literal '%'.
+      std::string content(line);
+      std::size_t indent = 0;
+      while (indent < content.size() && (content[indent] == ' ' || content[indent] == '\t')) {
+        ++indent;
+      }
+      if (indent + 1 < content.size() && content[indent] == '%' &&
+          content[indent + 1] == '%') {
+        content.erase(indent, 1);
+      }
+      pending_text += content;
+      if (!last) pending_text += '\n';
+      if (last && line.empty() && pos == text.size()) {
+        // trailing position after final newline: nothing to add
+      }
+    }
+    if (last) break;
+    pos = nl + 1;
+    ++line_no;
+  }
+  flush_pending();
+  return out;
+}
+
+}  // namespace autonet::templates::detail

@@ -1,0 +1,425 @@
+#include <cctype>
+
+#include "templates/detail.hpp"
+#include "templates/template.hpp"
+
+namespace autonet::templates::detail {
+
+namespace {
+
+// --- Expression tokenizer ---------------------------------------------------
+
+struct ExprToken {
+  enum class Kind {
+    kIdent, kNumber, kString, kOp, kPipe, kLParen, kRParen, kComma, kEnd,
+  };
+  Kind kind = Kind::kEnd;
+  std::string text;
+};
+
+class ExprLexer {
+ public:
+  explicit ExprLexer(std::string_view text) : text_(text) { advance(); }
+
+  [[nodiscard]] const ExprToken& peek() const { return current_; }
+  ExprToken take() {
+    ExprToken t = current_;
+    advance();
+    return t;
+  }
+
+ private:
+  void advance() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      current_ = {ExprToken::Kind::kEnd, ""};
+      return;
+    }
+    char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < text_.size()) {
+        char d = text_[pos_];
+        if (std::isalnum(static_cast<unsigned char>(d)) || d == '_' || d == '.') ++pos_;
+        else break;
+      }
+      current_ = {ExprToken::Kind::kIdent, std::string(text_.substr(start, pos_ - start))};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < text_.size() &&
+         std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+      std::size_t start = pos_;
+      ++pos_;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '.')) {
+        ++pos_;
+      }
+      current_ = {ExprToken::Kind::kNumber, std::string(text_.substr(start, pos_ - start))};
+      return;
+    }
+    if (c == '\'' || c == '"') {
+      ++pos_;
+      std::string out;
+      while (pos_ < text_.size() && text_[pos_] != c) out += text_[pos_++];
+      if (pos_ >= text_.size()) throw TemplateError("unterminated string literal");
+      ++pos_;
+      current_ = {ExprToken::Kind::kString, std::move(out)};
+      return;
+    }
+    switch (c) {
+      case '|': ++pos_; current_ = {ExprToken::Kind::kPipe, "|"}; return;
+      case '(': ++pos_; current_ = {ExprToken::Kind::kLParen, "("}; return;
+      case ')': ++pos_; current_ = {ExprToken::Kind::kRParen, ")"}; return;
+      case ',': ++pos_; current_ = {ExprToken::Kind::kComma, ","}; return;
+      default: break;
+    }
+    // multi-char operators
+    static constexpr std::string_view kOps[] = {"==", "!=", "<=", ">=", "<", ">",
+                                                "+", "-"};
+    for (std::string_view op : kOps) {
+      if (text_.substr(pos_, op.size()) == op) {
+        pos_ += op.size();
+        current_ = {ExprToken::Kind::kOp, std::string(op)};
+        return;
+      }
+    }
+    throw TemplateError("unexpected character '" + std::string(1, c) +
+                        "' in expression");
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  ExprToken current_;
+};
+
+// Recursive-descent parser:
+//   or      := and ('or' and)*
+//   and     := not ('not'|comparison ... )
+//   not     := 'not' not | cmp
+//   cmp     := additive (op additive)?
+//   additive:= postfix (('+'|'-') postfix)*
+//   postfix := primary ('|' ident [ '(' args ')' ])*
+//   primary := literal | path | '(' or ')'
+class ExprParser {
+ public:
+  explicit ExprParser(std::string_view text) : lex_(text) {}
+
+  Expr parse() {
+    Expr e = parse_or();
+    if (lex_.peek().kind != ExprToken::Kind::kEnd) {
+      throw TemplateError("unexpected trailing token '" + lex_.peek().text +
+                          "' in expression");
+    }
+    return e;
+  }
+
+  Expr parse_or() {
+    Expr lhs = parse_and();
+    while (is_keyword("or")) {
+      lex_.take();
+      Expr rhs = parse_and();
+      lhs = make_binary(BinOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+ private:
+  [[nodiscard]] bool is_keyword(std::string_view kw) const {
+    return lex_.peek().kind == ExprToken::Kind::kIdent && lex_.peek().text == kw;
+  }
+
+  static Expr make_binary(BinOp op, Expr lhs, Expr rhs) {
+    Expr e;
+    e.node = Expr::Binary{op, std::make_unique<Expr>(std::move(lhs)),
+                          std::make_unique<Expr>(std::move(rhs))};
+    return e;
+  }
+
+  Expr parse_and() {
+    Expr lhs = parse_not();
+    while (is_keyword("and")) {
+      lex_.take();
+      Expr rhs = parse_not();
+      lhs = make_binary(BinOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Expr parse_not() {
+    if (is_keyword("not")) {
+      lex_.take();
+      Expr e;
+      e.node = Expr::Unary{std::make_unique<Expr>(parse_not())};
+      return e;
+    }
+    return parse_cmp();
+  }
+
+  Expr parse_cmp() {
+    Expr lhs = parse_additive();
+    if (lex_.peek().kind == ExprToken::Kind::kOp) {
+      const std::string op = lex_.peek().text;
+      BinOp bin;
+      if (op == "==") bin = BinOp::kEq;
+      else if (op == "!=") bin = BinOp::kNe;
+      else if (op == "<") bin = BinOp::kLt;
+      else if (op == "<=") bin = BinOp::kLe;
+      else if (op == ">") bin = BinOp::kGt;
+      else if (op == ">=") bin = BinOp::kGe;
+      else return lhs;
+      lex_.take();
+      return make_binary(bin, std::move(lhs), parse_additive());
+    }
+    return lhs;
+  }
+
+  Expr parse_additive() {
+    Expr lhs = parse_postfix();
+    while (lex_.peek().kind == ExprToken::Kind::kOp &&
+           (lex_.peek().text == "+" || lex_.peek().text == "-")) {
+      BinOp op = lex_.take().text == "+" ? BinOp::kAdd : BinOp::kSub;
+      lhs = make_binary(op, std::move(lhs), parse_postfix());
+    }
+    return lhs;
+  }
+
+  Expr parse_postfix() {
+    Expr e = parse_primary();
+    while (lex_.peek().kind == ExprToken::Kind::kPipe) {
+      lex_.take();
+      if (lex_.peek().kind != ExprToken::Kind::kIdent) {
+        throw TemplateError("expected filter name after '|'");
+      }
+      Expr::FilterCall call;
+      call.name = lex_.take().text;
+      call.input = std::make_unique<Expr>(std::move(e));
+      if (lex_.peek().kind == ExprToken::Kind::kLParen) {
+        lex_.take();
+        if (lex_.peek().kind != ExprToken::Kind::kRParen) {
+          while (true) {
+            call.args.push_back(parse_or());
+            if (lex_.peek().kind == ExprToken::Kind::kComma) {
+              lex_.take();
+              continue;
+            }
+            break;
+          }
+        }
+        if (lex_.take().kind != ExprToken::Kind::kRParen) {
+          throw TemplateError("expected ')' after filter arguments");
+        }
+      }
+      Expr wrapped;
+      wrapped.node = std::move(call);
+      e = std::move(wrapped);
+    }
+    return e;
+  }
+
+  Expr parse_primary() {
+    const ExprToken& t = lex_.peek();
+    Expr e;
+    switch (t.kind) {
+      case ExprToken::Kind::kNumber: {
+        std::string text = lex_.take().text;
+        if (text.find('.') != std::string::npos) {
+          e.node = Expr::Literal{nidb::Value(std::stod(text))};
+        } else {
+          e.node = Expr::Literal{nidb::Value(static_cast<std::int64_t>(std::stoll(text)))};
+        }
+        return e;
+      }
+      case ExprToken::Kind::kString:
+        e.node = Expr::Literal{nidb::Value(lex_.take().text)};
+        return e;
+      case ExprToken::Kind::kIdent: {
+        std::string ident = lex_.take().text;
+        if (ident == "true" || ident == "True") {
+          e.node = Expr::Literal{nidb::Value(true)};
+        } else if (ident == "false" || ident == "False") {
+          e.node = Expr::Literal{nidb::Value(false)};
+        } else if (ident == "none" || ident == "None" || ident == "null") {
+          e.node = Expr::Literal{nidb::Value(nullptr)};
+        } else {
+          e.node = Expr::Path{std::move(ident)};
+        }
+        return e;
+      }
+      case ExprToken::Kind::kLParen: {
+        lex_.take();
+        Expr inner = parse_or();
+        if (lex_.take().kind != ExprToken::Kind::kRParen) {
+          throw TemplateError("expected ')'");
+        }
+        return inner;
+      }
+      default:
+        throw TemplateError("unexpected token '" + t.text + "' in expression");
+    }
+  }
+
+  ExprLexer lex_;
+};
+
+// --- Template (segment) parser ----------------------------------------------
+
+struct ControlLine {
+  std::string keyword;  // for, endfor, if, elif, else, endif
+  std::string rest;
+};
+
+ControlLine split_control(const std::string& body) {
+  auto space = body.find_first_of(" \t");
+  ControlLine c;
+  c.keyword = body.substr(0, space);
+  if (space != std::string::npos) {
+    auto start = body.find_first_not_of(" \t", space);
+    if (start != std::string::npos) c.rest = body.substr(start);
+  }
+  // Python-style trailing colon is optional.
+  auto strip_colon = [](std::string& s) {
+    if (!s.empty() && s.back() == ':') s.pop_back();
+  };
+  strip_colon(c.keyword);
+  strip_colon(c.rest);
+  return c;
+}
+
+class SegmentParser {
+ public:
+  SegmentParser(const std::vector<Segment>& segments, const std::string& name)
+      : segments_(segments), name_(name) {}
+
+  std::vector<TemplateNode> parse_block(const std::vector<std::string>& until,
+                                        std::string* terminator) {
+    std::vector<TemplateNode> nodes;
+    while (pos_ < segments_.size()) {
+      const Segment& seg = segments_[pos_];
+      switch (seg.kind) {
+        case Segment::Kind::kText: {
+          ++pos_;
+          TemplateNode n;
+          n.node = TextNode{seg.text};
+          nodes.push_back(std::move(n));
+          break;
+        }
+        case Segment::Kind::kExpr: {
+          ++pos_;
+          TemplateNode n;
+          n.node = OutputNode{parse_expr(seg)};
+          nodes.push_back(std::move(n));
+          break;
+        }
+        case Segment::Kind::kControl: {
+          ControlLine ctl = split_control(seg.text);
+          for (const auto& t : until) {
+            if (ctl.keyword == t) {
+              if (terminator != nullptr) *terminator = ctl.keyword;
+              return nodes;  // caller consumes the terminator
+            }
+          }
+          if (ctl.keyword == "for") {
+            nodes.push_back(parse_for(seg, ctl));
+          } else if (ctl.keyword == "if") {
+            nodes.push_back(parse_if(seg, ctl));
+          } else {
+            fail(seg, "unexpected control '%" + ctl.keyword + "'");
+          }
+          break;
+        }
+      }
+    }
+    if (!until.empty()) {
+      throw TemplateError(name_ + ": missing closing '%" + until.back() + "'");
+    }
+    return nodes;
+  }
+
+ private:
+  [[noreturn]] void fail(const Segment& seg, const std::string& why) const {
+    throw TemplateError(name_ + ":" + std::to_string(seg.line) + ": " + why);
+  }
+
+  Expr parse_expr(const Segment& seg) {
+    return parse_expr_text(seg, seg.text);
+  }
+
+  Expr parse_expr_text(const Segment& seg, const std::string& text) {
+    try {
+      return ExprParser(text).parse();
+    } catch (const TemplateError& e) {
+      fail(seg, e.what());
+    }
+  }
+
+  TemplateNode parse_for(const Segment& seg, const ControlLine& ctl) {
+    // "for <var> in <expr>"
+    auto in_pos = ctl.rest.find(" in ");
+    if (in_pos == std::string::npos) fail(seg, "malformed 'for': missing 'in'");
+    ForNode f;
+    f.var = ctl.rest.substr(0, in_pos);
+    while (!f.var.empty() && f.var.back() == ' ') f.var.pop_back();
+    if (f.var.empty()) fail(seg, "malformed 'for': missing variable");
+    f.collection = parse_expr_text(seg, ctl.rest.substr(in_pos + 4));
+    ++pos_;  // consume the 'for' line
+    std::string term;
+    f.body = parse_block({"endfor"}, &term);
+    ++pos_;  // consume 'endfor'
+    TemplateNode n;
+    n.node = std::move(f);
+    return n;
+  }
+
+  TemplateNode parse_if(const Segment& /*seg*/, const ControlLine& first) {
+    IfNode out;
+    ControlLine ctl = first;
+    bool saw_else = false;
+    while (true) {
+      const Segment& branch_seg = segments_[pos_];
+      IfBranch branch;
+      if (ctl.keyword == "if" || ctl.keyword == "elif") {
+        if (saw_else) fail(branch_seg, "'" + ctl.keyword + "' after 'else'");
+        branch.condition =
+            std::make_unique<Expr>(parse_expr_text(branch_seg, ctl.rest));
+      } else {
+        saw_else = true;
+      }
+      ++pos_;  // consume the branch header
+      std::string term;
+      branch.body = parse_block({"elif", "else", "endif"}, &term);
+      out.branches.push_back(std::move(branch));
+      if (term == "endif") {
+        ++pos_;
+        break;
+      }
+      ctl = split_control(segments_[pos_].text);
+      // loop consumes this header at the top
+    }
+    TemplateNode n;
+    n.node = std::move(out);
+    return n;
+  }
+
+  const std::vector<Segment>& segments_;
+  std::string name_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Expr parse_expression(std::string_view text) {
+  return ExprParser(text).parse();
+}
+
+std::vector<TemplateNode> parse_segments(const std::vector<Segment>& segments,
+                                         const std::string& template_name) {
+  SegmentParser parser(segments, template_name);
+  return parser.parse_block({}, nullptr);
+}
+
+}  // namespace autonet::templates::detail

@@ -1,0 +1,82 @@
+// The template engine (paper §4.1): plain-text templates that "closely
+// mirror the target configuration language", with deliberately limited
+// logic — `${...}` substitution with filters, `% for`, `% if/elif/else` —
+// so network-wide transformations stay in the compiler, not in templates.
+//
+//   hostname ${node.zebra.hostname}
+//   % for interface in node.interfaces:
+//   interface ${interface.id}
+//     ip ospf cost ${interface.ospf_cost}
+//   % endfor
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nidb/value.hpp"
+
+namespace autonet::templates {
+
+class TemplateError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A filter transforms a value during ${expr | filter(args)} rendering.
+using Filter =
+    std::function<nidb::Value(const nidb::Value&, const std::vector<nidb::Value>&)>;
+
+/// Built-in filters: cidr, network, netmask, wildcard, prefixlen, ip,
+/// upper, lower, join(sep), length, first, last, default(v).
+[[nodiscard]] const std::map<std::string, Filter, std::less<>>& builtin_filters();
+
+/// Variable scope used during rendering: name -> value tree root.
+class Context {
+ public:
+  Context() = default;
+  void set(std::string name, nidb::Value value) {
+    vars_.insert_or_assign(std::move(name), std::move(value));
+  }
+  /// Resolves a dotted path against the scope chain; null Value if absent.
+  [[nodiscard]] nidb::Value lookup(std::string_view dotted) const;
+
+ private:
+  friend class Evaluator;
+  std::map<std::string, nidb::Value, std::less<>> vars_;
+};
+
+namespace detail {
+struct TemplateNode;
+struct Expr;
+}  // namespace detail
+
+/// A compiled template. Parse once, render many times.
+class Template {
+ public:
+  /// Compiles template text; throws TemplateError with a line number on
+  /// syntax errors.
+  static Template parse(std::string_view text, std::string name = "<inline>");
+
+  /// An empty template rendering "".
+  Template();
+  Template(Template&&) noexcept;
+  Template& operator=(Template&&) noexcept;
+  ~Template();
+
+  [[nodiscard]] std::string render(const Context& context) const;
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<detail::TemplateNode> nodes_;
+};
+
+/// One-shot convenience.
+[[nodiscard]] std::string render(std::string_view template_text, const Context& context);
+
+}  // namespace autonet::templates

@@ -1,0 +1,186 @@
+#include "topology/builtin.hpp"
+
+#include <array>
+
+#include "topology/graphml.hpp"
+
+namespace autonet::topology {
+
+namespace {
+
+graph::NodeId router(graph::Graph& g, const char* name, std::int64_t asn) {
+  graph::NodeId n = g.add_node(name);
+  g.set_node_attr(n, "asn", asn);
+  g.set_node_attr(n, "device_type", "router");
+  return n;
+}
+
+}  // namespace
+
+graph::Graph figure5() {
+  graph::Graph g(false, "figure5");
+  router(g, "r1", 1);
+  router(g, "r2", 1);
+  router(g, "r3", 1);
+  router(g, "r4", 1);
+  router(g, "r5", 2);
+  g.add_edge("r1", "r2");
+  g.add_edge("r1", "r3");
+  g.add_edge("r2", "r4");
+  g.add_edge("r3", "r4");
+  g.add_edge("r3", "r5");
+  g.add_edge("r4", "r5");
+  return g;
+}
+
+graph::Graph small_internet() {
+  graph::Graph g(false, "small_internet");
+  // Seven ASes, fourteen routers (Fig. 1).
+  router(g, "as1r1", 1);
+  router(g, "as20r1", 20);
+  router(g, "as20r2", 20);
+  router(g, "as20r3", 20);
+  router(g, "as30r1", 30);
+  router(g, "as40r1", 40);
+  router(g, "as100r1", 100);
+  router(g, "as100r2", 100);
+  router(g, "as100r3", 100);
+  {
+    // AS200 is a dual-homed stub customer: it must not provide transit
+    // between its providers AS100 and AS300 (otherwise BGP would route
+    // AS300->AS100 traffic through it, instead of the Fig. 7 path through
+    // the AS40/AS1/AS20 carrier chain).
+    graph::NodeId n = router(g, "as200r1", 200);
+    g.set_node_attr(n, "no_transit", true);
+  }
+  router(g, "as300r1", 300);
+  router(g, "as300r2", 300);
+  router(g, "as300r3", 300);
+  router(g, "as300r4", 300);
+
+  // Intra-AS links.
+  g.add_edge("as20r1", "as20r2");
+  g.add_edge("as20r1", "as20r3");
+  g.add_edge("as20r2", "as20r3");
+  g.add_edge("as100r1", "as100r2");
+  g.add_edge("as100r1", "as100r3");
+  g.add_edge("as100r2", "as100r3");
+  g.add_edge("as300r1", "as300r2");
+  g.add_edge("as300r1", "as300r3");
+  g.add_edge("as300r2", "as300r4");
+  g.add_edge("as300r3", "as300r4");
+
+  // Inter-AS links: AS1 is the transit hub; AS100 is AS20's customer;
+  // AS200 dual-homes to AS100 and AS300; AS300 reaches the core via the
+  // stub carriers AS30 and AS40.
+  g.add_edge("as1r1", "as20r3");
+  g.add_edge("as1r1", "as30r1");
+  g.add_edge("as1r1", "as40r1");
+  g.add_edge("as20r2", "as100r1");
+  g.add_edge("as100r3", "as200r1");
+  g.add_edge("as200r1", "as300r1");
+  g.add_edge("as30r1", "as300r3");
+  g.add_edge("as40r1", "as300r2");
+  return g;
+}
+
+std::string small_internet_graphml() {
+  return to_graphml(small_internet());
+}
+
+graph::Graph bad_gadget() {
+  graph::Graph g(false, "bad_gadget");
+  constexpr std::int64_t kAs = 65000;
+
+  // Route reflectors and their clients (all in one AS).
+  for (const char* name : {"rr1", "rr2", "rr3"}) {
+    graph::NodeId n = router(g, name, kAs);
+    g.set_node_attr(n, "rr", true);
+  }
+  const std::array<const char*, 3> clients{"c1", "c2", "c3"};
+  const std::array<const char*, 3> rrs{"rr1", "rr2", "rr3"};
+  for (std::size_t i = 0; i < 3; ++i) {
+    graph::NodeId n = router(g, clients[i], kAs);
+    g.set_node_attr(n, "rr_cluster", rrs[i]);
+  }
+
+  // External origins, one per private AS, all announcing the same prefix
+  // so the AS has three equally-attractive exits.
+  for (std::size_t i = 0; i < 3; ++i) {
+    graph::NodeId n = router(g, (std::string("e") + std::to_string(i + 1)).c_str(),
+                             65001 + static_cast<std::int64_t>(i));
+    g.set_node_attr(n, "advertise_prefix", "203.0.113.0/24");
+  }
+
+  auto link = [&g](const char* u, const char* v, std::int64_t cost) {
+    graph::EdgeId e = g.add_edge(u, v);
+    g.set_edge_attr(e, "ospf_cost", cost);
+  };
+
+  // RR core ring: expensive, so it never shortcuts exit selection.
+  link("rr1", "rr2", 100);
+  link("rr2", "rr3", 100);
+  link("rr3", "rr1", 100);
+  // Each RR's own client is IGP-far...
+  link("rr1", "c1", 50);
+  link("rr2", "c2", 50);
+  link("rr3", "c3", 50);
+  // ...while the *next* RR's client is IGP-near, making the hot-potato
+  // preferences cyclic: rr_i wants c_{i+1}'s exit, which is only
+  // advertised while rr_{i+1} prefers its own client. No stable solution
+  // exists when the IGP tie-break is part of the decision process.
+  link("rr1", "c2", 10);
+  link("rr2", "c3", 10);
+  link("rr3", "c1", 10);
+  // eBGP attachment of the three exits.
+  g.add_edge("c1", "e1");
+  g.add_edge("c2", "e2");
+  g.add_edge("c3", "e3");
+  return g;
+}
+
+graph::Graph med_oscillation() {
+  graph::Graph g(false, "med_oscillation");
+  constexpr std::int64_t kAs = 65100;
+
+  for (const char* name : {"rr1", "rr2"}) {
+    graph::NodeId n = router(g, name, kAs);
+    g.set_node_attr(n, "rr", true);
+  }
+  // c1 is rr1's client; c2 and c3 are rr2's.
+  for (auto [name, cluster] : {std::pair{"c1", "rr1"}, {"c2", "rr2"},
+                               {"c3", "rr2"}}) {
+    graph::NodeId n = router(g, name, kAs);
+    g.set_node_attr(n, "rr_cluster", cluster);
+  }
+  // Provider B enters at c1 (MED 10) and c2 (MED 20); provider A at c3.
+  for (auto [name, asn] : {std::pair{"b1", std::int64_t{65201}},
+                           {"b2", std::int64_t{65201}},
+                           {"a1", std::int64_t{65202}}}) {
+    graph::NodeId n = router(g, name, asn);
+    g.set_node_attr(n, "advertise_prefix", "198.51.100.0/24");
+  }
+
+  auto link = [&g](const char* u, const char* v, std::int64_t cost) {
+    graph::EdgeId e = g.add_edge(u, v);
+    g.set_edge_attr(e, "ospf_cost", cost);
+  };
+  // IGP geometry: rr2 is nearer c2 than c3, far from c1; rr1 is nearer
+  // c3 than c1. The reflector core is expensive.
+  link("rr1", "rr2", 100);
+  link("rr1", "c1", 30);
+  link("rr2", "c2", 10);
+  link("rr2", "c3", 20);
+  link("rr1", "c3", 6);
+
+  auto ebgp = [&g](const char* u, const char* v, std::int64_t med) {
+    graph::EdgeId e = g.add_edge(u, v);
+    if (med >= 0) g.set_edge_attr(e, "med", med);
+  };
+  ebgp("c1", "b1", 10);
+  ebgp("c2", "b2", 20);
+  ebgp("c3", "a1", -1);
+  return g;
+}
+
+}  // namespace autonet::topology

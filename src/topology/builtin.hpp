@@ -1,0 +1,32 @@
+// Built-in topologies used throughout the paper:
+//  - figure5():       the 5-router, 2-AS example of Fig. 5 / Eqs. 1-3
+//  - small_internet():the Netkit Small-Internet lab of §3.1 (7 ASes,
+//                     14 routers)
+//  - bad_gadget():    the §7.2 route-reflection gadget whose BGP decision
+//                     oscillates when the IGP tie-break is active (IOS,
+//                     Junos, C-BGP) and converges when it is not (Quagga)
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace autonet::topology {
+
+[[nodiscard]] graph::Graph figure5();
+
+[[nodiscard]] graph::Graph small_internet();
+
+/// GraphML text of the Small-Internet lab, as a graphical editor would
+/// export it (used by the loader walkthrough in §6.1).
+[[nodiscard]] std::string small_internet_graphml();
+
+[[nodiscard]] graph::Graph bad_gadget();
+
+/// The MED route-reflection churn scenario (§7.2 cites the MED
+/// oscillation analyses; this is the RFC 3345-style instance): one AS
+/// with two reflector clusters hears a prefix from provider B at two
+/// exits with different MEDs and from provider A at a third. MED
+/// elimination and hot-potato IGP selection interact cyclically, so the
+/// IGP-tie-break vendors oscillate while Quagga settles.
+[[nodiscard]] graph::Graph med_oscillation();
+
+}  // namespace autonet::topology

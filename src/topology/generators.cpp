@@ -1,0 +1,226 @@
+#include "topology/generators.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace autonet::topology {
+
+namespace {
+
+std::string router_name(std::int64_t asn, std::size_t k) {
+  return "as" + std::to_string(asn) + "r" + std::to_string(k + 1);
+}
+
+graph::NodeId add_router(graph::Graph& g, std::int64_t asn, std::size_t k) {
+  graph::NodeId n = g.add_node(router_name(asn, k));
+  g.set_node_attr(n, "asn", asn);
+  g.set_node_attr(n, "device_type", "router");
+  return n;
+}
+
+std::vector<graph::NodeId> add_routers(graph::Graph& g, std::int64_t asn,
+                                       std::size_t count) {
+  std::vector<graph::NodeId> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(add_router(g, asn, i));
+  return out;
+}
+
+}  // namespace
+
+graph::Graph make_line(std::size_t n, std::int64_t asn) {
+  graph::Graph g(false, "line");
+  auto nodes = add_routers(g, asn, n);
+  for (std::size_t i = 1; i < n; ++i) g.add_edge(nodes[i - 1], nodes[i]);
+  return g;
+}
+
+graph::Graph make_ring(std::size_t n, std::int64_t asn) {
+  graph::Graph g(false, "ring");
+  auto nodes = add_routers(g, asn, n);
+  for (std::size_t i = 1; i < n; ++i) g.add_edge(nodes[i - 1], nodes[i]);
+  if (n > 2) g.add_edge(nodes[n - 1], nodes[0]);
+  return g;
+}
+
+graph::Graph make_grid(std::size_t w, std::size_t h, std::int64_t asn) {
+  graph::Graph g(false, "grid");
+  auto nodes = add_routers(g, asn, w * h);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      if (x + 1 < w) g.add_edge(nodes[y * w + x], nodes[y * w + x + 1]);
+      if (y + 1 < h) g.add_edge(nodes[y * w + x], nodes[(y + 1) * w + x]);
+    }
+  }
+  return g;
+}
+
+graph::Graph make_star(std::size_t n, std::int64_t asn) {
+  graph::Graph g(false, "star");
+  auto nodes = add_routers(g, asn, n);
+  for (std::size_t i = 1; i < n; ++i) g.add_edge(nodes[0], nodes[i]);
+  return g;
+}
+
+graph::Graph make_full_mesh(std::size_t n, std::int64_t asn) {
+  graph::Graph g(false, "mesh");
+  auto nodes = add_routers(g, asn, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) g.add_edge(nodes[i], nodes[j]);
+  }
+  return g;
+}
+
+graph::Graph make_random_connected(std::size_t n, double p, std::uint64_t seed,
+                                   std::int64_t asn) {
+  graph::Graph g(false, "random");
+  auto nodes = add_routers(g, asn, n);
+  std::mt19937_64 rng(seed);
+
+  // Spanning path over a random permutation keeps the graph connected.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::shuffle(order.begin(), order.end(), rng);
+  for (std::size_t i = 1; i < n; ++i) {
+    g.add_edge(nodes[order[i - 1]], nodes[order[i]]);
+  }
+
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (g.find_edge(nodes[i], nodes[j]) != graph::kInvalidEdge) continue;
+      if (coin(rng) < p) g.add_edge(nodes[i], nodes[j]);
+    }
+  }
+  return g;
+}
+
+graph::Graph make_multi_as(const MultiAsOptions& opts) {
+  if (opts.as_count == 0) throw std::invalid_argument("multi_as: as_count == 0");
+  graph::Graph g(false, "multi_as");
+  std::mt19937_64 rng(opts.seed);
+  std::uniform_int_distribution<std::size_t> size_dist(opts.min_routers_per_as,
+                                                       opts.max_routers_per_as);
+
+  std::vector<std::vector<graph::NodeId>> as_nodes(opts.as_count + 1);
+  for (std::size_t asn = 1; asn <= opts.as_count; ++asn) {
+    const std::size_t count = size_dist(rng);
+    auto nodes = add_routers(g, static_cast<std::int64_t>(asn), count);
+    // Spanning path + extra chords.
+    for (std::size_t i = 1; i < count; ++i) g.add_edge(nodes[i - 1], nodes[i]);
+    auto extra = static_cast<std::size_t>(opts.intra_extra_fraction *
+                                          static_cast<double>(count));
+    std::uniform_int_distribution<std::size_t> pick(0, count - 1);
+    for (std::size_t k = 0; k < extra; ++k) {
+      std::size_t a = pick(rng);
+      std::size_t b = pick(rng);
+      if (a != b && g.find_edge(nodes[a], nodes[b]) == graph::kInvalidEdge) {
+        g.add_edge(nodes[a], nodes[b]);
+      }
+    }
+    as_nodes[asn] = std::move(nodes);
+  }
+
+  // AS 1 is the backbone: connect every other AS to it (or, with
+  // links_per_as > 1, to further random ASes as well).
+  for (std::size_t asn = 2; asn <= opts.as_count; ++asn) {
+    for (std::size_t link = 0; link < opts.links_per_as; ++link) {
+      std::size_t peer_as = 1;
+      if (link > 0) {
+        std::uniform_int_distribution<std::size_t> pick_as(1, opts.as_count);
+        do {
+          peer_as = pick_as(rng);
+        } while (peer_as == asn);
+      }
+      std::uniform_int_distribution<std::size_t> pick_self(0, as_nodes[asn].size() - 1);
+      std::uniform_int_distribution<std::size_t> pick_peer(0, as_nodes[peer_as].size() - 1);
+      graph::NodeId u = as_nodes[asn][pick_self(rng)];
+      graph::NodeId v = as_nodes[peer_as][pick_peer(rng)];
+      if (g.find_edge(u, v) == graph::kInvalidEdge) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+graph::Graph make_nren_model(const NrenOptions& opts) {
+  if (opts.as_count < 2) throw std::invalid_argument("nren: need >= 2 ASes");
+  graph::Graph g(false, "european_nren");
+  std::mt19937_64 rng(opts.seed);
+
+  // Backbone (GEANT-like) gets ~4% of routers; the remainder is spread
+  // over the NRENs as evenly as possible so router_count is hit exactly.
+  const std::size_t nren_count = opts.as_count - 1;
+  std::size_t backbone_size = std::max<std::size_t>(3, opts.router_count / 25);
+  std::size_t remaining = opts.router_count - backbone_size;
+  std::vector<std::size_t> sizes(nren_count, remaining / nren_count);
+  for (std::size_t i = 0; i < remaining % nren_count; ++i) ++sizes[i];
+
+  std::size_t edges_budget = opts.link_count;
+  std::vector<std::vector<graph::NodeId>> as_nodes(opts.as_count + 1);
+
+  // Backbone ring with chords for resilience.
+  as_nodes[1] = add_routers(g, 1, backbone_size);
+  for (std::size_t i = 0; i < backbone_size; ++i) {
+    g.add_edge(as_nodes[1][i], as_nodes[1][(i + 1) % backbone_size]);
+  }
+  for (std::size_t i = 0; i + backbone_size / 2 < backbone_size; i += 4) {
+    g.add_edge(as_nodes[1][i], as_nodes[1][i + backbone_size / 2]);
+  }
+
+  // NRENs: spanning path each.
+  for (std::size_t k = 0; k < nren_count; ++k) {
+    const auto asn = static_cast<std::int64_t>(k + 2);
+    as_nodes[k + 2] = add_routers(g, asn, sizes[k]);
+    for (std::size_t i = 1; i < sizes[k]; ++i) {
+      g.add_edge(as_nodes[k + 2][i - 1], as_nodes[k + 2][i]);
+    }
+  }
+
+  // Inter-AS links: each NREN homes to the backbone once; larger NRENs
+  // get a second (resilience) uplink.
+  for (std::size_t k = 0; k < nren_count; ++k) {
+    std::uniform_int_distribution<std::size_t> pick_bb(0, backbone_size - 1);
+    std::uniform_int_distribution<std::size_t> pick_self(0, sizes[k] - 1);
+    g.add_edge(as_nodes[k + 2][pick_self(rng)], as_nodes[1][pick_bb(rng)]);
+    if (sizes[k] > 20) {
+      graph::NodeId u = as_nodes[k + 2][pick_self(rng)];
+      graph::NodeId v = as_nodes[1][pick_bb(rng)];
+      if (g.find_edge(u, v) == graph::kInvalidEdge) g.add_edge(u, v);
+    }
+  }
+
+  // Spend the remaining link budget on random intra-AS chords, weighted
+  // towards the larger ASes (the Zoo model's NRENs are meshy nationally).
+  while (g.edge_count() < edges_budget) {
+    std::uniform_int_distribution<std::size_t> pick_as(1, opts.as_count);
+    const auto& nodes = as_nodes[pick_as(rng)];
+    if (nodes.size() < 3) continue;
+    std::uniform_int_distribution<std::size_t> pick(0, nodes.size() - 1);
+    graph::NodeId u = nodes[pick(rng)];
+    graph::NodeId v = nodes[pick(rng)];
+    if (u != v && g.find_edge(u, v) == graph::kInvalidEdge) g.add_edge(u, v);
+  }
+  return g;
+}
+
+void attach_servers(graph::Graph& g, std::size_t count, std::uint64_t seed,
+                    const std::string& name_prefix) {
+  auto routers = g.nodes();
+  std::erase_if(routers, [&g](graph::NodeId n) {
+    const auto* type = g.node_attr(n, "device_type").as_string();
+    return type == nullptr || *type != "router";
+  });
+  if (routers.empty()) throw std::invalid_argument("attach_servers: no routers");
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::size_t> pick(0, routers.size() - 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    graph::NodeId host = routers[pick(rng)];
+    graph::NodeId server = g.add_node(name_prefix + std::to_string(i + 1));
+    g.set_node_attr(server, "device_type", "server");
+    g.set_node_attr(server, "asn", g.node_attr(host, "asn"));
+    g.add_edge(server, host);
+  }
+}
+
+}  // namespace autonet::topology

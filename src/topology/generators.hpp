@@ -1,0 +1,70 @@
+// Programmatic topology generators (paper §3.2: "programmatically
+// generated network topologies" are one of the supported data sources).
+// All generators are deterministic given the seed, label nodes
+// `as<asn>r<k>`, and set the `asn` and `device_type` attributes the
+// design rules expect.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace autonet::topology {
+
+/// Path of n routers in one AS.
+[[nodiscard]] graph::Graph make_line(std::size_t n, std::int64_t asn = 1);
+
+/// Cycle of n routers in one AS.
+[[nodiscard]] graph::Graph make_ring(std::size_t n, std::int64_t asn = 1);
+
+/// w x h grid of routers in one AS.
+[[nodiscard]] graph::Graph make_grid(std::size_t w, std::size_t h, std::int64_t asn = 1);
+
+/// Hub-and-spoke: node 0 is the hub.
+[[nodiscard]] graph::Graph make_star(std::size_t n, std::int64_t asn = 1);
+
+/// Clique of n routers in one AS.
+[[nodiscard]] graph::Graph make_full_mesh(std::size_t n, std::int64_t asn = 1);
+
+/// Connected random graph: a uniform spanning path plus each remaining
+/// pair joined with probability p.
+[[nodiscard]] graph::Graph make_random_connected(std::size_t n, double p,
+                                                 std::uint64_t seed,
+                                                 std::int64_t asn = 1);
+
+/// Parameters for the multi-AS generator.
+struct MultiAsOptions {
+  std::size_t as_count = 5;
+  std::size_t min_routers_per_as = 2;
+  std::size_t max_routers_per_as = 8;
+  /// Extra intra-AS edges beyond the spanning tree, as a fraction of n.
+  double intra_extra_fraction = 0.3;
+  /// Inter-AS links per non-backbone AS (>=1 keeps the graph connected).
+  std::size_t links_per_as = 1;
+  std::uint64_t seed = 1;
+};
+
+/// A multi-AS internet: AS 1 is a backbone ring that every other AS
+/// attaches to (directly or via another AS), like provider hierarchies.
+[[nodiscard]] graph::Graph make_multi_as(const MultiAsOptions& opts);
+
+/// A synthetic stand-in for the Internet Topology Zoo "European
+/// Interconnect" model used in §3.2: `as_count` ASes (one GEANT-like
+/// backbone + NRENs), sized to produce exactly `router_count` routers and
+/// approximately `link_count` links.
+struct NrenOptions {
+  std::size_t as_count = 42;
+  std::size_t router_count = 1158;
+  std::size_t link_count = 1470;
+  std::uint64_t seed = 2013;
+};
+[[nodiscard]] graph::Graph make_nren_model(const NrenOptions& opts = {});
+
+/// Attaches `count` server nodes (device_type="server") to randomly chosen
+/// routers; used by the service-overlay experiments (§3.3).
+void attach_servers(graph::Graph& g, std::size_t count, std::uint64_t seed,
+                    const std::string& name_prefix = "server");
+
+}  // namespace autonet::topology

@@ -1,0 +1,282 @@
+#include "topology/gml.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <variant>
+#include <vector>
+
+namespace autonet::topology {
+
+namespace {
+
+struct GmlList;
+using GmlValue = std::variant<std::int64_t, double, std::string,
+                              std::unique_ptr<GmlList>>;
+
+struct GmlList {
+  std::vector<std::pair<std::string, GmlValue>> items;
+
+  [[nodiscard]] const GmlValue* first(std::string_view key) const {
+    for (const auto& [k, v] : items) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  /// Token kinds: word, string, number, '[', ']', end.
+  struct Token {
+    enum class Kind { kWord, kString, kInt, kDouble, kOpen, kClose, kEnd };
+    Kind kind = Kind::kEnd;
+    std::string text;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+  };
+
+  Token next() {
+    skip_ws_and_comments();
+    if (pos_ >= text_.size()) return {};
+    char c = text_[pos_];
+    if (c == '[') {
+      ++pos_;
+      return {Token::Kind::kOpen, "[", 0, 0};
+    }
+    if (c == ']') {
+      ++pos_;
+      return {Token::Kind::kClose, "]", 0, 0};
+    }
+    if (c == '"') return read_string();
+    if (c == '-' || c == '+' || std::isdigit(static_cast<unsigned char>(c))) {
+      return read_number();
+    }
+    return read_word();
+  }
+
+ private:
+  void skip_ws_and_comments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token read_string() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') out += text_[pos_++];
+    if (pos_ >= text_.size()) throw ParseError("GML: unterminated string");
+    ++pos_;  // closing quote
+    return {Token::Kind::kString, std::move(out), 0, 0};
+  }
+
+  Token read_number() {
+    std::size_t start = pos_;
+    if (text_[pos_] == '-' || text_[pos_] == '+') ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' ||
+                 ((c == '-' || c == '+') && (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E'))) {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    std::string raw(text_.substr(start, pos_ - start));
+    Token t;
+    t.text = raw;
+    if (is_double) {
+      t.kind = Token::Kind::kDouble;
+      t.double_value = std::stod(raw);
+    } else {
+      t.kind = Token::Kind::kInt;
+      t.int_value = std::stoll(raw);
+    }
+    return t;
+  }
+
+  Token read_word() {
+    std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.') ++pos_;
+      else break;
+    }
+    if (pos_ == start) throw ParseError("GML: unexpected character '" +
+                                        std::string(1, text_[pos_]) + "'");
+    return {Token::Kind::kWord, std::string(text_.substr(start, pos_ - start)), 0, 0};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+GmlValue parse_value(Lexer& lex, Lexer::Token token);
+
+std::unique_ptr<GmlList> parse_list(Lexer& lex) {
+  auto list = std::make_unique<GmlList>();
+  while (true) {
+    auto token = lex.next();
+    if (token.kind == Lexer::Token::Kind::kClose ||
+        token.kind == Lexer::Token::Kind::kEnd) {
+      return list;
+    }
+    if (token.kind != Lexer::Token::Kind::kWord) {
+      throw ParseError("GML: expected key, got '" + token.text + "'");
+    }
+    std::string key = token.text;
+    list->items.emplace_back(std::move(key), parse_value(lex, lex.next()));
+  }
+}
+
+GmlValue parse_value(Lexer& lex, Lexer::Token token) {
+  using K = Lexer::Token::Kind;
+  switch (token.kind) {
+    case K::kInt: return token.int_value;
+    case K::kDouble: return token.double_value;
+    case K::kString: return token.text;
+    case K::kWord: return token.text;  // bare words act as strings
+    case K::kOpen: return parse_list(lex);
+    default: throw ParseError("GML: unexpected token for value");
+  }
+}
+
+graph::AttrValue to_attr(const GmlValue& v) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return *i;
+  if (const auto* d = std::get_if<double>(&v)) return *d;
+  if (const auto* s = std::get_if<std::string>(&v)) return *s;
+  return {};  // nested lists are not representable as attributes
+}
+
+}  // namespace
+
+graph::Graph load_gml(std::string_view text) {
+  Lexer lex(text);
+  auto doc = parse_list(lex);
+  const GmlValue* graph_val = doc->first("graph");
+  if (graph_val == nullptr || !std::holds_alternative<std::unique_ptr<GmlList>>(*graph_val)) {
+    throw ParseError("GML: missing 'graph [...]' block");
+  }
+  const GmlList& gl = *std::get<std::unique_ptr<GmlList>>(*graph_val);
+
+  bool directed = false;
+  if (const auto* d = gl.first("directed")) {
+    if (const auto* i = std::get_if<std::int64_t>(d)) directed = *i != 0;
+  }
+  std::string name;
+  if (const auto* label = gl.first("label")) {
+    if (const auto* s = std::get_if<std::string>(label)) name = *s;
+  }
+  graph::Graph g(directed, name);
+
+  std::map<std::int64_t, graph::NodeId> by_gml_id;
+  for (const auto& [key, value] : gl.items) {
+    if (key == "node") {
+      const auto& fields = *std::get<std::unique_ptr<GmlList>>(value);
+      const GmlValue* idv = fields.first("id");
+      if (idv == nullptr || !std::holds_alternative<std::int64_t>(*idv)) {
+        throw ParseError("GML: node without integer id");
+      }
+      std::int64_t gml_id = std::get<std::int64_t>(*idv);
+      std::string node_name = "n" + std::to_string(gml_id);
+      if (const auto* label = fields.first("label")) {
+        if (const auto* s = std::get_if<std::string>(label); s != nullptr && !s->empty()) {
+          node_name = *s;
+        }
+      }
+      // Topology Zoo reuses labels across nodes occasionally; make unique.
+      while (g.has_node(node_name)) node_name += "_";
+      graph::NodeId n = g.add_node(node_name);
+      for (const auto& [fk, fv] : fields.items) {
+        if (fk == "id" || fk == "label") continue;
+        if (std::holds_alternative<std::unique_ptr<GmlList>>(fv)) continue;
+        g.set_node_attr(n, fk, to_attr(fv));
+      }
+      g.set_node_attr(n, "_gml_id", gml_id);
+      by_gml_id[gml_id] = n;
+    } else if (key == "edge") {
+      const auto& fields = *std::get<std::unique_ptr<GmlList>>(value);
+      const GmlValue* sv = fields.first("source");
+      const GmlValue* tv = fields.first("target");
+      if (sv == nullptr || tv == nullptr) throw ParseError("GML: edge missing endpoints");
+      auto src = by_gml_id.find(std::get<std::int64_t>(*sv));
+      auto dst = by_gml_id.find(std::get<std::int64_t>(*tv));
+      if (src == by_gml_id.end() || dst == by_gml_id.end()) {
+        throw ParseError("GML: edge references unknown node id");
+      }
+      graph::EdgeId e = g.add_edge(src->second, dst->second);
+      for (const auto& [fk, fv] : fields.items) {
+        if (fk == "source" || fk == "target") continue;
+        if (std::holds_alternative<std::unique_ptr<GmlList>>(fv)) continue;
+        g.set_edge_attr(e, fk, to_attr(fv));
+      }
+    }
+  }
+  return g;
+}
+
+graph::Graph load_gml_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ParseError("GML: cannot open file " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return load_gml(ss.str());
+}
+
+namespace {
+
+void emit_attr(std::ostringstream& out, const std::string& key,
+               const graph::AttrValue& v, const char* indent) {
+  if (key.starts_with("_")) return;
+  out << indent << key << " ";
+  if (v.is_int()) out << *v.as_int();
+  else if (v.is_double()) out << *v.as_double();
+  else if (v.is_bool()) out << (*v.as_bool() ? 1 : 0);
+  else out << '"' << v.to_string() << '"';
+  out << "\n";
+}
+
+}  // namespace
+
+std::string to_gml(const graph::Graph& g) {
+  std::ostringstream out;
+  out << "graph [\n";
+  if (g.directed()) out << "  directed 1\n";
+  if (!g.name().empty()) out << "  label \"" << g.name() << "\"\n";
+  std::map<graph::NodeId, std::size_t> index;
+  std::size_t next = 0;
+  for (graph::NodeId n : g.nodes()) {
+    index[n] = next++;
+    out << "  node [\n    id " << index[n] << "\n    label \"" << g.node_name(n)
+        << "\"\n";
+    for (const auto& [k, v] : g.node_attrs(n)) emit_attr(out, k, v, "    ");
+    out << "  ]\n";
+  }
+  for (graph::EdgeId e : g.edges()) {
+    out << "  edge [\n    source " << index[g.edge_src(e)] << "\n    target "
+        << index[g.edge_dst(e)] << "\n";
+    for (const auto& [k, v] : g.edge_attrs(e)) emit_attr(out, k, v, "    ");
+    out << "  ]\n";
+  }
+  out << "]\n";
+  return out.str();
+}
+
+}  // namespace autonet::topology

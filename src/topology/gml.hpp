@@ -1,0 +1,23 @@
+// GML (Graph Modelling Language) reader, the format of the Internet
+// Topology Zoo dataset the paper draws its large-scale NREN model from
+// (§3.2). Supports nested lists, quoted strings, ints and floats.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "graph/graph.hpp"
+#include "topology/graphml.hpp"
+
+namespace autonet::topology {
+
+/// Parses a GML document. Node `label` becomes the node name (falling
+/// back to the numeric id); all other scalar keys become attributes.
+[[nodiscard]] graph::Graph load_gml(std::string_view text);
+
+[[nodiscard]] graph::Graph load_gml_file(const std::string& path);
+
+/// Serialises a graph to GML (scalar attributes only).
+[[nodiscard]] std::string to_gml(const graph::Graph& g);
+
+}  // namespace autonet::topology

@@ -1,0 +1,209 @@
+#include "topology/graphml.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "topology/xml_detail.hpp"
+
+namespace autonet::topology {
+
+namespace {
+
+enum class KeyType { kString, kInt, kDouble, kBool };
+
+struct KeyDecl {
+  std::string attr_name;
+  KeyType type = KeyType::kString;
+  std::string domain;  // "node", "edge", "graph", or "all"
+};
+
+graph::AttrValue convert(const std::string& text, KeyType type) {
+  switch (type) {
+    case KeyType::kInt: {
+      std::int64_t v = 0;
+      auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+      if (ec != std::errc{} || p != text.data() + text.size()) {
+        throw ParseError("GraphML: bad integer value '" + text + "'");
+      }
+      return v;
+    }
+    case KeyType::kDouble:
+      try {
+        return std::stod(text);
+      } catch (const std::exception&) {
+        throw ParseError("GraphML: bad float value '" + text + "'");
+      }
+    case KeyType::kBool:
+      return text == "true" || text == "1";
+    case KeyType::kString:
+      return text;
+  }
+  return {};
+}
+
+std::string trim(const std::string& s) {
+  auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+void apply_data(const xml::Element& elem,
+                const std::map<std::string, KeyDecl>& keys,
+                graph::AttrMap& attrs) {
+  for (const auto* data : elem.all("data")) {
+    const std::string key_id = data->attr("key");
+    auto it = keys.find(key_id);
+    const std::string value = trim(data->text);
+    if (it == keys.end()) {
+      attrs.insert_or_assign(key_id, value);  // undeclared key: keep raw
+    } else {
+      attrs.insert_or_assign(it->second.attr_name, convert(value, it->second.type));
+    }
+  }
+}
+
+}  // namespace
+
+graph::Graph load_graphml(std::string_view text) {
+  std::unique_ptr<xml::Element> root;
+  try {
+    root = xml::parse(text);
+  } catch (const std::exception& e) {
+    throw ParseError(std::string("GraphML: ") + e.what());
+  }
+  if (root->name != "graphml") throw ParseError("GraphML: root element is not <graphml>");
+
+  std::map<std::string, KeyDecl> keys;
+  for (const auto* key : root->all("key")) {
+    KeyDecl decl;
+    decl.attr_name = key->attr("attr.name");
+    if (decl.attr_name.empty()) decl.attr_name = key->attr("id");
+    decl.domain = key->attr("for");
+    const std::string type = key->attr("attr.type");
+    if (type == "int" || type == "long" || type == "integer") decl.type = KeyType::kInt;
+    else if (type == "float" || type == "double") decl.type = KeyType::kDouble;
+    else if (type == "boolean" || type == "bool") decl.type = KeyType::kBool;
+    keys[key->attr("id")] = decl;
+  }
+
+  const auto* graph_elem = root->first("graph");
+  if (graph_elem == nullptr) throw ParseError("GraphML: missing <graph>");
+  const bool directed = graph_elem->attr("edgedefault") == "directed";
+
+  graph::Graph g(directed, graph_elem->attr("id"));
+  apply_data(*graph_elem, keys, g.data());
+
+  // Map raw GraphML node ids to graph node ids: a "label" attribute, when
+  // present (yEd emits these), becomes the node name.
+  std::map<std::string, graph::NodeId> by_raw_id;
+  for (const auto* node : graph_elem->all("node")) {
+    const std::string raw_id = node->attr("id");
+    graph::AttrMap attrs;
+    apply_data(*node, keys, attrs);
+    std::string name = raw_id;
+    if (auto it = attrs.find("label"); it != attrs.end() && it->second.is_string() &&
+                                       !it->second.as_string()->empty()) {
+      name = *it->second.as_string();
+    }
+    graph::NodeId id = g.add_node(name);
+    g.node_attrs(id) = std::move(attrs);
+    g.set_node_attr(id, "_graphml_id", raw_id);
+    by_raw_id[raw_id] = id;
+  }
+
+  for (const auto* edge : graph_elem->all("edge")) {
+    auto src = by_raw_id.find(edge->attr("source"));
+    auto dst = by_raw_id.find(edge->attr("target"));
+    if (src == by_raw_id.end() || dst == by_raw_id.end()) {
+      throw ParseError("GraphML: edge references unknown node '" +
+                       edge->attr("source") + "'/'" + edge->attr("target") + "'");
+    }
+    graph::EdgeId e = g.add_edge(src->second, dst->second);
+    apply_data(*edge, keys, g.edge_attrs(e));
+  }
+  return g;
+}
+
+graph::Graph load_graphml_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ParseError("GraphML: cannot open file " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return load_graphml(ss.str());
+}
+
+namespace {
+
+const char* type_name(const graph::AttrValue& v) {
+  if (v.is_bool()) return "boolean";
+  if (v.is_int()) return "long";
+  if (v.is_double()) return "double";
+  return "string";
+}
+
+}  // namespace
+
+std::string to_graphml(const graph::Graph& g) {
+  // Collect attribute keys and their types from first occurrence.
+  struct Seen {
+    std::string domain;
+    std::string type;
+  };
+  std::map<std::string, Seen> keys;
+  auto scan = [&keys](const graph::AttrMap& attrs, const char* domain) {
+    for (const auto& [k, v] : attrs) {
+      if (k.starts_with("_")) continue;  // internal bookkeeping attrs
+      keys.try_emplace(std::string(domain) + ":" + k, Seen{domain, type_name(v)});
+    }
+  };
+  for (graph::NodeId n : g.nodes()) scan(g.node_attrs(n), "node");
+  for (graph::EdgeId e : g.edges()) scan(g.edge_attrs(e), "edge");
+  scan(g.data(), "graph");
+
+  std::ostringstream out;
+  out << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      << "<graphml xmlns=\"http://graphml.graphdrawing.org/xmlns\">\n";
+  std::map<std::string, std::string> key_ids;
+  int next_key = 0;
+  for (const auto& [qualified, seen] : keys) {
+    std::string id = "d" + std::to_string(next_key++);
+    key_ids[qualified] = id;
+    const std::string attr_name = qualified.substr(qualified.find(':') + 1);
+    out << "  <key id=\"" << id << "\" for=\"" << seen.domain << "\" attr.name=\""
+        << xml::escape(attr_name) << "\" attr.type=\"" << seen.type << "\"/>\n";
+  }
+
+  out << "  <graph id=\"" << xml::escape(g.name()) << "\" edgedefault=\""
+      << (g.directed() ? "directed" : "undirected") << "\">\n";
+
+  auto emit_data = [&](const graph::AttrMap& attrs, const char* domain,
+                       const char* indent) {
+    for (const auto& [k, v] : attrs) {
+      if (k.starts_with("_")) continue;
+      auto it = key_ids.find(std::string(domain) + ":" + k);
+      if (it == key_ids.end()) continue;
+      out << indent << "<data key=\"" << it->second << "\">"
+          << xml::escape(v.to_string()) << "</data>\n";
+    }
+  };
+
+  emit_data(g.data(), "graph", "    ");
+  for (graph::NodeId n : g.nodes()) {
+    out << "    <node id=\"" << xml::escape(g.node_name(n)) << "\">\n";
+    emit_data(g.node_attrs(n), "node", "      ");
+    out << "    </node>\n";
+  }
+  for (graph::EdgeId e : g.edges()) {
+    out << "    <edge source=\"" << xml::escape(g.node_name(g.edge_src(e)))
+        << "\" target=\"" << xml::escape(g.node_name(g.edge_dst(e))) << "\">\n";
+    emit_data(g.edge_attrs(e), "edge", "      ");
+    out << "    </edge>\n";
+  }
+  out << "  </graph>\n</graphml>\n";
+  return out.str();
+}
+
+}  // namespace autonet::topology

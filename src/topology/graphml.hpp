@@ -1,0 +1,35 @@
+// GraphML import/export (paper §5.1: "takes a labelled graph as input (in
+// GraphML, a graph interchange format)"). Implements the subset of GraphML
+// produced by graphical editors such as yEd: <key> declarations with
+// attr.name/attr.type, <node>/<edge> elements with <data> children.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "graph/graph.hpp"
+
+namespace autonet::topology {
+
+/// Thrown on malformed input files of any of the supported formats.
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses a GraphML document into an attribute graph. Typed <key>
+/// declarations map to AttrValue types (int/long -> int, float/double ->
+/// double, boolean -> bool, else string). Node ids become node names
+/// unless a "label" data key is present, in which case the label wins and
+/// the raw id is kept in the "_graphml_id" attribute.
+[[nodiscard]] graph::Graph load_graphml(std::string_view text);
+
+/// Reads a GraphML file from disk.
+[[nodiscard]] graph::Graph load_graphml_file(const std::string& path);
+
+/// Serialises a graph to GraphML, with keys declared for every attribute
+/// seen (typed from the first occurrence).
+[[nodiscard]] std::string to_graphml(const graph::Graph& g);
+
+}  // namespace autonet::topology

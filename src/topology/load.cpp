@@ -1,0 +1,19 @@
+#include "topology/load.hpp"
+
+#include "topology/gml.hpp"
+#include "topology/graphml.hpp"
+#include "topology/rocketfuel.hpp"
+
+namespace autonet::topology {
+
+graph::Graph load_topology_file(const std::string& path) {
+  auto dot = path.rfind('.');
+  std::string ext = dot == std::string::npos ? "" : path.substr(dot + 1);
+  if (ext == "graphml" || ext == "xml") return load_graphml_file(path);
+  if (ext == "gml") return load_gml_file(path);
+  if (ext == "cch" || ext == "rocketfuel") return load_rocketfuel_file(path);
+  throw ParseError("unknown topology format '." + ext +
+                   "' (expected .graphml, .gml, or .cch)");
+}
+
+}  // namespace autonet::topology

@@ -1,0 +1,16 @@
+// Convenience loader dispatching on file extension (.graphml, .gml,
+// .cch/.rocketfuel) — "the system has been designed to easily accept
+// data from a variety of formats" (§3.2).
+#pragma once
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace autonet::topology {
+
+/// Loads a topology file, picking the parser from the extension.
+/// Throws ParseError on unknown extensions or malformed content.
+[[nodiscard]] graph::Graph load_topology_file(const std::string& path);
+
+}  // namespace autonet::topology

@@ -1,0 +1,127 @@
+#include "topology/rocketfuel.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace autonet::topology {
+
+namespace {
+
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+std::optional<std::int64_t> parse_int(std::string_view text) {
+  std::int64_t v = 0;
+  auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc{} || p != text.data() + text.size()) return std::nullopt;
+  return v;
+}
+
+struct CchRouter {
+  std::int64_t uid = 0;
+  std::string location;
+  std::string name;
+  bool backbone = false;
+  std::vector<std::int64_t> neighbors;  // internal adjacencies
+  std::vector<std::int64_t> externals;  // {-euid} adjacencies
+};
+
+std::optional<CchRouter> parse_line(std::string_view line) {
+  auto tokens = tokenize(line);
+  if (tokens.empty() || tokens[0].starts_with("#")) return std::nullopt;
+  auto uid = parse_int(tokens[0]);
+  if (!uid) return std::nullopt;
+
+  CchRouter r;
+  r.uid = *uid;
+  bool after_arrow = false;
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    std::string_view t = tokens[i];
+    if (t == "->") {
+      after_arrow = true;
+    } else if (t.starts_with("@")) {
+      r.location = std::string(t.substr(1));
+    } else if (t == "bb") {
+      r.backbone = true;
+    } else if (t.starts_with("=")) {
+      if (r.name.empty()) r.name = std::string(t.substr(1));
+    } else if (after_arrow && t.size() > 2 && t.front() == '<' && t.back() == '>') {
+      if (auto n = parse_int(t.substr(1, t.size() - 2))) r.neighbors.push_back(*n);
+    } else if (after_arrow && t.size() > 2 && t.front() == '{' && t.back() == '}') {
+      if (auto n = parse_int(t.substr(1, t.size() - 2))) r.externals.push_back(*n);
+    }
+    // '+', neighbour counts, '&ext', trailing 'rn' markers are ignored.
+  }
+  return r;
+}
+
+}  // namespace
+
+graph::Graph load_rocketfuel(std::string_view text, const RocketfuelOptions& opts) {
+  std::vector<CchRouter> routers;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    auto nl = text.find('\n', start);
+    std::string_view line =
+        text.substr(start, nl == std::string_view::npos ? text.size() - start
+                                                        : nl - start);
+    if (auto r = parse_line(line)) routers.push_back(std::move(*r));
+    if (nl == std::string_view::npos) break;
+    start = nl + 1;
+  }
+  if (routers.empty()) throw ParseError("Rocketfuel: no routers parsed");
+
+  graph::Graph g(false, "rocketfuel");
+  std::map<std::int64_t, graph::NodeId> by_uid;
+  for (const auto& r : routers) {
+    if (opts.internal_only && r.uid < 0) continue;
+    std::string name = r.name.empty() ? "r" + std::to_string(r.uid) : r.name;
+    while (g.has_node(name)) name += "_";
+    graph::NodeId n = g.add_node(name);
+    g.set_node_attr(n, "asn", opts.asn);
+    g.set_node_attr(n, "device_type", "router");
+    g.set_node_attr(n, "backbone", r.backbone);
+    if (!r.location.empty()) g.set_node_attr(n, "location", r.location);
+    by_uid[r.uid] = n;
+  }
+  for (const auto& r : routers) {
+    auto self = by_uid.find(r.uid);
+    if (self == by_uid.end()) continue;
+    auto connect = [&](const std::vector<std::int64_t>& ids) {
+      for (std::int64_t nbr : ids) {
+        auto other = by_uid.find(nbr);
+        if (other == by_uid.end()) continue;
+        // The file lists each adjacency on both endpoints; add once.
+        if (r.uid < nbr && g.find_edge(self->second, other->second) == graph::kInvalidEdge) {
+          g.add_edge(self->second, other->second);
+        }
+      }
+    };
+    connect(r.neighbors);
+    if (!opts.internal_only) connect(r.externals);
+  }
+  return g;
+}
+
+graph::Graph load_rocketfuel_file(const std::string& path,
+                                  const RocketfuelOptions& opts) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ParseError("Rocketfuel: cannot open file " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return load_rocketfuel(ss.str(), opts);
+}
+
+}  // namespace autonet::topology

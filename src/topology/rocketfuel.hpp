@@ -1,0 +1,35 @@
+// Rocketfuel ISP-map reader (paper §5.1: "we provide an extension to read
+// Rocketfuel data"). Parses the .cch router-level format:
+//
+//   uid @loc [+] [bb] ... [&ext] -> <nuid> <nuid> ... {-euid} ... =name rn
+//
+// Negative uids are external (neighbouring-ISP) routers; `bb` marks
+// backbone routers; `<n>` tokens are internal adjacencies and `{-n}`
+// tokens external ones.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "graph/graph.hpp"
+#include "topology/graphml.hpp"
+
+namespace autonet::topology {
+
+struct RocketfuelOptions {
+  /// Drop external (negative-uid) routers and their links.
+  bool internal_only = true;
+  /// ASN assigned to every internal router.
+  std::int64_t asn = 1;
+};
+
+/// Parses .cch text into an attribute graph. Node names come from the
+/// `=name` field (falling back to "r<uid>"); `bb` maps to a boolean
+/// `backbone` attribute and the location to `location`.
+[[nodiscard]] graph::Graph load_rocketfuel(std::string_view text,
+                                           const RocketfuelOptions& opts = {});
+
+[[nodiscard]] graph::Graph load_rocketfuel_file(const std::string& path,
+                                                const RocketfuelOptions& opts = {});
+
+}  // namespace autonet::topology

@@ -1,0 +1,235 @@
+#include "topology/xml_detail.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace autonet::topology::xml {
+
+namespace {
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+  [[nodiscard]] bool starts_with(std::string_view s) const {
+    return text_.substr(pos_, s.size()) == s;
+  }
+  char next() { return text_[pos_++]; }
+  void advance(std::size_t n) { pos_ += n; }
+  void skip_ws() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
+  }
+  /// Consumes until `delim` appears; returns text before it and skips it.
+  std::string_view until(std::string_view delim) {
+    auto found = text_.find(delim, pos_);
+    if (found == std::string_view::npos) {
+      throw std::runtime_error("XML: unterminated construct, expected '" +
+                               std::string(delim) + "'");
+    }
+    auto out = text_.substr(pos_, found - pos_);
+    pos_ = found + delim.size();
+    return out;
+  }
+
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+bool is_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.' || c == ':';
+}
+
+std::string local_name(std::string_view qname) {
+  auto colon = qname.rfind(':');
+  return std::string(colon == std::string_view::npos ? qname
+                                                     : qname.substr(colon + 1));
+}
+
+std::string unescape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size();) {
+    if (text[i] != '&') {
+      out += text[i++];
+      continue;
+    }
+    auto semi = text.find(';', i);
+    if (semi == std::string_view::npos) {
+      out += text[i++];
+      continue;
+    }
+    std::string_view entity = text.substr(i + 1, semi - i - 1);
+    if (entity == "lt") out += '<';
+    else if (entity == "gt") out += '>';
+    else if (entity == "amp") out += '&';
+    else if (entity == "quot") out += '"';
+    else if (entity == "apos") out += '\'';
+    else if (!entity.empty() && entity[0] == '#') {
+      int code = std::stoi(std::string(entity.substr(entity[1] == 'x' ? 2 : 1)),
+                           nullptr, entity[1] == 'x' ? 16 : 10);
+      out += static_cast<char>(code);
+    } else {
+      out += '&';
+      out += entity;
+      out += ';';
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+std::string read_name(Cursor& c) {
+  std::string name;
+  while (!c.eof() && is_name_char(c.peek())) name += c.next();
+  if (name.empty()) throw std::runtime_error("XML: expected a name");
+  return name;
+}
+
+void read_attrs(Cursor& c, std::map<std::string, std::string>& attrs) {
+  while (true) {
+    c.skip_ws();
+    if (c.eof()) throw std::runtime_error("XML: unterminated tag");
+    if (c.peek() == '>' || c.peek() == '/') return;
+    std::string key = local_name(read_name(c));
+    c.skip_ws();
+    if (c.eof() || c.next() != '=') throw std::runtime_error("XML: expected '='");
+    c.skip_ws();
+    char quote = c.next();
+    if (quote != '"' && quote != '\'') {
+      throw std::runtime_error("XML: expected quoted attribute value");
+    }
+    std::string_view raw = c.until(std::string_view(&quote, 1));
+    attrs[key] = unescape(raw);
+  }
+}
+
+std::unique_ptr<Element> parse_element(Cursor& c);
+
+// Parses the body of `elem` (children + text) up to and including the
+// close tag.
+void parse_body(Cursor& c, Element& elem, std::string_view qname) {
+  while (true) {
+    if (c.eof()) throw std::runtime_error("XML: missing </" + std::string(qname) + ">");
+    if (c.peek() != '<') {
+      std::string chunk;
+      while (!c.eof() && c.peek() != '<') chunk += c.next();
+      elem.text += unescape(chunk);
+      continue;
+    }
+    if (c.starts_with("<!--")) {
+      c.advance(4);
+      c.until("-->");
+      continue;
+    }
+    if (c.starts_with("<![CDATA[")) {
+      c.advance(9);
+      elem.text += std::string(c.until("]]>"));
+      continue;
+    }
+    if (c.starts_with("<?")) {
+      c.advance(2);
+      c.until("?>");
+      continue;
+    }
+    if (c.starts_with("</")) {
+      c.advance(2);
+      std::string close = read_name(c);
+      c.skip_ws();
+      if (c.eof() || c.next() != '>') throw std::runtime_error("XML: malformed close tag");
+      if (local_name(close) != elem.name) {
+        throw std::runtime_error("XML: mismatched close tag </" + close + "> for <" +
+                                 elem.name + ">");
+      }
+      return;
+    }
+    elem.children.push_back(parse_element(c));
+  }
+}
+
+std::unique_ptr<Element> parse_element(Cursor& c) {
+  if (c.eof() || c.next() != '<') throw std::runtime_error("XML: expected '<'");
+  std::string qname = read_name(c);
+  auto elem = std::make_unique<Element>();
+  elem->name = local_name(qname);
+  read_attrs(c, elem->attrs);
+  c.skip_ws();
+  if (c.peek() == '/') {
+    c.advance(1);
+    if (c.eof() || c.next() != '>') throw std::runtime_error("XML: malformed empty tag");
+    return elem;
+  }
+  if (c.next() != '>') throw std::runtime_error("XML: malformed tag");
+  parse_body(c, *elem, qname);
+  return elem;
+}
+
+}  // namespace
+
+const Element* Element::first(std::string_view child_name) const {
+  for (const auto& c : children) {
+    if (c->name == child_name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::all(std::string_view child_name) const {
+  std::vector<const Element*> out;
+  for (const auto& c : children) {
+    if (c->name == child_name) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::string Element::attr(std::string_view key) const {
+  auto it = attrs.find(std::string(key));
+  return it == attrs.end() ? "" : it->second;
+}
+
+std::unique_ptr<Element> parse(std::string_view text) {
+  Cursor c(text);
+  while (true) {
+    c.skip_ws();
+    if (c.eof()) throw std::runtime_error("XML: empty document");
+    if (c.starts_with("<?")) {
+      c.advance(2);
+      c.until("?>");
+      continue;
+    }
+    if (c.starts_with("<!--")) {
+      c.advance(4);
+      c.until("-->");
+      continue;
+    }
+    if (c.starts_with("<!")) {  // DOCTYPE
+      c.advance(2);
+      c.until(">");
+      continue;
+    }
+    break;
+  }
+  return parse_element(c);
+}
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char ch : text) {
+    switch (ch) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+
+}  // namespace autonet::topology::xml

@@ -1,0 +1,33 @@
+// Minimal non-validating XML parser used by the GraphML loader. Supports
+// elements, attributes, text, comments, processing instructions and
+// CDATA; ignores DTDs and namespaces beyond prefix stripping. Internal to
+// the topology module.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autonet::topology::xml {
+
+struct Element {
+  std::string name;  // local name, namespace prefix stripped
+  std::map<std::string, std::string> attrs;
+  std::vector<std::unique_ptr<Element>> children;
+  std::string text;  // concatenated character data of this element
+
+  [[nodiscard]] const Element* first(std::string_view child_name) const;
+  [[nodiscard]] std::vector<const Element*> all(std::string_view child_name) const;
+  [[nodiscard]] std::string attr(std::string_view key) const;
+};
+
+/// Parses a document; returns the root element. Throws std::runtime_error
+/// on malformed XML.
+[[nodiscard]] std::unique_ptr<Element> parse(std::string_view text);
+
+/// Escapes &<>"' for attribute/text emission.
+[[nodiscard]] std::string escape(std::string_view text);
+
+}  // namespace autonet::topology::xml

@@ -1,0 +1,89 @@
+#include "viz/export.hpp"
+
+#include "nidb/value.hpp"
+
+namespace autonet::viz {
+
+using nidb::Array;
+using nidb::Object;
+using nidb::Value;
+
+namespace {
+
+Object node_to_json(const anm::OverlayNode& n, const ExportOptions& opts) {
+  Object node;
+  node["id"] = n.name();
+  const auto& group = n.attr(opts.group_attr);
+  if (group.is_set()) node["group"] = Value::from_attr(group);
+  for (const auto& attr : opts.node_attrs) {
+    const auto& v = n.attr(attr);
+    if (v.is_set()) node[attr] = Value::from_attr(v);
+  }
+  return node;
+}
+
+Value overlay_to_value(const anm::OverlayGraph& overlay, const ExportOptions& opts) {
+  Object doc;
+  doc["name"] = overlay.name();
+  doc["directed"] = overlay.directed();
+  Array nodes;
+  for (const auto& n : overlay.nodes()) nodes.emplace_back(node_to_json(n, opts));
+  doc["nodes"] = Value(std::move(nodes));
+  Array links;
+  for (const auto& e : overlay.edges()) {
+    Object link;
+    link["source"] = e.src().name();
+    link["target"] = e.dst().name();
+    links.emplace_back(std::move(link));
+  }
+  doc["links"] = Value(std::move(links));
+  return Value(std::move(doc));
+}
+
+}  // namespace
+
+std::string overlay_to_d3_json(const anm::OverlayGraph& overlay,
+                               const ExportOptions& opts) {
+  return overlay_to_value(overlay, opts).to_json(true);
+}
+
+std::string anm_to_d3_json(const anm::AbstractNetworkModel& anm,
+                           const ExportOptions& opts) {
+  Object doc;
+  Array overlays;
+  for (const auto& name : anm.overlay_names()) {
+    overlays.push_back(overlay_to_value(anm[name], opts));
+  }
+  doc["overlays"] = Value(std::move(overlays));
+  return Value(std::move(doc)).to_json(true);
+}
+
+std::string highlight_json(
+    const std::vector<std::string>& nodes,
+    const std::vector<std::pair<std::string, std::string>>& edges,
+    const std::vector<std::vector<std::string>>& paths) {
+  Object doc;
+  Array node_arr;
+  for (const auto& n : nodes) node_arr.emplace_back(n);
+  doc["nodes"] = Value(std::move(node_arr));
+  Array edge_arr;
+  for (const auto& [src, dst] : edges) {
+    Object e;
+    e["source"] = src;
+    e["target"] = dst;
+    edge_arr.emplace_back(std::move(e));
+  }
+  doc["edges"] = Value(std::move(edge_arr));
+  Array path_arr;
+  for (const auto& path : paths) {
+    Array p;
+    for (const auto& hop : path) p.emplace_back(hop);
+    path_arr.emplace_back(std::move(p));
+  }
+  doc["paths"] = Value(std::move(path_arr));
+  return Value(std::move(doc)).to_json(true);
+}
+
+std::string nidb_to_json(const nidb::Nidb& nidb) { return nidb.to_json(true); }
+
+}  // namespace autonet::viz

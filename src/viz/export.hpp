@@ -1,0 +1,41 @@
+// Visualization export (paper §5.6): the D3.js front-end consumes JSON;
+// this module produces that interchange — per-overlay node/link documents
+// with user-selected attributes, attribute-based grouping, and the
+// highlight messages used to paint measured paths onto the topology
+// (Fig. 7: `msg.highlight(nodes, [], [path])`).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "anm/anm.hpp"
+#include "nidb/nidb.hpp"
+
+namespace autonet::viz {
+
+struct ExportOptions {
+  /// Node attributes copied into the JSON (besides id/group).
+  std::vector<std::string> node_attrs{"asn", "device_type"};
+  /// Attribute used for the D3 group field.
+  std::string group_attr = "asn";
+};
+
+/// One overlay as a D3 force-layout document:
+/// {"name": ..., "nodes": [{id, group, ...}], "links": [{source, target}]}.
+[[nodiscard]] std::string overlay_to_d3_json(const anm::OverlayGraph& overlay,
+                                             const ExportOptions& opts = {});
+
+/// Every overlay of the model, as {"overlays": [...]}.
+[[nodiscard]] std::string anm_to_d3_json(const anm::AbstractNetworkModel& anm,
+                                         const ExportOptions& opts = {});
+
+/// A highlight message: nodes/edges/paths to emphasise in the viewer.
+[[nodiscard]] std::string highlight_json(
+    const std::vector<std::string>& nodes,
+    const std::vector<std::pair<std::string, std::string>>& edges,
+    const std::vector<std::vector<std::string>>& paths);
+
+/// The NIDB as a JSON document for the visualization's device pane.
+[[nodiscard]] std::string nidb_to_json(const nidb::Nidb& nidb);
+
+}  // namespace autonet::viz

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+#include "topology/generators.hpp"
+
+namespace {
+
+using namespace autonet::graph;
+
+Graph path4() {
+  Graph g;
+  g.add_edge("a", "b");
+  g.add_edge("b", "c");
+  g.add_edge("c", "d");
+  return g;
+}
+
+TEST(Bfs, VisitsAllReachableInOrder) {
+  Graph g = path4();
+  auto order = bfs_order(g, g.find_node("a"));
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(g.node_name(order[0]), "a");
+  EXPECT_EQ(g.node_name(order[1]), "b");
+  EXPECT_EQ(g.node_name(order[3]), "d");
+}
+
+TEST(Bfs, StopsAtComponentBoundary) {
+  Graph g = path4();
+  g.add_node("isolated");
+  auto order = bfs_order(g, g.find_node("a"));
+  EXPECT_EQ(order.size(), 4u);
+}
+
+TEST(Components, SingleComponent) {
+  Graph g = path4();
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(connected_components(g).size(), 1u);
+}
+
+TEST(Components, MultipleComponents) {
+  Graph g;
+  g.add_edge("a", "b");
+  g.add_edge("c", "d");
+  g.add_node("e");
+  auto comps = connected_components(g);
+  EXPECT_EQ(comps.size(), 3u);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Components, EmptyGraphIsConnected) {
+  Graph g;
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Components, DirectedUsesWeakConnectivity) {
+  Graph g(true);
+  NodeId a = g.add_node("a");
+  NodeId b = g.add_node("b");
+  g.add_edge(a, b);  // no edge back
+  EXPECT_EQ(connected_components(g).size(), 1u);
+}
+
+TEST(Dijkstra, UnweightedDistances) {
+  Graph g = path4();
+  auto sp = dijkstra(g, g.find_node("a"));
+  EXPECT_EQ(sp.dist[g.find_node("a")], 0);
+  EXPECT_EQ(sp.dist[g.find_node("d")], 3);
+  auto path = sp.path_to(g, g.find_node("d"));
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(g.node_name(path.front()), "a");
+  EXPECT_EQ(g.node_name(path.back()), "d");
+}
+
+TEST(Dijkstra, WeightedPicksCheaperPath) {
+  Graph g;
+  EdgeId direct = g.add_edge("a", "c");
+  g.set_edge_attr(direct, "w", 10);
+  EdgeId leg1 = g.add_edge("a", "b");
+  g.set_edge_attr(leg1, "w", 1);
+  EdgeId leg2 = g.add_edge("b", "c");
+  g.set_edge_attr(leg2, "w", 2);
+  auto sp = dijkstra(g, g.find_node("a"), [&g](EdgeId e) {
+    return g.edge_attr(e, "w").as_double();
+  });
+  EXPECT_EQ(sp.dist[g.find_node("c")], 3);
+  EXPECT_EQ(sp.path_to(g, g.find_node("c")).size(), 3u);
+}
+
+TEST(Dijkstra, SkippedEdges) {
+  Graph g;
+  g.add_edge("a", "b");
+  auto sp = dijkstra(g, g.find_node("a"),
+                     [](EdgeId) { return std::optional<double>{}; });
+  EXPECT_FALSE(sp.reached(g.find_node("b")));
+  EXPECT_TRUE(sp.path_to(g, g.find_node("b")).empty());
+}
+
+TEST(Dijkstra, NegativeWeightThrows) {
+  Graph g;
+  g.add_edge("a", "b");
+  EXPECT_THROW(dijkstra(g, g.find_node("a"), [](EdgeId) {
+                 return std::optional<double>(-1.0);
+               }),
+               std::invalid_argument);
+}
+
+TEST(Dijkstra, DirectedRespectsDirection) {
+  Graph g(true);
+  NodeId a = g.add_node("a");
+  NodeId b = g.add_node("b");
+  g.add_edge(a, b);
+  auto sp = dijkstra(g, b);
+  EXPECT_FALSE(sp.reached(a));
+}
+
+TEST(Centrality, DegreeOnStar) {
+  auto g = autonet::topology::make_star(5);
+  auto dc = degree_centrality(g);
+  NodeId hub = g.find_node("as1r1");
+  EXPECT_DOUBLE_EQ(dc[hub], 1.0);  // connected to all 4 others
+  for (NodeId n : g.nodes()) {
+    if (n != hub) {
+      EXPECT_DOUBLE_EQ(dc[n], 0.25);
+    }
+  }
+}
+
+TEST(Centrality, ClosenessOnPath) {
+  Graph g = path4();
+  auto cc = closeness_centrality(g);
+  // Middle nodes are closer to everything than endpoints.
+  EXPECT_GT(cc[g.find_node("b")], cc[g.find_node("a")]);
+  EXPECT_GT(cc[g.find_node("c")], cc[g.find_node("d")]);
+}
+
+TEST(Centrality, BetweennessOnPath) {
+  Graph g = path4();
+  auto bc = betweenness_centrality(g);
+  EXPECT_DOUBLE_EQ(bc[g.find_node("a")], 0.0);
+  EXPECT_GT(bc[g.find_node("b")], 0.0);
+  // b and c each sit on paths: b on (a,c),(a,d); c on (a,d),(b,d).
+  EXPECT_DOUBLE_EQ(bc[g.find_node("b")], bc[g.find_node("c")]);
+}
+
+TEST(Centrality, BetweennessNormalisedOnStar) {
+  auto g = autonet::topology::make_star(5);
+  auto bc = betweenness_centrality(g);
+  // The hub lies on all (n-1)(n-2)/2 pairs: normalised value 1.
+  EXPECT_NEAR(bc[g.find_node("as1r1")], 1.0, 1e-9);
+}
+
+TEST(Centrality, TopKDeterministicTieBreak) {
+  Graph g;
+  g.add_edge("b", "a");
+  g.add_edge("a", "c");  // a has degree 2; b, c degree 1 (tied)
+  auto dc = degree_centrality(g);
+  auto top = top_k_central(g, dc, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(g.node_name(top[0]), "a");
+  EXPECT_EQ(g.node_name(top[1]), "b");  // ties broken by name
+}
+
+TEST(Centrality, TopKClampsToSize) {
+  Graph g;
+  g.add_node("a");
+  auto dc = degree_centrality(g);
+  EXPECT_EQ(top_k_central(g, dc, 10).size(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "addressing/allocator.hpp"
+
+namespace {
+
+using namespace autonet::addressing;
+
+TEST(SubnetAllocator, SequentialFixedLength) {
+  SubnetAllocator alloc(*Ipv4Prefix::parse("10.0.0.0/24"));
+  EXPECT_EQ(alloc.allocate(30).to_string(), "10.0.0.0/30");
+  EXPECT_EQ(alloc.allocate(30).to_string(), "10.0.0.4/30");
+  EXPECT_EQ(alloc.allocate(30).to_string(), "10.0.0.8/30");
+}
+
+TEST(SubnetAllocator, VariableLengthAligns) {
+  SubnetAllocator alloc(*Ipv4Prefix::parse("10.0.0.0/24"));
+  EXPECT_EQ(alloc.allocate(30).to_string(), "10.0.0.0/30");
+  // A /26 must start on a 64-aligned boundary: cursor jumps from 4 to 64.
+  EXPECT_EQ(alloc.allocate(26).to_string(), "10.0.0.64/26");
+  EXPECT_EQ(alloc.allocate(30).to_string(), "10.0.0.128/30");
+}
+
+TEST(SubnetAllocator, DisjointnessProperty) {
+  SubnetAllocator alloc(*Ipv4Prefix::parse("10.0.0.0/20"));
+  std::vector<Ipv4Prefix> all;
+  for (unsigned len : {30, 28, 30, 26, 24, 30, 27, 30}) {
+    all.push_back(alloc.allocate(len));
+  }
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      EXPECT_FALSE(all[i].overlaps(all[j]))
+          << all[i].to_string() << " vs " << all[j].to_string();
+    }
+    EXPECT_TRUE(Ipv4Prefix::parse("10.0.0.0/20")->contains(all[i]));
+  }
+}
+
+TEST(SubnetAllocator, Exhaustion) {
+  SubnetAllocator alloc(*Ipv4Prefix::parse("10.0.0.0/30"));
+  alloc.allocate(31);
+  alloc.allocate(31);
+  EXPECT_THROW(alloc.allocate(31), AllocationError);
+}
+
+TEST(SubnetAllocator, RejectsShorterThanBlock) {
+  SubnetAllocator alloc(*Ipv4Prefix::parse("10.0.0.0/24"));
+  EXPECT_THROW(alloc.allocate(16), AllocationError);
+  EXPECT_THROW(alloc.allocate(33), AllocationError);
+}
+
+TEST(HostAllocator, SkipsNetworkAndBroadcast) {
+  HostAllocator hosts(*Ipv4Prefix::parse("192.168.1.4/30"));
+  EXPECT_EQ(hosts.allocate().to_string(), "192.168.1.5/30");
+  EXPECT_EQ(hosts.allocate().to_string(), "192.168.1.6/30");
+  EXPECT_THROW(hosts.allocate(), AllocationError);
+}
+
+TEST(HostAllocator, Slash31UsesBothAddresses) {
+  HostAllocator hosts(*Ipv4Prefix::parse("10.0.0.0/31"));
+  EXPECT_EQ(hosts.allocate().address.to_string(), "10.0.0.0");
+  EXPECT_EQ(hosts.allocate().address.to_string(), "10.0.0.1");
+  EXPECT_THROW(hosts.allocate(), AllocationError);
+}
+
+TEST(HostAllocator, Slash32SingleHost) {
+  HostAllocator hosts(*Ipv4Prefix::parse("10.0.0.7/32"));
+  EXPECT_EQ(hosts.allocate().address.to_string(), "10.0.0.7");
+  EXPECT_THROW(hosts.allocate(), AllocationError);
+}
+
+TEST(SubnetAllocator6, SequentialChildren) {
+  SubnetAllocator6 alloc(*Ipv6Prefix::parse("2001:db8::/48"), 64);
+  EXPECT_EQ(alloc.allocate().to_string(), "2001:db8::/64");
+  EXPECT_EQ(alloc.allocate().to_string(), "2001:db8:0:1::/64");
+}
+
+TEST(SubnetAllocator6, Exhaustion) {
+  SubnetAllocator6 alloc(*Ipv6Prefix::parse("2001:db8::/126"), 128);
+  for (int i = 0; i < 4; ++i) alloc.allocate();
+  EXPECT_THROW(alloc.allocate(), AllocationError);
+}
+
+TEST(SubnetAllocator6, InvalidChildLength) {
+  EXPECT_THROW(SubnetAllocator6(*Ipv6Prefix::parse("2001:db8::/64"), 48),
+               AllocationError);
+}
+
+// Property sweep: allocations from any block size stay unique and inside
+// the block.
+class AllocatorProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AllocatorProperty, UniqueAndContained) {
+  const unsigned block_len = GetParam();
+  Ipv4Prefix block(Ipv4Addr(172, 16, 0, 0), block_len);
+  SubnetAllocator alloc(block);
+  std::set<std::uint32_t> starts;
+  for (int i = 0; i < 8; ++i) {
+    Ipv4Prefix p = alloc.allocate(block_len + 4);
+    EXPECT_TRUE(block.contains(p));
+    EXPECT_TRUE(starts.insert(p.network().value()).second) << "duplicate block";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, AllocatorProperty,
+                         ::testing::Values(8u, 12u, 16u, 20u, 24u));
+
+}  // namespace

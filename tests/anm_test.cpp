@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "anm/anm.hpp"
+
+namespace {
+
+using namespace autonet::anm;
+using autonet::graph::AttrValue;
+
+AbstractNetworkModel make_model() {
+  AbstractNetworkModel anm;
+  auto g_in = anm["input"];
+  for (const char* name : {"r1", "r2", "r3"}) {
+    auto n = g_in.add_node(name);
+    n.set("device_type", "router");
+    n.set("asn", name[1] == '3' ? 2 : 1);
+  }
+  auto s = g_in.add_node("s1");
+  s.set("device_type", "server");
+  s.set("asn", 1);
+  g_in.add_edge("r1", "r2");
+  g_in.add_edge("r2", "r3");
+  g_in.add_edge("s1", "r1");
+  return anm;
+}
+
+TEST(Anm, DefaultOverlays) {
+  AbstractNetworkModel anm;
+  EXPECT_TRUE(anm.has_overlay("input"));
+  EXPECT_TRUE(anm.has_overlay("phy"));
+  EXPECT_EQ(anm.overlay_names(), (std::vector<std::string>{"input", "phy"}));
+}
+
+TEST(Anm, AddAndRemoveOverlay) {
+  AbstractNetworkModel anm;
+  auto g = anm.add_overlay("ospf");
+  EXPECT_EQ(g.name(), "ospf");
+  EXPECT_TRUE(anm.has_overlay("ospf"));
+  EXPECT_THROW(anm.add_overlay("ospf"), std::invalid_argument);
+  anm.remove_overlay("ospf");
+  EXPECT_FALSE(anm.has_overlay("ospf"));
+  EXPECT_THROW((void)anm.overlay("ospf"), std::out_of_range);
+  EXPECT_THROW(anm.remove_overlay("ospf"), std::out_of_range);
+}
+
+TEST(Anm, AddOverlayWithNodes) {
+  auto anm = make_model();
+  auto rtrs = anm["input"].routers();
+  auto g = anm.add_overlay("ospf", rtrs, false, {"asn"});
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.node("r1")->asn(), 1);
+  EXPECT_FALSE(g.has_node("s1"));
+}
+
+TEST(OverlayNode, AttributeAccess) {
+  auto anm = make_model();
+  auto n = *anm["input"].node("r1");
+  EXPECT_EQ(n["device_type"], AttrValue("router"));
+  EXPECT_TRUE(n.is_router());
+  EXPECT_FALSE(n.is_server());
+  EXPECT_EQ(n.asn(), 1);
+  n.set("rr", true);
+  EXPECT_TRUE(n.attr("rr").truthy());
+  EXPECT_FALSE(n.attr("nonexistent").is_set());
+}
+
+TEST(OverlayNode, EdgesAndNeighbors) {
+  auto anm = make_model();
+  auto r2 = *anm["input"].node("r2");
+  EXPECT_EQ(r2.degree(), 2u);
+  auto neighbors = r2.neighbors();
+  ASSERT_EQ(neighbors.size(), 2u);
+  auto edges = r2.edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0].other(r2).name(), "r1");
+}
+
+TEST(OverlayNode, CrossLayerAccess) {
+  auto anm = make_model();
+  auto g_ip = anm.add_overlay("ip");
+  auto copy = g_ip.add_node("r1");
+  copy.set("loopback", "10.0.0.1/32");
+  auto r1_in = *anm["input"].node("r1");
+  auto r1_ip = r1_in.in_layer("ip");
+  ASSERT_TRUE(r1_ip);
+  EXPECT_EQ(*r1_ip->attr("loopback").as_string(), "10.0.0.1/32");
+  EXPECT_FALSE(r1_in.in_layer("nonexistent"));
+  // r2 is not in the ip overlay.
+  EXPECT_FALSE(anm["input"].node("r2")->in_layer("ip"));
+}
+
+TEST(OverlayGraph, SelectorsByType) {
+  auto anm = make_model();
+  EXPECT_EQ(anm["input"].routers().size(), 3u);
+  EXPECT_EQ(anm["input"].servers().size(), 1u);
+  EXPECT_TRUE(anm["input"].switches().empty());
+}
+
+TEST(OverlayGraph, NodePredicate) {
+  auto anm = make_model();
+  auto as1 = anm["input"].nodes(
+      [](const OverlayNode& n) { return n.asn() == 1; });
+  EXPECT_EQ(as1.size(), 3u);  // r1 r2 s1
+}
+
+TEST(OverlayGraph, EdgePredicateAndWhere) {
+  auto anm = make_model();
+  auto g_in = anm["input"];
+  for (const auto& e : g_in.edges()) e.set("type", "physical");
+  g_in.edges()[0].set("type", "service");
+  EXPECT_EQ(g_in.edges_where("type", "physical").size(), 2u);
+  auto inter_as = g_in.edges(
+      [](const OverlayEdge& e) { return e.src().asn() != e.dst().asn(); });
+  ASSERT_EQ(inter_as.size(), 1u);
+}
+
+TEST(OverlayGraph, AddNodesFromWithRetain) {
+  auto anm = make_model();
+  auto g = anm.add_overlay("copy");
+  g.add_nodes_from(anm["input"].nodes(), {"asn"});
+  EXPECT_EQ(g.node_count(), 4u);
+  EXPECT_EQ(g.node("r1")->asn(), 1);
+  // device_type was not retained.
+  EXPECT_FALSE(g.node("r1")->attr("device_type").is_set());
+}
+
+TEST(OverlayGraph, AddEdgesFromSkipsMissingEndpoints) {
+  auto anm = make_model();
+  auto g = anm.add_overlay("partial");
+  g.add_node("r1");
+  g.add_node("r2");
+  auto added = g.add_edges_from(anm["input"].edges());
+  EXPECT_EQ(added.size(), 1u);  // only r1-r2; r2-r3 and s1-r1 skipped
+}
+
+TEST(OverlayGraph, AddEdgesFromBidirected) {
+  auto anm = make_model();
+  auto g = anm.add_overlay("sessions", anm["input"].routers(), true);
+  auto added = g.add_edges_from(anm["input"].edges(), {}, true);
+  // r1-r2 and r2-r3 both ways = 4 directed edges.
+  EXPECT_EQ(added.size(), 4u);
+  EXPECT_EQ(g.edge_count(), 4u);
+}
+
+TEST(OverlayGraph, CopyAttrWithRename) {
+  auto anm = make_model();
+  anm["input"].node("r1")->set("ospf_area", 2);
+  auto g = anm.add_overlay("ospf", anm["input"].routers());
+  copy_attr_from(anm["input"], g, "ospf_area", "area");
+  EXPECT_EQ(g.node("r1")->attr("area"), AttrValue(2));
+  EXPECT_FALSE(g.node("r2")->attr("area").is_set());
+}
+
+TEST(OverlayGraph, OverlayLevelData) {
+  auto anm = make_model();
+  auto g = anm.add_overlay("ip");
+  g.data()["infra_block_1"] = AttrValue("192.168.0.0/22");
+  // Re-fetching the overlay sees the same data (shared graph).
+  EXPECT_EQ(autonet::graph::attr_or_unset(anm["ip"].data(), "infra_block_1"),
+            AttrValue("192.168.0.0/22"));
+}
+
+TEST(OverlayGraph, UnwrapExposesUnderlyingGraph) {
+  auto anm = make_model();
+  auto g = anm["input"];
+  EXPECT_EQ(g.unwrap().node_count(), 4u);
+  EXPECT_EQ(&g.unwrap(), &anm["input"].unwrap());
+}
+
+TEST(OverlayGraph, RemoveEdges) {
+  auto anm = make_model();
+  auto g_in = anm["input"];
+  auto inter = g_in.edges(
+      [](const OverlayEdge& e) { return e.src().asn() != e.dst().asn(); });
+  g_in.remove_edges(inter);
+  EXPECT_EQ(g_in.edge_count(), 2u);
+}
+
+}  // namespace

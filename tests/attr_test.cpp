@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "graph/attr.hpp"
+
+namespace {
+
+using autonet::graph::AttrMap;
+using autonet::graph::AttrValue;
+using autonet::graph::attr_or_unset;
+
+TEST(AttrValue, DefaultIsUnset) {
+  AttrValue v;
+  EXPECT_FALSE(v.is_set());
+  EXPECT_FALSE(v.truthy());
+  EXPECT_EQ(v.to_string(), "");
+}
+
+TEST(AttrValue, BoolRoundTrip) {
+  AttrValue v(true);
+  EXPECT_TRUE(v.is_bool());
+  EXPECT_EQ(v.as_bool(), true);
+  EXPECT_EQ(v.as_int(), 1);
+  EXPECT_EQ(v.to_string(), "true");
+  EXPECT_TRUE(v.truthy());
+  EXPECT_FALSE(AttrValue(false).truthy());
+}
+
+TEST(AttrValue, IntRoundTrip) {
+  AttrValue v(42);
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), 42);
+  EXPECT_EQ(v.as_double(), 42.0);
+  EXPECT_EQ(v.to_string(), "42");
+}
+
+TEST(AttrValue, DoubleRoundTrip) {
+  AttrValue v(2.5);
+  EXPECT_TRUE(v.is_double());
+  EXPECT_EQ(v.as_double(), 2.5);
+  EXPECT_EQ(v.to_string(), "2.5");
+  EXPECT_FALSE(v.as_int().has_value());
+}
+
+TEST(AttrValue, StringRoundTrip) {
+  AttrValue v("router");
+  EXPECT_TRUE(v.is_string());
+  ASSERT_NE(v.as_string(), nullptr);
+  EXPECT_EQ(*v.as_string(), "router");
+  EXPECT_TRUE(v.truthy());
+  EXPECT_FALSE(AttrValue("").truthy());
+}
+
+TEST(AttrValue, IntListRoundTrip) {
+  AttrValue v(std::vector<std::int64_t>{1, 2, 3});
+  EXPECT_TRUE(v.is_int_list());
+  EXPECT_EQ(v.to_string(), "1,2,3");
+  EXPECT_TRUE(v.truthy());
+  EXPECT_FALSE(AttrValue(std::vector<std::int64_t>{}).truthy());
+}
+
+TEST(AttrValue, StringListRoundTrip) {
+  AttrValue v(std::vector<std::string>{"a", "b"});
+  EXPECT_TRUE(v.is_string_list());
+  EXPECT_EQ(v.to_string(), "a,b");
+  ASSERT_NE(v.as_string_list(), nullptr);
+  EXPECT_EQ(v.as_string_list()->size(), 2u);
+}
+
+TEST(AttrValue, CrossTypeNumericEquality) {
+  EXPECT_EQ(AttrValue(1), AttrValue(1.0));
+  EXPECT_EQ(AttrValue(true), AttrValue(1));
+  EXPECT_NE(AttrValue(1), AttrValue(2.0));
+  EXPECT_NE(AttrValue("1"), AttrValue(1));
+}
+
+TEST(AttrValue, OrderingNumericAcrossTypes) {
+  EXPECT_LT(AttrValue(1), AttrValue(2.5));
+  EXPECT_LT(AttrValue(2.5), AttrValue(3));
+  EXPECT_FALSE(AttrValue(3) < AttrValue(3.0));
+}
+
+TEST(AttrValue, OrderingStrings) {
+  EXPECT_LT(AttrValue("a"), AttrValue("b"));
+}
+
+TEST(AttrValue, TruthyZeroValues) {
+  EXPECT_FALSE(AttrValue(0).truthy());
+  EXPECT_FALSE(AttrValue(0.0).truthy());
+  EXPECT_TRUE(AttrValue(-1).truthy());
+}
+
+TEST(AttrMapHelpers, AttrOrUnset) {
+  AttrMap attrs;
+  attrs["asn"] = AttrValue(100);
+  EXPECT_EQ(attr_or_unset(attrs, "asn"), AttrValue(100));
+  EXPECT_FALSE(attr_or_unset(attrs, "missing").is_set());
+}
+
+}  // namespace

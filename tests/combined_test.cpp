@@ -1,0 +1,144 @@
+// Combined-feature scenarios: LANs inside multi-area ASes, policies with
+// route reflection, services on what-if-degraded networks — the
+// cross-products individual suites don't reach.
+#include <gtest/gtest.h>
+
+#include "core/workflow.hpp"
+#include "topology/builtin.hpp"
+#include "topology/generators.hpp"
+
+namespace {
+
+using namespace autonet;
+
+TEST(Combined, LanInsideMultiAreaAs) {
+  // Area 1 is a switched LAN hanging off an ABR; area 0 is a p2p core.
+  graph::Graph g;
+  auto dev = [&g](const char* name, const char* type, std::int64_t area) {
+    auto n = g.add_node(name);
+    g.set_node_attr(n, "device_type", type);
+    g.set_node_attr(n, "asn", 1);
+    if (area >= 0) g.set_node_attr(n, "ospf_area", area);
+  };
+  dev("core1", "router", 0);
+  dev("core2", "router", 0);
+  dev("abr", "router", 0);
+  dev("lan1", "router", 1);
+  dev("lan2", "router", 1);
+  dev("sw", "switch", -1);
+  g.add_edge("core1", "core2");
+  g.add_edge("core2", "abr");
+  // The LAN: abr + lan1 + lan2 behind one switch; force the segment into
+  // area 1 by marking all attached routers' areas (abr keeps area 0 on
+  // its core link; the design rule assigns the LAN edges min(area)).
+  g.set_node_attr(g.find_node("abr"), "ospf_area", 1);
+  g.add_edge("abr", "sw");
+  g.add_edge("lan1", "sw");
+  g.add_edge("lan2", "sw");
+
+  core::Workflow wf;
+  wf.run(g);
+  ASSERT_TRUE(wf.deploy_result().success);
+  auto& net = wf.network();
+  // core1 reaches the LAN routers across the ABR.
+  auto trace = net.traceroute("core1", "lan2");
+  EXPECT_TRUE(trace.reached);
+  // And the LAN routers see each other as direct OSPF neighbors.
+  auto neighbors = net.router("lan1")->ospf_neighbors();
+  EXPECT_NE(std::find(neighbors.begin(), neighbors.end(), "lan2"),
+            neighbors.end());
+}
+
+TEST(Combined, PolicyWithRouteReflection) {
+  // Reflection plus ingress preference: the RR cluster's clients follow
+  // the preferred exit chosen at the border.
+  auto input = topology::make_star(4);  // as1r1 hub
+  input.set_node_attr(input.find_node("as1r1"), "rr", true);
+  auto add_provider = [&input](const char* name, std::int64_t asn,
+                               const char* attach, std::int64_t pref) {
+    auto n = input.add_node(name);
+    input.set_node_attr(n, "device_type", "router");
+    input.set_node_attr(n, "asn", asn);
+    input.set_node_attr(n, "advertise_prefix", "198.51.100.0/24");
+    auto e = input.add_edge(name, attach);
+    if (pref > 0) input.set_edge_attr(e, "local_pref", pref);
+  };
+  add_provider("cheap", 65001, "as1r2", 0);
+  add_provider("preferred", 65002, "as1r3", 500);
+
+  core::WorkflowOptions opts;
+  opts.ibgp = "rr";
+  core::Workflow wf(opts);
+  wf.run(input);
+  ASSERT_TRUE(wf.deploy_result().success);
+  EXPECT_TRUE(wf.deploy_result().convergence.converged);
+  auto& net = wf.network();
+  auto dst = *addressing::Ipv4Addr::parse("198.51.100.1");
+  // Every router (including the non-border client as1r4) exits via
+  // "preferred": local-pref propagates through the reflector.
+  for (const char* r : {"as1r1", "as1r4"}) {
+    auto trace = net.traceroute(r, dst);
+    ASSERT_TRUE(trace.reached) << r;
+    EXPECT_EQ(trace.hops.back().router, "preferred") << r;
+  }
+}
+
+TEST(Combined, ServicesSurviveLinkFailure) {
+  // DNS keeps resolving (records are static config) and the service
+  // nodes stay reachable while a redundant link is down.
+  auto input = topology::figure5();
+  topology::attach_servers(input, 1, 3, "dns");
+  input.set_node_attr(input.find_node("dns1"), "dns_server", true);
+  core::WorkflowOptions opts;
+  opts.enable_dns = true;
+  core::Workflow wf(opts);
+  wf.run(input);
+  ASSERT_TRUE(wf.deploy_result().success);
+
+  // The server's resolver config is in place on clients.
+  bool resolver_seen = false;
+  for (const auto& [path, content] : wf.configs()) {
+    if (path.ends_with("resolv.conf") &&
+        content.find("nameserver") != std::string::npos) {
+      resolver_seen = true;
+    }
+  }
+  EXPECT_TRUE(resolver_seen);
+
+  auto& net = wf.network();
+  ASSERT_TRUE(net.fail_link("r1", "r2"));
+  net.start();
+  // All routers still reach each other (figure5 is 2-edge-connected).
+  EXPECT_TRUE(wf.measurement().reachability().fully_connected());
+}
+
+TEST(Combined, MixedPlatformArtifactsCoexist) {
+  // One lab rendered for netkit with a per-node IOS override produces
+  // both quagga directories and an IOS config under the same tree.
+  auto input = topology::figure5();
+  input.set_node_attr(input.find_node("r2"), "syntax", "ios");
+  core::Workflow wf;
+  wf.load(input).design().compile().render();
+  EXPECT_TRUE(wf.configs().contains("localhost/netkit/r1/etc/quagga/bgpd.conf"));
+  EXPECT_TRUE(wf.configs().contains("localhost/netkit/r2/startup-config.cfg"));
+  EXPECT_FALSE(wf.configs().contains("localhost/netkit/r2/etc/quagga/bgpd.conf"));
+  // And the mixed lab still converges.
+  wf.deploy();
+  EXPECT_TRUE(wf.deploy_result().convergence.converged);
+}
+
+TEST(Combined, IsisAndOspfCoexistInConfigs) {
+  core::WorkflowOptions opts;
+  opts.enable_isis = true;
+  core::Workflow wf(opts);
+  wf.load(topology::figure5()).design().compile().render();
+  const auto* daemons = wf.configs().get("localhost/netkit/r1/etc/quagga/daemons");
+  ASSERT_NE(daemons, nullptr);
+  EXPECT_NE(daemons->find("ospfd=yes"), std::string::npos);
+  EXPECT_NE(daemons->find("isisd=yes"), std::string::npos);
+  const auto* isisd = wf.configs().get("localhost/netkit/r1/etc/quagga/isisd.conf");
+  ASSERT_NE(isisd, nullptr);
+  EXPECT_NE(isisd->find("net 49.0001."), std::string::npos);
+}
+
+}  // namespace

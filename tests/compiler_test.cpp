@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/workflow.hpp"
+#include "compiler/platform_compiler.hpp"
+#include "topology/builtin.hpp"
+
+namespace {
+
+using namespace autonet;
+using nidb::Nidb;
+using nidb::Value;
+
+/// Design + compile the Small-Internet lab on one platform.
+Nidb compiled(const std::string& platform,
+              const graph::Graph& input = topology::small_internet()) {
+  core::WorkflowOptions opts;
+  opts.platform = platform;
+  core::Workflow wf(opts);
+  wf.load(input).design();
+  return compiler::platform_compiler_for(platform).compile(wf.anm());
+}
+
+TEST(PlatformRegistry, KnownAndUnknown) {
+  EXPECT_EQ(compiler::platform_compiler_for("netkit").platform(), "netkit");
+  EXPECT_EQ(compiler::platform_compiler_for("dynagen").default_syntax(), "ios");
+  EXPECT_THROW((void)compiler::platform_compiler_for("gns3"), std::invalid_argument);
+}
+
+TEST(DeviceRegistry, KnownAndUnknown) {
+  EXPECT_EQ(compiler::device_compiler_for("quagga").template_base(),
+            "templates/quagga");
+  EXPECT_THROW((void)compiler::device_compiler_for("vyos"), std::invalid_argument);
+}
+
+TEST(Compile, RequiresDesignedOverlays) {
+  core::Workflow wf;
+  wf.load(topology::figure5());
+  EXPECT_THROW(
+      compiler::platform_compiler_for("netkit").compile(wf.anm()),
+      std::invalid_argument);
+}
+
+TEST(Compile, RecordShapeMatchesPaperListing) {
+  // Paper Listing 5.4: render/zebra/ospf/interfaces fields for as100r1.
+  Nidb nidb = compiled("netkit");
+  const auto* rec = nidb.device("as100r1");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(*rec->data.find_path("render.base")->as_string(), "templates/quagga");
+  EXPECT_EQ(*rec->data.find_path("render.base_dst_folder")->as_string(),
+            "localhost/netkit/as100r1");
+  EXPECT_EQ(*rec->data.find_path("zebra.hostname")->as_string(), "as100r1");
+  EXPECT_EQ(*rec->data.find_path("zebra.password")->as_string(), "1234");
+  EXPECT_EQ(rec->data.find_path("ospf.process_id")->as_int(), 1);
+  const Value* links = rec->data.find_path("ospf.ospf_links");
+  ASSERT_NE(links, nullptr);
+  // as100r1 has two intra-AS interfaces + loopback; the inter-AS link to
+  // as20r2 is excluded from OSPF (Eq. 1 vs Eq. 3 separation).
+  EXPECT_EQ(links->as_array()->size(), 3u);
+  for (const Value& link : *links->as_array()) {
+    EXPECT_NE(link.find("network"), nullptr);
+    EXPECT_NE(link.find("area"), nullptr);
+  }
+  const Value* interfaces = rec->data.find("interfaces");
+  ASSERT_NE(interfaces, nullptr);
+  // Three physical links: two intra-AS plus the inter-AS uplink.
+  ASSERT_EQ(interfaces->as_array()->size(), 3u);
+  const Value& iface = (*interfaces->as_array())[0];
+  EXPECT_EQ(*iface.find("id")->as_string(), "eth1");
+  EXPECT_NE(iface.find("description")->as_string()->find("as100r1 to"),
+            std::string::npos);
+}
+
+TEST(Compile, InterfaceNamingPerPlatform) {
+  EXPECT_EQ(*compiled("netkit")
+                 .device("as1r1")
+                 ->data.find("interfaces")
+                 ->as_array()
+                 ->front()
+                 .find("id")
+                 ->as_string(),
+            "eth1");
+  EXPECT_EQ(*compiled("dynagen")
+                 .device("as1r1")
+                 ->data.find("interfaces")
+                 ->as_array()
+                 ->front()
+                 .find("id")
+                 ->as_string(),
+            "FastEthernet0/0");
+  EXPECT_EQ(*compiled("junosphere")
+                 .device("as1r1")
+                 ->data.find("interfaces")
+                 ->as_array()
+                 ->front()
+                 .find("id")
+                 ->as_string(),
+            "em0");
+}
+
+TEST(Compile, DynagenSecondInterfaceOnSlot) {
+  Nidb nidb = compiled("dynagen");
+  const auto* rec = nidb.device("as1r1");  // three interfaces
+  const auto* arr = rec->data.find("interfaces")->as_array();
+  ASSERT_EQ(arr->size(), 3u);
+  EXPECT_EQ(*(*arr)[1].find("id")->as_string(), "FastEthernet0/1");
+  EXPECT_EQ(*(*arr)[2].find("id")->as_string(), "FastEthernet1/0");
+}
+
+TEST(Compile, EbgpNeighborsUsePeerInterfaceAddresses) {
+  Nidb nidb = compiled("netkit");
+  const auto* rec = nidb.device("as20r2");
+  const Value* ebgp = rec->data.find_path("bgp.ebgp_neighbors");
+  ASSERT_NE(ebgp, nullptr);
+  ASSERT_EQ(ebgp->as_array()->size(), 1u);  // session to as100r1
+  const Value& n = ebgp->as_array()->front();
+  EXPECT_EQ(*n.find("description")->as_string(), "as100r1");
+  EXPECT_EQ(n.find("remote_as")->as_int(), 100);
+  // The neighbor address is an infrastructure (192.168.x) address.
+  EXPECT_EQ(n.find("neighbor")->as_string()->find("192.168."), 0u);
+}
+
+TEST(Compile, IbgpNeighborsUseLoopbacks) {
+  Nidb nidb = compiled("netkit");
+  const auto* rec = nidb.device("as100r1");
+  const Value* ibgp = rec->data.find_path("bgp.ibgp_neighbors");
+  ASSERT_NE(ibgp, nullptr);
+  EXPECT_EQ(ibgp->as_array()->size(), 2u);  // full mesh within AS100
+  for (const Value& n : *ibgp->as_array()) {
+    EXPECT_EQ(n.find("remote_as")->as_int(), 100);
+    EXPECT_EQ(n.find("neighbor")->as_string()->find("10.0."), 0u);
+    EXPECT_EQ(*n.find("update_source")->as_string(), "lo");
+    EXPECT_TRUE(n.find("next_hop_self")->truthy());
+  }
+}
+
+TEST(Compile, QuaggaDisablesIgpTiebreak) {
+  Nidb nidb = compiled("netkit");
+  EXPECT_FALSE(
+      nidb.device("as1r1")->data.find_path("bgp.igp_tiebreak")->truthy());
+  Nidb ios = compiled("dynagen");
+  EXPECT_TRUE(ios.device("as1r1")->data.find_path("bgp.igp_tiebreak")->truthy());
+}
+
+TEST(Compile, HostnameSanitisation) {
+  graph::Graph input;
+  auto n = input.add_node("r1.with/odd:chars");
+  input.set_node_attr(n, "device_type", "router");
+  input.set_node_attr(n, "asn", 1);
+  auto m = input.add_node("r2");
+  input.set_node_attr(m, "device_type", "router");
+  input.set_node_attr(m, "asn", 1);
+  input.add_edge(n, m);
+  Nidb nidb = compiled("netkit", input);
+  const auto* rec = nidb.device("r1.with/odd:chars");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(*rec->data.find("hostname")->as_string(), "r1_with_odd_chars");
+}
+
+TEST(Compile, ManagementTapAddresses) {
+  Nidb nidb = compiled("netkit");
+  std::set<std::string> taps;
+  for (const auto* rec : nidb.devices()) {
+    const Value* tap = rec->data.find_path("tap.ip");
+    ASSERT_NE(tap, nullptr) << rec->name;
+    EXPECT_TRUE(taps.insert(*tap->as_string()).second) << "duplicate TAP";
+    EXPECT_EQ(tap->as_string()->find("172.16."), 0u);
+    EXPECT_EQ(*rec->data.find_path("tap.interface")->as_string(), "eth0");
+  }
+}
+
+TEST(Compile, LinksRecorded) {
+  Nidb nidb = compiled("netkit");
+  EXPECT_EQ(nidb.links().size(), 18u);  // one per physical link
+  for (const auto& link : nidb.links()) {
+    EXPECT_FALSE(link.src_interface.empty());
+    EXPECT_FALSE(link.dst_interface.empty());
+    EXPECT_FALSE(link.subnet.empty());
+  }
+}
+
+TEST(Compile, CrossHostLinksDetected) {
+  auto input = topology::figure5();
+  input.set_node_attr(input.find_node("r5"), "host", "serverB");
+  core::Workflow wf;
+  wf.load(input).design();
+  Nidb nidb = compiler::platform_compiler_for("netkit").compile(wf.anm());
+  const Value* cross = nidb.data().find("cross_connects");
+  ASSERT_NE(cross, nullptr);
+  // r5 has two physical links to host-A routers -> two GRE stitches.
+  EXPECT_EQ(cross->as_array()->size(), 2u);
+  const Value& t = cross->as_array()->front();
+  EXPECT_EQ(*t.find("tunnel")->as_string(), "gre0");
+  EXPECT_NE(*t.find("src_host")->as_string(), *t.find("dst_host")->as_string());
+}
+
+TEST(Compile, NetkitLabConfEntries) {
+  Nidb nidb = compiled("netkit");
+  const Value* lab = nidb.data().find("lab_conf");
+  ASSERT_NE(lab, nullptr);
+  // One entry per interface = 2 per link.
+  EXPECT_EQ(lab->as_array()->size(), 36u);
+  const Value& entry = lab->as_array()->front();
+  EXPECT_NE(entry.find("machine"), nullptr);
+  EXPECT_EQ(entry.find("interface_index")->as_int(), 1);
+}
+
+TEST(Compile, ServersGetLinuxSyntax) {
+  auto input = topology::figure5();
+  auto s = input.add_node("server1");
+  input.set_node_attr(s, "device_type", "server");
+  input.set_node_attr(s, "asn", 1);
+  input.add_edge("server1", "r1");
+  core::Workflow wf;
+  wf.load(input).design();
+  Nidb nidb = compiler::platform_compiler_for("netkit").compile(wf.anm());
+  const auto* rec = nidb.device("server1");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(*rec->data.find("syntax")->as_string(), "linux");
+  EXPECT_EQ(rec->data.find("bgp"), nullptr);
+  EXPECT_EQ(rec->data.find("ospf"), nullptr);
+}
+
+TEST(Compile, PerNodeSyntaxOverride) {
+  auto input = topology::figure5();
+  input.set_node_attr(input.find_node("r5"), "syntax", "ios");
+  core::Workflow wf;
+  wf.load(input).design();
+  Nidb nidb = compiler::platform_compiler_for("netkit").compile(wf.anm());
+  EXPECT_EQ(*nidb.device("r5")->data.find("syntax")->as_string(), "ios");
+  EXPECT_EQ(*nidb.device("r1")->data.find("syntax")->as_string(), "quagga");
+}
+
+TEST(Compile, IsisRecordWhenOverlayPresent) {
+  core::WorkflowOptions opts;
+  opts.enable_isis = true;
+  core::Workflow wf(opts);
+  wf.load(topology::figure5()).design().compile();
+  const auto* rec = wf.nidb().device("r1");
+  const Value* isis = rec->data.find("isis");
+  ASSERT_NE(isis, nullptr);
+  const std::string& net = *isis->find("net")->as_string();
+  EXPECT_EQ(net.find("49.0001."), 0u);
+  EXPECT_TRUE(net.ends_with(".00"));
+  EXPECT_EQ(isis->find("interfaces")->as_array()->size(), 2u);
+}
+
+TEST(Nidb, DeviceForIpReverseMapping) {
+  Nidb nidb = compiled("netkit");
+  const auto* rec = nidb.device("as1r1");
+  const std::string& lo = *rec->data.find("loopback")->as_string();
+  auto device = nidb.device_for_ip(lo.substr(0, lo.find('/')));
+  ASSERT_TRUE(device);
+  EXPECT_EQ(*device, "as1r1");
+  EXPECT_FALSE(nidb.device_for_ip("8.8.8.8"));
+}
+
+TEST(Nidb, JsonDumpParses) {
+  Nidb nidb = compiled("netkit");
+  auto doc = nidb::parse_json(nidb.to_json());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("devices")->as_object()->size(), 14u);
+  EXPECT_EQ(doc.find("links")->as_array()->size(), 18u);
+}
+
+}  // namespace

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "core/workflow.hpp"
+#include "emulation/network.hpp"
+#include "topology/builtin.hpp"
+
+namespace {
+
+using namespace autonet;
+using namespace autonet::emulation;
+
+EmulatedNetwork booted(const graph::Graph& input) {
+  core::Workflow wf;
+  wf.load(input).design().compile().render();
+  auto net = EmulatedNetwork::from_nidb(wf.nidb(), wf.configs());
+  net.start();
+  return net;
+}
+
+TEST(Traceroute, DirectNeighbor) {
+  auto net = booted(topology::figure5());
+  auto result = net.traceroute("r1", "r2");
+  EXPECT_TRUE(result.reached);
+  ASSERT_EQ(result.hops.size(), 1u);
+  EXPECT_EQ(result.hops[0].router, "r2");
+}
+
+TEST(Traceroute, MultiHopIntraAs) {
+  auto net = booted(topology::figure5());
+  auto result = net.traceroute("r1", "r4");
+  EXPECT_TRUE(result.reached);
+  EXPECT_EQ(result.hops.size(), 2u);  // via r2 or r3, then r4
+  EXPECT_EQ(result.hops.back().router, "r4");
+}
+
+TEST(Traceroute, CrossAsViaBgp) {
+  auto net = booted(topology::figure5());
+  auto result = net.traceroute("r1", "r5");
+  EXPECT_TRUE(result.reached);
+  EXPECT_EQ(result.hops.back().router, "r5");
+  EXPECT_EQ(result.hops.size(), 2u);
+}
+
+TEST(Traceroute, HopsReportIncomingInterfaceAddresses) {
+  auto net = booted(topology::figure5());
+  auto lo = net.router("r4")->config().loopback->address;
+  auto result = net.traceroute("r1", lo);
+  ASSERT_EQ(result.hops.size(), 2u);
+  // Transit hop reports an infrastructure (192.168.x) address; the final
+  // hop reports the probed loopback itself.
+  EXPECT_EQ(result.hops[0].address.to_string().find("192.168."), 0u);
+  EXPECT_EQ(result.hops[1].address, lo);
+}
+
+TEST(Traceroute, UnreachableAddress) {
+  auto net = booted(topology::figure5());
+  auto result = net.traceroute("r1", *addressing::Ipv4Addr::parse("8.8.8.8"));
+  EXPECT_FALSE(result.reached);
+  EXPECT_TRUE(result.hops.empty());
+  // Text output renders the star line.
+  EXPECT_NE(result.to_text().find("* * *"), std::string::npos);
+}
+
+TEST(Traceroute, SelfTargetsResolveImmediately) {
+  auto net = booted(topology::figure5());
+  auto lo = net.router("r1")->config().loopback->address;
+  auto result = net.traceroute("r1", lo);
+  EXPECT_TRUE(result.reached);
+  ASSERT_EQ(result.hops.size(), 1u);
+  EXPECT_EQ(result.hops[0].router, "r1");
+}
+
+TEST(Traceroute, RttsIncreaseMonotonically) {
+  auto net = booted(topology::small_internet());
+  auto result = net.traceroute("as300r2", "as100r2");
+  ASSERT_TRUE(result.reached);
+  ASSERT_GE(result.hops.size(), 3u);
+  for (std::size_t i = 1; i < result.hops.size(); ++i) {
+    EXPECT_GT(result.hops[i].rtt_ms, result.hops[i - 1].rtt_ms);
+  }
+}
+
+TEST(Traceroute, PaperPathShape) {
+  // §6.1 / Fig. 7: as300r2 -> as100r2 crosses AS300, AS40, AS1, AS20,
+  // AS100.
+  auto net = booted(topology::small_internet());
+  auto result = net.traceroute("as300r2", "as100r2");
+  ASSERT_TRUE(result.reached);
+  std::vector<std::string> routers;
+  for (const auto& hop : result.hops) routers.push_back(hop.router);
+  EXPECT_EQ(routers.front(), "as40r1");
+  EXPECT_EQ(routers.back(), "as100r2");
+  // The transit providers appear in order.
+  auto find = [&routers](const std::string& r) {
+    for (std::size_t i = 0; i < routers.size(); ++i) {
+      if (routers[i] == r) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  EXPECT_LT(find("as40r1"), find("as1r1"));
+  EXPECT_LT(find("as1r1"), find("as100r2"));
+}
+
+TEST(Traceroute, UnknownRouterThrows) {
+  auto net = booted(topology::figure5());
+  EXPECT_THROW(net.traceroute("ghost", "r1"), std::invalid_argument);
+  EXPECT_THROW(net.traceroute("r1", "ghost"), std::invalid_argument);
+}
+
+TEST(Traceroute, RequiresStartedNetwork) {
+  core::Workflow wf;
+  wf.load(topology::figure5()).design().compile().render();
+  auto net = EmulatedNetwork::from_nidb(wf.nidb(), wf.configs());
+  EXPECT_THROW(net.traceroute("r1", "r2"), std::logic_error);
+}
+
+TEST(Ping, ReachabilityMatchesTraceroute) {
+  auto net = booted(topology::figure5());
+  EXPECT_TRUE(net.ping("r1", net.router("r5")->config().loopback->address));
+  EXPECT_FALSE(net.ping("r1", *addressing::Ipv4Addr::parse("203.0.113.99")));
+}
+
+TEST(Exec, TracerouteCommandTextOutput) {
+  auto net = booted(topology::figure5());
+  auto lo = net.router("r4")->config().loopback->address;
+  auto out = net.exec("r1", "traceroute -naU " + lo.to_string());
+  EXPECT_NE(out.find(" 1  "), std::string::npos);
+  EXPECT_NE(out.find(" ms"), std::string::npos);
+  EXPECT_NE(out.find(lo.to_string()), std::string::npos);
+}
+
+TEST(Exec, TracerouteByHostname) {
+  auto net = booted(topology::figure5());
+  auto out = net.exec("r1", "traceroute -naU r4");
+  EXPECT_NE(out.find(" ms"), std::string::npos);
+  auto bad = net.exec("r1", "traceroute -naU nosuchhost");
+  EXPECT_NE(bad.find("unknown host"), std::string::npos);
+}
+
+TEST(Exec, UnknownCommandAndRouter) {
+  auto net = booted(topology::figure5());
+  EXPECT_NE(net.exec("r1", "reboot").find("unknown command"), std::string::npos);
+  EXPECT_THROW(net.exec("ghost", "traceroute 1.2.3.4"), std::invalid_argument);
+}
+
+TEST(OwnerOf, ResolvesInterfaceAndLoopback) {
+  auto net = booted(topology::figure5());
+  const auto* r3 = net.router("r3");
+  EXPECT_EQ(*net.owner_of(r3->config().loopback->address), "r3");
+  EXPECT_EQ(*net.owner_of(r3->config().interfaces[0].address.address), "r3");
+  EXPECT_FALSE(net.owner_of(*addressing::Ipv4Addr::parse("9.9.9.9")));
+}
+
+}  // namespace

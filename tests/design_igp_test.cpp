@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/workflow.hpp"
+#include "design/igp.hpp"
+#include "topology/builtin.hpp"
+
+namespace {
+
+using namespace autonet;
+using anm::AbstractNetworkModel;
+using autonet::graph::AttrValue;
+
+/// Loads an input graph into a fresh ANM ('input' + 'phy').
+AbstractNetworkModel load(const graph::Graph& input) {
+  core::Workflow wf;
+  wf.load(input);
+  return std::move(wf.anm());
+}
+
+std::set<std::string> edge_set(const anm::OverlayGraph& g) {
+  std::set<std::string> out;
+  for (const auto& e : g.edges()) {
+    std::string a = e.src().name();
+    std::string b = e.dst().name();
+    if (!g.directed() && b < a) std::swap(a, b);
+    out.insert(a + "-" + b);
+  }
+  return out;
+}
+
+TEST(BuildPhy, CopiesNodesAndPhysicalEdges) {
+  auto anm = load(topology::figure5());
+  auto phy = anm["phy"];
+  EXPECT_EQ(phy.node_count(), 5u);
+  EXPECT_EQ(phy.edge_count(), 6u);
+  EXPECT_EQ(phy.node("r5")->asn(), 2);
+  EXPECT_TRUE(phy.node("r1")->is_router());
+}
+
+TEST(BuildPhy, ExcludesNonPhysicalEdges) {
+  auto input = topology::figure5();
+  auto e = input.add_edge("r1", "r4");
+  input.set_edge_attr(e, "type", "service");
+  auto anm = load(input);
+  EXPECT_EQ(anm["phy"].edge_count(), 6u);  // service edge excluded
+}
+
+TEST(BuildOspf, Equation1ExactEdgeSet) {
+  auto anm = load(topology::figure5());
+  auto g_ospf = design::build_ospf(anm);
+  // Paper: E_ospf = {(r1,r2),(r1,r3),(r2,r4),(r3,r4)}.
+  EXPECT_EQ(edge_set(g_ospf),
+            (std::set<std::string>{"r1-r2", "r1-r3", "r2-r4", "r3-r4"}));
+  EXPECT_EQ(g_ospf.node_count(), 5u);  // r5 present but isolated
+}
+
+TEST(BuildOspf, DefaultCostsAndAreas) {
+  auto anm = load(topology::figure5());
+  auto g_ospf = design::build_ospf(anm);
+  for (const auto& e : g_ospf.edges()) {
+    EXPECT_EQ(e.attr("ospf_cost"), AttrValue(1));
+    EXPECT_EQ(e.attr("area"), AttrValue(0));
+  }
+  for (const auto& n : g_ospf.nodes()) {
+    EXPECT_EQ(n.attr("area"), AttrValue(0));
+  }
+}
+
+TEST(BuildOspf, ExplicitCostsCopied) {
+  auto input = topology::figure5();
+  auto e = input.find_edge(input.find_node("r1"), input.find_node("r2"));
+  input.set_edge_attr(e, "ospf_cost", 20);
+  auto anm = load(input);
+  auto g_ospf = design::build_ospf(anm);
+  bool found = false;
+  for (const auto& oe : g_ospf.edges()) {
+    if ((oe.src().name() == "r1" && oe.dst().name() == "r2") ||
+        (oe.src().name() == "r2" && oe.dst().name() == "r1")) {
+      EXPECT_EQ(oe.attr("ospf_cost"), AttrValue(20));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BuildOspf, AreasAndBackboneMarking) {
+  auto input = topology::figure5();
+  input.set_node_attr(input.find_node("r2"), "ospf_area", 1);
+  input.set_node_attr(input.find_node("r4"), "ospf_area", 1);
+  auto anm = load(input);
+  auto g_ospf = design::build_ospf(anm);
+  // r2-r4 is wholly in area 1; r1-r2 straddles 0/1 and lands in area 0.
+  for (const auto& e : g_ospf.edges()) {
+    auto key = e.src().name() + "-" + e.dst().name();
+    if (key == "r2-r4" || key == "r4-r2") {
+      EXPECT_EQ(e.attr("area"), AttrValue(1));
+    }
+  }
+  // §5.2.2: nodes with an area-0 adjacency become backbone.
+  EXPECT_TRUE(g_ospf.node("r1")->attr("backbone").truthy());
+  EXPECT_TRUE(g_ospf.node("r2")->attr("backbone").truthy());  // r1-r2 in area 0
+  EXPECT_FALSE(g_ospf.node("r5")->attr("backbone").truthy());
+}
+
+TEST(BuildOspf, ServersExcluded) {
+  auto input = topology::figure5();
+  auto s = input.add_node("s1");
+  input.set_node_attr(s, "device_type", "server");
+  input.set_node_attr(s, "asn", 1);
+  input.add_edge("s1", "r1");
+  auto anm = load(input);
+  auto g_ospf = design::build_ospf(anm);
+  EXPECT_FALSE(g_ospf.has_node("s1"));
+  EXPECT_EQ(g_ospf.edge_count(), 4u);
+}
+
+TEST(BuildIsis, SameAlgebraAsOspf) {
+  auto anm = load(topology::figure5());
+  auto g_isis = design::build_isis(anm);
+  EXPECT_EQ(edge_set(g_isis),
+            (std::set<std::string>{"r1-r2", "r1-r3", "r2-r4", "r3-r4"}));
+  for (const auto& e : g_isis.edges()) {
+    EXPECT_EQ(e.attr("isis_metric"), AttrValue(10));
+  }
+}
+
+TEST(BuildIsis, AreaFromAsn) {
+  auto anm = load(topology::figure5());
+  auto g_isis = design::build_isis(anm);
+  EXPECT_EQ(*g_isis.node("r1")->attr("isis_area").as_string(), "49.0001");
+  EXPECT_EQ(*g_isis.node("r5")->attr("isis_area").as_string(), "49.0002");
+  EXPECT_EQ(*g_isis.node("r1")->attr("level").as_string(), "level-2");
+}
+
+TEST(BuildOspf, SmallInternetPartition) {
+  auto anm = load(topology::small_internet());
+  auto g_ospf = design::build_ospf(anm);
+  // 10 intra-AS links in the lab.
+  EXPECT_EQ(g_ospf.edge_count(), 10u);
+}
+
+}  // namespace

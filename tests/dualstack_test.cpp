@@ -1,0 +1,76 @@
+// Dual-stack rendering: when IPv6 allocation is enabled the generated
+// configurations carry the v6 addresses (Netkit .startup `add` lines,
+// Junos family inet6 blocks), consistent with the v6 allocation.
+#include <gtest/gtest.h>
+
+#include "core/workflow.hpp"
+#include "topology/builtin.hpp"
+
+namespace {
+
+using namespace autonet;
+
+core::Workflow rendered(const std::string& platform) {
+  core::WorkflowOptions opts;
+  opts.platform = platform;
+  opts.ip.ipv6 = true;
+  core::Workflow wf(opts);
+  wf.load(topology::figure5()).design().compile().render();
+  return wf;
+}
+
+TEST(DualStack, NetkitStartupConfiguresV6) {
+  auto wf = rendered("netkit");
+  const auto* startup = wf.configs().get("localhost/netkit/r1/.startup");
+  ASSERT_NE(startup, nullptr);
+  EXPECT_NE(startup->find("add 2001:db8:"), std::string::npos);
+  // One v6 add per interface.
+  std::size_t adds = 0;
+  std::size_t pos = 0;
+  while ((pos = startup->find(" add ", pos)) != std::string::npos) {
+    ++adds;
+    ++pos;
+  }
+  EXPECT_EQ(adds, 2u);
+}
+
+TEST(DualStack, JunosFamilyInet6) {
+  auto wf = rendered("junosphere");
+  const auto* conf = wf.configs().get("localhost/junosphere/r1/juniper.conf");
+  ASSERT_NE(conf, nullptr);
+  EXPECT_NE(conf->find("family inet6"), std::string::npos);
+  EXPECT_NE(conf->find("2001:db8:"), std::string::npos);
+  EXPECT_EQ(std::count(conf->begin(), conf->end(), '{'),
+            std::count(conf->begin(), conf->end(), '}'));
+}
+
+TEST(DualStack, V6AddressesMatchOverlayAllocation) {
+  auto wf = rendered("netkit");
+  auto r1 = wf.anm()["ip"].node("r1");
+  ASSERT_TRUE(r1);
+  // Every interface edge has an ip6 that appears in the startup file.
+  const auto* startup = wf.configs().get("localhost/netkit/r1/.startup");
+  for (const auto& e : r1->edges()) {
+    const auto* ip6 = e.attr("ip6").as_string();
+    ASSERT_NE(ip6, nullptr);
+    EXPECT_NE(startup->find(*ip6), std::string::npos) << *ip6;
+  }
+}
+
+TEST(DualStack, V4OnlyByDefault) {
+  core::Workflow wf;
+  wf.load(topology::figure5()).design().compile().render();
+  const auto* startup = wf.configs().get("localhost/netkit/r1/.startup");
+  EXPECT_EQ(startup->find("2001:db8"), std::string::npos);
+}
+
+TEST(DualStack, EmulationStillBootsV4ControlPlane) {
+  core::WorkflowOptions opts;
+  opts.ip.ipv6 = true;
+  core::Workflow wf(opts);
+  wf.run(topology::figure5());
+  EXPECT_TRUE(wf.deploy_result().success);
+  EXPECT_TRUE(wf.deploy_result().convergence.converged);
+}
+
+}  // namespace

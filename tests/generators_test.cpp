@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/algorithms.hpp"
+#include "topology/builtin.hpp"
+#include "topology/generators.hpp"
+#include "topology/graphml.hpp"
+
+namespace {
+
+using namespace autonet::topology;
+using autonet::graph::AttrValue;
+using autonet::graph::connected_components;
+using autonet::graph::is_connected;
+
+TEST(Generators, LineShape) {
+  auto g = make_line(5);
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(g.has_node("as1r1"));
+  EXPECT_TRUE(g.has_node("as1r5"));
+}
+
+TEST(Generators, RingShape) {
+  auto g = make_ring(6);
+  EXPECT_EQ(g.edge_count(), 6u);
+  for (auto n : g.nodes()) EXPECT_EQ(g.degree(n), 2u);
+}
+
+TEST(Generators, RingOfTwoIsSingleLink) {
+  EXPECT_EQ(make_ring(2).edge_count(), 1u);
+}
+
+TEST(Generators, GridShape) {
+  auto g = make_grid(3, 4);
+  EXPECT_EQ(g.node_count(), 12u);
+  EXPECT_EQ(g.edge_count(), 3u * 3 + 2u * 4);  // 17
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, StarShape) {
+  auto g = make_star(7);
+  EXPECT_EQ(g.edge_count(), 6u);
+  EXPECT_EQ(g.degree(g.find_node("as1r1")), 6u);
+}
+
+TEST(Generators, FullMeshShape) {
+  auto g = make_full_mesh(5);
+  EXPECT_EQ(g.edge_count(), 10u);
+}
+
+TEST(Generators, RandomConnectedIsConnectedAndDeterministic) {
+  auto g1 = make_random_connected(30, 0.1, 42);
+  auto g2 = make_random_connected(30, 0.1, 42);
+  EXPECT_TRUE(is_connected(g1));
+  EXPECT_EQ(g1.edge_count(), g2.edge_count());
+  auto g3 = make_random_connected(30, 0.1, 43);
+  // Different seeds almost surely differ in edge count or structure.
+  EXPECT_TRUE(g3.edge_count() != g1.edge_count() ||
+              to_graphml(g3) != to_graphml(g1));
+}
+
+TEST(Generators, MultiAsConnectedWithAsns) {
+  MultiAsOptions opts;
+  opts.as_count = 6;
+  opts.seed = 7;
+  auto g = make_multi_as(opts);
+  EXPECT_TRUE(is_connected(g));
+  std::set<std::int64_t> asns;
+  for (auto n : g.nodes()) asns.insert(*g.node_attr(n, "asn").as_int());
+  EXPECT_EQ(asns.size(), 6u);
+}
+
+TEST(Generators, NrenModelMatchesPaperScale) {
+  auto g = make_nren_model();
+  // §3.2: 42 ASes, 1158 routers, 1470 links.
+  EXPECT_EQ(g.node_count(), 1158u);
+  EXPECT_EQ(g.edge_count(), 1470u);
+  std::set<std::int64_t> asns;
+  for (auto n : g.nodes()) asns.insert(*g.node_attr(n, "asn").as_int());
+  EXPECT_EQ(asns.size(), 42u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, NrenModelDeterministic) {
+  NrenOptions opts;
+  auto g1 = make_nren_model(opts);
+  auto g2 = make_nren_model(opts);
+  EXPECT_EQ(to_graphml(g1), to_graphml(g2));
+}
+
+TEST(Generators, NrenModelScalesDown) {
+  NrenOptions opts;
+  opts.as_count = 5;
+  opts.router_count = 60;
+  opts.link_count = 80;
+  auto g = make_nren_model(opts);
+  EXPECT_EQ(g.node_count(), 60u);
+  EXPECT_EQ(g.edge_count(), 80u);
+}
+
+TEST(Generators, AttachServers) {
+  auto g = make_ring(5);
+  attach_servers(g, 10, 3);
+  EXPECT_EQ(g.node_count(), 15u);
+  std::size_t servers = 0;
+  for (auto n : g.nodes()) {
+    const auto* type = g.node_attr(n, "device_type").as_string();
+    if (type != nullptr && *type == "server") {
+      ++servers;
+      EXPECT_EQ(g.degree(n), 1u);
+      EXPECT_TRUE(g.node_attr(n, "asn").is_set());
+    }
+  }
+  EXPECT_EQ(servers, 10u);
+}
+
+TEST(Generators, AttachServersNeedsRouters) {
+  autonet::graph::Graph empty;
+  EXPECT_THROW(attach_servers(empty, 1, 0), std::invalid_argument);
+}
+
+TEST(Builtin, Figure5MatchesPaper) {
+  auto g = figure5();
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 6u);
+  EXPECT_EQ(g.node_attr(g.find_node("r5"), "asn"), AttrValue(2));
+  EXPECT_EQ(g.node_attr(g.find_node("r1"), "asn"), AttrValue(1));
+}
+
+TEST(Builtin, SmallInternetMatchesPaper) {
+  auto g = small_internet();
+  EXPECT_EQ(g.node_count(), 14u);  // Fig. 1: fourteen routers
+  std::set<std::int64_t> asns;
+  for (auto n : g.nodes()) asns.insert(*g.node_attr(n, "asn").as_int());
+  EXPECT_EQ(asns.size(), 7u);  // seven ASes
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Builtin, SmallInternetGraphmlLoads) {
+  auto g = load_graphml(small_internet_graphml());
+  EXPECT_EQ(g.node_count(), 14u);
+}
+
+TEST(Builtin, BadGadgetShape) {
+  auto g = bad_gadget();
+  EXPECT_EQ(g.node_count(), 9u);  // 3 RRs + 3 clients + 3 externals
+  for (const char* rr : {"rr1", "rr2", "rr3"}) {
+    EXPECT_TRUE(g.node_attr(g.find_node(rr), "rr").truthy());
+  }
+  EXPECT_EQ(*g.node_attr(g.find_node("c1"), "rr_cluster").as_string(), "rr1");
+  EXPECT_EQ(*g.node_attr(g.find_node("e1"), "advertise_prefix").as_string(),
+            "203.0.113.0/24");
+}
+
+}  // namespace

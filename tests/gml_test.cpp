@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "topology/gml.hpp"
+
+namespace {
+
+using namespace autonet::topology;
+using autonet::graph::AttrValue;
+
+constexpr const char* kZooSample = R"(# Topology Zoo style
+graph [
+  label "TestNet"
+  node [
+    id 0
+    label "Frankfurt"
+    Country "Germany"
+    Latitude 50.11
+    asn 1
+  ]
+  node [
+    id 1
+    label "Paris"
+    asn 1
+  ]
+  node [
+    id 2
+    label "London"
+    asn 2
+  ]
+  edge [
+    source 0
+    target 1
+    LinkSpeed 10
+  ]
+  edge [
+    source 1
+    target 2
+  ]
+]
+)";
+
+TEST(GmlLoad, ParsesZooStyle) {
+  auto g = load_gml(kZooSample);
+  EXPECT_EQ(g.name(), "TestNet");
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  auto ffm = g.find_node("Frankfurt");
+  ASSERT_NE(ffm, autonet::graph::kInvalidNode);
+  EXPECT_EQ(g.node_attr(ffm, "Country"), AttrValue("Germany"));
+  EXPECT_EQ(g.node_attr(ffm, "Latitude"), AttrValue(50.11));
+  EXPECT_EQ(g.node_attr(ffm, "asn"), AttrValue(1));
+  EXPECT_EQ(g.edge_attr(g.edges()[0], "LinkSpeed"), AttrValue(10));
+}
+
+TEST(GmlLoad, FallsBackToNumericNames) {
+  auto g = load_gml("graph [ node [ id 7 ] ]");
+  EXPECT_TRUE(g.has_node("n7"));
+}
+
+TEST(GmlLoad, DuplicateLabelsUniquified) {
+  auto g = load_gml(R"(graph [
+    node [ id 0 label "X" ]
+    node [ id 1 label "X" ]
+  ])");
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_TRUE(g.has_node("X"));
+  EXPECT_TRUE(g.has_node("X_"));
+}
+
+TEST(GmlLoad, DirectedFlag) {
+  EXPECT_TRUE(load_gml("graph [ directed 1 ]").directed());
+  EXPECT_FALSE(load_gml("graph [ directed 0 ]").directed());
+}
+
+TEST(GmlLoad, CommentsAndNegativeNumbers) {
+  auto g = load_gml(R"(graph [
+    # comment line
+    node [ id 0 label "A" Longitude -122.42 ]
+  ])");
+  EXPECT_EQ(g.node_attr(g.find_node("A"), "Longitude"), AttrValue(-122.42));
+}
+
+TEST(GmlLoad, Errors) {
+  EXPECT_THROW(load_gml(""), ParseError);
+  EXPECT_THROW(load_gml("node [ id 0 ]"), ParseError);
+  EXPECT_THROW(load_gml("graph [ node [ label \"no-id\" ] ]"), ParseError);
+  EXPECT_THROW(load_gml("graph [ edge [ source 0 target 1 ] ]"), ParseError);
+  EXPECT_THROW(load_gml("graph [ node [ id 0 label \"unterminated ] ]"),
+               ParseError);
+}
+
+TEST(GmlRoundTrip, PreservesStructureAndScalars) {
+  auto original = load_gml(kZooSample);
+  auto restored = load_gml(to_gml(original));
+  EXPECT_EQ(restored.node_count(), original.node_count());
+  EXPECT_EQ(restored.edge_count(), original.edge_count());
+  auto n = restored.find_node("Frankfurt");
+  ASSERT_NE(n, autonet::graph::kInvalidNode);
+  EXPECT_EQ(restored.node_attr(n, "Country"), AttrValue("Germany"));
+}
+
+TEST(GmlFile, MissingFileThrows) {
+  EXPECT_THROW(load_gml_file("/nonexistent.gml"), ParseError);
+}
+
+}  // namespace

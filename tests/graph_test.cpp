@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph.hpp"
+
+namespace {
+
+using namespace autonet::graph;
+
+TEST(Graph, AddAndFindNodes) {
+  Graph g;
+  NodeId a = g.add_node("r1");
+  NodeId b = g.add_node("r2");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.find_node("r1"), a);
+  EXPECT_EQ(g.find_node("nope"), kInvalidNode);
+  EXPECT_TRUE(g.has_node("r2"));
+  EXPECT_EQ(g.node_name(a), "r1");
+}
+
+TEST(Graph, AddNodeIsIdempotentByName) {
+  Graph g;
+  NodeId a = g.add_node("r1");
+  EXPECT_EQ(g.add_node("r1"), a);
+  EXPECT_EQ(g.node_count(), 1u);
+}
+
+TEST(Graph, NodeAttributes) {
+  Graph g;
+  NodeId a = g.add_node("r1");
+  g.set_node_attr(a, "asn", 100);
+  EXPECT_EQ(g.node_attr(a, "asn"), AttrValue(100));
+  EXPECT_FALSE(g.node_attr(a, "missing").is_set());
+}
+
+TEST(Graph, UndirectedEdges) {
+  Graph g;
+  EdgeId e = g.add_edge("a", "b");
+  EXPECT_EQ(g.edge_count(), 1u);
+  NodeId a = g.find_node("a");
+  NodeId b = g.find_node("b");
+  EXPECT_EQ(g.find_edge(a, b), e);
+  EXPECT_EQ(g.find_edge(b, a), e);  // symmetric
+  EXPECT_EQ(g.edge_other(e, a), b);
+  EXPECT_EQ(g.edge_other(e, b), a);
+  EXPECT_EQ(g.neighbors(a), std::vector<NodeId>{b});
+  EXPECT_EQ(g.degree(a), 1u);
+}
+
+TEST(Graph, DirectedEdges) {
+  Graph g(true);
+  NodeId a = g.add_node("a");
+  NodeId b = g.add_node("b");
+  EdgeId e = g.add_edge(a, b);
+  EXPECT_EQ(g.find_edge(a, b), e);
+  EXPECT_EQ(g.find_edge(b, a), kInvalidEdge);
+  EXPECT_EQ(g.out_edges(a).size(), 1u);
+  EXPECT_TRUE(g.out_edges(b).empty());
+  EXPECT_EQ(g.in_edges(b).size(), 1u);
+  EXPECT_EQ(g.neighbors(a), std::vector<NodeId>{b});
+  EXPECT_TRUE(g.neighbors(b).empty());  // successors only
+}
+
+TEST(Graph, MultiEdgesAllowed) {
+  Graph g;
+  NodeId a = g.add_node("a");
+  NodeId b = g.add_node("b");
+  EdgeId e1 = g.add_edge(a, b);
+  EdgeId e2 = g.add_edge(a, b);
+  EXPECT_NE(e1, e2);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.neighbors(a).size(), 1u);  // unique neighbors
+  EXPECT_EQ(g.degree(a), 2u);
+}
+
+TEST(Graph, EdgeAttributes) {
+  Graph g;
+  EdgeId e = g.add_edge("a", "b");
+  g.set_edge_attr(e, "ospf_cost", 10);
+  EXPECT_EQ(g.edge_attr(e, "ospf_cost"), AttrValue(10));
+}
+
+TEST(Graph, RemoveEdge) {
+  Graph g;
+  NodeId a = g.add_node("a");
+  NodeId b = g.add_node("b");
+  EdgeId e = g.add_edge(a, b);
+  g.remove_edge(e);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_FALSE(g.has_edge(e));
+  EXPECT_EQ(g.find_edge(a, b), kInvalidEdge);
+  EXPECT_TRUE(g.neighbors(a).empty());
+  EXPECT_THROW((void)g.edge_src(e), std::out_of_range);
+}
+
+TEST(Graph, RemoveNodeCascadesToEdges) {
+  Graph g;
+  NodeId a = g.add_node("a");
+  NodeId b = g.add_node("b");
+  NodeId c = g.add_node("c");
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  g.remove_node(b);
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_FALSE(g.has_node(b));
+  EXPECT_FALSE(g.has_node("b"));
+  EXPECT_THROW((void)g.node_attrs(b), std::out_of_range);
+}
+
+TEST(Graph, NameReusableAfterRemoval) {
+  Graph g;
+  NodeId a = g.add_node("a");
+  g.remove_node(a);
+  NodeId a2 = g.add_node("a");
+  EXPECT_NE(a, a2);
+  EXPECT_TRUE(g.has_node(a2));
+}
+
+TEST(Graph, NodesAndEdgesSkipTombstones) {
+  Graph g;
+  NodeId a = g.add_node("a");
+  NodeId b = g.add_node("b");
+  NodeId c = g.add_node("c");
+  g.add_edge(a, b);
+  EdgeId e2 = g.add_edge(b, c);
+  g.remove_node(a);
+  auto nodes = g.nodes();
+  EXPECT_EQ(nodes, (std::vector<NodeId>{b, c}));
+  EXPECT_EQ(g.edges(), std::vector<EdgeId>{e2});
+}
+
+TEST(Graph, SelfLoopUndirected) {
+  Graph g;
+  NodeId a = g.add_node("a");
+  g.add_edge(a, a);
+  EXPECT_EQ(g.degree(a), 1u);
+  EXPECT_EQ(g.neighbors(a), std::vector<NodeId>{a});
+}
+
+TEST(Graph, GraphLevelData) {
+  Graph g;
+  g.data()["infra_block_1"] = AttrValue("10.0.0.0/16");
+  EXPECT_EQ(attr_or_unset(g.data(), "infra_block_1"), AttrValue("10.0.0.0/16"));
+}
+
+TEST(Graph, InvalidIdsThrow) {
+  Graph g;
+  EXPECT_THROW((void)g.node_name(5), std::out_of_range);
+  EXPECT_THROW((void)g.edge_attrs(0), std::out_of_range);
+  NodeId a = g.add_node("a");
+  NodeId b = g.add_node("b");
+  EdgeId e = g.add_edge(a, b);
+  NodeId c = g.add_node("c");
+  EXPECT_THROW((void)g.edge_other(e, c), std::invalid_argument);
+}
+
+TEST(Graph, DirectedInOutEdgeBookkeepingOnRemoval) {
+  Graph g(true);
+  NodeId a = g.add_node("a");
+  NodeId b = g.add_node("b");
+  EdgeId ab = g.add_edge(a, b);
+  EdgeId ba = g.add_edge(b, a);
+  g.remove_edge(ab);
+  EXPECT_EQ(g.out_edges(a).size(), 0u);
+  EXPECT_EQ(g.in_edges(a).size(), 1u);
+  EXPECT_EQ(g.incident_edges(a), std::vector<EdgeId>{ba});
+}
+
+}  // namespace

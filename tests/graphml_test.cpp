@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "topology/builtin.hpp"
+#include "topology/graphml.hpp"
+
+namespace {
+
+using namespace autonet::topology;
+using autonet::graph::AttrValue;
+
+constexpr const char* kSample = R"(<?xml version="1.0" encoding="UTF-8"?>
+<graphml xmlns="http://graphml.graphdrawing.org/xmlns">
+  <key id="d0" for="node" attr.name="asn" attr.type="int"/>
+  <key id="d1" for="node" attr.name="device_type" attr.type="string"/>
+  <key id="d2" for="edge" attr.name="ospf_cost" attr.type="double"/>
+  <key id="d3" for="node" attr.name="rr" attr.type="boolean"/>
+  <graph id="lab" edgedefault="undirected">
+    <node id="r1"><data key="d0">1</data><data key="d1">router</data>
+      <data key="d3">true</data></node>
+    <node id="r2"><data key="d0">2</data></node>
+    <edge source="r1" target="r2"><data key="d2">2.5</data></edge>
+  </graph>
+</graphml>
+)";
+
+TEST(GraphmlLoad, ParsesTypedAttributes) {
+  auto g = load_graphml(kSample);
+  EXPECT_EQ(g.name(), "lab");
+  EXPECT_FALSE(g.directed());
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.edge_count(), 1u);
+  auto r1 = g.find_node("r1");
+  EXPECT_EQ(g.node_attr(r1, "asn"), AttrValue(1));
+  EXPECT_EQ(g.node_attr(r1, "device_type"), AttrValue("router"));
+  EXPECT_EQ(g.node_attr(r1, "rr"), AttrValue(true));
+  auto e = g.edges()[0];
+  EXPECT_EQ(g.edge_attr(e, "ospf_cost"), AttrValue(2.5));
+}
+
+TEST(GraphmlLoad, LabelBecomesNodeName) {
+  auto g = load_graphml(R"(<graphml>
+  <key id="lbl" for="node" attr.name="label" attr.type="string"/>
+  <graph edgedefault="undirected">
+    <node id="n0"><data key="lbl">Frankfurt</data></node>
+  </graph></graphml>)");
+  EXPECT_TRUE(g.has_node("Frankfurt"));
+  EXPECT_EQ(*g.node_attr(g.find_node("Frankfurt"), "_graphml_id").as_string(),
+            "n0");
+}
+
+TEST(GraphmlLoad, DirectedGraph) {
+  auto g = load_graphml(R"(<graphml><graph edgedefault="directed">
+    <node id="a"/><node id="b"/><edge source="a" target="b"/>
+  </graph></graphml>)");
+  EXPECT_TRUE(g.directed());
+}
+
+TEST(GraphmlLoad, Errors) {
+  EXPECT_THROW(load_graphml(""), ParseError);
+  EXPECT_THROW(load_graphml("<foo/>"), ParseError);
+  EXPECT_THROW(load_graphml("<graphml></graphml>"), ParseError);
+  EXPECT_THROW(load_graphml(R"(<graphml><graph edgedefault="undirected">
+    <edge source="x" target="y"/></graph></graphml>)"),
+               ParseError);
+  EXPECT_THROW(load_graphml(R"(<graphml>
+    <key id="k" for="node" attr.name="asn" attr.type="int"/>
+    <graph edgedefault="undirected">
+    <node id="a"><data key="k">abc</data></node></graph></graphml>)"),
+               ParseError);
+}
+
+TEST(GraphmlLoad, HandlesEntitiesAndComments) {
+  auto g = load_graphml(R"(<graphml><!-- a comment -->
+  <key id="k" for="node" attr.name="label" attr.type="string"/>
+  <graph edgedefault="undirected">
+    <node id="n"><data key="k">A &amp; B &lt;x&gt;</data></node>
+  </graph></graphml>)");
+  EXPECT_TRUE(g.has_node("A & B <x>"));
+}
+
+TEST(GraphmlRoundTrip, SmallInternetSurvives) {
+  auto original = small_internet();
+  auto text = to_graphml(original);
+  auto restored = load_graphml(text);
+  EXPECT_EQ(restored.node_count(), original.node_count());
+  EXPECT_EQ(restored.edge_count(), original.edge_count());
+  for (auto n : original.nodes()) {
+    const std::string& name = original.node_name(n);
+    auto rn = restored.find_node(name);
+    ASSERT_NE(rn, autonet::graph::kInvalidNode) << name;
+    EXPECT_EQ(restored.node_attr(rn, "asn"), original.node_attr(n, "asn"));
+    EXPECT_EQ(restored.node_attr(rn, "device_type"),
+              original.node_attr(n, "device_type"));
+  }
+}
+
+TEST(GraphmlRoundTrip, EdgeAttributesSurvive) {
+  autonet::graph::Graph g(false, "t");
+  auto e = g.add_edge("a", "b");
+  g.set_edge_attr(e, "ospf_cost", 42);
+  auto restored = load_graphml(to_graphml(g));
+  EXPECT_EQ(restored.edge_attr(restored.edges()[0], "ospf_cost"), AttrValue(42));
+}
+
+TEST(GraphmlEmit, DeclaresKeysOnce) {
+  auto text = to_graphml(small_internet());
+  // asn key appears exactly once in the declarations.
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find("attr.name=\"asn\"", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(GraphmlEmit, SkipsInternalAttributes) {
+  autonet::graph::Graph g;
+  auto n = g.add_node("a");
+  g.set_node_attr(n, "_gml_id", 7);
+  g.set_node_attr(n, "asn", 1);
+  auto text = to_graphml(g);
+  EXPECT_EQ(text.find("_gml_id"), std::string::npos);
+  EXPECT_NE(text.find("asn"), std::string::npos);
+}
+
+TEST(GraphmlFile, MissingFileThrows) {
+  EXPECT_THROW(load_graphml_file("/nonexistent/file.graphml"), ParseError);
+}
+
+}  // namespace

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/workflow.hpp"
+#include "design/ip_allocation.hpp"
+#include "topology/builtin.hpp"
+#include "topology/generators.hpp"
+
+namespace {
+
+using namespace autonet;
+using addressing::Ipv4Interface;
+using addressing::Ipv4Prefix;
+using anm::AbstractNetworkModel;
+
+AbstractNetworkModel designed(const graph::Graph& input,
+                              const design::IpOptions& opts = {}) {
+  core::Workflow wf;
+  wf.load(input);
+  design::build_ip(wf.anm(), opts);
+  return std::move(wf.anm());
+}
+
+TEST(IpAllocation, CollisionDomainsOnP2PLinks) {
+  auto anm = designed(topology::figure5());
+  auto g_ip = anm["ip"];
+  std::size_t cds = 0;
+  for (const auto& n : g_ip.nodes()) {
+    if (n.attr("collision_domain").truthy()) {
+      ++cds;
+      EXPECT_TRUE(n.attr("subnet").is_set());
+      EXPECT_EQ(n.degree(), 2u);  // p2p
+    }
+  }
+  EXPECT_EQ(cds, 6u);  // one per physical link
+}
+
+TEST(IpAllocation, SwitchesAggregateIntoOneDomain) {
+  graph::Graph input;
+  for (const char* r : {"r1", "r2", "r3"}) {
+    auto n = input.add_node(r);
+    input.set_node_attr(n, "device_type", "router");
+    input.set_node_attr(n, "asn", 1);
+  }
+  for (const char* s : {"sw1", "sw2"}) {
+    auto n = input.add_node(s);
+    input.set_node_attr(n, "device_type", "switch");
+    input.set_node_attr(n, "asn", 1);
+  }
+  input.add_edge("sw1", "sw2");
+  input.add_edge("r1", "sw1");
+  input.add_edge("r2", "sw1");
+  input.add_edge("r3", "sw2");
+
+  auto anm = designed(input);
+  auto g_ip = anm["ip"];
+  std::vector<anm::OverlayNode> cds;
+  for (const auto& n : g_ip.nodes()) {
+    if (n.attr("collision_domain").truthy()) cds.push_back(n);
+  }
+  ASSERT_EQ(cds.size(), 1u);  // the two switches fused into one LAN
+  EXPECT_EQ(cds[0].degree(), 3u);
+  // All three routers share one subnet with distinct addresses.
+  auto subnet = Ipv4Prefix::parse(*cds[0].attr("subnet").as_string());
+  ASSERT_TRUE(subnet);
+  EXPECT_GE(subnet->host_count(), 3u);
+  std::set<std::string> ips;
+  for (const auto& e : cds[0].edges()) {
+    const auto* ip = e.attr("ip").as_string();
+    ASSERT_NE(ip, nullptr);
+    EXPECT_TRUE(ips.insert(*ip).second);
+  }
+}
+
+TEST(IpAllocation, LoopbacksOnlyOnRouters) {
+  auto input = topology::figure5();
+  auto s = input.add_node("s1");
+  input.set_node_attr(s, "device_type", "server");
+  input.set_node_attr(s, "asn", 1);
+  input.add_edge("s1", "r1");
+  auto anm = designed(input);
+  auto g_ip = anm["ip"];
+  EXPECT_TRUE(g_ip.node("r1")->attr("loopback").is_set());
+  EXPECT_FALSE(g_ip.node("s1")->attr("loopback").is_set());
+  // But the server still has an interface address.
+  EXPECT_TRUE(g_ip.node("s1")->edges()[0].attr("ip").is_set());
+}
+
+TEST(IpAllocation, PerAsBlocksRecorded) {
+  auto anm = designed(topology::figure5());
+  const auto& data = anm["ip"].data();
+  EXPECT_TRUE(graph::attr_or_unset(data, "infra_block_1").is_set());
+  EXPECT_TRUE(graph::attr_or_unset(data, "loopback_block_1").is_set());
+  EXPECT_TRUE(graph::attr_or_unset(data, "loopback_block_2").is_set());
+  // The single inter-AS link allocates from the shared bucket.
+  EXPECT_TRUE(graph::attr_or_unset(data, "infra_block_0").is_set());
+}
+
+TEST(IpAllocation, LoopbackOfHelper) {
+  auto anm = designed(topology::figure5());
+  EXPECT_FALSE(design::loopback_of(anm, "r1").empty());
+  EXPECT_TRUE(design::loopback_of(anm, "nonexistent").empty());
+}
+
+TEST(IpAllocation, CustomBlocks) {
+  design::IpOptions opts;
+  opts.infra_block = "172.20.0.0/16";
+  opts.loopback_block = "172.31.0.0/16";
+  auto anm = designed(topology::figure5(), opts);
+  auto g_ip = anm["ip"];
+  auto infra = Ipv4Prefix::parse("172.20.0.0/16");
+  auto loop = Ipv4Prefix::parse("172.31.0.0/16");
+  for (const auto& n : g_ip.nodes()) {
+    if (const auto* lo = n.attr("loopback").as_string()) {
+      EXPECT_TRUE(loop->contains(Ipv4Prefix::parse(*lo)->network()));
+    }
+    if (const auto* subnet = n.attr("subnet").as_string()) {
+      EXPECT_TRUE(infra->contains(*Ipv4Prefix::parse(*subnet)));
+    }
+  }
+}
+
+TEST(IpAllocation, MalformedBlockThrows) {
+  design::IpOptions opts;
+  opts.infra_block = "garbage";
+  core::Workflow wf;
+  wf.load(topology::figure5());
+  EXPECT_THROW(design::build_ip(wf.anm(), opts), std::invalid_argument);
+}
+
+TEST(IpAllocation, DualStack) {
+  design::IpOptions opts;
+  opts.ipv6 = true;
+  auto anm = designed(topology::figure5(), opts);
+  auto g_ip = anm["ip"];
+  for (const auto& n : g_ip.nodes()) {
+    if (n.attr("collision_domain").truthy()) {
+      EXPECT_TRUE(n.attr("subnet6").is_set());
+      for (const auto& e : n.edges()) EXPECT_TRUE(e.attr("ip6").is_set());
+    } else if (n.is_router()) {
+      EXPECT_TRUE(n.attr("loopback6").is_set());
+    }
+  }
+}
+
+TEST(IpAllocation, Deterministic) {
+  auto a = designed(topology::small_internet());
+  auto b = designed(topology::small_internet());
+  for (const auto& n : a["ip"].nodes()) {
+    auto other = b["ip"].node(n.name());
+    ASSERT_TRUE(other) << n.name();
+    EXPECT_EQ(n.attr("loopback"), other->attr("loopback"));
+    EXPECT_EQ(n.attr("subnet"), other->attr("subnet"));
+  }
+}
+
+// The §5.3 uniqueness/consistency property, swept over random topologies.
+class IpUniqueness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IpUniqueness, AllAddressesUniqueAllSubnetsDisjoint) {
+  topology::MultiAsOptions gen;
+  gen.as_count = 4;
+  gen.max_routers_per_as = 6;
+  gen.links_per_as = 2;
+  gen.seed = GetParam();
+  auto anm = designed(topology::make_multi_as(gen));
+  auto g_ip = anm["ip"];
+
+  std::set<std::string> addresses;
+  std::vector<Ipv4Prefix> subnets;
+  for (const auto& n : g_ip.nodes()) {
+    if (n.attr("collision_domain").truthy()) {
+      auto subnet = Ipv4Prefix::parse(*n.attr("subnet").as_string());
+      ASSERT_TRUE(subnet);
+      subnets.push_back(*subnet);
+      for (const auto& e : n.edges()) {
+        const auto* ip = e.attr("ip").as_string();
+        ASSERT_NE(ip, nullptr);
+        EXPECT_TRUE(addresses.insert(*ip).second) << "duplicate " << *ip;
+        // Consistency: the interface address lies inside its subnet.
+        auto iface = Ipv4Prefix::parse(*ip);
+        ASSERT_TRUE(iface);
+        EXPECT_TRUE(subnet->contains(iface->network()));
+      }
+    } else if (const auto* lo = n.attr("loopback").as_string()) {
+      EXPECT_TRUE(addresses.insert(*lo).second) << "duplicate loopback " << *lo;
+    }
+  }
+  for (std::size_t i = 0; i < subnets.size(); ++i) {
+    for (std::size_t j = i + 1; j < subnets.size(); ++j) {
+      EXPECT_FALSE(subnets[i].overlaps(subnets[j]))
+          << subnets[i].to_string() << " overlaps " << subnets[j].to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IpUniqueness,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "addressing/ipv4.hpp"
+
+namespace {
+
+using namespace autonet::addressing;
+
+TEST(Ipv4Addr, ParseValid) {
+  auto a = Ipv4Addr::parse("192.168.1.4");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->to_string(), "192.168.1.4");
+  EXPECT_EQ(a->value(), 0xC0A80104u);
+}
+
+TEST(Ipv4Addr, ParseEdgeValues) {
+  EXPECT_EQ(Ipv4Addr::parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(Ipv4Addr::parse("255.255.255.255")->value(), 0xFFFFFFFFu);
+}
+
+TEST(Ipv4Addr, ParseInvalid) {
+  EXPECT_FALSE(Ipv4Addr::parse(""));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Addr::parse("256.0.0.1"));
+  EXPECT_FALSE(Ipv4Addr::parse("a.b.c.d"));
+  EXPECT_FALSE(Ipv4Addr::parse("1..2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4 "));
+  EXPECT_FALSE(Ipv4Addr::parse("01234.1.1.1"));
+}
+
+TEST(Ipv4Addr, OrderingAndArithmetic) {
+  Ipv4Addr a(10, 0, 0, 1);
+  EXPECT_LT(a, Ipv4Addr(10, 0, 0, 2));
+  EXPECT_EQ((a + 1).to_string(), "10.0.0.2");
+}
+
+TEST(Ipv4Prefix, ParseAndMask) {
+  auto p = Ipv4Prefix::parse("192.168.1.5/30");
+  ASSERT_TRUE(p);
+  // Address is masked to the prefix boundary.
+  EXPECT_EQ(p->to_string(), "192.168.1.4/30");
+  EXPECT_EQ(p->netmask_string(), "255.255.255.252");
+  EXPECT_EQ(p->wildcard_string(), "0.0.0.3");
+  EXPECT_EQ(p->broadcast().to_string(), "192.168.1.7");
+}
+
+TEST(Ipv4Prefix, ParseInvalid) {
+  EXPECT_FALSE(Ipv4Prefix::parse("192.168.1.0"));
+  EXPECT_FALSE(Ipv4Prefix::parse("192.168.1.0/33"));
+  EXPECT_FALSE(Ipv4Prefix::parse("bad/24"));
+}
+
+TEST(Ipv4Prefix, ZeroAndFullLength) {
+  Ipv4Prefix all(Ipv4Addr(1, 2, 3, 4), 0);
+  EXPECT_EQ(all.to_string(), "0.0.0.0/0");
+  EXPECT_EQ(all.size(), std::uint64_t{1} << 32);
+  Ipv4Prefix host(Ipv4Addr(1, 2, 3, 4), 32);
+  EXPECT_EQ(host.size(), 1u);
+  EXPECT_EQ(host.host_count(), 1u);
+}
+
+TEST(Ipv4Prefix, HostCounts) {
+  EXPECT_EQ(Ipv4Prefix::parse("10.0.0.0/30")->host_count(), 2u);
+  EXPECT_EQ(Ipv4Prefix::parse("10.0.0.0/31")->host_count(), 2u);
+  EXPECT_EQ(Ipv4Prefix::parse("10.0.0.0/24")->host_count(), 254u);
+}
+
+TEST(Ipv4Prefix, Containment) {
+  auto outer = *Ipv4Prefix::parse("10.0.0.0/8");
+  auto inner = *Ipv4Prefix::parse("10.1.0.0/16");
+  EXPECT_TRUE(outer.contains(inner));
+  EXPECT_FALSE(inner.contains(outer));
+  EXPECT_TRUE(outer.contains(Ipv4Addr(10, 200, 3, 4)));
+  EXPECT_FALSE(outer.contains(Ipv4Addr(11, 0, 0, 0)));
+  EXPECT_TRUE(outer.overlaps(inner));
+  EXPECT_FALSE(inner.overlaps(*Ipv4Prefix::parse("10.2.0.0/16")));
+}
+
+TEST(Ipv4Prefix, NthAddressAndSubnet) {
+  auto p = *Ipv4Prefix::parse("192.168.0.0/24");
+  EXPECT_EQ(p.nth(1).to_string(), "192.168.0.1");
+  EXPECT_EQ(p.nth(255).to_string(), "192.168.0.255");
+  EXPECT_THROW((void)p.nth(256), std::out_of_range);
+  EXPECT_EQ(p.nth_subnet(26, 2).to_string(), "192.168.0.128/26");
+  EXPECT_THROW((void)p.nth_subnet(26, 4), std::out_of_range);
+  EXPECT_THROW((void)p.nth_subnet(23, 0), std::invalid_argument);
+}
+
+TEST(Ipv4Prefix, SubnetEnumeration) {
+  auto p = *Ipv4Prefix::parse("10.0.0.0/24");
+  auto subnets = p.subnets(26);
+  ASSERT_EQ(subnets.size(), 4u);
+  EXPECT_EQ(subnets[0].to_string(), "10.0.0.0/26");
+  EXPECT_EQ(subnets[3].to_string(), "10.0.0.192/26");
+  for (const auto& s : subnets) EXPECT_TRUE(p.contains(s));
+}
+
+TEST(Ipv4Prefix, SubnetExpansionGuard) {
+  auto p = *Ipv4Prefix::parse("0.0.0.0/0");
+  EXPECT_THROW(p.subnets(32), std::invalid_argument);
+}
+
+TEST(Ipv4Interface, Formatting) {
+  Ipv4Interface i{Ipv4Addr(192, 168, 1, 5), *Ipv4Prefix::parse("192.168.1.4/30")};
+  EXPECT_EQ(i.to_string(), "192.168.1.5/30");
+}
+
+}  // namespace

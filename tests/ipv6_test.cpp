@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "addressing/ipv6.hpp"
+
+namespace {
+
+using namespace autonet::addressing;
+
+TEST(Ipv6Addr, ParseFull) {
+  auto a = Ipv6Addr::parse("2001:0db8:0000:0000:0000:0000:0000:0001");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->hi(), 0x20010db800000000ULL);
+  EXPECT_EQ(a->lo(), 1u);
+}
+
+TEST(Ipv6Addr, ParseCompressed) {
+  auto a = Ipv6Addr::parse("2001:db8::1");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->hi(), 0x20010db800000000ULL);
+  EXPECT_EQ(a->lo(), 1u);
+  EXPECT_EQ(Ipv6Addr::parse("::")->hi(), 0u);
+  EXPECT_EQ(Ipv6Addr::parse("::1")->lo(), 1u);
+  EXPECT_EQ(Ipv6Addr::parse("fe80::")->hi(), 0xfe80000000000000ULL);
+}
+
+TEST(Ipv6Addr, ParseInvalid) {
+  EXPECT_FALSE(Ipv6Addr::parse(""));
+  EXPECT_FALSE(Ipv6Addr::parse("1:2:3"));
+  EXPECT_FALSE(Ipv6Addr::parse("2001::db8::1"));  // two gaps
+  EXPECT_FALSE(Ipv6Addr::parse("12345::1"));      // hextet too long
+  EXPECT_FALSE(Ipv6Addr::parse("g::1"));
+  EXPECT_FALSE(Ipv6Addr::parse("1:2:3:4:5:6:7:8:9"));
+}
+
+TEST(Ipv6Addr, CanonicalFormatting) {
+  EXPECT_EQ(Ipv6Addr::parse("2001:db8:0:0:0:0:0:1")->to_string(), "2001:db8::1");
+  EXPECT_EQ(Ipv6Addr(0, 0).to_string(), "::");
+  EXPECT_EQ(Ipv6Addr(0, 1).to_string(), "::1");
+  EXPECT_EQ(Ipv6Addr::parse("fe80::")->to_string(), "fe80::");
+  // Longest zero run is compressed, not the first.
+  EXPECT_EQ(Ipv6Addr::parse("1:0:0:2:0:0:0:3")->to_string(), "1:0:0:2::3");
+  // A single zero hextet is not compressed.
+  EXPECT_EQ(Ipv6Addr::parse("1:0:2:3:4:5:6:7")->to_string(), "1:0:2:3:4:5:6:7");
+}
+
+TEST(Ipv6Addr, RoundTripThroughText) {
+  for (const char* text : {"2001:db8::1", "::", "::1", "fe80::aaaa:bbbb",
+                           "1:0:0:2::3", "ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff"}) {
+    auto a = Ipv6Addr::parse(text);
+    ASSERT_TRUE(a) << text;
+    EXPECT_EQ(a->to_string(), text);
+  }
+}
+
+TEST(Ipv6Addr, PlusCarriesAcrossBoundary) {
+  Ipv6Addr a(0, ~std::uint64_t{0});
+  Ipv6Addr b = a.plus(1);
+  EXPECT_EQ(b.hi(), 1u);
+  EXPECT_EQ(b.lo(), 0u);
+}
+
+TEST(Ipv6Prefix, ParseAndMask) {
+  auto p = Ipv6Prefix::parse("2001:db8::ffff/32");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->to_string(), "2001:db8::/32");
+  EXPECT_TRUE(p->contains(*Ipv6Addr::parse("2001:db8:1234::1")));
+  EXPECT_FALSE(p->contains(*Ipv6Addr::parse("2001:db9::1")));
+}
+
+TEST(Ipv6Prefix, ContainsPrefix) {
+  auto outer = *Ipv6Prefix::parse("2001:db8::/32");
+  auto inner = *Ipv6Prefix::parse("2001:db8:1::/48");
+  EXPECT_TRUE(outer.contains(inner));
+  EXPECT_FALSE(inner.contains(outer));
+}
+
+TEST(Ipv6Prefix, NthSubnetWithin64) {
+  auto p = *Ipv6Prefix::parse("2001:db8::/32");
+  EXPECT_EQ(p.nth_subnet(48, 0).to_string(), "2001:db8::/48");
+  EXPECT_EQ(p.nth_subnet(48, 1).to_string(), "2001:db8:1::/48");
+  EXPECT_EQ(p.nth_subnet(48, 0xffff).to_string(), "2001:db8:ffff::/48");
+  EXPECT_THROW((void)p.nth_subnet(48, 0x10000), std::out_of_range);
+}
+
+TEST(Ipv6Prefix, NthSubnetBeyond64) {
+  auto p = *Ipv6Prefix::parse("2001:db8::/64");
+  EXPECT_EQ(p.nth_subnet(128, 5).to_string(), "2001:db8::5/128");
+  auto straddle = *Ipv6Prefix::parse("2001:db8::/32");
+  // 96-bit children: the index straddles the hi/lo boundary.
+  EXPECT_EQ(straddle.nth_subnet(96, 1).to_string(), "2001:db8::1:0:0/96");
+}
+
+TEST(Ipv6Prefix, NthAddress) {
+  auto p = *Ipv6Prefix::parse("2001:db8::/64");
+  EXPECT_EQ(p.nth(1).to_string(), "2001:db8::1");
+  EXPECT_EQ(p.nth(0x10).to_string(), "2001:db8::10");
+}
+
+TEST(Ipv6Prefix, InvalidLength) {
+  EXPECT_FALSE(Ipv6Prefix::parse("2001:db8::/129"));
+  EXPECT_FALSE(Ipv6Prefix::parse("2001:db8::"));
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "core/workflow.hpp"
+#include "measure/client.hpp"
+#include "measure/validate.hpp"
+#include "topology/builtin.hpp"
+
+namespace {
+
+using namespace autonet;
+using measure::MeasurementClient;
+
+class MeasureFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    wf_ = std::make_unique<core::Workflow>();
+    wf_->run(topology::small_internet());
+    ASSERT_TRUE(wf_->deploy_result().success);
+  }
+  std::unique_ptr<core::Workflow> wf_;
+};
+
+TEST_F(MeasureFixture, TracerouteNodePathIncludesSource) {
+  auto client = wf_->measurement();
+  auto lo = wf_->network().router("as100r2")->config().loopback->address;
+  auto trace = client.traceroute("as300r2", lo.to_string());
+  EXPECT_TRUE(trace.reached);
+  // Paper §6.1: [as300r2, as40r1, as1r1, ...] — source first.
+  ASSERT_GE(trace.node_path.size(), 4u);
+  EXPECT_EQ(trace.node_path.front(), "as300r2");
+  EXPECT_EQ(trace.node_path[1], "as40r1");
+  EXPECT_EQ(trace.node_path.back(), "as100r2");
+  EXPECT_EQ(trace.hop_ips.size() + 0u, trace.hop_ips.size());
+  EXPECT_FALSE(trace.hop_ips.empty());
+}
+
+TEST_F(MeasureFixture, AsPathCondensed) {
+  auto client = wf_->measurement();
+  auto lo = wf_->network().router("as100r2")->config().loopback->address;
+  auto trace = client.traceroute("as300r2", lo.to_string());
+  // "can then be easily and accurately translated into an AS path":
+  // 300 -> 40 -> 1 -> 20 -> 100.
+  EXPECT_EQ(trace.as_path,
+            (std::vector<std::int64_t>{300, 40, 1, 20, 100}));
+}
+
+TEST_F(MeasureFixture, DeviceForIpUsesAllocations) {
+  auto client = wf_->measurement();
+  auto lo = wf_->network().router("as1r1")->config().loopback->address;
+  EXPECT_EQ(client.device_for_ip(lo.to_string()), "as1r1");
+  EXPECT_EQ(client.device_for_ip("8.8.8.8"), "");
+  EXPECT_EQ(client.asn_of("as300r4"), 300);
+  EXPECT_EQ(client.asn_of("ghost"), 0);
+}
+
+TEST_F(MeasureFixture, SendFansOutOverHosts) {
+  auto client = wf_->measurement();
+  auto lo = wf_->network().router("as1r1")->config().loopback->address;
+  std::vector<std::string> hosts{"as20r1", "as100r3", "as300r4"};
+  auto results = client.send(hosts, "traceroute -naU " + lo.to_string(),
+                             measure::TextFsm::traceroute_template());
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) {
+    EXPECT_FALSE(r.raw_output.empty());
+    EXPECT_FALSE(r.records.empty()) << r.host;
+    EXPECT_NE(r.records.back().at("IP"), "");
+  }
+}
+
+TEST_F(MeasureFixture, TracerouteAllCoversEveryRouter) {
+  auto client = wf_->measurement();
+  auto lo = wf_->network().router("as1r1")->config().loopback->address;
+  auto traces = client.traceroute_all(lo.to_string());
+  EXPECT_EQ(traces.size(), 14u);
+  for (const auto& t : traces) EXPECT_TRUE(t.reached) << t.source;
+}
+
+TEST_F(MeasureFixture, UnreachableTraceNotReached) {
+  auto client = wf_->measurement();
+  auto trace = client.traceroute("as1r1", "203.0.113.254");
+  EXPECT_FALSE(trace.reached);
+  EXPECT_EQ(trace.node_path, std::vector<std::string>{"as1r1"});
+}
+
+TEST_F(MeasureFixture, OspfValidationMatchesDesign) {
+  auto report = measure::validate_ospf(wf_->network(), wf_->anm());
+  EXPECT_TRUE(report.ok) << report.to_string();
+  EXPECT_EQ(report.to_string().find("OK"), 0u);
+}
+
+TEST_F(MeasureFixture, OspfValidationDetectsMissingAdjacency) {
+  // Sabotage the design overlay: add an adjacency that cannot exist in
+  // the running network.
+  wf_->anm()["ospf"].add_edge("as1r1", "as300r4");
+  auto report = measure::validate_ospf(wf_->network(), wf_->anm());
+  EXPECT_FALSE(report.ok);
+  ASSERT_EQ(report.missing.size(), 1u);
+  EXPECT_EQ(report.missing[0], "as1r1--as300r4");
+  EXPECT_NE(report.to_string().find("MISMATCH"), std::string::npos);
+}
+
+TEST_F(MeasureFixture, OspfValidationDetectsUnexpectedAdjacency) {
+  auto edges = wf_->anm()["ospf"].edges();
+  ASSERT_FALSE(edges.empty());
+  wf_->anm()["ospf"].remove_edge(edges.front());
+  auto report = measure::validate_ospf(wf_->network(), wf_->anm());
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.unexpected.size(), 1u);
+}
+
+TEST_F(MeasureFixture, BgpValidationMatchesDesign) {
+  auto report = measure::validate_bgp(wf_->network(), wf_->anm());
+  EXPECT_TRUE(report.ok) << report.to_string();
+}
+
+TEST_F(MeasureFixture, BgpValidationDetectsSabotage) {
+  wf_->anm()["ebgp"].add_edge("as20r1", "as200r1");
+  auto report = measure::validate_bgp(wf_->network(), wf_->anm());
+  EXPECT_FALSE(report.ok);
+  EXPECT_FALSE(report.missing.empty());
+}
+
+}  // namespace

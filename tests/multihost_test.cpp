@@ -1,0 +1,110 @@
+// Distributed deployment across emulation hosts (§3.3 StarBed scenario):
+// per-host config slices, per-host boot, GRE stitching of cross-host
+// links, and one combined control plane.
+#include <gtest/gtest.h>
+
+#include "core/workflow.hpp"
+#include "deploy/multihost.hpp"
+#include "topology/builtin.hpp"
+
+namespace {
+
+using namespace autonet;
+using namespace autonet::deploy;
+
+/// figure5 with AS 2 (r5) placed on a second emulation host.
+core::Workflow split_workflow() {
+  auto input = topology::figure5();
+  input.set_node_attr(input.find_node("r5"), "host", "hostB");
+  core::Workflow wf;
+  wf.load(input).design().compile().render();
+  return wf;
+}
+
+TEST(MultiHost, SlicesAndBootsPerHost) {
+  auto wf = split_workflow();
+  EmulationHost a("localhost");
+  EmulationHost b("hostB");
+  MultiHostDeployer deployer({&a, &b});
+  auto result = deployer.deploy(wf.configs(), wf.nidb());
+  ASSERT_TRUE(result.success);
+  ASSERT_EQ(result.slices.size(), 2u);
+  EXPECT_EQ(result.slices[0].booted.size(), 4u);  // r1..r4
+  EXPECT_EQ(result.slices[1].booted.size(), 1u);  // r5
+  // Each host's filesystem holds its own devices plus shared artefacts.
+  EXPECT_TRUE(a.filesystem().contains("lab.conf"));
+  EXPECT_TRUE(b.filesystem().contains("lab.conf"));
+  EXPECT_TRUE(a.filesystem().paths_under("hostB/").empty());
+  EXPECT_FALSE(b.filesystem().paths_under("hostB/netkit/r5").empty());
+  EXPECT_TRUE(b.filesystem().paths_under("localhost/").empty());
+}
+
+TEST(MultiHost, CrossHostLinksStitched) {
+  auto wf = split_workflow();
+  EmulationHost a("localhost");
+  EmulationHost b("hostB");
+  MultiHostDeployer deployer({&a, &b});
+  auto result = deployer.deploy(wf.configs(), wf.nidb());
+  ASSERT_TRUE(result.success);
+  // r5 has two physical links into host A: two GRE stitches.
+  EXPECT_EQ(result.cross_connects, 2u);
+  bool stitch_logged = false;
+  for (const auto& line : deployer.log()) {
+    if (line.find("stitch gre") != std::string::npos) stitch_logged = true;
+  }
+  EXPECT_TRUE(stitch_logged);
+}
+
+TEST(MultiHost, CombinedNetworkSpansHosts) {
+  auto wf = split_workflow();
+  EmulationHost a("localhost");
+  EmulationHost b("hostB");
+  MultiHostDeployer deployer({&a, &b});
+  auto result = deployer.deploy(wf.configs(), wf.nidb());
+  ASSERT_TRUE(result.success);
+  EXPECT_TRUE(result.convergence.converged);
+  ASSERT_NE(deployer.network(), nullptr);
+  // Traffic crosses the host boundary.
+  auto lo = deployer.network()->router("r5")->config().loopback->address;
+  auto trace = deployer.network()->traceroute("r1", lo);
+  EXPECT_TRUE(trace.reached);
+}
+
+TEST(MultiHost, BootFailureOnOneHostBlocksLab) {
+  auto wf = split_workflow();
+  EmulationHost a("localhost");
+  EmulationHost b("hostB");
+  b.fail_boot_of("r5");
+  MultiHostDeployer deployer({&a, &b});
+  auto result = deployer.deploy(wf.configs(), wf.nidb());
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(deployer.network(), nullptr);
+  ASSERT_EQ(result.slices.size(), 2u);
+  EXPECT_EQ(result.slices[1].failed, std::vector<std::string>{"r5"});
+}
+
+TEST(MultiHost, TransferRetryPerHost) {
+  auto wf = split_workflow();
+  EmulationHost a("localhost");
+  EmulationHost b("hostB");
+  b.corrupt_next_transfer();
+  MultiHostDeployer deployer({&a, &b});
+  auto result = deployer.deploy(wf.configs(), wf.nidb());
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.slices[0].transfer_attempts, 1);
+  EXPECT_EQ(result.slices[1].transfer_attempts, 2);
+}
+
+TEST(MultiHost, UnassignedDevicesFailTheDeployment) {
+  auto wf = split_workflow();
+  EmulationHost a("localhost");  // hostB missing
+  MultiHostDeployer deployer({&a});
+  auto result = deployer.deploy(wf.configs(), wf.nidb());
+  EXPECT_FALSE(result.success);
+}
+
+TEST(MultiHost, RequiresHosts) {
+  EXPECT_THROW(MultiHostDeployer({}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+// Routing-policy integration (§7.3): policies ride on overlay edges, are
+// rendered into per-vendor configuration idioms, parsed back, and change
+// the emulated decision process — local-preference ingress policy and
+// the no-transit ("^$") export policy.
+#include <gtest/gtest.h>
+
+#include "core/workflow.hpp"
+#include "emulation/network.hpp"
+#include "topology/builtin.hpp"
+
+namespace {
+
+using namespace autonet;
+using namespace autonet::emulation;
+
+graph::Graph prefer_r4_input() {
+  // r5 dual-homes to r3 and r4; local_pref 200 on the r4-r5 link makes
+  // both ends prefer routes over it.
+  auto input = topology::figure5();
+  auto e = input.find_edge(input.find_node("r4"), input.find_node("r5"));
+  input.set_edge_attr(e, "local_pref", 200);
+  return input;
+}
+
+TEST(Policy, LocalPrefFlowsIntoEbgpOverlay) {
+  core::Workflow wf;
+  wf.load(prefer_r4_input()).design();
+  std::size_t tagged = 0;
+  for (const auto& e : wf.anm()["ebgp"].edges()) {
+    if (e.attr("local_pref").as_int() == 200) ++tagged;
+  }
+  EXPECT_EQ(tagged, 2u);  // both directions of the r4-r5 session
+}
+
+TEST(Policy, LocalPrefRenderedPerVendor) {
+  for (const char* platform : {"netkit", "dynagen", "junosphere", "cbgp"}) {
+    core::WorkflowOptions opts;
+    opts.platform = platform;
+    core::Workflow wf(opts);
+    wf.load(prefer_r4_input()).design().compile().render();
+    bool found = false;
+    for (const auto& [path, content] : wf.configs()) {
+      if (content.find("local-pref") != std::string::npos ||
+          content.find("local-preference") != std::string::npos) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << platform;
+  }
+}
+
+TEST(Policy, QuaggaRouteMapRoundTrip) {
+  core::Workflow wf;
+  wf.load(prefer_r4_input()).design().compile().render();
+  auto cfg = parse_quagga_device(wf.configs(), "localhost/netkit/r5", "r5");
+  std::size_t with_pref = 0;
+  for (const auto& n : cfg.bgp_neighbors) {
+    if (n.local_pref_in == 200) ++with_pref;
+  }
+  EXPECT_EQ(with_pref, 1u);  // the session towards r4
+}
+
+TEST(Policy, IosRouteMapRoundTrip) {
+  core::WorkflowOptions opts;
+  opts.platform = "dynagen";
+  core::Workflow wf(opts);
+  wf.load(prefer_r4_input()).design().compile().render();
+  const auto* text = wf.configs().get("localhost/dynagen/r5/startup-config.cfg");
+  ASSERT_NE(text, nullptr);
+  auto cfg = parse_ios_config(*text);
+  std::size_t with_pref = 0;
+  for (const auto& n : cfg.bgp_neighbors) {
+    if (n.local_pref_in == 200) ++with_pref;
+  }
+  EXPECT_EQ(with_pref, 1u);
+}
+
+TEST(Policy, JunosImportRoundTrip) {
+  core::WorkflowOptions opts;
+  opts.platform = "junosphere";
+  core::Workflow wf(opts);
+  wf.load(prefer_r4_input()).design().compile().render();
+  const auto* text = wf.configs().get("localhost/junosphere/r5/juniper.conf");
+  ASSERT_NE(text, nullptr);
+  auto cfg = parse_junos_config(*text);
+  std::size_t with_pref = 0;
+  for (const auto& n : cfg.bgp_neighbors) {
+    if (n.local_pref_in == 200) ++with_pref;
+  }
+  EXPECT_EQ(with_pref, 1u);
+}
+
+TEST(Policy, LocalPrefSteersExitSelection) {
+  // Without policy, r5's exit towards AS1 prefixes is tie-broken; with
+  // local_pref 200 on the r4 link it must be r4, on every platform.
+  for (const char* platform : {"netkit", "dynagen", "junosphere"}) {
+    core::WorkflowOptions opts;
+    opts.platform = platform;
+    core::Workflow wf(opts);
+    wf.run(prefer_r4_input());
+    ASSERT_TRUE(wf.deploy_result().success) << platform;
+    auto& net = wf.network();
+    auto lo1 = net.router("r1")->config().loopback->address;
+    auto trace = net.traceroute("r5", lo1);
+    ASSERT_TRUE(trace.reached) << platform;
+    EXPECT_EQ(trace.hops[0].router, "r4") << platform;
+  }
+}
+
+TEST(Policy, LocalPrefBeatsShorterAsPath) {
+  // Add a distant origin so the preferred route is strictly longer:
+  // local-pref (step 2) must still win over AS-path length (step 3).
+  auto input = topology::figure5();
+  auto far = input.add_node("r6");
+  input.set_node_attr(far, "device_type", "router");
+  input.set_node_attr(far, "asn", 3);
+  input.set_node_attr(far, "advertise_prefix", "198.51.100.0/24");
+  input.add_edge("r6", "r1");
+  // r5 prefers its r3 uplink; the path r5-r3-r1-r6 (3 ASes) competes with
+  // nothing shorter, but r5 also hears the prefix via r4 with the same
+  // length — set pref on r3 and verify it wins deterministically.
+  auto e = input.find_edge(input.find_node("r3"), input.find_node("r5"));
+  input.set_edge_attr(e, "local_pref", 300);
+  core::Workflow wf;
+  wf.run(input);
+  auto& net = wf.network();
+  auto dst = *addressing::Ipv4Addr::parse("198.51.100.1");
+  const auto* route = net.router("r5")->lookup(dst);
+  ASSERT_NE(route, nullptr);
+  auto owner = net.owner_of(*route->next_hop);
+  ASSERT_TRUE(owner);
+  EXPECT_EQ(*owner, "r3");
+}
+
+TEST(Policy, StaticCheckCleanWithPolicies) {
+  core::Workflow wf;
+  wf.load(prefer_r4_input()).design().compile();
+  auto report = wf.static_check();
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Policy, NoTransitKeepsPaperPath) {
+  // The Small-Internet stub policy (AS200) produces the Fig. 7 carrier
+  // path; removing the policy reroutes through the customer.
+  auto without = topology::small_internet();
+  without.set_node_attr(without.find_node("as200r1"), "no_transit", false);
+  core::Workflow wf;
+  wf.run(without);
+  auto trace = wf.measurement().traceroute("as300r2", "as100r2");
+  ASSERT_TRUE(trace.reached);
+  // Customer transit now wins (shorter AS path via AS200).
+  EXPECT_EQ(trace.as_path, (std::vector<std::int64_t>{300, 200, 100}));
+}
+
+}  // namespace

@@ -1,0 +1,170 @@
+// Robustness: malformed or adversarial inputs must produce typed errors
+// (or clean skips), never crashes or silent corruption — the parsers face
+// user-supplied files and hand-edited configs.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "emulation/config_parse.hpp"
+#include "measure/textfsm.hpp"
+#include "nidb/value.hpp"
+#include "templates/template.hpp"
+#include "topology/gml.hpp"
+#include "topology/graphml.hpp"
+#include "topology/rocketfuel.hpp"
+
+namespace {
+
+using namespace autonet;
+
+std::vector<std::string> garbage_corpus() {
+  std::vector<std::string> corpus{
+      "",
+      " ",
+      "\n\n\n",
+      "\x00\x01\x02",
+      "<<<<>>>>",
+      "graph [ node [ id",
+      "<graphml><graph>",
+      "<graphml><graph edgedefault=\"undirected\"><node id=\"a\"></graph></graphml>",
+      "router bgp abc\n neighbor x remote-as y\n",
+      "${unterminated",
+      "% for x in:\n% endfor\n",
+      "]]]}}}",
+      std::string(10000, 'A'),
+      std::string("\xff\xfe\xfd"),
+  };
+  // Deterministic pseudo-random byte soup.
+  std::mt19937_64 rng(1234);
+  for (int i = 0; i < 10; ++i) {
+    std::string s;
+    std::uniform_int_distribution<int> len(1, 500);
+    std::uniform_int_distribution<int> byte(0, 255);
+    int count = len(rng);
+    for (int j = 0; j < count; ++j) s += static_cast<char>(byte(rng));
+    corpus.push_back(std::move(s));
+  }
+  return corpus;
+}
+
+TEST(Robustness, GraphmlNeverCrashes) {
+  for (const auto& text : garbage_corpus()) {
+    try {
+      auto g = topology::load_graphml(text);
+      (void)g.node_count();
+    } catch (const topology::ParseError&) {
+    } catch (const std::exception&) {
+      // Any std exception is acceptable; crashes are not.
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Robustness, GmlNeverCrashes) {
+  for (const auto& text : garbage_corpus()) {
+    try {
+      auto g = topology::load_gml(text);
+      (void)g.node_count();
+    } catch (const std::exception&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Robustness, RocketfuelNeverCrashes) {
+  for (const auto& text : garbage_corpus()) {
+    try {
+      auto g = topology::load_rocketfuel(text);
+      (void)g.node_count();
+    } catch (const std::exception&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Robustness, JsonNeverCrashes) {
+  for (const auto& text : garbage_corpus()) {
+    try {
+      auto v = nidb::parse_json(text);
+      (void)v.to_json();
+    } catch (const std::exception&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Robustness, TemplateNeverCrashes) {
+  templates::Context ctx;
+  ctx.set("node", nidb::Value(nidb::Object{{"x", nidb::Value(1)}}));
+  for (const auto& text : garbage_corpus()) {
+    try {
+      auto out = templates::render(text, ctx);
+      (void)out.size();
+    } catch (const std::exception&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Robustness, ConfigParsersNeverCrash) {
+  for (const auto& text : garbage_corpus()) {
+    try {
+      (void)emulation::parse_ios_config(text);
+    } catch (const std::exception&) {
+    }
+    try {
+      (void)emulation::parse_junos_config(text);
+    } catch (const std::exception&) {
+    }
+    try {
+      (void)emulation::parse_cbgp_script(text);
+    } catch (const std::exception&) {
+    }
+    try {
+      render::ConfigTree tree;
+      tree.put("dev/.startup", text);
+      tree.put("dev/etc/quagga/ospfd.conf", text);
+      tree.put("dev/etc/quagga/bgpd.conf", text);
+      (void)emulation::parse_quagga_device(tree, "dev", "dev");
+    } catch (const std::exception&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Robustness, TextFsmNeverCrashes) {
+  for (const auto& text : garbage_corpus()) {
+    try {
+      auto fsm = measure::TextFsm::parse(text);
+      (void)fsm.run("input line\n");
+    } catch (const std::exception&) {
+    }
+    // Garbage as *input* to a valid template must never throw at all.
+    EXPECT_NO_THROW(measure::TextFsm::traceroute_template().run(text));
+  }
+}
+
+TEST(Robustness, DeepTemplateNestingBounded) {
+  // 64 nested loops parse and render without stack issues.
+  std::string text;
+  for (int i = 0; i < 64; ++i) {
+    text += "% for v" + std::to_string(i) + " in xs:\n";
+  }
+  text += "y\n";
+  for (int i = 0; i < 64; ++i) text += "% endfor\n";
+  templates::Context ctx;
+  ctx.set("xs", nidb::Value(nidb::Array{nidb::Value(1)}));
+  EXPECT_EQ(templates::render(text, ctx), "y\n");
+}
+
+TEST(Robustness, HugeJsonRoundTrip) {
+  nidb::Array arr;
+  for (int i = 0; i < 20000; ++i) {
+    arr.emplace_back(nidb::Object{{"i", nidb::Value(i)}});
+  }
+  nidb::Value v{std::move(arr)};
+  auto text = v.to_json();
+  EXPECT_EQ(nidb::parse_json(text), v);
+}
+
+}  // namespace

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "topology/rocketfuel.hpp"
+
+namespace {
+
+using namespace autonet::topology;
+
+constexpr const char* kCch =
+    "1 @NewYork,NY +bb bb 3 -> <2> <3> {-100} =r1.nyc r0\n"
+    "2 @Chicago,IL 2 -> <1> <3> =r2.chi r0\n"
+    "3 @Seattle,WA 2 -> <1> <2> =r3.sea r0\n"
+    "-100 @External 1 -> {-1} =ext.peer r1\n";
+
+TEST(Rocketfuel, ParsesInternalTopology) {
+  auto g = load_rocketfuel(kCch);
+  EXPECT_EQ(g.node_count(), 3u);  // external dropped by default
+  EXPECT_EQ(g.edge_count(), 3u);  // triangle, deduplicated
+  auto r1 = g.find_node("r1.nyc");
+  ASSERT_NE(r1, autonet::graph::kInvalidNode);
+  EXPECT_EQ(g.node_attr(r1, "backbone"), autonet::graph::AttrValue(true));
+  EXPECT_EQ(*g.node_attr(r1, "location").as_string(), "NewYork,NY");
+  EXPECT_EQ(g.node_attr(r1, "asn"), autonet::graph::AttrValue(1));
+  EXPECT_EQ(*g.node_attr(r1, "device_type").as_string(), "router");
+}
+
+TEST(Rocketfuel, NonBackboneRouters) {
+  auto g = load_rocketfuel(kCch);
+  auto r2 = g.find_node("r2.chi");
+  EXPECT_EQ(g.node_attr(r2, "backbone"), autonet::graph::AttrValue(false));
+}
+
+TEST(Rocketfuel, KeepExternals) {
+  RocketfuelOptions opts;
+  opts.internal_only = false;
+  auto g = load_rocketfuel(kCch, opts);
+  EXPECT_EQ(g.node_count(), 4u);
+  EXPECT_TRUE(g.has_node("ext.peer"));
+}
+
+TEST(Rocketfuel, CustomAsn) {
+  RocketfuelOptions opts;
+  opts.asn = 7018;
+  auto g = load_rocketfuel(kCch, opts);
+  EXPECT_EQ(g.node_attr(g.find_node("r1.nyc"), "asn"),
+            autonet::graph::AttrValue(7018));
+}
+
+TEST(Rocketfuel, FallbackNames) {
+  auto g = load_rocketfuel("5 @X 1 -> <6>\n6 @Y 1 -> <5>\n");
+  EXPECT_TRUE(g.has_node("r5"));
+  EXPECT_TRUE(g.has_node("r6"));
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Rocketfuel, SkipsCommentsAndJunk) {
+  auto g = load_rocketfuel("# comment\n\n1 @A 1 -> <2> =a r0\n2 @B 1 -> <1> =b r0\n");
+  EXPECT_EQ(g.node_count(), 2u);
+}
+
+TEST(Rocketfuel, EmptyInputThrows) {
+  EXPECT_THROW(load_rocketfuel(""), ParseError);
+  EXPECT_THROW(load_rocketfuel("# only comments\n"), ParseError);
+}
+
+TEST(Rocketfuel, MissingFileThrows) {
+  EXPECT_THROW(load_rocketfuel_file("/nonexistent.cch"), ParseError);
+}
+
+}  // namespace

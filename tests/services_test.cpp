@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "core/workflow.hpp"
+#include "design/ip_allocation.hpp"
+#include "design/services.hpp"
+#include "topology/builtin.hpp"
+#include "topology/generators.hpp"
+
+namespace {
+
+using namespace autonet;
+using anm::AbstractNetworkModel;
+
+AbstractNetworkModel base_model() {
+  core::Workflow wf;
+  auto input = topology::figure5();
+  topology::attach_servers(input, 2, 9);
+  wf.load(input);
+  design::build_ip(wf.anm());
+  return std::move(wf.anm());
+}
+
+TEST(Dns, ServerNominationPrefersServers) {
+  auto anm = base_model();
+  auto g_dns = design::build_dns(anm);
+  // Each AS gets one server; AS of the attached servers nominates a
+  // server device, the other AS nominates its lowest-named router.
+  std::size_t servers = 0;
+  for (const auto& n : g_dns.nodes()) {
+    if (n.attr("dns_server").truthy()) {
+      ++servers;
+      EXPECT_TRUE(n.attr("zone").is_set());
+    }
+  }
+  EXPECT_EQ(servers, 2u);  // one per AS
+}
+
+TEST(Dns, ExplicitMarkWins) {
+  core::Workflow wf;
+  auto input = topology::figure5();
+  input.set_node_attr(input.find_node("r4"), "dns_server", true);
+  wf.load(input);
+  design::build_ip(wf.anm());
+  auto g_dns = design::build_dns(wf.anm());
+  EXPECT_TRUE(g_dns.node("r4")->attr("dns_server").truthy());
+  // Clients of AS1 point at r4.
+  for (const auto& e : g_dns.edges()) {
+    if (e.src().asn() == 1) {
+      EXPECT_EQ(e.dst().name(), "r4");
+    }
+  }
+}
+
+TEST(Dns, ZoneNamesPerAs) {
+  auto anm = base_model();
+  auto g_dns = design::build_dns(anm);
+  EXPECT_EQ(graph::attr_or_unset(g_dns.data(), "zone_1").to_string(), "as1.lab");
+  EXPECT_EQ(graph::attr_or_unset(g_dns.data(), "zone_2").to_string(), "as2.lab");
+}
+
+TEST(Dns, ZoneRecordsConsistentWithIp) {
+  auto anm = base_model();
+  design::build_dns(anm);
+  auto records = design::dns_zone_records(anm, 1);
+  ASSERT_FALSE(records.empty());
+  for (const auto& r : records) {
+    // Records carry bare addresses (no prefix length), consistent with
+    // the allocation.
+    EXPECT_EQ(r.address.find('/'), std::string::npos);
+    auto node = anm["ip"].node(r.name);
+    ASSERT_TRUE(node) << r.name;
+  }
+  // Sorted by name for deterministic zone files.
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LT(records[i - 1].name, records[i].name);
+  }
+}
+
+TEST(Dns, RoutersUseLoopbackServersUseInterface) {
+  auto anm = base_model();
+  design::build_dns(anm);
+  auto records = design::dns_zone_records(anm, 1);
+  auto find = [&records](const std::string& name) -> const design::DnsRecord* {
+    for (const auto& r : records) {
+      if (r.name == name) return &r;
+    }
+    return nullptr;
+  };
+  const auto* r1 = find("r1");
+  ASSERT_NE(r1, nullptr);
+  const auto* lo = anm["ip"].node("r1")->attr("loopback").as_string();
+  EXPECT_EQ(r1->address, lo->substr(0, lo->find('/')));
+}
+
+graph::Graph rpki_input() {
+  graph::Graph g;
+  auto add = [&g](const char* name, const char* role, std::int64_t asn) {
+    auto n = g.add_node(name);
+    g.set_node_attr(n, "rpki_role", role);
+    g.set_node_attr(n, "asn", asn);
+    g.set_node_attr(n, "device_type", "server");
+  };
+  add("ta", "ca", 1);
+  add("ca1", "ca", 1);
+  add("ca2", "ca", 2);
+  add("pub1", "publication", 1);
+  add("cache1", "cache", 1);
+  auto rel = [&g](const char* a, const char* b, const char* relation) {
+    auto e = g.add_edge(a, b);
+    g.set_edge_attr(e, "relation", relation);
+    g.set_edge_attr(e, "type", "rpki");
+  };
+  rel("ta", "ca1", "parent");
+  rel("ta", "ca2", "parent");
+  rel("ca1", "pub1", "publishes_to");
+  rel("pub1", "cache1", "feeds");
+  return g;
+}
+
+TEST(Rpki, HierarchyBuilt) {
+  core::Workflow wf;
+  wf.load(rpki_input());
+  auto g_rpki = design::build_rpki(wf.anm());
+  EXPECT_EQ(g_rpki.node_count(), 5u);
+  EXPECT_EQ(g_rpki.edge_count(), 4u);
+  EXPECT_EQ(graph::attr_or_unset(g_rpki.data(), "trust_anchor").to_string(), "ta");
+  EXPECT_TRUE(g_rpki.node("ta")->attr("trust_anchor").truthy());
+  EXPECT_EQ(g_rpki.edges_where("relation", "parent").size(), 2u);
+}
+
+TEST(Rpki, UnknownRoleThrows) {
+  core::Workflow wf;
+  auto input = rpki_input();
+  input.set_node_attr(input.find_node("ca1"), "rpki_role", "wizard");
+  wf.load(input);
+  EXPECT_THROW(design::build_rpki(wf.anm()), std::invalid_argument);
+}
+
+TEST(Rpki, NoAnchorThrows) {
+  core::Workflow wf;
+  graph::Graph input;
+  auto n = input.add_node("cache1");
+  input.set_node_attr(n, "rpki_role", "cache");
+  wf.load(input);
+  EXPECT_THROW(design::build_rpki(wf.anm()), std::invalid_argument);
+}
+
+TEST(Rpki, RoasDerivedFromIpBlocks) {
+  core::Workflow wf;
+  // Routing topology + RPKI service nodes in one input graph.
+  auto input = topology::figure5();
+  auto ta = input.add_node("ta");
+  input.set_node_attr(ta, "rpki_role", "ca");
+  input.set_node_attr(ta, "asn", 1);
+  wf.load(input);
+  design::build_ip(wf.anm());
+  design::build_rpki(wf.anm());
+  auto roas = design::derive_roas(wf.anm());
+  // One ROA per AS with an infra block (AS 1 and AS 2... AS 2 has no
+  // intra links so only AS 1 plus none for the shared range).
+  ASSERT_FALSE(roas.empty());
+  for (const auto& roa : roas) {
+    EXPECT_NE(roa.asn, 0);
+    EXPECT_FALSE(roa.prefix.empty());
+    EXPECT_EQ(roa.issuing_ca, "ta");
+  }
+}
+
+TEST(Rpki, RoasEmptyWithoutIpOverlay) {
+  core::Workflow wf;
+  wf.load(topology::figure5());
+  EXPECT_TRUE(design::derive_roas(wf.anm()).empty());
+}
+
+}  // namespace

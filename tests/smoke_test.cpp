@@ -1,0 +1,39 @@
+// End-to-end smoke test: the full §6.1 walkthrough on the Small-Internet
+// lab — load, design, compile, render, deploy, traceroute — asserting the
+// paper's headline behaviours hold.
+#include <gtest/gtest.h>
+
+#include "core/workflow.hpp"
+#include "topology/builtin.hpp"
+
+namespace {
+
+using namespace autonet;
+
+TEST(Smoke, SmallInternetEndToEnd) {
+  core::Workflow wf;
+  wf.run(topology::small_internet());
+
+  EXPECT_TRUE(wf.deploy_result().success);
+  EXPECT_TRUE(wf.deploy_result().convergence.converged);
+  EXPECT_EQ(wf.nidb().device_count(), 14u);
+  EXPECT_GT(wf.configs().file_count(), 14u * 3);
+
+  // The §6.1 traceroute: as300r2 reaches as100r2 across five ASes.
+  auto client = wf.measurement();
+  auto dst = wf.network().router("as100r2");
+  ASSERT_NE(dst, nullptr);
+  ASSERT_TRUE(dst->config().loopback.has_value());
+  auto trace =
+      client.traceroute("as300r2", dst->config().loopback->address.to_string());
+  EXPECT_TRUE(trace.reached);
+  ASSERT_GE(trace.node_path.size(), 3u);
+  EXPECT_EQ(trace.node_path.front(), "as300r2");
+  EXPECT_EQ(trace.node_path.back(), "as100r2");
+
+  // Design-vs-running validation (§5.7).
+  auto report = wf.validate_ospf();
+  EXPECT_TRUE(report.ok) << report.to_string();
+}
+
+}  // namespace

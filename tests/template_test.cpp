@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "templates/template.hpp"
+
+namespace {
+
+using namespace autonet::templates;
+using autonet::nidb::Array;
+using autonet::nidb::Object;
+using autonet::nidb::Value;
+
+Context node_context() {
+  Value node;
+  node.set_path("zebra.hostname", "as100r1");
+  node.set_path("zebra.password", "1234");
+  Array interfaces;
+  Object i1;
+  i1["id"] = "eth1";
+  i1["ospf_cost"] = 1;
+  interfaces.emplace_back(std::move(i1));
+  Object i2;
+  i2["id"] = "eth2";
+  i2["ospf_cost"] = 5;
+  interfaces.emplace_back(std::move(i2));
+  node["interfaces"] = Value(std::move(interfaces));
+  node["asn"] = 100;
+  Context ctx;
+  ctx.set("node", node);
+  return ctx;
+}
+
+TEST(Template, Substitution) {
+  EXPECT_EQ(render("hostname ${node.zebra.hostname}\n", node_context()),
+            "hostname as100r1\n");
+}
+
+TEST(Template, MissingPathRendersEmpty) {
+  EXPECT_EQ(render("x${node.missing.path}y", node_context()), "xy");
+}
+
+TEST(Template, PaperExampleTemplate) {
+  // The §4.1 listing, structure-for-structure.
+  const char* tmpl =
+      "hostname ${node.zebra.hostname}\n"
+      "password ${node.zebra.password}\n"
+      "% for interface in node.interfaces:\n"
+      "interface ${interface.id}\n"
+      " ip ospf cost ${interface.ospf_cost}\n"
+      "% endfor\n";
+  EXPECT_EQ(render(tmpl, node_context()),
+            "hostname as100r1\n"
+            "password 1234\n"
+            "interface eth1\n"
+            " ip ospf cost 1\n"
+            "interface eth2\n"
+            " ip ospf cost 5\n");
+}
+
+TEST(Template, ForOverEmptyArray) {
+  Context ctx;
+  ctx.set("node", Value(Object{{"list", Value(Array{})}}));
+  EXPECT_EQ(render("a\n% for x in node.list:\n${x}\n% endfor\nb\n", ctx), "a\nb\n");
+}
+
+TEST(Template, ForOverNullSkips) {
+  EXPECT_EQ(render("% for x in node.nope:\n${x}\n% endfor\ndone\n", node_context()),
+            "done\n");
+}
+
+TEST(Template, ForOverObjectYieldsKeys) {
+  Context ctx;
+  ctx.set("m", Value(Object{{"a", Value(1)}, {"b", Value(2)}}));
+  EXPECT_EQ(render("% for k in m:\n${k}\n% endfor\n", ctx), "a\nb\n");
+}
+
+TEST(Template, NestedLoops) {
+  Context ctx;
+  Array outer;
+  outer.emplace_back(Object{{"items", Value(Array{Value(1), Value(2)})}});
+  outer.emplace_back(Object{{"items", Value(Array{Value(3)})}});
+  ctx.set("rows", Value(std::move(outer)));
+  EXPECT_EQ(render("% for row in rows:\n% for i in row.items:\n${i}\n% endfor\n% endfor\n",
+                   ctx),
+            "1\n2\n3\n");
+}
+
+TEST(Template, IfElifElse) {
+  const char* tmpl =
+      "% if node.asn == 100:\nhundred\n"
+      "% elif node.asn == 200:\ntwo-hundred\n"
+      "% else:\nother\n% endif\n";
+  EXPECT_EQ(render(tmpl, node_context()), "hundred\n");
+  Context ctx2;
+  ctx2.set("node", Value(Object{{"asn", Value(200)}}));
+  EXPECT_EQ(render(tmpl, ctx2), "two-hundred\n");
+  Context ctx3;
+  ctx3.set("node", Value(Object{{"asn", Value(300)}}));
+  EXPECT_EQ(render(tmpl, ctx3), "other\n");
+}
+
+TEST(Template, TruthinessConditions) {
+  EXPECT_EQ(render("% if node.interfaces:\nyes\n% endif\n", node_context()), "yes\n");
+  EXPECT_EQ(render("% if node.missing:\nyes\n% else:\nno\n% endif\n", node_context()),
+            "no\n");
+  EXPECT_EQ(render("% if not node.missing:\nyes\n% endif\n", node_context()), "yes\n");
+}
+
+TEST(Template, BooleanOperators) {
+  EXPECT_EQ(render("% if node.asn == 100 and node.zebra.hostname == 'as100r1':\nok\n% endif\n",
+                   node_context()),
+            "ok\n");
+  EXPECT_EQ(render("% if node.asn == 1 or node.asn == 100:\nok\n% endif\n",
+                   node_context()),
+            "ok\n");
+}
+
+TEST(Template, Comparisons) {
+  EXPECT_EQ(render("% if node.asn > 50:\ngt\n% endif\n", node_context()), "gt\n");
+  EXPECT_EQ(render("% if node.asn <= 100:\nle\n% endif\n", node_context()), "le\n");
+  EXPECT_EQ(render("% if node.asn != 100:\nne\n% else:\neq\n% endif\n", node_context()),
+            "eq\n");
+}
+
+TEST(Template, Arithmetic) {
+  EXPECT_EQ(render("${node.asn + 1}", node_context()), "101");
+  EXPECT_EQ(render("${node.asn - 100}", node_context()), "0");
+  EXPECT_EQ(render("${'as' + node.asn}", node_context()), "as100");
+}
+
+TEST(Template, Filters) {
+  Context ctx;
+  ctx.set("net", Value("192.168.1.5/30"));
+  ctx.set("names", Value(Array{Value("a"), Value("b")}));
+  EXPECT_EQ(render("${net | cidr}", ctx), "192.168.1.4/30");
+  EXPECT_EQ(render("${net | network}", ctx), "192.168.1.4");
+  EXPECT_EQ(render("${net | netmask}", ctx), "255.255.255.252");
+  EXPECT_EQ(render("${net | wildcard}", ctx), "0.0.0.3");
+  EXPECT_EQ(render("${net | prefixlen}", ctx), "30");
+  EXPECT_EQ(render("${net | ip}", ctx), "192.168.1.5");
+  EXPECT_EQ(render("${'ab' | upper}", ctx), "AB");
+  EXPECT_EQ(render("${'AB' | lower}", ctx), "ab");
+  EXPECT_EQ(render("${names | join(', ')}", ctx), "a, b");
+  EXPECT_EQ(render("${names | length}", ctx), "2");
+  EXPECT_EQ(render("${names | first}", ctx), "a");
+  EXPECT_EQ(render("${names | last}", ctx), "b");
+  EXPECT_EQ(render("${missing | default('fallback')}", ctx), "fallback");
+  EXPECT_EQ(render("${names | join('-') | upper}", ctx), "A-B");  // chained
+}
+
+TEST(Template, FilterErrors) {
+  Context ctx;
+  ctx.set("x", Value("notanip"));
+  EXPECT_THROW(render("${x | cidr}", ctx), TemplateError);
+  EXPECT_THROW(render("${x | nosuchfilter}", ctx), TemplateError);
+  EXPECT_THROW(render("${x | join}", ctx), TemplateError);
+}
+
+TEST(Template, PercentEscape) {
+  EXPECT_EQ(render("%% literal percent\n", Context{}), "% literal percent\n");
+}
+
+TEST(Template, SyntaxErrors) {
+  EXPECT_THROW(Template::parse("${unclosed"), TemplateError);
+  EXPECT_THROW(Template::parse("% for x node.y:\n% endfor\n"), TemplateError);
+  EXPECT_THROW(Template::parse("% for x in y:\nno endfor\n"), TemplateError);
+  EXPECT_THROW(Template::parse("% endfor\n"), TemplateError);
+  EXPECT_THROW(Template::parse("% if x:\n"), TemplateError);
+  EXPECT_THROW(Template::parse("% frobnicate\n"), TemplateError);
+  EXPECT_THROW(Template::parse("${a ~ b}"), TemplateError);
+  EXPECT_THROW(Template::parse("% if x:\n% else:\n% elif y:\n% endif\n"),
+               TemplateError);
+}
+
+TEST(Template, ErrorsCarryTemplateNameAndLine) {
+  try {
+    Template::parse("line one\n${bad syntax here}\n", "templates/test.conf");
+    FAIL() << "expected TemplateError";
+  } catch (const TemplateError& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("templates/test.conf"), std::string::npos);
+    EXPECT_NE(what.find(":2"), std::string::npos);
+  }
+}
+
+TEST(Template, LoopVariableShadowsOuter) {
+  Context ctx;
+  ctx.set("x", Value("outer"));
+  ctx.set("items", Value(Array{Value("inner")}));
+  EXPECT_EQ(render("% for x in items:\n${x}\n% endfor\n${x}\n", ctx),
+            "inner\nouter\n");
+}
+
+TEST(Template, ReuseParsedTemplate) {
+  Template t = Template::parse("asn=${node.asn}\n");
+  EXPECT_EQ(t.render(node_context()), "asn=100\n");
+  Context other;
+  other.set("node", Value(Object{{"asn", Value(7)}}));
+  EXPECT_EQ(t.render(other), "asn=7\n");
+}
+
+TEST(Template, ControlLinesConsumeTheirNewlines) {
+  // Control lines leave no blank lines behind.
+  EXPECT_EQ(render("a\n% if 1:\nb\n% endif\nc\n", Context{}), "a\nb\nc\n");
+}
+
+TEST(Template, LiteralExpressions) {
+  EXPECT_EQ(render("${'quoted'}", Context{}), "quoted");
+  EXPECT_EQ(render("${42}", Context{}), "42");
+  EXPECT_EQ(render("${true}", Context{}), "true");
+  EXPECT_EQ(render("${none}", Context{}), "");
+  EXPECT_EQ(render("${(1 + 2)}", Context{}), "3");
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "measure/textfsm.hpp"
+
+namespace {
+
+using namespace autonet::measure;
+
+TEST(TextFsm, TracerouteTemplateParsesRealOutput) {
+  // Output in the format the emulated (and real) traceroute emits.
+  const char* output =
+      " 1  192.168.1.34  0.1 ms\n"
+      " 2  192.168.1.25  0.2 ms\n"
+      " 3  192.168.1.82  0.3 ms\n";
+  auto records = TextFsm::traceroute_template().run(output);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].at("TTL"), "1");
+  EXPECT_EQ(records[0].at("IP"), "192.168.1.34");
+  EXPECT_EQ(records[0].at("RTT"), "0.1");
+  EXPECT_EQ(records[2].at("IP"), "192.168.1.82");
+}
+
+TEST(TextFsm, TracerouteTemplateSkipsStars) {
+  auto records = TextFsm::traceroute_template().run(
+      " 1  10.0.0.1  0.1 ms\n 2  * * *\n");
+  EXPECT_EQ(records.size(), 1u);
+}
+
+TEST(TextFsm, OspfNeighborTemplate) {
+  auto records = TextFsm::ospf_neighbor_template().run(
+      "Neighbor ID     State\n"
+      "10.0.0.1  Full  # as1r1\n"
+      "10.0.0.2  Full  # as1r2\n");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].at("NEIGHBOR_ID"), "10.0.0.1");
+  EXPECT_EQ(records[1].at("NAME"), "as1r2");
+}
+
+TEST(TextFsm, CustomTemplate) {
+  auto fsm = TextFsm::parse(R"(Value NAME (\w+)
+Value COUNT (\d+)
+
+Start
+  ^item ${NAME} x${COUNT} -> Record
+)");
+  auto records = fsm.run("item apple x3\nnoise\nitem pear x7\n");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].at("NAME"), "apple");
+  EXPECT_EQ(records[1].at("COUNT"), "7");
+}
+
+TEST(TextFsm, RequiredSuppressesIncompleteRows) {
+  auto fsm = TextFsm::parse(R"(Value Required A (\d+)
+Value B (\w+)
+
+Start
+  ^a=${A} -> Record
+  ^b=${B} -> Record
+)");
+  auto records = fsm.run("b=hello\na=5\n");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].at("A"), "5");
+}
+
+TEST(TextFsm, FilldownCarriesValues) {
+  auto fsm = TextFsm::parse(R"(Value Filldown HOST (\w+)
+Value Required ADDR (\d+\.\d+\.\d+\.\d+)
+
+Start
+  ^host ${HOST}
+  ^ip ${ADDR} -> Record
+)");
+  auto records = fsm.run("host r1\nip 1.1.1.1\nip 2.2.2.2\nhost r2\nip 3.3.3.3\n");
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].at("HOST"), "r1");
+  EXPECT_EQ(records[1].at("HOST"), "r1");
+  EXPECT_EQ(records[2].at("HOST"), "r2");
+}
+
+TEST(TextFsm, ListAppends) {
+  auto fsm = TextFsm::parse(R"(Value List MEMBER (\w+)
+Value Required GROUP (\w+)
+
+Start
+  ^member ${MEMBER}
+  ^group ${GROUP} -> Record
+)");
+  auto records = fsm.run("member a\nmember b\ngroup g1\n");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].at("MEMBER"), "a,b");
+}
+
+TEST(TextFsm, StateTransitions) {
+  auto fsm = TextFsm::parse(R"(Value X (\d+)
+
+Start
+  ^begin -> Body
+
+Body
+  ^x=${X} -> Record
+  ^end -> Start
+)");
+  auto records = fsm.run("x=1\nbegin\nx=2\nend\nx=3\nbegin\nx=4\n");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].at("X"), "2");
+  EXPECT_EQ(records[1].at("X"), "4");
+}
+
+TEST(TextFsm, ErrorRuleThrows) {
+  auto fsm = TextFsm::parse(R"(Value X (\d+)
+
+Start
+  ^boom -> Error
+  ^x=${X} -> Record
+)");
+  EXPECT_THROW(fsm.run("boom\n"), TextFsmError);
+  EXPECT_EQ(fsm.run("x=1\n").size(), 1u);
+}
+
+TEST(TextFsm, MalformedTemplates) {
+  EXPECT_THROW(TextFsm::parse(""), TextFsmError);                 // no Start
+  EXPECT_THROW(TextFsm::parse("Value X\n\nStart\n"), TextFsmError);  // no regex
+  EXPECT_THROW(TextFsm::parse("^rule outside state\n"), TextFsmError);
+  EXPECT_THROW(TextFsm::parse("Value (\\d+)\n\nStart\n"), TextFsmError);
+}
+
+TEST(TextFsm, ValueNamesExposed) {
+  auto fsm = TextFsm::parse("Value A (x)\nValue B (y)\n\nStart\n");
+  EXPECT_EQ(fsm.value_names(), (std::vector<std::string>{"A", "B"}));
+}
+
+TEST(TextFsm, FirstMatchingRuleWins) {
+  auto fsm = TextFsm::parse(R"(Value X (\d+)
+Value Y (\d+)
+
+Start
+  ^n=${X} -> Record
+  ^n=${Y} -> Record
+)");
+  auto records = fsm.run("n=9\n");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].at("X"), "9");
+  EXPECT_EQ(records[0].at("Y"), "");
+}
+
+}  // namespace

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "graph/transforms.hpp"
+
+namespace {
+
+using namespace autonet::graph;
+
+TEST(SplitEdge, InsertsIntermediateNode) {
+  Graph g;
+  EdgeId e = g.add_edge("r1", "r2");
+  g.set_edge_attr(e, "ospf_cost", 5);
+  NodeId mid = split_edge(g, e);
+  EXPECT_EQ(g.node_name(mid), "cd_r1_r2");
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_FALSE(g.has_edge(e));
+  // Replacement edges inherit the attributes.
+  for (EdgeId ne : g.incident_edges(mid)) {
+    EXPECT_EQ(g.edge_attr(ne, "ospf_cost"), AttrValue(5));
+  }
+  EXPECT_NE(g.find_edge(g.find_node("r1"), mid), kInvalidEdge);
+  EXPECT_NE(g.find_edge(mid, g.find_node("r2")), kInvalidEdge);
+}
+
+TEST(SplitEdge, UniquifiesNames) {
+  Graph g;
+  EdgeId e1 = g.add_edge("a", "b");
+  EdgeId e2 = g.add_edge("a", "b");
+  NodeId m1 = split_edge(g, e1);
+  NodeId m2 = split_edge(g, e2);
+  EXPECT_NE(g.node_name(m1), g.node_name(m2));
+}
+
+TEST(SplitEdges, SplitsAll) {
+  Graph g;
+  std::vector<EdgeId> edges{g.add_edge("a", "b"), g.add_edge("b", "c")};
+  auto mids = split_edges(g, edges);
+  EXPECT_EQ(mids.size(), 2u);
+  EXPECT_EQ(g.edge_count(), 4u);
+}
+
+TEST(Aggregate, CollapsesClusterKeepingOutsideLinks) {
+  Graph g;
+  // Two switches bridged together, three routers hanging off them.
+  g.add_edge("sw1", "sw2");
+  g.add_edge("r1", "sw1");
+  g.add_edge("r2", "sw1");
+  g.add_edge("r3", "sw2");
+  std::vector<NodeId> cluster{g.find_node("sw1"), g.find_node("sw2")};
+  NodeId agg = aggregate_nodes(g, cluster, "lan0");
+  EXPECT_EQ(g.node_name(agg), "lan0");
+  EXPECT_EQ(g.node_count(), 4u);  // r1 r2 r3 lan0
+  EXPECT_EQ(g.degree(agg), 3u);
+  EXPECT_FALSE(g.has_node("sw1"));
+}
+
+TEST(Aggregate, MergesDuplicateAttachments) {
+  Graph g;
+  g.add_edge("r1", "sw1");
+  g.add_edge("r1", "sw2");
+  g.add_edge("sw1", "sw2");
+  std::vector<NodeId> cluster{g.find_node("sw1"), g.find_node("sw2")};
+  NodeId agg = aggregate_nodes(g, cluster, "lan0");
+  EXPECT_EQ(g.degree(agg), 1u);  // r1 attached once
+}
+
+TEST(Aggregate, EmptyThrows) {
+  Graph g;
+  std::vector<NodeId> none;
+  EXPECT_THROW(aggregate_nodes(g, none, "x"), std::invalid_argument);
+}
+
+TEST(Explode, FormsCliqueOfNeighbors) {
+  Graph g;
+  g.add_edge("hub", "a");
+  g.add_edge("hub", "b");
+  g.add_edge("hub", "c");
+  auto added = explode_node(g, g.find_node("hub"));
+  EXPECT_EQ(added.size(), 3u);  // triangle a-b-c
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_NE(g.find_edge(g.find_node("a"), g.find_node("b")), kInvalidEdge);
+  EXPECT_NE(g.find_edge(g.find_node("b"), g.find_node("c")), kInvalidEdge);
+}
+
+TEST(Explode, SkipsExistingEdges) {
+  Graph g;
+  g.add_edge("hub", "a");
+  g.add_edge("hub", "b");
+  g.add_edge("a", "b");  // already adjacent
+  auto added = explode_node(g, g.find_node("hub"));
+  EXPECT_TRUE(added.empty());
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(GroupBy, BucketsNodesByAttr) {
+  Graph g;
+  for (const char* name : {"a", "b", "c"}) {
+    NodeId n = g.add_node(name);
+    g.set_node_attr(n, "asn", name[0] == 'c' ? 2 : 1);
+  }
+  g.add_node("unset");
+  auto groups = group_by(g, "asn");
+  EXPECT_EQ(groups.size(), 3u);  // 1, 2, and unset
+  EXPECT_EQ(groups[AttrValue(1)].size(), 2u);
+  EXPECT_EQ(groups[AttrValue(2)].size(), 1u);
+  EXPECT_EQ(groups[AttrValue()].size(), 1u);
+}
+
+}  // namespace

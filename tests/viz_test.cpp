@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "core/workflow.hpp"
+#include "nidb/value.hpp"
+#include "topology/builtin.hpp"
+#include "viz/export.hpp"
+
+namespace {
+
+using namespace autonet;
+using nidb::parse_json;
+using nidb::Value;
+
+TEST(VizExport, OverlayDocumentShape) {
+  core::Workflow wf;
+  wf.load(topology::figure5()).design();
+  auto json = viz::overlay_to_d3_json(wf.anm()["ospf"]);
+  Value doc = parse_json(json);
+  EXPECT_EQ(*doc.find("name")->as_string(), "ospf");
+  EXPECT_EQ(doc.find("nodes")->as_array()->size(), 5u);
+  EXPECT_EQ(doc.find("links")->as_array()->size(), 4u);
+  const Value& node = doc.find("nodes")->as_array()->front();
+  EXPECT_NE(node.find("id"), nullptr);
+  EXPECT_NE(node.find("group"), nullptr);  // asn grouping
+  const Value& link = doc.find("links")->as_array()->front();
+  EXPECT_NE(link.find("source"), nullptr);
+  EXPECT_NE(link.find("target"), nullptr);
+}
+
+TEST(VizExport, GroupAttrConfigurable) {
+  core::Workflow wf;
+  wf.load(topology::figure5()).design();
+  viz::ExportOptions opts;
+  opts.group_attr = "device_type";
+  auto doc = parse_json(viz::overlay_to_d3_json(wf.anm()["phy"], opts));
+  EXPECT_EQ(*doc.find("nodes")->as_array()->front().find("group")->as_string(),
+            "router");
+}
+
+TEST(VizExport, WholeModelDocument) {
+  core::Workflow wf;
+  wf.load(topology::figure5()).design();
+  auto doc = parse_json(viz::anm_to_d3_json(wf.anm()));
+  const auto* overlays = doc.find("overlays")->as_array();
+  ASSERT_NE(overlays, nullptr);
+  // input, phy, ospf, ebgp, ibgp, ip.
+  EXPECT_EQ(overlays->size(), 6u);
+  std::set<std::string> names;
+  for (const Value& o : *overlays) names.insert(*o.find("name")->as_string());
+  EXPECT_TRUE(names.contains("ibgp"));
+  EXPECT_TRUE(names.contains("ip"));
+}
+
+TEST(VizExport, HighlightMessage) {
+  // Fig. 7: msg.highlight(nodes, [], [path]).
+  auto json = viz::highlight_json(
+      {"as300r2", "as100r2"}, {{"as1r1", "as20r3"}},
+      {{"as300r2", "as40r1", "as1r1", "as20r3", "as20r2", "as100r1", "as100r2"}});
+  Value doc = parse_json(json);
+  EXPECT_EQ(doc.find("nodes")->as_array()->size(), 2u);
+  EXPECT_EQ(doc.find("edges")->as_array()->size(), 1u);
+  const auto* paths = doc.find("paths")->as_array();
+  ASSERT_EQ(paths->size(), 1u);
+  EXPECT_EQ(paths->front().as_array()->size(), 7u);
+  EXPECT_EQ(*paths->front().as_array()->front().as_string(), "as300r2");
+}
+
+TEST(VizExport, NidbDocument) {
+  core::Workflow wf;
+  wf.load(topology::figure5()).design().compile();
+  auto doc = parse_json(viz::nidb_to_json(wf.nidb()));
+  EXPECT_EQ(doc.find("devices")->as_object()->size(), 5u);
+}
+
+TEST(VizExport, DirectedOverlayFlagged) {
+  core::Workflow wf;
+  wf.load(topology::figure5()).design();
+  auto doc = parse_json(viz::overlay_to_d3_json(wf.anm()["ebgp"]));
+  EXPECT_TRUE(doc.find("directed")->as_bool().value());
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+// What-if / incident experimentation (§8: "creating tools to emulate
+// workflow, or incidents"): fail links in the running emulation,
+// reconverge, and observe rerouting — the "what-if analysis" emulation
+// enables.
+#include <gtest/gtest.h>
+
+#include "core/workflow.hpp"
+#include "emulation/network.hpp"
+#include "topology/builtin.hpp"
+
+namespace {
+
+using namespace autonet;
+using namespace autonet::emulation;
+
+EmulatedNetwork booted(const graph::Graph& input) {
+  core::Workflow wf;
+  wf.load(input).design().compile().render();
+  auto net = EmulatedNetwork::from_nidb(wf.nidb(), wf.configs());
+  net.start();
+  return net;
+}
+
+TEST(WhatIf, IgpReroutesAroundFailedLink) {
+  auto net = booted(topology::figure5());
+  // Baseline: r1 -> r4 takes the two-hop path via r2 or r3.
+  auto before = net.traceroute("r1", "r4");
+  ASSERT_TRUE(before.reached);
+  ASSERT_EQ(before.hops.size(), 2u);
+  const std::string first_hop = before.hops[0].router;
+
+  // Fail the link the path uses; traffic must take the other branch.
+  ASSERT_TRUE(net.fail_link("r1", first_hop));
+  net.start();
+  auto after = net.traceroute("r1", "r4");
+  ASSERT_TRUE(after.reached);
+  ASSERT_EQ(after.hops.size(), 2u);
+  EXPECT_NE(after.hops[0].router, first_hop);
+
+  // Restore and reconverge: the original path returns.
+  ASSERT_TRUE(net.restore_link("r1", first_hop));
+  net.start();
+  auto restored = net.traceroute("r1", "r4");
+  EXPECT_EQ(restored.hops[0].router, first_hop);
+}
+
+TEST(WhatIf, PartitionMakesDestinationsUnreachable) {
+  auto net = booted(topology::figure5());
+  // r5 connects via r3 and r4 only; cutting both strands it.
+  ASSERT_TRUE(net.fail_link("r3", "r5"));
+  ASSERT_TRUE(net.fail_link("r4", "r5"));
+  net.start();
+  auto lo = net.router("r5")->config().loopback->address;
+  EXPECT_FALSE(net.ping("r1", lo));
+  // And r5 has no eBGP sessions left.
+  auto summary = net.exec("r5", "show ip bgp summary");
+  EXPECT_EQ(summary.find("Established"), std::string::npos);
+}
+
+TEST(WhatIf, EbgpFallsBackToSecondExit) {
+  auto net = booted(topology::figure5());
+  // AS1 reaches AS2 (r5) via r3-r5 or r4-r5. Find r1's current exit.
+  auto lo = net.router("r5")->config().loopback->address;
+  auto before = net.traceroute("r1", lo);
+  ASSERT_TRUE(before.reached);
+  const std::string exit_router = before.hops[0].router;  // r3 or r4
+  ASSERT_TRUE(net.fail_link(exit_router, "r5"));
+  net.start();
+  EXPECT_TRUE(net.last_report().converged);
+  auto after = net.traceroute("r1", lo);
+  ASSERT_TRUE(after.reached);
+  EXPECT_NE(after.hops[0].router, exit_router);
+}
+
+TEST(WhatIf, FailLinkValidation) {
+  auto net = booted(topology::figure5());
+  EXPECT_FALSE(net.fail_link("r1", "r4"));  // not adjacent
+  EXPECT_FALSE(net.fail_link("r1", "ghost"));
+  EXPECT_FALSE(net.restore_link("r1", "r2"));  // nothing failed yet
+  EXPECT_TRUE(net.fail_link("r1", "r2"));
+  EXPECT_EQ(net.failed_link_count(), 1u);
+  EXPECT_TRUE(net.restore_link("r1", "r2"));
+  EXPECT_EQ(net.failed_link_count(), 0u);
+}
+
+TEST(WhatIf, OspfNeighborsReflectFailure) {
+  auto net = booted(topology::figure5());
+  ASSERT_TRUE(net.fail_link("r1", "r2"));
+  net.start();
+  EXPECT_EQ(net.router("r1")->ospf_neighbors(), std::vector<std::string>{"r3"});
+  // Design-vs-running validation now reports the missing adjacency —
+  // exactly the §5.7 workflow for detecting unintended incidents.
+  core::Workflow wf;
+  wf.load(topology::figure5()).design();
+  auto report = measure::validate_ospf(net, wf.anm());
+  EXPECT_FALSE(report.ok);
+  ASSERT_EQ(report.missing.size(), 1u);
+  EXPECT_EQ(report.missing[0], "r1--r2");
+}
+
+TEST(WhatIf, BgpTableCommandShowsBestRoutes) {
+  auto net = booted(topology::small_internet());
+  auto table = net.exec("as1r1", "show ip bgp");
+  EXPECT_NE(table.find("local router ID"), std::string::npos);
+  EXPECT_NE(table.find(">"), std::string::npos);
+  auto records = measure::TextFsm::bgp_table_template().run(table);
+  EXPECT_GE(records.size(), 6u);  // one per learned AS block at least
+  for (const auto& rec : records) {
+    EXPECT_NE(rec.at("PREFIX"), "");
+    EXPECT_NE(rec.at("NEXTHOP"), "");
+  }
+}
+
+}  // namespace

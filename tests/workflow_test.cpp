@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "core/workflow.hpp"
+#include "topology/builtin.hpp"
+#include "topology/generators.hpp"
+
+namespace {
+
+using namespace autonet;
+
+TEST(Workflow, PhasesMustRunInOrder) {
+  core::Workflow wf;
+  EXPECT_THROW(wf.design(), std::logic_error);
+  wf.load(topology::figure5());
+  EXPECT_THROW(wf.compile(), std::logic_error);
+  wf.design();
+  EXPECT_THROW(wf.render(), std::logic_error);
+  wf.compile();
+  EXPECT_THROW(wf.deploy(), std::logic_error);
+  wf.render();
+  wf.deploy();
+  EXPECT_TRUE(wf.deploy_result().success);
+}
+
+TEST(Workflow, AccessorsThrowBeforePhases) {
+  core::Workflow wf;
+  EXPECT_THROW((void)wf.nidb(), std::logic_error);
+  EXPECT_THROW((void)wf.configs(), std::logic_error);
+  EXPECT_THROW((void)wf.network(), std::logic_error);
+  EXPECT_THROW((void)wf.measurement(), std::logic_error);
+  EXPECT_THROW((void)wf.validate_ospf(), std::logic_error);
+}
+
+TEST(Workflow, TimingsRecorded) {
+  core::Workflow wf;
+  wf.run(topology::figure5());
+  const auto& t = wf.timings();
+  for (const char* phase : {"load", "design", "compile", "render", "deploy"}) {
+    ASSERT_TRUE(t.ms.contains(phase)) << phase;
+    EXPECT_GE(t.ms.at(phase), 0.0);
+  }
+  EXPECT_GT(t.total(), 0.0);
+  EXPECT_NE(t.to_string().find("render="), std::string::npos);
+}
+
+TEST(Workflow, UnknownPlatformThrows) {
+  core::WorkflowOptions opts;
+  opts.platform = "imaginary";
+  core::Workflow wf(opts);
+  wf.load(topology::figure5()).design();
+  EXPECT_THROW(wf.compile(), std::invalid_argument);
+}
+
+TEST(Workflow, UnknownIbgpModeThrows) {
+  core::WorkflowOptions opts;
+  opts.ibgp = "confederation";
+  core::Workflow wf(opts);
+  wf.load(topology::figure5());
+  EXPECT_THROW(wf.design(), std::invalid_argument);
+}
+
+TEST(Workflow, RrAutoSelectsAndBuildsHierarchy) {
+  core::WorkflowOptions opts;
+  opts.ibgp = "rr-auto";
+  opts.rr_select.per_as = 1;
+  opts.rr_select.min_as_size = 3;
+  core::Workflow wf(opts);
+  wf.run(topology::small_internet());
+  EXPECT_TRUE(wf.deploy_result().success);
+  EXPECT_TRUE(wf.deploy_result().convergence.converged);
+  // Only AS 300 (4 routers) exceeds min_as_size=3; it gets one reflector.
+  std::size_t reflectors = 0;
+  for (const auto& n : wf.anm()["phy"].routers()) {
+    if (n.attr("rr").truthy()) ++reflectors;
+  }
+  EXPECT_EQ(reflectors, 1u);
+}
+
+TEST(Workflow, ServicesEnabled) {
+  core::WorkflowOptions opts;
+  opts.enable_dns = true;
+  opts.enable_isis = true;
+  core::Workflow wf(opts);
+  wf.run(topology::small_internet());
+  EXPECT_TRUE(wf.deploy_result().success);
+  EXPECT_TRUE(wf.anm().has_overlay("dns"));
+  EXPECT_TRUE(wf.anm().has_overlay("isis"));
+  // DNS config rendered for the nominated server.
+  bool dns_config_seen = false;
+  for (const auto& [path, content] : wf.configs()) {
+    if (path.ends_with("dnsmasq.conf") && content.find("address=/") != std::string::npos) {
+      dns_config_seen = true;
+    }
+  }
+  EXPECT_TRUE(dns_config_seen);
+}
+
+struct PlatformCase {
+  const char* platform;
+  bool expect_osc;  // bad-gadget oscillation expectation (§7.2)
+};
+
+class PlatformMatrix : public ::testing::TestWithParam<PlatformCase> {};
+
+TEST_P(PlatformMatrix, SmallInternetConvergesAndValidates) {
+  core::WorkflowOptions opts;
+  opts.platform = GetParam().platform;
+  core::Workflow wf(opts);
+  wf.run(topology::small_internet());
+  EXPECT_TRUE(wf.deploy_result().success);
+  EXPECT_TRUE(wf.deploy_result().convergence.converged);
+  auto report = wf.validate_ospf();
+  EXPECT_TRUE(report.ok) << GetParam().platform << ": " << report.to_string();
+}
+
+TEST_P(PlatformMatrix, BadGadgetVendorBehaviour) {
+  core::WorkflowOptions opts;
+  opts.platform = GetParam().platform;
+  opts.ibgp = "rr";
+  core::Workflow wf(opts);
+  wf.run(topology::bad_gadget());
+  EXPECT_TRUE(wf.deploy_result().success);
+  EXPECT_EQ(wf.deploy_result().convergence.oscillating, GetParam().expect_osc)
+      << GetParam().platform;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Platforms, PlatformMatrix,
+    ::testing::Values(PlatformCase{"netkit", false}, PlatformCase{"dynagen", true},
+                      PlatformCase{"junosphere", true}, PlatformCase{"cbgp", true}),
+    [](const ::testing::TestParamInfo<PlatformCase>& info) {
+      return info.param.platform;
+    });
+
+class ScaleSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScaleSweep, PipelineScalesAcrossAsCounts) {
+  topology::MultiAsOptions gen;
+  gen.as_count = GetParam();
+  gen.min_routers_per_as = 2;
+  gen.max_routers_per_as = 4;
+  gen.seed = GetParam() * 13 + 1;
+  core::Workflow wf;
+  wf.run(topology::make_multi_as(gen));
+  EXPECT_TRUE(wf.deploy_result().success);
+  EXPECT_TRUE(wf.deploy_result().convergence.converged);
+  EXPECT_TRUE(wf.validate_ospf().ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(AsCounts, ScaleSweep, ::testing::Values(2u, 4u, 8u, 12u));
+
+}  // namespace

@@ -1,0 +1,215 @@
+// The `autonet` command-line front end: generate topologies, build
+// (design + compile + render + static-check) configuration trees, and run
+// full experiments with measurement — the workflow a user drives the
+// library with from a shell.
+//
+//   autonet generate <figure5|small-internet|bad-gadget|nren> [--out F]
+//   autonet build <topology> [--platform P] [--ibgp mesh|rr|rr-auto]
+//                 [--isis] [--dns] [--out DIR] [--nidb F] [--viz F]
+//   autonet check <topology> [--platform P] [--ibgp MODE]
+//   autonet run   <topology> [--platform P] [--ibgp MODE]
+//                 [--trace SRC DST] [--validate]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/workflow.hpp"
+#include "topology/builtin.hpp"
+#include "topology/generators.hpp"
+#include "topology/gml.hpp"
+#include "topology/graphml.hpp"
+#include "topology/load.hpp"
+#include "verify/static_check.hpp"
+#include "viz/export.hpp"
+
+namespace {
+
+using namespace autonet;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  autonet generate <figure5|small-internet|bad-gadget|nren> "
+               "[--out FILE] [--format graphml|gml]\n"
+               "  autonet build <topology> [--platform netkit|dynagen|"
+               "junosphere|cbgp] [--ibgp mesh|rr|rr-auto]\n"
+               "                [--isis] [--dns] [--out DIR] [--nidb FILE] "
+               "[--viz FILE]\n"
+               "  autonet check <topology> [--platform P] [--ibgp MODE]\n"
+               "  autonet run <topology> [--platform P] [--ibgp MODE] "
+               "[--trace SRC DST] [--validate]\n");
+  return 2;
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+  std::vector<std::string> trace;  // SRC DST
+
+  static Args parse(int argc, char** argv, int start) {
+    Args args;
+    for (int i = start; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--isis" || arg == "--dns" || arg == "--validate") {
+        args.options[arg.substr(2)] = "1";
+      } else if (arg == "--trace" && i + 2 < argc) {
+        args.trace = {argv[i + 1], argv[i + 2]};
+        i += 2;
+      } else if (arg.starts_with("--") && i + 1 < argc) {
+        args.options[arg.substr(2)] = argv[++i];
+      } else {
+        args.positional.push_back(std::move(arg));
+      }
+    }
+    return args;
+  }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return options.contains(key);
+  }
+};
+
+graph::Graph named_topology(const std::string& name) {
+  if (name == "figure5") return topology::figure5();
+  if (name == "small-internet") return topology::small_internet();
+  if (name == "bad-gadget") return topology::bad_gadget();
+  if (name == "nren") return topology::make_nren_model();
+  throw std::invalid_argument("unknown built-in topology '" + name + "'");
+}
+
+graph::Graph load_input(const std::string& spec) {
+  // Built-in names work anywhere a file path does.
+  for (const char* builtin : {"figure5", "small-internet", "bad-gadget", "nren"}) {
+    if (spec == builtin) return named_topology(spec);
+  }
+  return topology::load_topology_file(spec);
+}
+
+core::WorkflowOptions workflow_options(const Args& args) {
+  core::WorkflowOptions opts;
+  opts.platform = args.get("platform", "netkit");
+  opts.ibgp = args.get("ibgp", "mesh");
+  opts.enable_isis = args.has("isis");
+  opts.enable_dns = args.has("dns");
+  return opts;
+}
+
+int cmd_generate(const Args& args) {
+  if (args.positional.empty()) return usage();
+  auto g = named_topology(args.positional[0]);
+  const std::string format = args.get("format", "graphml");
+  std::string text = format == "gml" ? topology::to_gml(g) : topology::to_graphml(g);
+  const std::string out = args.get("out");
+  if (out.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    std::ofstream file(out, std::ios::binary);
+    if (!file) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    file << text;
+    std::printf("%zu nodes, %zu edges written to %s\n", g.node_count(),
+                g.edge_count(), out.c_str());
+  }
+  return 0;
+}
+
+int cmd_build(const Args& args) {
+  if (args.positional.empty()) return usage();
+  core::Workflow wf(workflow_options(args));
+  wf.load(load_input(args.positional[0])).design().compile().render();
+
+  auto check = verify::static_check(wf.nidb());
+  std::printf("%s\n", check.to_string().c_str());
+
+  std::printf("%zu devices, %zu files, %zu bytes; timings: %s\n",
+              wf.nidb().device_count(), wf.configs().file_count(),
+              wf.configs().total_bytes(), wf.timings().to_string().c_str());
+
+  if (args.has("out")) {
+    wf.configs().write_to_disk(args.get("out"));
+    std::printf("configuration tree written to %s/\n", args.get("out").c_str());
+  }
+  if (args.has("nidb")) {
+    std::ofstream file(args.get("nidb"));
+    file << wf.nidb().to_json();
+    std::printf("resource database written to %s\n", args.get("nidb").c_str());
+  }
+  if (args.has("viz")) {
+    std::ofstream file(args.get("viz"));
+    file << viz::anm_to_d3_json(wf.anm());
+    std::printf("visualization JSON written to %s\n", args.get("viz").c_str());
+  }
+  return check.ok() ? 0 : 1;
+}
+
+int cmd_check(const Args& args) {
+  if (args.positional.empty()) return usage();
+  core::Workflow wf(workflow_options(args));
+  wf.load(load_input(args.positional[0])).design().compile();
+  auto report = verify::static_check(wf.nidb());
+  std::printf("%s\n", report.to_string().c_str());
+  return report.ok() ? 0 : 1;
+}
+
+int cmd_run(const Args& args) {
+  if (args.positional.empty()) return usage();
+  core::Workflow wf(workflow_options(args));
+  wf.run(load_input(args.positional[0]));
+  const auto& result = wf.deploy_result();
+  std::printf("deploy: %s; %zu machines; BGP %s (%zu rounds%s)\n",
+              result.success ? "ok" : "FAILED", result.booted.size(),
+              result.convergence.converged
+                  ? "converged"
+                  : (result.convergence.oscillating ? "OSCILLATING" : "incomplete"),
+              result.convergence.rounds,
+              result.convergence.oscillating
+                  ? (", period " + std::to_string(result.convergence.period)).c_str()
+                  : "");
+  if (!result.success) return 1;
+
+  int rc = 0;
+  if (!args.trace.empty()) {
+    auto trace = wf.measurement().traceroute(args.trace[0], args.trace[1]);
+    std::printf("traceroute %s -> %s: [", args.trace[0].c_str(),
+                args.trace[1].c_str());
+    for (std::size_t i = 0; i < trace.node_path.size(); ++i) {
+      std::printf("%s%s", i ? ", " : "", trace.node_path[i].c_str());
+    }
+    std::printf("] %s\n", trace.reached ? "reached" : "UNREACHABLE");
+    if (!trace.reached) rc = 1;
+  }
+  if (args.has("validate")) {
+    auto report = wf.validate_ospf();
+    std::printf("%s\n", report.to_string().c_str());
+    if (!report.ok) rc = 1;
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  Args args = Args::parse(argc, argv, 2);
+  try {
+    if (command == "generate") return cmd_generate(args);
+    if (command == "build") return cmd_build(args);
+    if (command == "check") return cmd_check(args);
+    if (command == "run") return cmd_run(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "autonet: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
