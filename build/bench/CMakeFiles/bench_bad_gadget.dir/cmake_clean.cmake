@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bad_gadget.dir/bench_bad_gadget.cpp.o"
+  "CMakeFiles/bench_bad_gadget.dir/bench_bad_gadget.cpp.o.d"
+  "bench_bad_gadget"
+  "bench_bad_gadget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bad_gadget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

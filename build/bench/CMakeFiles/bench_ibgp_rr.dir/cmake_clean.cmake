@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ibgp_rr.dir/bench_ibgp_rr.cpp.o"
+  "CMakeFiles/bench_ibgp_rr.dir/bench_ibgp_rr.cpp.o.d"
+  "bench_ibgp_rr"
+  "bench_ibgp_rr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ibgp_rr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ip_allocation.dir/bench_ip_allocation.cpp.o"
+  "CMakeFiles/bench_ip_allocation.dir/bench_ip_allocation.cpp.o.d"
+  "bench_ip_allocation"
+  "bench_ip_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ip_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

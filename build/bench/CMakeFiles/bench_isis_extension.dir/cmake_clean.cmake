@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_isis_extension.dir/bench_isis_extension.cpp.o"
+  "CMakeFiles/bench_isis_extension.dir/bench_isis_extension.cpp.o.d"
+  "bench_isis_extension"
+  "bench_isis_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_isis_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

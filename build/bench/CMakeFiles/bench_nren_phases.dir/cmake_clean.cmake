@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nren_phases.dir/bench_nren_phases.cpp.o"
+  "CMakeFiles/bench_nren_phases.dir/bench_nren_phases.cpp.o.d"
+  "bench_nren_phases"
+  "bench_nren_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nren_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

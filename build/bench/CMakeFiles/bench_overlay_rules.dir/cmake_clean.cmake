@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overlay_rules.dir/bench_overlay_rules.cpp.o"
+  "CMakeFiles/bench_overlay_rules.dir/bench_overlay_rules.cpp.o.d"
+  "bench_overlay_rules"
+  "bench_overlay_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overlay_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_services_scale.dir/bench_services_scale.cpp.o"
+  "CMakeFiles/bench_services_scale.dir/bench_services_scale.cpp.o.d"
+  "bench_services_scale"
+  "bench_services_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_services_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

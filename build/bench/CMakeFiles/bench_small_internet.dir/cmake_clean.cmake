@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_small_internet.dir/bench_small_internet.cpp.o"
+  "CMakeFiles/bench_small_internet.dir/bench_small_internet.cpp.o.d"
+  "bench_small_internet"
+  "bench_small_internet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_small_internet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

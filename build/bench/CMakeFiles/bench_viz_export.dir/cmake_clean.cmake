@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_viz_export.dir/bench_viz_export.cpp.o"
+  "CMakeFiles/bench_viz_export.dir/bench_viz_export.cpp.o.d"
+  "bench_viz_export"
+  "bench_viz_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_viz_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bad_gadget.dir/bad_gadget.cpp.o"
+  "CMakeFiles/bad_gadget.dir/bad_gadget.cpp.o.d"
+  "bad_gadget"
+  "bad_gadget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bad_gadget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nren_scale.dir/nren_scale.cpp.o"
+  "CMakeFiles/nren_scale.dir/nren_scale.cpp.o.d"
+  "nren_scale"
+  "nren_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nren_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

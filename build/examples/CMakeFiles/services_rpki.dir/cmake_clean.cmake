@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/services_rpki.dir/services_rpki.cpp.o"
+  "CMakeFiles/services_rpki.dir/services_rpki.cpp.o.d"
+  "services_rpki"
+  "services_rpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/services_rpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

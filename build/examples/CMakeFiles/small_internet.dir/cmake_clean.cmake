@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/small_internet.dir/small_internet.cpp.o"
+  "CMakeFiles/small_internet.dir/small_internet.cpp.o.d"
+  "small_internet"
+  "small_internet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/small_internet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/addressing/allocator.cpp" "src/CMakeFiles/autonet_addressing.dir/addressing/allocator.cpp.o" "gcc" "src/CMakeFiles/autonet_addressing.dir/addressing/allocator.cpp.o.d"
+  "/root/repo/src/addressing/ipv4.cpp" "src/CMakeFiles/autonet_addressing.dir/addressing/ipv4.cpp.o" "gcc" "src/CMakeFiles/autonet_addressing.dir/addressing/ipv4.cpp.o.d"
+  "/root/repo/src/addressing/ipv6.cpp" "src/CMakeFiles/autonet_addressing.dir/addressing/ipv6.cpp.o" "gcc" "src/CMakeFiles/autonet_addressing.dir/addressing/ipv6.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

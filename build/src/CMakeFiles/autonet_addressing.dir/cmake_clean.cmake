@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonet_addressing.dir/addressing/allocator.cpp.o"
+  "CMakeFiles/autonet_addressing.dir/addressing/allocator.cpp.o.d"
+  "CMakeFiles/autonet_addressing.dir/addressing/ipv4.cpp.o"
+  "CMakeFiles/autonet_addressing.dir/addressing/ipv4.cpp.o.d"
+  "CMakeFiles/autonet_addressing.dir/addressing/ipv6.cpp.o"
+  "CMakeFiles/autonet_addressing.dir/addressing/ipv6.cpp.o.d"
+  "libautonet_addressing.a"
+  "libautonet_addressing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonet_addressing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

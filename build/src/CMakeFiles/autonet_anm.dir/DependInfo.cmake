@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anm/anm.cpp" "src/CMakeFiles/autonet_anm.dir/anm/anm.cpp.o" "gcc" "src/CMakeFiles/autonet_anm.dir/anm/anm.cpp.o.d"
+  "/root/repo/src/anm/overlay.cpp" "src/CMakeFiles/autonet_anm.dir/anm/overlay.cpp.o" "gcc" "src/CMakeFiles/autonet_anm.dir/anm/overlay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/autonet_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonet_anm.dir/anm/anm.cpp.o"
+  "CMakeFiles/autonet_anm.dir/anm/anm.cpp.o.d"
+  "CMakeFiles/autonet_anm.dir/anm/overlay.cpp.o"
+  "CMakeFiles/autonet_anm.dir/anm/overlay.cpp.o.d"
+  "libautonet_anm.a"
+  "libautonet_anm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonet_anm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

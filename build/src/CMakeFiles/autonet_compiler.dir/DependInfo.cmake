@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/cbgp.cpp" "src/CMakeFiles/autonet_compiler.dir/compiler/cbgp.cpp.o" "gcc" "src/CMakeFiles/autonet_compiler.dir/compiler/cbgp.cpp.o.d"
+  "/root/repo/src/compiler/device_compiler.cpp" "src/CMakeFiles/autonet_compiler.dir/compiler/device_compiler.cpp.o" "gcc" "src/CMakeFiles/autonet_compiler.dir/compiler/device_compiler.cpp.o.d"
+  "/root/repo/src/compiler/ios.cpp" "src/CMakeFiles/autonet_compiler.dir/compiler/ios.cpp.o" "gcc" "src/CMakeFiles/autonet_compiler.dir/compiler/ios.cpp.o.d"
+  "/root/repo/src/compiler/junos.cpp" "src/CMakeFiles/autonet_compiler.dir/compiler/junos.cpp.o" "gcc" "src/CMakeFiles/autonet_compiler.dir/compiler/junos.cpp.o.d"
+  "/root/repo/src/compiler/platform_compiler.cpp" "src/CMakeFiles/autonet_compiler.dir/compiler/platform_compiler.cpp.o" "gcc" "src/CMakeFiles/autonet_compiler.dir/compiler/platform_compiler.cpp.o.d"
+  "/root/repo/src/compiler/quagga.cpp" "src/CMakeFiles/autonet_compiler.dir/compiler/quagga.cpp.o" "gcc" "src/CMakeFiles/autonet_compiler.dir/compiler/quagga.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/autonet_design.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_nidb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_anm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_addressing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonet_compiler.dir/compiler/cbgp.cpp.o"
+  "CMakeFiles/autonet_compiler.dir/compiler/cbgp.cpp.o.d"
+  "CMakeFiles/autonet_compiler.dir/compiler/device_compiler.cpp.o"
+  "CMakeFiles/autonet_compiler.dir/compiler/device_compiler.cpp.o.d"
+  "CMakeFiles/autonet_compiler.dir/compiler/ios.cpp.o"
+  "CMakeFiles/autonet_compiler.dir/compiler/ios.cpp.o.d"
+  "CMakeFiles/autonet_compiler.dir/compiler/junos.cpp.o"
+  "CMakeFiles/autonet_compiler.dir/compiler/junos.cpp.o.d"
+  "CMakeFiles/autonet_compiler.dir/compiler/platform_compiler.cpp.o"
+  "CMakeFiles/autonet_compiler.dir/compiler/platform_compiler.cpp.o.d"
+  "CMakeFiles/autonet_compiler.dir/compiler/quagga.cpp.o"
+  "CMakeFiles/autonet_compiler.dir/compiler/quagga.cpp.o.d"
+  "libautonet_compiler.a"
+  "libautonet_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonet_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

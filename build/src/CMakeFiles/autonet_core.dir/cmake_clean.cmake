@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonet_core.dir/core/workflow.cpp.o"
+  "CMakeFiles/autonet_core.dir/core/workflow.cpp.o.d"
+  "libautonet_core.a"
+  "libautonet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libautonet_core.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/deploy/archive.cpp" "src/CMakeFiles/autonet_deploy.dir/deploy/archive.cpp.o" "gcc" "src/CMakeFiles/autonet_deploy.dir/deploy/archive.cpp.o.d"
+  "/root/repo/src/deploy/deployer.cpp" "src/CMakeFiles/autonet_deploy.dir/deploy/deployer.cpp.o" "gcc" "src/CMakeFiles/autonet_deploy.dir/deploy/deployer.cpp.o.d"
+  "/root/repo/src/deploy/host.cpp" "src/CMakeFiles/autonet_deploy.dir/deploy/host.cpp.o" "gcc" "src/CMakeFiles/autonet_deploy.dir/deploy/host.cpp.o.d"
+  "/root/repo/src/deploy/multihost.cpp" "src/CMakeFiles/autonet_deploy.dir/deploy/multihost.cpp.o" "gcc" "src/CMakeFiles/autonet_deploy.dir/deploy/multihost.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/autonet_emulation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_templates.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_nidb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_design.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_anm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_addressing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonet_deploy.dir/deploy/archive.cpp.o"
+  "CMakeFiles/autonet_deploy.dir/deploy/archive.cpp.o.d"
+  "CMakeFiles/autonet_deploy.dir/deploy/deployer.cpp.o"
+  "CMakeFiles/autonet_deploy.dir/deploy/deployer.cpp.o.d"
+  "CMakeFiles/autonet_deploy.dir/deploy/host.cpp.o"
+  "CMakeFiles/autonet_deploy.dir/deploy/host.cpp.o.d"
+  "CMakeFiles/autonet_deploy.dir/deploy/multihost.cpp.o"
+  "CMakeFiles/autonet_deploy.dir/deploy/multihost.cpp.o.d"
+  "libautonet_deploy.a"
+  "libautonet_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonet_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

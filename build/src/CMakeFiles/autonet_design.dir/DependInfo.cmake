@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/design/bgp.cpp" "src/CMakeFiles/autonet_design.dir/design/bgp.cpp.o" "gcc" "src/CMakeFiles/autonet_design.dir/design/bgp.cpp.o.d"
+  "/root/repo/src/design/igp.cpp" "src/CMakeFiles/autonet_design.dir/design/igp.cpp.o" "gcc" "src/CMakeFiles/autonet_design.dir/design/igp.cpp.o.d"
+  "/root/repo/src/design/ip_allocation.cpp" "src/CMakeFiles/autonet_design.dir/design/ip_allocation.cpp.o" "gcc" "src/CMakeFiles/autonet_design.dir/design/ip_allocation.cpp.o.d"
+  "/root/repo/src/design/services.cpp" "src/CMakeFiles/autonet_design.dir/design/services.cpp.o" "gcc" "src/CMakeFiles/autonet_design.dir/design/services.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/autonet_anm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_addressing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonet_design.dir/design/bgp.cpp.o"
+  "CMakeFiles/autonet_design.dir/design/bgp.cpp.o.d"
+  "CMakeFiles/autonet_design.dir/design/igp.cpp.o"
+  "CMakeFiles/autonet_design.dir/design/igp.cpp.o.d"
+  "CMakeFiles/autonet_design.dir/design/ip_allocation.cpp.o"
+  "CMakeFiles/autonet_design.dir/design/ip_allocation.cpp.o.d"
+  "CMakeFiles/autonet_design.dir/design/services.cpp.o"
+  "CMakeFiles/autonet_design.dir/design/services.cpp.o.d"
+  "libautonet_design.a"
+  "libautonet_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonet_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emulation/bgp.cpp" "src/CMakeFiles/autonet_emulation.dir/emulation/bgp.cpp.o" "gcc" "src/CMakeFiles/autonet_emulation.dir/emulation/bgp.cpp.o.d"
+  "/root/repo/src/emulation/config_parse.cpp" "src/CMakeFiles/autonet_emulation.dir/emulation/config_parse.cpp.o" "gcc" "src/CMakeFiles/autonet_emulation.dir/emulation/config_parse.cpp.o.d"
+  "/root/repo/src/emulation/dataplane.cpp" "src/CMakeFiles/autonet_emulation.dir/emulation/dataplane.cpp.o" "gcc" "src/CMakeFiles/autonet_emulation.dir/emulation/dataplane.cpp.o.d"
+  "/root/repo/src/emulation/network.cpp" "src/CMakeFiles/autonet_emulation.dir/emulation/network.cpp.o" "gcc" "src/CMakeFiles/autonet_emulation.dir/emulation/network.cpp.o.d"
+  "/root/repo/src/emulation/ospf.cpp" "src/CMakeFiles/autonet_emulation.dir/emulation/ospf.cpp.o" "gcc" "src/CMakeFiles/autonet_emulation.dir/emulation/ospf.cpp.o.d"
+  "/root/repo/src/emulation/router.cpp" "src/CMakeFiles/autonet_emulation.dir/emulation/router.cpp.o" "gcc" "src/CMakeFiles/autonet_emulation.dir/emulation/router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/autonet_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_addressing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_templates.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_nidb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_design.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_anm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonet_emulation.dir/emulation/bgp.cpp.o"
+  "CMakeFiles/autonet_emulation.dir/emulation/bgp.cpp.o.d"
+  "CMakeFiles/autonet_emulation.dir/emulation/config_parse.cpp.o"
+  "CMakeFiles/autonet_emulation.dir/emulation/config_parse.cpp.o.d"
+  "CMakeFiles/autonet_emulation.dir/emulation/dataplane.cpp.o"
+  "CMakeFiles/autonet_emulation.dir/emulation/dataplane.cpp.o.d"
+  "CMakeFiles/autonet_emulation.dir/emulation/network.cpp.o"
+  "CMakeFiles/autonet_emulation.dir/emulation/network.cpp.o.d"
+  "CMakeFiles/autonet_emulation.dir/emulation/ospf.cpp.o"
+  "CMakeFiles/autonet_emulation.dir/emulation/ospf.cpp.o.d"
+  "CMakeFiles/autonet_emulation.dir/emulation/router.cpp.o"
+  "CMakeFiles/autonet_emulation.dir/emulation/router.cpp.o.d"
+  "libautonet_emulation.a"
+  "libautonet_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonet_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonet_graph.dir/graph/algorithms.cpp.o"
+  "CMakeFiles/autonet_graph.dir/graph/algorithms.cpp.o.d"
+  "CMakeFiles/autonet_graph.dir/graph/attr.cpp.o"
+  "CMakeFiles/autonet_graph.dir/graph/attr.cpp.o.d"
+  "CMakeFiles/autonet_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/autonet_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/autonet_graph.dir/graph/transforms.cpp.o"
+  "CMakeFiles/autonet_graph.dir/graph/transforms.cpp.o.d"
+  "libautonet_graph.a"
+  "libautonet_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonet_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

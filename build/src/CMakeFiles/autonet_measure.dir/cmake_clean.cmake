@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonet_measure.dir/measure/client.cpp.o"
+  "CMakeFiles/autonet_measure.dir/measure/client.cpp.o.d"
+  "CMakeFiles/autonet_measure.dir/measure/textfsm.cpp.o"
+  "CMakeFiles/autonet_measure.dir/measure/textfsm.cpp.o.d"
+  "CMakeFiles/autonet_measure.dir/measure/validate.cpp.o"
+  "CMakeFiles/autonet_measure.dir/measure/validate.cpp.o.d"
+  "libautonet_measure.a"
+  "libautonet_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonet_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

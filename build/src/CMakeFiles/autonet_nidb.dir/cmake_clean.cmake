@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonet_nidb.dir/nidb/nidb.cpp.o"
+  "CMakeFiles/autonet_nidb.dir/nidb/nidb.cpp.o.d"
+  "CMakeFiles/autonet_nidb.dir/nidb/value.cpp.o"
+  "CMakeFiles/autonet_nidb.dir/nidb/value.cpp.o.d"
+  "libautonet_nidb.a"
+  "libautonet_nidb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonet_nidb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

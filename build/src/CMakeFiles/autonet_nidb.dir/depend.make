@@ -1,0 +1,2 @@
+# Empty dependencies file for autonet_nidb.
+# This may be replaced when dependencies are built.

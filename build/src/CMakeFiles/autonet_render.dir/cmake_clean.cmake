@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonet_render.dir/render/builtin_templates.cpp.o"
+  "CMakeFiles/autonet_render.dir/render/builtin_templates.cpp.o.d"
+  "CMakeFiles/autonet_render.dir/render/config_tree.cpp.o"
+  "CMakeFiles/autonet_render.dir/render/config_tree.cpp.o.d"
+  "CMakeFiles/autonet_render.dir/render/renderer.cpp.o"
+  "CMakeFiles/autonet_render.dir/render/renderer.cpp.o.d"
+  "libautonet_render.a"
+  "libautonet_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonet_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/templates/engine.cpp" "src/CMakeFiles/autonet_templates.dir/templates/engine.cpp.o" "gcc" "src/CMakeFiles/autonet_templates.dir/templates/engine.cpp.o.d"
+  "/root/repo/src/templates/filters.cpp" "src/CMakeFiles/autonet_templates.dir/templates/filters.cpp.o" "gcc" "src/CMakeFiles/autonet_templates.dir/templates/filters.cpp.o.d"
+  "/root/repo/src/templates/lexer.cpp" "src/CMakeFiles/autonet_templates.dir/templates/lexer.cpp.o" "gcc" "src/CMakeFiles/autonet_templates.dir/templates/lexer.cpp.o.d"
+  "/root/repo/src/templates/parser.cpp" "src/CMakeFiles/autonet_templates.dir/templates/parser.cpp.o" "gcc" "src/CMakeFiles/autonet_templates.dir/templates/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/autonet_nidb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonet_templates.dir/templates/engine.cpp.o"
+  "CMakeFiles/autonet_templates.dir/templates/engine.cpp.o.d"
+  "CMakeFiles/autonet_templates.dir/templates/filters.cpp.o"
+  "CMakeFiles/autonet_templates.dir/templates/filters.cpp.o.d"
+  "CMakeFiles/autonet_templates.dir/templates/lexer.cpp.o"
+  "CMakeFiles/autonet_templates.dir/templates/lexer.cpp.o.d"
+  "CMakeFiles/autonet_templates.dir/templates/parser.cpp.o"
+  "CMakeFiles/autonet_templates.dir/templates/parser.cpp.o.d"
+  "libautonet_templates.a"
+  "libautonet_templates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonet_templates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

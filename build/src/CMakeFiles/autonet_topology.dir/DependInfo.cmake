@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/builtin.cpp" "src/CMakeFiles/autonet_topology.dir/topology/builtin.cpp.o" "gcc" "src/CMakeFiles/autonet_topology.dir/topology/builtin.cpp.o.d"
+  "/root/repo/src/topology/generators.cpp" "src/CMakeFiles/autonet_topology.dir/topology/generators.cpp.o" "gcc" "src/CMakeFiles/autonet_topology.dir/topology/generators.cpp.o.d"
+  "/root/repo/src/topology/gml.cpp" "src/CMakeFiles/autonet_topology.dir/topology/gml.cpp.o" "gcc" "src/CMakeFiles/autonet_topology.dir/topology/gml.cpp.o.d"
+  "/root/repo/src/topology/graphml.cpp" "src/CMakeFiles/autonet_topology.dir/topology/graphml.cpp.o" "gcc" "src/CMakeFiles/autonet_topology.dir/topology/graphml.cpp.o.d"
+  "/root/repo/src/topology/load.cpp" "src/CMakeFiles/autonet_topology.dir/topology/load.cpp.o" "gcc" "src/CMakeFiles/autonet_topology.dir/topology/load.cpp.o.d"
+  "/root/repo/src/topology/rocketfuel.cpp" "src/CMakeFiles/autonet_topology.dir/topology/rocketfuel.cpp.o" "gcc" "src/CMakeFiles/autonet_topology.dir/topology/rocketfuel.cpp.o.d"
+  "/root/repo/src/topology/xml_detail.cpp" "src/CMakeFiles/autonet_topology.dir/topology/xml_detail.cpp.o" "gcc" "src/CMakeFiles/autonet_topology.dir/topology/xml_detail.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/autonet_anm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonet_topology.dir/topology/builtin.cpp.o"
+  "CMakeFiles/autonet_topology.dir/topology/builtin.cpp.o.d"
+  "CMakeFiles/autonet_topology.dir/topology/generators.cpp.o"
+  "CMakeFiles/autonet_topology.dir/topology/generators.cpp.o.d"
+  "CMakeFiles/autonet_topology.dir/topology/gml.cpp.o"
+  "CMakeFiles/autonet_topology.dir/topology/gml.cpp.o.d"
+  "CMakeFiles/autonet_topology.dir/topology/graphml.cpp.o"
+  "CMakeFiles/autonet_topology.dir/topology/graphml.cpp.o.d"
+  "CMakeFiles/autonet_topology.dir/topology/load.cpp.o"
+  "CMakeFiles/autonet_topology.dir/topology/load.cpp.o.d"
+  "CMakeFiles/autonet_topology.dir/topology/rocketfuel.cpp.o"
+  "CMakeFiles/autonet_topology.dir/topology/rocketfuel.cpp.o.d"
+  "CMakeFiles/autonet_topology.dir/topology/xml_detail.cpp.o"
+  "CMakeFiles/autonet_topology.dir/topology/xml_detail.cpp.o.d"
+  "libautonet_topology.a"
+  "libautonet_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonet_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

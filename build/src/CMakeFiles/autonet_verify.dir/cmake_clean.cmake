@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonet_verify.dir/verify/static_check.cpp.o"
+  "CMakeFiles/autonet_verify.dir/verify/static_check.cpp.o.d"
+  "libautonet_verify.a"
+  "libautonet_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonet_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

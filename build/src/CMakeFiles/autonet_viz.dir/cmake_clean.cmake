@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonet_viz.dir/viz/export.cpp.o"
+  "CMakeFiles/autonet_viz.dir/viz/export.cpp.o.d"
+  "libautonet_viz.a"
+  "libautonet_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonet_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

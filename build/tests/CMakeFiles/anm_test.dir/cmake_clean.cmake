@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anm_test.dir/anm_test.cpp.o"
+  "CMakeFiles/anm_test.dir/anm_test.cpp.o.d"
+  "anm_test"
+  "anm_test.pdb"
+  "anm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for anm_test.
+# This may be replaced when dependencies are built.

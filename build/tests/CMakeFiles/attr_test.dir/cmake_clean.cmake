@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attr_test.dir/attr_test.cpp.o"
+  "CMakeFiles/attr_test.dir/attr_test.cpp.o.d"
+  "attr_test"
+  "attr_test.pdb"
+  "attr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bad_gadget_test.dir/bad_gadget_test.cpp.o"
+  "CMakeFiles/bad_gadget_test.dir/bad_gadget_test.cpp.o.d"
+  "bad_gadget_test"
+  "bad_gadget_test.pdb"
+  "bad_gadget_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bad_gadget_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

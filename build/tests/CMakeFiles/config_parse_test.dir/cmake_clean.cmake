@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_parse_test.dir/config_parse_test.cpp.o"
+  "CMakeFiles/config_parse_test.dir/config_parse_test.cpp.o.d"
+  "config_parse_test"
+  "config_parse_test.pdb"
+  "config_parse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_parse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

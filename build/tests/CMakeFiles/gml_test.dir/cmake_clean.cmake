@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gml_test.dir/gml_test.cpp.o"
+  "CMakeFiles/gml_test.dir/gml_test.cpp.o.d"
+  "gml_test"
+  "gml_test.pdb"
+  "gml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphml_test.dir/graphml_test.cpp.o"
+  "CMakeFiles/graphml_test.dir/graphml_test.cpp.o.d"
+  "graphml_test"
+  "graphml_test.pdb"
+  "graphml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

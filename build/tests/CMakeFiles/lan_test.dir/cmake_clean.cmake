@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lan_test.dir/lan_test.cpp.o"
+  "CMakeFiles/lan_test.dir/lan_test.cpp.o.d"
+  "lan_test"
+  "lan_test.pdb"
+  "lan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

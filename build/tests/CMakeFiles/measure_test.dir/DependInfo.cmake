@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/measure_test.cpp" "tests/CMakeFiles/measure_test.dir/measure_test.cpp.o" "gcc" "tests/CMakeFiles/measure_test.dir/measure_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/autonet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_deploy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_emulation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_design.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_templates.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_anm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_addressing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_nidb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/autonet_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/med_test.dir/med_test.cpp.o"
+  "CMakeFiles/med_test.dir/med_test.cpp.o.d"
+  "med_test"
+  "med_test.pdb"
+  "med_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/med_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiarea_test.dir/multiarea_test.cpp.o"
+  "CMakeFiles/multiarea_test.dir/multiarea_test.cpp.o.d"
+  "multiarea_test"
+  "multiarea_test.pdb"
+  "multiarea_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiarea_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

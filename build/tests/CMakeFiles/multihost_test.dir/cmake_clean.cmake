@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multihost_test.dir/multihost_test.cpp.o"
+  "CMakeFiles/multihost_test.dir/multihost_test.cpp.o.d"
+  "multihost_test"
+  "multihost_test.pdb"
+  "multihost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multihost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

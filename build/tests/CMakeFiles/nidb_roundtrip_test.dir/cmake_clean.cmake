@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nidb_roundtrip_test.dir/nidb_roundtrip_test.cpp.o"
+  "CMakeFiles/nidb_roundtrip_test.dir/nidb_roundtrip_test.cpp.o.d"
+  "nidb_roundtrip_test"
+  "nidb_roundtrip_test.pdb"
+  "nidb_roundtrip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nidb_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocketfuel_test.dir/rocketfuel_test.cpp.o"
+  "CMakeFiles/rocketfuel_test.dir/rocketfuel_test.cpp.o.d"
+  "rocketfuel_test"
+  "rocketfuel_test.pdb"
+  "rocketfuel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocketfuel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

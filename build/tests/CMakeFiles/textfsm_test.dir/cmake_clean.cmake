@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/textfsm_test.dir/textfsm_test.cpp.o"
+  "CMakeFiles/textfsm_test.dir/textfsm_test.cpp.o.d"
+  "textfsm_test"
+  "textfsm_test.pdb"
+  "textfsm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/textfsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

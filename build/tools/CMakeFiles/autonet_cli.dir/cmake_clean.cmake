@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonet_cli.dir/autonet_cli.cpp.o"
+  "CMakeFiles/autonet_cli.dir/autonet_cli.cpp.o.d"
+  "autonet"
+  "autonet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonet_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
