@@ -181,7 +181,7 @@ Ipv6Prefix Ipv6Prefix::nth_subnet(unsigned new_length, std::uint64_t i) const {
   } else {
     // Index straddles the 64-bit boundary.
     const unsigned lo_bits = new_length - 64;
-    hi |= i >> lo_bits;
+    hi |= lo_bits == 64 ? 0 : i >> lo_bits;  // i >> 64 is UB, not 0
     lo |= lo_bits == 64 ? i : (i << (64 - lo_bits));
   }
   return Ipv6Prefix(Ipv6Addr(hi, lo), new_length);

@@ -1,0 +1,75 @@
+// Shared typed error taxonomy (header-only so every layer — deploy,
+// emulation, measure — can use it without linking the core library).
+// Errors carry a category, the subject they concern (host, machine,
+// router), and whether retrying the same operation can plausibly
+// succeed: transient transfer corruption is retryable, a dead host or a
+// diverging control plane is not.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace autonet::core {
+
+enum class ErrorCategory {
+  kTransfer,     // archive transfer or checksum failure
+  kBoot,         // a machine failed to boot
+  kHostDown,     // an emulation host is unreachable
+  kDeadline,     // a phase exceeded its time budget
+  kConvergence,  // control plane failed to converge or oscillated
+  kConfig,       // deployment misconfiguration (e.g. unassigned devices)
+  kMeasurement,  // a measurement command failed
+  kInternal,
+};
+
+[[nodiscard]] inline const char* to_string(ErrorCategory c) {
+  switch (c) {
+    case ErrorCategory::kTransfer: return "transfer";
+    case ErrorCategory::kBoot: return "boot";
+    case ErrorCategory::kHostDown: return "host-down";
+    case ErrorCategory::kDeadline: return "deadline";
+    case ErrorCategory::kConvergence: return "convergence";
+    case ErrorCategory::kConfig: return "config";
+    case ErrorCategory::kMeasurement: return "measurement";
+    case ErrorCategory::kInternal: return "internal";
+  }
+  return "?";
+}
+
+struct Error {
+  ErrorCategory category = ErrorCategory::kInternal;
+  /// What the error concerns: a host, machine, or router name.
+  std::string subject;
+  std::string message;
+  /// Whether retrying the same operation can succeed.
+  bool retryable = false;
+
+  [[nodiscard]] std::string to_string() const {
+    std::string out = "[";
+    out += core::to_string(category);
+    out += "] ";
+    if (!subject.empty()) {
+      out += subject;
+      out += ": ";
+    }
+    out += message;
+    out += retryable ? " (retryable)" : " (permanent)";
+    return out;
+  }
+
+  friend bool operator==(const Error&, const Error&) = default;
+};
+
+using ErrorList = std::vector<Error>;
+
+/// One-line-per-error rendering for logs and reports.
+[[nodiscard]] inline std::string to_string(const ErrorList& errors) {
+  std::string out;
+  for (const Error& e : errors) {
+    out += e.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace autonet::core

@@ -103,8 +103,9 @@ Workflow& Workflow::deploy() {
   if (!configs_) throw std::logic_error("Workflow::deploy before render");
   timed("deploy", [this]() {
     host_ = std::make_unique<deploy::EmulationHost>("localhost");
+    host_->attach_faults(faults_);
     deploy::Deployer deployer(*host_);
-    deploy_result_ = deployer.deploy(*configs_, *nidb_);
+    deploy_result_ = deployer.deploy(*configs_, *nidb_, options_.deploy);
   });
   return *this;
 }

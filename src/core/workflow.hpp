@@ -14,7 +14,9 @@
 
 #include "anm/anm.hpp"
 #include "compiler/platform_compiler.hpp"
+#include "core/error.hpp"
 #include "deploy/deployer.hpp"
+#include "deploy/faults.hpp"
 #include "design/bgp.hpp"
 #include "design/igp.hpp"
 #include "design/ip_allocation.hpp"
@@ -38,6 +40,8 @@ struct WorkflowOptions {
   design::IpOptions ip;
   design::OspfOptions ospf;
   design::RrSelectOptions rr_select;
+  /// Deployment behaviour (retries, backoff, graceful degradation).
+  deploy::DeployOptions deploy;
 };
 
 struct PhaseTimings {
@@ -70,8 +74,17 @@ class Workflow {
   /// the emulated network.
   Workflow& deploy();
 
-  /// All phases in order.
+  /// All phases in order. Deployment faults do not throw: inspect ok(),
+  /// errors(), and deploy_result() afterwards — a degraded deploy still
+  /// leaves a (partial) network() to measure.
   Workflow& run(const graph::Graph& input);
+
+  /// Attaches a fault-injection plan consulted by the emulation host
+  /// during deploy(); pass nullptr to detach.
+  Workflow& use_faults(deploy::FaultPlan* plan) {
+    faults_ = plan;
+    return *this;
+  }
 
   // --- Results ----------------------------------------------------------
   [[nodiscard]] anm::AbstractNetworkModel& anm() { return anm_; }
@@ -80,6 +93,16 @@ class Workflow {
   [[nodiscard]] const render::ConfigTree& configs() const;
   [[nodiscard]] emulation::EmulatedNetwork& network();
   [[nodiscard]] const deploy::DeployResult& deploy_result() const;
+  /// True when deploy ran and reported no faults (full, non-degraded
+  /// success).
+  [[nodiscard]] bool ok() const {
+    return deploy_result_.success && deploy_result_.errors.empty();
+  }
+  /// Typed partial-failure report from deployment (empty before deploy
+  /// and on clean runs).
+  [[nodiscard]] const core::ErrorList& errors() const {
+    return deploy_result_.errors;
+  }
   [[nodiscard]] const PhaseTimings& timings() const { return timings_; }
 
   /// A measurement client bound to the running network.
@@ -98,6 +121,7 @@ class Workflow {
   std::optional<nidb::Nidb> nidb_;
   std::optional<render::ConfigTree> configs_;
   std::unique_ptr<deploy::EmulationHost> host_;
+  deploy::FaultPlan* faults_ = nullptr;
   deploy::DeployResult deploy_result_;
   PhaseTimings timings_;
   bool loaded_ = false;

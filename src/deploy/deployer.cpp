@@ -1,5 +1,7 @@
 #include "deploy/deployer.hpp"
 
+#include <algorithm>
+
 #include "deploy/archive.hpp"
 
 namespace autonet::deploy {
@@ -11,9 +13,24 @@ const char* to_string(DeployPhase phase) {
     case DeployPhase::kExtract: return "extract";
     case DeployPhase::kBoot: return "boot";
     case DeployPhase::kStarted: return "started";
+    case DeployPhase::kDegraded: return "degraded";
     case DeployPhase::kFailed: return "failed";
   }
   return "?";
+}
+
+int BackoffClock::next_delay_ms(int attempt) {
+  // Exponential growth with full jitter, clamped to the ceiling. The
+  // jitter is drawn from a seeded RNG so identical seeds reproduce
+  // identical delays (and therefore byte-identical deploy logs).
+  std::int64_t window = base_ms_;
+  for (int i = 1; i < attempt && window < max_ms_; ++i) window *= 2;
+  window = std::min<std::int64_t>(window, max_ms_);
+  const int delay = static_cast<int>(
+      std::uniform_int_distribution<std::int64_t>(window / 2, window)(rng_));
+  elapsed_ms_ += delay;
+  phase_ms_ += delay;
+  return delay;
 }
 
 void Deployer::emit(DeployPhase phase, std::string detail) {
@@ -25,47 +42,133 @@ void Deployer::emit(DeployPhase phase, std::string detail) {
 DeployResult Deployer::deploy(const render::ConfigTree& configs,
                               const nidb::Nidb& nidb, const DeployOptions& opts) {
   DeployResult result;
+  BackoffClock clock(opts);
 
   emit(DeployPhase::kArchive,
        std::to_string(configs.file_count()) + " files, " +
            std::to_string(configs.total_bytes()) + " bytes");
   const std::string blob = pack(configs);
 
-  // Transfer + extract with retry on corruption.
+  // --- Transfer + extract, retried with backoff under a deadline --------
+  if (!host_->online()) {
+    emit(DeployPhase::kFailed, host_->name() + " is unreachable");
+    result.errors.push_back({core::ErrorCategory::kHostDown, host_->name(),
+                             "host unreachable", false});
+    return result;
+  }
   bool extracted = false;
+  clock.reset_phase();
   for (int attempt = 1; attempt <= opts.max_transfer_attempts; ++attempt) {
+    if (attempt > 1) {
+      const int delay = clock.next_delay_ms(attempt - 1);
+      if (clock.past_deadline(opts.transfer_deadline_ms)) {
+        emit(DeployPhase::kFailed,
+             "transfer deadline exceeded (" + std::to_string(clock.phase_ms()) +
+                 "ms budget " + std::to_string(opts.transfer_deadline_ms) + "ms)");
+        result.errors.push_back({core::ErrorCategory::kDeadline, host_->name(),
+                                 "transfer phase deadline exceeded", false});
+        result.backoff_ms = clock.elapsed_ms();
+        return result;
+      }
+      emit(DeployPhase::kTransfer, "backoff " + std::to_string(delay) + "ms");
+    }
     result.transfer_attempts = attempt;
     emit(DeployPhase::kTransfer, opts.username + "@" + host_->name() +
                                      " attempt " + std::to_string(attempt));
-    host_->receive(blob);
+    if (!host_->receive(blob)) {
+      emit(DeployPhase::kTransfer, host_->name() + ": connection refused");
+      continue;
+    }
     if (host_->extract()) {
       extracted = true;
       emit(DeployPhase::kExtract, "archive verified and extracted");
       break;
     }
     emit(DeployPhase::kExtract, "checksum mismatch, retrying");
+    result.errors.push_back({core::ErrorCategory::kTransfer, host_->name(),
+                             "checksum mismatch on attempt " +
+                                 std::to_string(attempt),
+                             true});
   }
+  result.backoff_ms = clock.elapsed_ms();
   if (!extracted) {
     emit(DeployPhase::kFailed, "transfer failed after " +
-                                   std::to_string(opts.max_transfer_attempts) +
+                                   std::to_string(result.transfer_attempts) +
                                    " attempts");
+    result.errors.push_back(
+        {core::ErrorCategory::kHostDown, host_->name(),
+         "transfer failed after " + std::to_string(result.transfer_attempts) +
+             " attempts",
+         false});
     return result;
   }
 
-  auto booted = host_->lstart(nidb, [this, &result](const std::string& m, bool ok) {
-    emit(DeployPhase::kBoot, m + (ok ? " up" : " FAILED"));
-    if (!ok) result.failed_machines.push_back(m);
-  });
-  result.booted = std::move(booted);
+  // --- Boot, retried per machine under a deadline -----------------------
+  clock.reset_phase();
+  bool boot_deadline_hit = false;
+  for (const auto* rec : nidb.devices()) {
+    const std::string& machine = rec->name;
+    bool up = false;
+    for (int attempt = 1; attempt <= opts.max_boot_attempts; ++attempt) {
+      if (attempt > 1) {
+        const int delay = clock.next_delay_ms(attempt - 1);
+        if (clock.past_deadline(opts.boot_deadline_ms)) {
+          boot_deadline_hit = true;
+          break;
+        }
+        emit(DeployPhase::kBoot, machine + " retry after " +
+                                     std::to_string(delay) + "ms backoff");
+      }
+      ++result.boot_attempts;
+      up = host_->try_boot(machine);
+      emit(DeployPhase::kBoot,
+           machine + (up ? " up" : " FAILED (attempt " +
+                                       std::to_string(attempt) + ")"));
+      if (up) break;
+    }
+    if (up) {
+      result.booted.push_back(machine);
+    } else {
+      result.failed_machines.push_back(machine);
+      result.errors.push_back({core::ErrorCategory::kBoot, machine,
+                               "failed to boot after " +
+                                   std::to_string(opts.max_boot_attempts) +
+                                   " attempts",
+                               false});
+    }
+    if (boot_deadline_hit) {
+      emit(DeployPhase::kFailed,
+           "boot deadline exceeded (" + std::to_string(clock.phase_ms()) +
+               "ms budget " + std::to_string(opts.boot_deadline_ms) + "ms)");
+      result.errors.push_back({core::ErrorCategory::kDeadline, host_->name(),
+                               "boot phase deadline exceeded", false});
+      result.backoff_ms = clock.elapsed_ms();
+      return result;
+    }
+  }
+  result.backoff_ms = clock.elapsed_ms();
 
+  // --- Start the control plane (full, or the surviving subnetwork) ------
   if (!result.failed_machines.empty() ||
       result.booted.size() != nidb.device_count()) {
-    emit(DeployPhase::kFailed,
-         std::to_string(result.failed_machines.size()) + " machines failed to boot");
+    if (!opts.allow_partial || result.booted.size() < opts.min_booted) {
+      emit(DeployPhase::kFailed,
+           std::to_string(result.failed_machines.size()) +
+               " machines failed to boot");
+      return result;
+    }
+    std::set<std::string> survivors(result.booted.begin(), result.booted.end());
+    result.convergence = host_->start_network(nidb, host_->filesystem(), survivors);
+    result.degraded = true;
+    result.success = true;
+    emit(DeployPhase::kDegraded,
+         std::to_string(result.booted.size()) + "/" +
+             std::to_string(nidb.device_count()) + " machines up, " +
+             std::to_string(result.failed_machines.size()) + " lost");
     return result;
   }
 
-  result.convergence = host_->convergence();
+  result.convergence = host_->start_network(nidb, host_->filesystem());
   result.success = true;
   emit(DeployPhase::kStarted,
        std::to_string(result.booted.size()) + " machines, BGP " +
@@ -73,6 +176,12 @@ DeployResult Deployer::deploy(const render::ConfigTree& configs,
                 ? "converged in " + std::to_string(result.convergence.rounds) +
                       " rounds"
                 : (result.convergence.oscillating ? "OSCILLATING" : "not converged")));
+  if (!result.convergence.converged) {
+    result.errors.push_back(
+        {core::ErrorCategory::kConvergence, host_->name(),
+         result.convergence.oscillating ? "BGP oscillating" : "BGP not converged",
+         !result.convergence.oscillating});
+  }
   return result;
 }
 

@@ -2,12 +2,23 @@
 // configuration files, transfers them to the emulation host, extracts
 // them, and runs the Netkit lstart command. The progress is monitored
 // with updates provided to the user through logs."
+//
+// Beyond the paper's happy path, the deployer is written for the flaky
+// substrate §5.7 describes (StarBed nodes, checksum-failing transfers):
+// every phase has a retry budget with exponential backoff + deterministic
+// jitter and a virtual-time deadline, boot failures are retried per
+// machine, and with `allow_partial` a subset of dead machines degrades
+// the deployment to a running subnetwork instead of failing it outright.
+// All failures are reported as typed core::Error records.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <random>
 #include <string>
 #include <vector>
 
+#include "core/error.hpp"
 #include "deploy/host.hpp"
 #include "nidb/nidb.hpp"
 #include "render/config_tree.hpp"
@@ -20,6 +31,7 @@ enum class DeployPhase {
   kExtract,
   kBoot,
   kStarted,
+  kDegraded,
   kFailed,
 };
 
@@ -34,14 +46,51 @@ struct DeployOptions {
   std::string username = "autonet";
   /// Transfer retries on checksum failure.
   int max_transfer_attempts = 3;
+  /// Boot attempts per machine (transient boot faults are retried).
+  int max_boot_attempts = 3;
+
+  // --- Backoff (virtual time; deterministic under backoff_seed) ---------
+  int backoff_base_ms = 100;
+  int backoff_max_ms = 5000;
+  std::uint64_t backoff_seed = 0;
+  /// Virtual-time budget per phase (transfer / boot); 0 = unlimited.
+  int transfer_deadline_ms = 60000;
+  int boot_deadline_ms = 60000;
+
+  // --- Graceful degradation --------------------------------------------
+  /// When machines (or, for multi-host deployments, whole hosts) stay
+  /// dead after retries, boot the surviving subnetwork instead of
+  /// failing the deployment.
+  bool allow_partial = false;
+  /// Partial deployments need at least this many machines up.
+  std::size_t min_booted = 1;
+  /// Multi-host: at least this many hosts must survive transfer+boot.
+  std::size_t min_host_quorum = 1;
 };
 
+/// Outcome of a deployment.
+///
+/// Semantics are explicit: `success` is true iff a network is running
+/// AND the deployment contract was met — all machines booted in strict
+/// mode, or the quorum (`min_booted` / `min_host_quorum`) in partial
+/// mode. `failed_machines` non-empty therefore implies either
+/// `success == false` (strict) or `degraded == true` (partial, with the
+/// casualties itemised in `errors`). A network may be running even when
+/// degraded; check `degraded` before trusting full coverage.
 struct DeployResult {
   bool success = false;
+  /// Partial deployment: the network runs without some machines.
+  bool degraded = false;
   std::vector<std::string> booted;
   std::vector<std::string> failed_machines;
   int transfer_attempts = 0;
+  /// Total boot attempts across all machines (retries included).
+  int boot_attempts = 0;
+  /// Virtual milliseconds spent in backoff waits.
+  int backoff_ms = 0;
   emulation::ConvergenceReport convergence;
+  /// Typed failure report: one entry per fault that affected the run.
+  core::ErrorList errors;
 };
 
 class Deployer {
@@ -64,6 +113,33 @@ class Deployer {
   EmulationHost* host_;
   Logger logger_;
   std::vector<std::string> log_;
+};
+
+/// Exponential backoff with deterministic jitter, shared by the single-
+/// and multi-host deployers. Time is virtual: delays are computed and
+/// logged, not slept, so runs are fast and reproducible.
+class BackoffClock {
+ public:
+  explicit BackoffClock(const DeployOptions& opts)
+      : base_ms_(opts.backoff_base_ms), max_ms_(opts.backoff_max_ms),
+        rng_(opts.backoff_seed) {}
+
+  /// Delay before retry number `attempt` (1-based: first retry = 1).
+  int next_delay_ms(int attempt);
+  [[nodiscard]] int elapsed_ms() const { return elapsed_ms_; }
+  void reset_phase() { phase_ms_ = 0; }
+  [[nodiscard]] int phase_ms() const { return phase_ms_; }
+  /// True when the phase budget (0 = unlimited) is exhausted.
+  [[nodiscard]] bool past_deadline(int deadline_ms) const {
+    return deadline_ms > 0 && phase_ms_ >= deadline_ms;
+  }
+
+ private:
+  int base_ms_;
+  int max_ms_;
+  std::mt19937_64 rng_;
+  int elapsed_ms_ = 0;
+  int phase_ms_ = 0;
 };
 
 }  // namespace autonet::deploy

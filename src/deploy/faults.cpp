@@ -1,0 +1,48 @@
+#include "deploy/faults.hpp"
+
+namespace autonet::deploy {
+
+void FaultPlan::fail_transfers(const std::string& host, int count) {
+  transfer_failures_[host] += count;
+}
+
+void FaultPlan::fail_boot(const std::string& host, const std::string& machine,
+                          int times) {
+  boot_failures_[{host, machine}] += times;
+}
+
+bool FaultPlan::draw(double probability) {
+  if (probability <= 0.0) return false;
+  return std::uniform_real_distribution<double>(0.0, 1.0)(rng_) < probability;
+}
+
+bool FaultPlan::corrupt_transfer(const std::string& host) {
+  auto it = transfer_failures_.find(host);
+  if (it != transfer_failures_.end() && it->second > 0) {
+    --it->second;
+    injected_.push_back("transfer-fault " + host);
+    return true;
+  }
+  if (draw(transfer_loss_)) {
+    injected_.push_back("transfer-fault " + host);
+    return true;
+  }
+  return false;
+}
+
+bool FaultPlan::fail_machine_boot(const std::string& host,
+                                  const std::string& machine) {
+  auto it = boot_failures_.find({host, machine});
+  if (it != boot_failures_.end() && it->second > 0) {
+    --it->second;
+    injected_.push_back("boot-fault " + host + "/" + machine);
+    return true;
+  }
+  if (draw(boot_loss_)) {
+    injected_.push_back("boot-fault " + host + "/" + machine);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace autonet::deploy

@@ -1,0 +1,72 @@
+// Deterministic fault injection for the deployment pipeline (paper §8:
+// "creating tools to emulate workflow, or incidents"; §5.7's flaky
+// multi-host substrate). A FaultPlan is attached to one or more
+// EmulationHosts and decides, per operation, whether the simulated
+// substrate misbehaves: transient transfer corruption, per-machine boot
+// failures, or a permanently dead host.
+//
+// Faults come from an explicit schedule, a seeded RNG, or both. Every
+// decision is drawn deterministically and recorded, so two runs with the
+// same seed and the same operation sequence produce byte-identical
+// deploy logs — the property the resilience tests assert.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace autonet::deploy {
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 0) : seed_(seed), rng_(seed) {}
+
+  // --- Explicit schedule -------------------------------------------------
+  /// The next `count` transfers to `host` are corrupted in flight.
+  void fail_transfers(const std::string& host, int count);
+  /// The next `times` boot attempts of `machine` on `host` fail (a
+  /// transient fault the deployer's per-machine retries can ride out).
+  void fail_boot(const std::string& host, const std::string& machine, int times);
+  /// `host` is permanently dead: transfers and boots to it always fail.
+  void kill_host(const std::string& host) { dead_hosts_.insert(host); }
+  void revive_host(const std::string& host) { dead_hosts_.erase(host); }
+
+  // --- Random faults (deterministic under the seed) -----------------------
+  /// Each transfer is independently corrupted with this probability.
+  void set_transfer_loss(double probability) { transfer_loss_ = probability; }
+  /// Each boot attempt independently fails with this probability.
+  void set_boot_loss(double probability) { boot_loss_ = probability; }
+
+  // --- Queries (consumed by EmulationHost, one decision per operation) ----
+  [[nodiscard]] bool host_dead(const std::string& host) const {
+    return dead_hosts_.contains(host);
+  }
+  /// Decides (and consumes) whether this transfer is corrupted.
+  bool corrupt_transfer(const std::string& host);
+  /// Decides (and consumes) whether this boot attempt fails.
+  bool fail_machine_boot(const std::string& host, const std::string& machine);
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  /// Every fault decision actually injected, in order — the audit trail
+  /// the determinism tests compare.
+  [[nodiscard]] const std::vector<std::string>& injected() const {
+    return injected_;
+  }
+
+ private:
+  bool draw(double probability);
+
+  std::uint64_t seed_;
+  std::mt19937_64 rng_;
+  double transfer_loss_ = 0.0;
+  double boot_loss_ = 0.0;
+  std::map<std::string, int> transfer_failures_;
+  std::map<std::pair<std::string, std::string>, int> boot_failures_;
+  std::set<std::string> dead_hosts_;
+  std::vector<std::string> injected_;
+};
+
+}  // namespace autonet::deploy

@@ -4,15 +4,21 @@
 
 namespace autonet::deploy {
 
-void EmulationHost::receive(std::string blob) {
+bool EmulationHost::receive(std::string blob) {
+  if (!online()) return false;
   if (corrupt_next_ && blob.size() > 16) {
     blob.resize(blob.size() / 2);  // truncated transfer
     corrupt_next_ = false;
+  } else if (faults_ != nullptr && blob.size() > 16 &&
+             faults_->corrupt_transfer(name_)) {
+    blob.resize(blob.size() / 2);
   }
   inbox_ = std::move(blob);
+  return true;
 }
 
 bool EmulationHost::extract() {
+  if (!online()) return false;
   try {
     fs_ = unpack(inbox_);
     return true;
@@ -21,17 +27,34 @@ bool EmulationHost::extract() {
   }
 }
 
+bool EmulationHost::try_boot(const std::string& machine) {
+  if (!online()) return false;
+  if (boot_failures_.contains(machine)) return false;
+  if (faults_ != nullptr && faults_->fail_machine_boot(name_, machine)) {
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::string> EmulationHost::assigned_machines(
+    const nidb::Nidb& nidb) const {
+  std::vector<std::string> out;
+  for (const auto* rec : nidb.devices()) {
+    const nidb::Value* host = rec->data.find("host");
+    const std::string* host_name = host ? host->as_string() : nullptr;
+    if (host_name != nullptr && *host_name == name_) out.push_back(rec->name);
+  }
+  return out;
+}
+
 std::vector<std::string> EmulationHost::boot_assigned(
     const nidb::Nidb& nidb,
     const std::function<void(const std::string& machine, bool ok)>& progress) {
   std::vector<std::string> booted;
-  for (const auto* rec : nidb.devices()) {
-    const nidb::Value* host = rec->data.find("host");
-    const std::string* host_name = host ? host->as_string() : nullptr;
-    if (host_name == nullptr || *host_name != name_) continue;
-    const bool ok = !boot_failures_.contains(rec->name);
-    if (progress) progress(rec->name, ok);
-    if (ok) booted.push_back(rec->name);
+  for (const auto& machine : assigned_machines(nidb)) {
+    const bool ok = try_boot(machine);
+    if (progress) progress(machine, ok);
+    if (ok) booted.push_back(machine);
   }
   return booted;
 }
@@ -41,16 +64,24 @@ std::vector<std::string> EmulationHost::lstart(
     const std::function<void(const std::string& machine, bool ok)>& progress) {
   std::vector<std::string> booted;
   for (const auto* rec : nidb.devices()) {
-    const bool ok = !boot_failures_.contains(rec->name);
+    const bool ok = try_boot(rec->name);
     if (progress) progress(rec->name, ok);
     if (ok) booted.push_back(rec->name);
   }
   if (booted.size() == nidb.device_count()) {
-    network_ = std::make_unique<emulation::EmulatedNetwork>(
-        emulation::EmulatedNetwork::from_nidb(nidb, fs_));
-    convergence_ = network_->start();
+    start_network(nidb, fs_);
   }
   return booted;
+}
+
+const emulation::ConvergenceReport& EmulationHost::start_network(
+    const nidb::Nidb& nidb, const render::ConfigTree& configs,
+    const std::set<std::string>& machines) {
+  network_ = std::make_unique<emulation::EmulatedNetwork>(
+      emulation::EmulatedNetwork::from_nidb(
+          nidb, configs, machines.empty() ? nullptr : &machines));
+  convergence_ = network_->start();
+  return convergence_;
 }
 
 }  // namespace autonet::deploy

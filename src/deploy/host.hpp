@@ -1,8 +1,10 @@
 // A simulated emulation host (StarBed node / lab server): receives
 // archives over a simulated transfer, extracts them into its filesystem,
 // and boots the lab (`lstart`). Failure injection covers the paths a
-// real deployment can break on — truncated transfers and machines that
-// fail to boot — so the deployer's retry/monitoring logic is testable.
+// real deployment can break on — truncated transfers, machines that
+// fail to boot, and hosts that are entirely dead — either through the
+// legacy one-shot hooks or through an attached deterministic FaultPlan,
+// so the deployer's retry/degradation logic is testable.
 #pragma once
 
 #include <functional>
@@ -11,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "deploy/faults.hpp"
 #include "emulation/network.hpp"
 #include "nidb/nidb.hpp"
 #include "render/config_tree.hpp"
@@ -29,14 +32,28 @@ class EmulationHost {
   /// The named machine fails to boot until cleared.
   void fail_boot_of(std::string machine) { boot_failures_.insert(std::move(machine)); }
   void clear_boot_failures() { boot_failures_.clear(); }
+  /// Attaches a shared fault plan; pass nullptr to detach. The plan is
+  /// consulted on every transfer and boot attempt, and decides whether
+  /// the host is dead outright.
+  void attach_faults(FaultPlan* plan) { faults_ = plan; }
+  /// False when an attached fault plan declares this host dead.
+  [[nodiscard]] bool online() const {
+    return faults_ == nullptr || !faults_->host_dead(name_);
+  }
 
   // --- Deployment steps ------------------------------------------------
   /// Simulated scp: stores the blob (possibly corrupted by injection).
-  void receive(std::string blob);
+  /// Returns false when the host is dead (connection refused).
+  bool receive(std::string blob);
   /// Unpacks the stored blob into the host filesystem; false on checksum
-  /// failure (the deployer then retries the transfer).
+  /// failure (the deployer then retries the transfer) or dead host.
   bool extract();
   [[nodiscard]] const render::ConfigTree& filesystem() const { return fs_; }
+
+  /// One boot attempt for one machine; false when the machine is in the
+  /// boot-failure set, the fault plan injects a failure, or the host is
+  /// dead. The deployer drives per-machine retries through this.
+  bool try_boot(const std::string& machine);
 
   /// Boots machines one at a time (Netkit lstart semantics), invoking
   /// `progress` per machine. Machines in the boot-failure set report
@@ -52,6 +69,19 @@ class EmulationHost {
   std::vector<std::string> boot_assigned(
       const nidb::Nidb& nidb,
       const std::function<void(const std::string& machine, bool ok)>& progress = {});
+
+  /// Machine names assigned to this host (device records whose `host`
+  /// field equals name()).
+  [[nodiscard]] std::vector<std::string> assigned_machines(
+      const nidb::Nidb& nidb) const;
+
+  /// Starts the emulated control plane over `machines` (all devices when
+  /// empty) from the given configs — the deployer calls this once boot
+  /// retries settle, possibly with only a surviving subset (graceful
+  /// degradation). Returns the convergence report.
+  const emulation::ConvergenceReport& start_network(
+      const nidb::Nidb& nidb, const render::ConfigTree& configs,
+      const std::set<std::string>& machines = {});
 
   /// The running emulated network; nullptr before a successful lstart.
   [[nodiscard]] emulation::EmulatedNetwork* network() { return network_.get(); }
@@ -70,6 +100,7 @@ class EmulationHost {
   emulation::ConvergenceReport convergence_;
   bool corrupt_next_ = false;
   std::set<std::string> boot_failures_;
+  FaultPlan* faults_ = nullptr;
 };
 
 }  // namespace autonet::deploy

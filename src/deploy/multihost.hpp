@@ -7,12 +7,19 @@
 // (the devices whose `host` attribute names it) plus the shared lab
 // artefacts; the coordinator boots the combined control plane once every
 // host reports its machines up, stitching cross-host links.
+//
+// Unlike the original all-or-nothing pipeline, a failing slice no longer
+// aborts the deployment mid-flight: every host is driven to completion
+// so the result attributes failures per slice (transfer attempts, failed
+// machines, dead hosts), and with `DeployOptions::allow_partial` the
+// coordinator boots the surviving subnetwork when the host quorum holds.
 #pragma once
 
 #include <map>
 #include <memory>
 #include <vector>
 
+#include "core/error.hpp"
 #include "deploy/deployer.hpp"
 #include "deploy/host.hpp"
 
@@ -21,16 +28,33 @@ namespace autonet::deploy {
 struct HostSlice {
   std::string host;
   std::size_t files = 0;
+  /// False once the host is declared dead (transfer never succeeded).
+  bool online = true;
   std::vector<std::string> booted;
   std::vector<std::string> failed;
+  /// Machines assigned to this host that never got the chance to boot
+  /// because the host itself died.
+  std::vector<std::string> lost;
   int transfer_attempts = 0;
 };
 
+/// Combined outcome. `success` is true iff a network is running and the
+/// contract was met: every host extracted and every machine booted in
+/// strict mode, or the surviving hosts meet `min_host_quorum` (and
+/// `min_booted`) in partial mode — then `degraded` is set and every
+/// casualty appears both in its slice and as a typed entry in `errors`.
 struct MultiHostResult {
   bool success = false;
+  bool degraded = false;
   std::vector<HostSlice> slices;
+  std::vector<std::string> dead_hosts;
   std::size_t cross_connects = 0;
   emulation::ConvergenceReport convergence;
+  core::ErrorList errors;
+
+  /// Aggregations over all slices.
+  [[nodiscard]] int total_transfer_attempts() const;
+  [[nodiscard]] std::vector<std::string> all_failed_machines() const;
 };
 
 class MultiHostDeployer {

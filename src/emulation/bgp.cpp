@@ -49,12 +49,12 @@ ConvergenceReport EmulatedNetwork::run_bgp(std::size_t max_rounds) {
   sessions_.clear();
   for (std::size_t r = 0; r < routers_.size(); ++r) {
     const RouterConfig& cfg = routers_[r].config();
-    if (!cfg.bgp_enabled) continue;
+    if (!cfg.bgp_enabled || router_failed(r)) continue;
     for (const auto& n : cfg.bgp_neighbors) {
       auto owner = by_address_.find(n.neighbor.value());
       if (owner == by_address_.end()) continue;
       std::size_t peer = owner->second;
-      if (peer == r) continue;
+      if (peer == r || router_failed(peer)) continue;
       const RouterConfig& pc = routers_[peer].config();
       if (!pc.bgp_enabled) continue;
       // The peer must have a matching neighbor statement back to one of
@@ -84,7 +84,7 @@ ConvergenceReport EmulatedNetwork::run_bgp(std::size_t max_rounds) {
       bool reachable = false;
       for (const auto& iface : cfg.interfaces) {
         if (iface.address.prefix.contains(n.neighbor) &&
-            !failed_subnets_.contains(iface.address.prefix)) {
+            !subnet_down(iface.address.prefix)) {
           reachable = true;
           break;
         }
@@ -121,6 +121,7 @@ ConvergenceReport EmulatedNetwork::run_bgp(std::size_t max_rounds) {
     router.bgp_best().clear();
   }
   for (std::size_t r = 0; r < routers_.size(); ++r) {
+    if (router_failed(r)) continue;
     const RouterConfig& cfg = routers_[r].config();
     for (const auto& prefix : cfg.bgp_networks) {
       BgpRoute route;
@@ -196,7 +197,7 @@ ConvergenceReport EmulatedNetwork::run_bgp(std::size_t max_rounds) {
   for (std::size_t round = 1; round <= max_rounds; ++round) {
     bool changed = false;
     for (std::size_t r = 0; r < routers_.size(); ++r) {
-      if (!routers_[r].config().bgp_enabled) continue;
+      if (!routers_[r].config().bgp_enabled || router_failed(r)) continue;
       auto best = select_best(r);
       if (best == routers_[r].bgp_best() && round > 1) continue;
 

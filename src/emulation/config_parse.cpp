@@ -481,9 +481,10 @@ RouterConfig parse_junos_config(std::string_view text) {
 
 CbgpNetwork parse_cbgp_script(std::string_view text) {
   CbgpNetwork net;
-  auto router_by_id = [&net](Ipv4Addr id) -> RouterConfig& {
-    for (auto& r : net.routers) {
-      if (r.loopback && r.loopback->address == id) return r;
+  auto router_index = [&net](Ipv4Addr id) -> std::size_t {
+    for (std::size_t i = 0; i < net.routers.size(); ++i) {
+      const auto& r = net.routers[i];
+      if (r.loopback && r.loopback->address == id) return i;
     }
     RouterConfig cfg;
     cfg.syntax = "cbgp";
@@ -492,10 +493,17 @@ CbgpNetwork parse_cbgp_script(std::string_view text) {
     cfg.loopback = Ipv4Interface{id, Ipv4Prefix(id, 32)};
     cfg.router_id = id;
     net.routers.push_back(std::move(cfg));
-    return net.routers.back();
+    return net.routers.size() - 1;
+  };
+  auto router_by_id = [&](Ipv4Addr id) -> RouterConfig& {
+    return net.routers[router_index(id)];
   };
 
-  RouterConfig* current = nullptr;
+  // Track the `bgp router` context as an index: later `net add node` /
+  // `bgp add router` lines can grow the vector and would invalidate a
+  // reference.
+  constexpr std::size_t kNoRouter = static_cast<std::size_t>(-1);
+  std::size_t current = kNoRouter;
   for (const auto& line : lines_of(text)) {
     auto tokens = tokenize(line);
     if (tokens.empty() || tokens[0].starts_with("#")) continue;
@@ -506,7 +514,7 @@ CbgpNetwork parse_cbgp_script(std::string_view text) {
                tokens[3] == "domain" && tokens.size() >= 5) {
       router_by_id(to_addr(tokens[2], "node")).igp_domain =
           to_int(tokens[4], "domain");
-    } else if (tokens[0] == "net" && tokens.size() >= 4 && tokens[1] == "add" &&
+    } else if (tokens[0] == "net" && tokens.size() >= 5 && tokens[1] == "add" &&
                tokens[2] == "link") {
       net.links.push_back(
           {to_addr(tokens[3], "link"), to_addr(tokens[4], "link"), 1});
@@ -524,37 +532,37 @@ CbgpNetwork parse_cbgp_script(std::string_view text) {
       r.bgp_enabled = true;
       r.asn = to_int(tokens[3], "asn");
     } else if (tokens[0] == "bgp" && tokens.size() >= 3 && tokens[1] == "router") {
-      current = &router_by_id(to_addr(tokens[2], "router"));
-    } else if (current != nullptr && tokens[0] == "add" && tokens.size() >= 3 &&
+      current = router_index(to_addr(tokens[2], "router"));
+    } else if (current != kNoRouter && tokens[0] == "add" && tokens.size() >= 3 &&
                tokens[1] == "network") {
       auto p = Ipv4Prefix::parse(tokens[2]);
       if (!p) throw ConfigError("bad cbgp network " + tokens[2]);
-      current->bgp_networks.push_back(*p);
-    } else if (current != nullptr && tokens[0] == "add" && tokens.size() >= 4 &&
+      net.routers[current].bgp_networks.push_back(*p);
+    } else if (current != kNoRouter && tokens[0] == "add" && tokens.size() >= 4 &&
                tokens[1] == "peer") {
-      BgpNeighborConfig& n = neighbor_entry(*current, to_addr(tokens[3], "peer"));
+      BgpNeighborConfig& n = neighbor_entry(net.routers[current], to_addr(tokens[3], "peer"));
       n.remote_as = to_int(tokens[2], "peer-as");
-      if (n.remote_as == current->asn) {
+      if (n.remote_as == net.routers[current].asn) {
         n.update_source_loopback = true;
         n.next_hop_self = true;
       }
-    } else if (current != nullptr && tokens[0] == "peer" && tokens.size() >= 3 &&
+    } else if (current != kNoRouter && tokens[0] == "peer" && tokens.size() >= 3 &&
                tokens[2] == "rr-client") {
-      neighbor_entry(*current, to_addr(tokens[1], "peer")).rr_client = true;
-    } else if (current != nullptr && tokens[0] == "peer" && tokens.size() >= 5 &&
+      neighbor_entry(net.routers[current], to_addr(tokens[1], "peer")).rr_client = true;
+    } else if (current != kNoRouter && tokens[0] == "peer" && tokens.size() >= 5 &&
                tokens[2] == "filter" && tokens[3] == "out" &&
                tokens[4] == "path-empty") {
-      neighbor_entry(*current, to_addr(tokens[1], "peer")).only_local_out = true;
-    } else if (current != nullptr && tokens[0] == "peer" && tokens.size() >= 4 &&
+      neighbor_entry(net.routers[current], to_addr(tokens[1], "peer")).only_local_out = true;
+    } else if (current != kNoRouter && tokens[0] == "peer" && tokens.size() >= 4 &&
                tokens[2] == "local-pref") {
-      neighbor_entry(*current, to_addr(tokens[1], "peer")).local_pref_in =
+      neighbor_entry(net.routers[current], to_addr(tokens[1], "peer")).local_pref_in =
           to_int(tokens[3], "local-pref");
-    } else if (current != nullptr && tokens[0] == "peer" && tokens.size() >= 4 &&
+    } else if (current != kNoRouter && tokens[0] == "peer" && tokens.size() >= 4 &&
                tokens[2] == "med") {
-      neighbor_entry(*current, to_addr(tokens[1], "peer")).med_out =
+      neighbor_entry(net.routers[current], to_addr(tokens[1], "peer")).med_out =
           to_int(tokens[3], "med");
     } else if (tokens[0] == "exit") {
-      current = nullptr;
+      current = kNoRouter;
     }
   }
   return net;

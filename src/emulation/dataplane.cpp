@@ -21,9 +21,16 @@ TracerouteResult EmulatedNetwork::traceroute(std::string_view src_router,
     throw std::logic_error("traceroute: network not started");
   }
 
+  // A failed router neither sources probes nor answers them.
+  auto is_down = [this](const VirtualRouter* r) {
+    auto it = by_name_.find(r->name());
+    return it != by_name_.end() && router_failed(it->second);
+  };
+
   TracerouteResult result;
   const VirtualRouter* current = src;
   double rtt = 0.0;
+  if (is_down(current)) return result;
   if (current->owns_address(dst)) {
     result.hops.push_back({dst, current->name(), 0.1});
     result.reached = true;
@@ -44,6 +51,7 @@ TracerouteResult EmulatedNetwork::traceroute(std::string_view src_router,
       if (!owner) return result;
       next = router(*owner);
     }
+    if (is_down(next)) return result;  // dead node: probe goes unanswered
     if (next->owns_address(dst)) {
       // Destination hop: the reply comes from the probed address itself.
       result.hops.push_back({dst, next->name(), rtt});

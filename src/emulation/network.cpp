@@ -11,12 +11,14 @@ using addressing::Ipv4Addr;
 using addressing::Ipv4Prefix;
 
 EmulatedNetwork EmulatedNetwork::from_nidb(const nidb::Nidb& nidb,
-                                           const render::ConfigTree& configs) {
+                                           const render::ConfigTree& configs,
+                                           const std::set<std::string>* only) {
   std::vector<RouterConfig> parsed;
   for (const auto* rec : nidb.devices()) {
     const nidb::Value* type = rec->data.find("device_type");
     const std::string* type_s = type ? type->as_string() : nullptr;
     if (type_s == nullptr || *type_s != "router") continue;
+    if (only != nullptr && !only->contains(rec->name)) continue;
 
     const nidb::Value* syntax = rec->data.find("syntax");
     const std::string* syntax_s = syntax ? syntax->as_string() : nullptr;
@@ -119,10 +121,11 @@ void EmulatedNetwork::build_segments() {
   // Administratively failed segments are excluded entirely.
   std::map<Ipv4Prefix, std::vector<SegmentMember>> groups;
   for (std::size_t r = 0; r < routers_.size(); ++r) {
+    if (router_failed(r)) continue;
     const RouterConfig& cfg = routers_[r].config();
     for (std::size_t i = 0; i < cfg.interfaces.size(); ++i) {
       const Ipv4Prefix& subnet = cfg.interfaces[i].address.prefix;
-      if (failed_subnets_.contains(subnet)) continue;
+      if (subnet_down(subnet)) continue;
       groups[subnet].push_back(SegmentMember{r, i});
     }
   }
@@ -166,6 +169,39 @@ bool EmulatedNetwork::restore_link(std::string_view router_a,
   auto subnet = shared_subnet(a->config(), b->config());
   if (!subnet) return false;
   return failed_subnets_.erase(*subnet) > 0;
+}
+
+bool EmulatedNetwork::fail_node(std::string_view router_name) {
+  auto it = by_name_.find(router_name);
+  if (it == by_name_.end()) return false;
+  if (!failed_routers_.insert(it->second).second) return false;
+  for (const auto& iface : routers_[it->second].config().interfaces) {
+    node_failed_subnets_.insert(iface.address.prefix);
+  }
+  return true;
+}
+
+bool EmulatedNetwork::restore_node(std::string_view router_name) {
+  auto it = by_name_.find(router_name);
+  if (it == by_name_.end()) return false;
+  if (failed_routers_.erase(it->second) == 0) return false;
+  // Rebuild the node-failure subnet set from the routers still down (two
+  // failed routers can share a segment).
+  node_failed_subnets_.clear();
+  for (std::size_t r : failed_routers_) {
+    for (const auto& iface : routers_[r].config().interfaces) {
+      node_failed_subnets_.insert(iface.address.prefix);
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> EmulatedNetwork::failed_nodes() const {
+  std::vector<std::string> out;
+  out.reserve(failed_routers_.size());
+  for (std::size_t r : failed_routers_) out.push_back(routers_[r].name());
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 ConvergenceReport EmulatedNetwork::start(std::size_t max_bgp_rounds) {
@@ -238,6 +274,18 @@ std::string EmulatedNetwork::exec(std::string_view router_name,
     }
     if (!dst) return "traceroute: unknown host " + target + "\n";
     return traceroute(router_name, *dst).to_text();
+  }
+  if (command == "show failures" || command == "show incidents") {
+    // Incident summary for what-if/fault studies: link and node state.
+    std::string out = "failed links: " + std::to_string(failed_link_count()) + "\n";
+    out += "failed routers: " + std::to_string(failed_node_count());
+    std::string names;
+    for (const auto& name : failed_nodes()) {
+      names += names.empty() ? name : " " + name;
+    }
+    if (!names.empty()) out += " (" + names + ")";
+    out += "\n";
+    return out;
   }
   if (command == "show ip ospf neighbor" || command == "show ospf neighbors") {
     std::string out = "Neighbor ID     State\n";

@@ -47,9 +47,12 @@ struct TracerouteResult {
 class EmulatedNetwork {
  public:
   /// Boots from an NIDB + rendered configuration tree: each device's
-  /// config directory is parsed with the parser for its syntax.
+  /// config directory is parsed with the parser for its syntax. When
+  /// `only` is given, just those devices boot — the surviving
+  /// subnetwork of a degraded deployment (dead host / failed machines).
   static EmulatedNetwork from_nidb(const nidb::Nidb& nidb,
-                                   const render::ConfigTree& configs);
+                                   const render::ConfigTree& configs,
+                                   const std::set<std::string>* only = nullptr);
 
   /// Boots purely from a rendered Netkit directory tree (lab.conf +
   /// device folders under `<host>/netkit/`), with no knowledge of the
@@ -78,6 +81,18 @@ class EmulatedNetwork {
   [[nodiscard]] std::size_t failed_link_count() const {
     return failed_subnets_.size();
   }
+  /// Takes a router down entirely: every segment it participates in stops
+  /// carrying traffic, its control plane leaves the network, and probes
+  /// to its addresses go unanswered. Returns false for unknown or
+  /// already-failed routers. Call start() again to reconverge.
+  bool fail_node(std::string_view router_name);
+  /// Brings a failed router back. Returns false when it was not failed.
+  bool restore_node(std::string_view router_name);
+  [[nodiscard]] std::size_t failed_node_count() const {
+    return failed_routers_.size();
+  }
+  /// Names of currently failed routers, sorted.
+  [[nodiscard]] std::vector<std::string> failed_nodes() const;
 
   // --- Introspection ------------------------------------------------------
   [[nodiscard]] std::size_t router_count() const { return routers_.size(); }
@@ -150,8 +165,21 @@ class EmulatedNetwork {
   /// Direct neighbors per router (explicit-links mode), irrespective of
   /// IGP domain — used for eBGP next-hop resolution.
   std::vector<std::set<std::size_t>> direct_neighbors_;
+  /// True when the subnet's segment is down — failed directly or owned
+  /// by a failed router.
+  [[nodiscard]] bool subnet_down(const addressing::Ipv4Prefix& subnet) const {
+    return failed_subnets_.contains(subnet) ||
+           node_failed_subnets_.contains(subnet);
+  }
+  [[nodiscard]] bool router_failed(std::size_t r) const {
+    return failed_routers_.contains(r);
+  }
+
   /// Subnets whose segment is administratively down (what-if analysis).
   std::set<addressing::Ipv4Prefix> failed_subnets_;
+  /// Routers taken down by fail_node, plus the segments they drag down.
+  std::set<std::size_t> failed_routers_;
+  std::set<addressing::Ipv4Prefix> node_failed_subnets_;
   ConvergenceReport report_;
   bool started_ = false;
 

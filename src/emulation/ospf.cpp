@@ -81,6 +81,7 @@ void EmulatedNetwork::compute_ospf() {
       auto ra = by_address_.find(link.a.value());
       auto rb = by_address_.find(link.b.value());
       if (ra == by_address_.end() || rb == by_address_.end()) continue;
+      if (router_failed(ra->second) || router_failed(rb->second)) continue;
       direct_neighbors_[ra->second].insert(rb->second);
       direct_neighbors_[rb->second].insert(ra->second);
       const std::int64_t da = routers_[ra->second].config().igp_domain;
@@ -94,6 +95,11 @@ void EmulatedNetwork::compute_ospf() {
     for (std::size_t r = 0; r < n; ++r) {
       auto& neighbors = routers_[r].mutable_ospf_neighbors();
       neighbors.clear();
+      if (router_failed(r)) {
+        routers_[r].mutable_fib().clear();
+        igp_dist_[r].clear();
+        continue;
+      }
       for (std::size_t m : direct_neighbors_[r]) {
         const std::int64_t da = routers_[r].config().igp_domain;
         const std::int64_t db = routers_[m].config().igp_domain;
@@ -237,6 +243,10 @@ void EmulatedNetwork::compute_ospf() {
   for (std::size_t r = 0; r < n; ++r) {
     auto& fib = routers_[r].mutable_fib();
     fib.clear();
+    if (router_failed(r)) {
+      igp_dist_[r].clear();
+      continue;
+    }
     const RouterConfig& cfg = routers_[r].config();
     for (const auto& iface : cfg.interfaces) {
       fib.push_back(FibEntry{iface.address.prefix, RouteSource::kConnected,

@@ -10,8 +10,16 @@ std::vector<CommandResult> MeasurementClient::send(
   for (const auto& host : hosts) {
     CommandResult r;
     r.host = host;
-    r.raw_output = network_->exec(host, command);
-    r.records = parser.run(r.raw_output);
+    // One unreachable VM must not abort a whole measurement sweep
+    // (§5.7 collects from many machines): record a typed error and
+    // carry on.
+    try {
+      r.raw_output = network_->exec(host, command);
+      r.records = parser.run(r.raw_output);
+    } catch (const std::exception& e) {
+      r.error = core::Error{core::ErrorCategory::kMeasurement, host, e.what(),
+                            false};
+    }
     results.push_back(std::move(r));
   }
   return results;

@@ -8,9 +8,11 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/error.hpp"
 #include "emulation/network.hpp"
 #include "measure/textfsm.hpp"
 #include "nidb/nidb.hpp"
@@ -34,6 +36,9 @@ struct CommandResult {
   std::string host;
   std::string raw_output;
   std::vector<Record> records;
+  /// Set when the command could not run (unknown/unreachable VM); the
+  /// sweep continues over the remaining hosts rather than aborting.
+  std::optional<core::Error> error;
 };
 
 class MeasurementClient {

@@ -1,0 +1,207 @@
+// Incident timelines over the running emulation (§8 "emulate workflow,
+// or incidents"): node failures, scripted fail/restore sequences with
+// automatic reconvergence, per-step reachability deltas, and the
+// convergence watchdog.
+#include <gtest/gtest.h>
+
+#include "core/workflow.hpp"
+#include "emulation/incident.hpp"
+#include "emulation/network.hpp"
+#include "topology/builtin.hpp"
+
+namespace {
+
+using namespace autonet;
+using namespace autonet::emulation;
+
+EmulatedNetwork booted(const graph::Graph& input) {
+  core::Workflow wf;
+  wf.load(input).design().compile().render();
+  auto net = EmulatedNetwork::from_nidb(wf.nidb(), wf.configs());
+  net.start();
+  return net;
+}
+
+TEST(FailNode, NodeFailureIsolatesRouter) {
+  auto net = booted(topology::figure5());
+  ASSERT_TRUE(net.fail_node("r2"));
+  EXPECT_EQ(net.failed_node_count(), 1u);
+  EXPECT_EQ(net.failed_nodes(), std::vector<std::string>{"r2"});
+  net.start();
+  // r2 answers nothing and forwards nothing.
+  auto lo2 = net.router("r2")->config().loopback->address;
+  EXPECT_FALSE(net.ping("r1", lo2));
+  // r1 -> r4 now must route around r2 via r3.
+  auto trace = net.traceroute("r1", "r4");
+  ASSERT_TRUE(trace.reached);
+  EXPECT_EQ(trace.hops[0].router, "r3");
+  // r2 is nobody's OSPF neighbor any more.
+  EXPECT_EQ(net.router("r1")->ospf_neighbors(), std::vector<std::string>{"r3"});
+  // Probes sourced at the dead router go nowhere.
+  EXPECT_FALSE(net.traceroute("r2", "r1").reached);
+}
+
+TEST(FailNode, RestoreNodeRecoversEverything) {
+  auto net = booted(topology::figure5());
+  const auto baseline = net.router("r1")->ospf_neighbors();
+  ASSERT_TRUE(net.fail_node("r2"));
+  net.start();
+  ASSERT_TRUE(net.restore_node("r2"));
+  EXPECT_EQ(net.failed_node_count(), 0u);
+  net.start();
+  EXPECT_EQ(net.router("r1")->ospf_neighbors(), baseline);
+  auto lo2 = net.router("r2")->config().loopback->address;
+  EXPECT_TRUE(net.ping("r1", lo2));
+}
+
+TEST(FailNode, Validation) {
+  auto net = booted(topology::figure5());
+  EXPECT_FALSE(net.fail_node("ghost"));
+  EXPECT_FALSE(net.restore_node("r1"));  // not failed
+  EXPECT_TRUE(net.fail_node("r1"));
+  EXPECT_FALSE(net.fail_node("r1"));  // already failed
+  EXPECT_TRUE(net.restore_node("r1"));
+}
+
+TEST(FailNode, NodeAndLinkFailuresCompose) {
+  auto net = booted(topology::figure5());
+  // Fail the r1--r2 link AND node r2: restoring the node must keep the
+  // link down (it was failed independently).
+  ASSERT_TRUE(net.fail_link("r1", "r2"));
+  ASSERT_TRUE(net.fail_node("r2"));
+  net.start();
+  ASSERT_TRUE(net.restore_node("r2"));
+  net.start();
+  EXPECT_EQ(net.failed_link_count(), 1u);
+  EXPECT_EQ(net.router("r1")->ospf_neighbors(), std::vector<std::string>{"r3"});
+  ASSERT_TRUE(net.restore_link("r1", "r2"));
+  net.start();
+  EXPECT_EQ(net.router("r1")->ospf_neighbors(),
+            (std::vector<std::string>{"r2", "r3"}));
+}
+
+TEST(FailNode, ShowFailuresSurfacesState) {
+  auto net = booted(topology::figure5());
+  ASSERT_TRUE(net.fail_link("r1", "r2"));
+  ASSERT_TRUE(net.fail_node("r5"));
+  auto out = net.exec("r1", "show failures");
+  EXPECT_NE(out.find("failed links: 1"), std::string::npos);
+  EXPECT_NE(out.find("failed routers: 1 (r5)"), std::string::npos);
+}
+
+TEST(Incident, ScriptParses) {
+  auto steps = parse_incident_script(
+      "# what-if study\n"
+      "fail_link r1 r2\n"
+      "\n"
+      "fail_node r5   # takes the AS2 exit down\n"
+      "restore_node r5\n"
+      "restore_link r1 r2\n");
+  ASSERT_EQ(steps.size(), 4u);
+  EXPECT_EQ(steps[0].action, IncidentAction::kFailLink);
+  EXPECT_EQ(steps[0].a, "r1");
+  EXPECT_EQ(steps[0].b, "r2");
+  EXPECT_EQ(steps[1].action, IncidentAction::kFailNode);
+  EXPECT_EQ(steps[1].a, "r5");
+  EXPECT_TRUE(steps[1].b.empty());
+}
+
+TEST(Incident, ScriptRejectsGarbage) {
+  EXPECT_THROW(parse_incident_script("explode r1\n"), IncidentError);
+  EXPECT_THROW(parse_incident_script("fail_link r1\n"), IncidentError);
+  EXPECT_THROW(parse_incident_script("fail_node\n"), IncidentError);
+  EXPECT_THROW(parse_incident_script("fail_node r1 r2\n"), IncidentError);
+  EXPECT_THROW(parse_incident_script("fail_link r1 r2 r3\n"), IncidentError);
+  // Comments and blanks alone are fine.
+  EXPECT_TRUE(parse_incident_script("# nothing\n\n").empty());
+}
+
+TEST(Incident, TimelineReconvergesAndTracksReachability) {
+  auto net = booted(topology::figure5());
+  IncidentRunner runner(net);
+  auto report = runner.run_script(
+      "fail_node r5\n"
+      "restore_node r5\n");
+  EXPECT_TRUE(report.ok);
+  ASSERT_EQ(report.steps.size(), 2u);
+  // 5 routers fully meshed via IGP/BGP: 20 ordered pairs at baseline.
+  EXPECT_EQ(report.baseline_pairs, 20u);
+  const auto& fail = report.steps[0];
+  EXPECT_TRUE(fail.applied);
+  EXPECT_TRUE(fail.convergence.converged);
+  // Losing r5 kills exactly its 8 ordered pairs (4 out + 4 in).
+  EXPECT_EQ(fail.pairs_before, 20u);
+  EXPECT_EQ(fail.pairs_after, 12u);
+  EXPECT_EQ(fail.lost.size(), 8u);
+  EXPECT_TRUE(fail.regained.empty());
+  const auto& restore = report.steps[1];
+  EXPECT_EQ(restore.pairs_after, 20u);
+  EXPECT_EQ(restore.regained.size(), 8u);
+  EXPECT_TRUE(restore.lost.empty());
+  // The per-step deltas name the pairs.
+  bool found = false;
+  for (const auto& pair : fail.lost) {
+    if (pair == "r1->r5") found = true;
+  }
+  EXPECT_TRUE(found);
+  // And the report renders a timeline.
+  auto text = report.to_string();
+  EXPECT_NE(text.find("fail_node r5"), std::string::npos);
+  EXPECT_NE(text.find("timeline completed"), std::string::npos);
+}
+
+TEST(Incident, LinkFlapTimelineRecovers) {
+  auto net = booted(topology::figure5());
+  IncidentRunner runner(net);
+  std::vector<IncidentStep> timeline{
+      {IncidentAction::kFailLink, "r3", "r5"},
+      {IncidentAction::kFailLink, "r4", "r5"},
+      {IncidentAction::kRestoreLink, "r3", "r5"},
+  };
+  auto report = runner.run(timeline);
+  EXPECT_TRUE(report.ok);
+  ASSERT_EQ(report.steps.size(), 3u);
+  // First failure reroutes (r5 still reachable via r4): nothing lost.
+  EXPECT_EQ(report.steps[0].pairs_after, 20u);
+  // Second failure strands r5.
+  EXPECT_EQ(report.steps[1].pairs_after, 12u);
+  // Restoring one strand brings all pairs back.
+  EXPECT_EQ(report.steps[2].pairs_after, 20u);
+  EXPECT_EQ(report.steps[2].regained.size(), 8u);
+}
+
+TEST(Incident, InvalidStepIsTypedNotFatal) {
+  auto net = booted(topology::figure5());
+  IncidentRunner runner(net);
+  auto report = runner.run_script(
+      "fail_link r1 r4\n"   // not adjacent: no-op
+      "fail_link r1 r2\n"); // valid
+  EXPECT_FALSE(report.ok);
+  ASSERT_EQ(report.steps.size(), 2u);
+  EXPECT_FALSE(report.steps[0].applied);
+  ASSERT_TRUE(report.steps[0].error.has_value());
+  EXPECT_EQ(report.steps[0].error->category, core::ErrorCategory::kConfig);
+  // The timeline continued past the bad step.
+  EXPECT_TRUE(report.steps[1].applied);
+  EXPECT_TRUE(report.steps[1].convergence.converged);
+}
+
+TEST(Incident, WatchdogReportsBudgetExhaustion) {
+  auto net = booted(topology::figure5());
+  ConvergenceBudget budget;
+  budget.max_rounds = 128;
+  budget.max_updates = 1;  // impossible update budget
+  budget.recovery_retries = 1;
+  IncidentRunner runner(net, budget);
+  auto report = runner.run_script("fail_link r1 r2\n");
+  EXPECT_FALSE(report.ok);
+  ASSERT_EQ(report.steps.size(), 1u);
+  const auto& step = report.steps[0];
+  // The watchdog retried (doubled budget) before giving up.
+  EXPECT_EQ(step.convergence_attempts, 2);
+  ASSERT_TRUE(step.error.has_value());
+  EXPECT_EQ(step.error->category, core::ErrorCategory::kConvergence);
+  EXPECT_NE(step.error->message.find("update budget"), std::string::npos);
+}
+
+}  // namespace

@@ -6,6 +6,8 @@
 #include <random>
 
 #include "emulation/config_parse.hpp"
+#include "emulation/incident.hpp"
+#include "emulation/network.hpp"
 #include "measure/textfsm.hpp"
 #include "nidb/value.hpp"
 #include "templates/template.hpp"
@@ -127,6 +129,42 @@ TEST(Robustness, ConfigParsersNeverCrash) {
       tree.put("dev/etc/quagga/bgpd.conf", text);
       (void)emulation::parse_quagga_device(tree, "dev", "dev");
     } catch (const std::exception&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Robustness, CbgpNetworkBootNeverCrashes) {
+  // Beyond parsing: garbage fed all the way into network construction
+  // (and, when it survives, convergence) must stay typed exceptions.
+  for (const auto& text : garbage_corpus()) {
+    try {
+      auto net = emulation::EmulatedNetwork::from_cbgp_script(text);
+      (void)net.start();
+    } catch (const std::exception&) {
+    }
+  }
+  // Near-valid scripts with broken tails exercise the later stages.
+  const std::vector<std::string> tails{
+      "net add node 1.1.1.1\nnet add node", "net add link 1.1.1.1",
+      "net add link 1.1.1.1 2.2.2.2 999999999999",
+      "bgp add router 1 not-an-ip", "bgp router 1.1.1.1\n  add peer 2"};
+  for (const auto& tail : tails) {
+    try {
+      auto net = emulation::EmulatedNetwork::from_cbgp_script(
+          "net add node 1.1.1.1\n" + tail + "\n");
+      (void)net.start();
+    } catch (const std::exception&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Robustness, IncidentScriptNeverCrashes) {
+  for (const auto& text : garbage_corpus()) {
+    try {
+      (void)emulation::parse_incident_script(text);
+    } catch (const emulation::IncidentError&) {
     }
   }
   SUCCEED();
