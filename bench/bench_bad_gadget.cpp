@@ -11,6 +11,8 @@
 // the paper; automated it is milliseconds).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cstdio>
 
 #include "core/workflow.hpp"
@@ -94,7 +96,5 @@ BENCHMARK(BM_BadGadget_DetectionVsRoundBudget)
 
 int main(int argc, char** argv) {
   print_vendor_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return autonet::benchjson::run_and_export("bad_gadget", argc, argv);
 }

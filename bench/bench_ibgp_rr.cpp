@@ -4,6 +4,8 @@
 // linear growth are the shapes to observe.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "core/workflow.hpp"
 #include "design/bgp.hpp"
 #include "topology/generators.hpp"
@@ -99,4 +101,4 @@ BENCHMARK(BM_Ibgp_SelectReflectorsBetweenness)->Arg(64)->Arg(256)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+AUTONET_BENCH_MAIN("ibgp_rr")

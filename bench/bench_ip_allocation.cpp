@@ -5,6 +5,8 @@
 // resources).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cstdio>
 #include <set>
 
@@ -95,7 +97,5 @@ BENCHMARK(BM_IpAllocation_RawSubnetAllocator);
 
 int main(int argc, char** argv) {
   verify_invariants_at_scale();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return autonet::benchjson::run_and_export("ip_allocation", argc, argv);
 }

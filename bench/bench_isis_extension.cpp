@@ -5,6 +5,8 @@
 // footprint of the extension in this codebase.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cstdio>
 
 #include "core/workflow.hpp"
@@ -78,7 +80,5 @@ int main(int argc, char** argv) {
       "# §7 extension footprint in this codebase: design rule build_isis() "
       "~30 LoC,\n# compiler hook DeviceCompiler::isis() ~40 LoC, one "
       "template (isisd.conf).\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return autonet::benchjson::run_and_export("isis_extension", argc, argv);
 }

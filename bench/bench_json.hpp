@@ -1,0 +1,83 @@
+// Shared benchmark harness: every bench binary reports through the
+// standard console reporter AND records each run as a structured obs
+// event, exported to BENCH_<suite>.json — machine-readable results the
+// scaling scripts and CI can diff without scraping console text.
+//
+// Usage: replace BENCHMARK_MAIN() with AUTONET_BENCH_MAIN("suite"), or
+// call autonet::benchjson::run_and_export() from a custom main().
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
+
+namespace autonet::benchjson {
+
+/// Console reporter that additionally records one obs "bench" event per
+/// completed run (name, per-iteration wall ms, iterations, user
+/// counters). Subclassing the display reporter guarantees we see every
+/// run regardless of --benchmark_* output flags.
+class Collector : public benchmark::ConsoleReporter {
+ public:
+  explicit Collector(obs::Registry& registry) : registry_(&registry) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    char buf[64];
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      obs::Fields fields;
+      fields.emplace_back("name", run.benchmark_name());
+      const double wall_ms =
+          run.iterations > 0
+              ? run.real_accumulated_time / static_cast<double>(run.iterations) * 1e3
+              : 0.0;
+      std::snprintf(buf, sizeof buf, "%.6f", wall_ms);
+      fields.emplace_back("wall_ms", buf);
+      fields.emplace_back("iterations", std::to_string(run.iterations));
+      for (const auto& [name, counter] : run.counters) {
+        std::snprintf(buf, sizeof buf, "%g", counter.value);
+        fields.emplace_back("counter." + name, buf);
+      }
+      registry_->log_event("bench", std::move(fields));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  obs::Registry* registry_;
+};
+
+/// Initializes Google Benchmark, runs the registered benchmarks, and
+/// writes BENCH_<suite>.json into the working directory.
+inline int run_and_export(const std::string& suite, int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // The library's own telemetry is off while benchmarking: the numbers
+  // must measure the pipeline, not its instrumentation.
+  obs::Registry::global().set_enabled(false);
+  obs::Registry results;  // isolated registry for the bench events
+  Collector collector(results);
+  benchmark::RunSpecifiedBenchmarks(&collector);
+  const std::string path = "BENCH_" + suite + ".json";
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << obs::events_to_json(results) << "\n";
+  std::printf("# machine-readable results: %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace autonet::benchjson
+
+#define AUTONET_BENCH_MAIN(suite)                                 \
+  int main(int argc, char** argv) {                               \
+    return autonet::benchjson::run_and_export(suite, argc, argv); \
+  }

@@ -5,6 +5,8 @@
 // ("a single measurement client ... speeding up data collection").
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cstdio>
 
 #include "core/workflow.hpp"
@@ -93,7 +95,5 @@ BENCHMARK(BM_Measure_HighlightExport);
 
 int main(int argc, char** argv) {
   print_paper_traceroute();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return autonet::benchjson::run_and_export("measurement", argc, argv);
 }

@@ -7,6 +7,8 @@
 // faster.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "core/workflow.hpp"
 #include "render/renderer.hpp"
 #include "topology/generators.hpp"
@@ -123,4 +125,4 @@ BENCHMARK(BM_Nren_WriteToDisk)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+AUTONET_BENCH_MAIN("nren_phases")

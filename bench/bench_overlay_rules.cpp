@@ -4,6 +4,8 @@
 // eBGP) or per-AS products (iBGP), and their cost should reflect that.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cstdio>
 #include <set>
 
@@ -95,7 +97,5 @@ BENCHMARK(BM_Rules_IbgpMeshProduct)->Arg(8)->Arg(32)->Arg(128)
 
 int main(int argc, char** argv) {
   verify_figure5_rules();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return autonet::benchjson::run_and_export("overlay_rules", argc, argv);
 }

@@ -5,6 +5,8 @@
 // count is quadratic per AS (see bench_ibgp_rr for that ablation).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "core/workflow.hpp"
 #include "topology/generators.hpp"
 
@@ -77,4 +79,4 @@ BENCHMARK(BM_Scaling_OverlayBuildOnly)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+AUTONET_BENCH_MAIN("scaling")

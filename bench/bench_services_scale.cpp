@@ -5,6 +5,8 @@
 // VM count and end-to-end time.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cstdio>
 
 #include "core/workflow.hpp"
@@ -82,7 +84,5 @@ BENCHMARK(BM_Services_DnsZoneGeneration)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   std::printf("# §3.3 scale target: 800+ VMs deployed (routers + servers)\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return autonet::benchjson::run_and_export("services_scale", argc, argv);
 }

@@ -4,6 +4,8 @@
 // those numbers: per-phase latency and the config-corpus size.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "core/workflow.hpp"
 #include "topology/builtin.hpp"
 
@@ -61,4 +63,4 @@ BENCHMARK(BM_SmallInternet_ConfigCorpus);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+AUTONET_BENCH_MAIN("small_internet")

@@ -5,6 +5,8 @@
 // cost of a full validation pass at several scales.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cstdio>
 
 #include "core/workflow.hpp"
@@ -76,7 +78,5 @@ BENCHMARK(BM_Validate_DetectsSabotage);
 
 int main(int argc, char** argv) {
   std::printf("# §5.7 design-vs-running validation benchmarks\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return autonet::benchjson::run_and_export("validation", argc, argv);
 }

@@ -4,6 +4,8 @@
 // real-time feedback loop must stay interactive.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "core/workflow.hpp"
 #include "topology/builtin.hpp"
 #include "topology/generators.hpp"
@@ -56,4 +58,4 @@ BENCHMARK(BM_Viz_NidbDump)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+AUTONET_BENCH_MAIN("viz_export")

@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "addressing/allocator.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 
 namespace autonet::compiler {
 
@@ -69,7 +71,13 @@ nidb::Nidb PlatformCompiler::compile(const anm::AbstractNetworkModel& anm,
               return a.name() < b.name();
             });
 
+  obs::Registry& obs = obs::Registry::current();
+  obs::Counter& devices_compiled = obs.counter("compile.devices");
+
   for (const auto& dev : devices) {
+    obs::Span span(obs, "compile.device");
+    span.arg("device", dev.name());
+    devices_compiled.inc();
     CompileContext ctx;
     ctx.anm = &anm;
     ctx.platform = platform();

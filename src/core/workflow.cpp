@@ -3,9 +3,9 @@
 #include <sstream>
 #include <stdexcept>
 
-namespace autonet::core {
+#include "obs/span.hpp"
 
-using Clock = std::chrono::steady_clock;
+namespace autonet::core {
 
 double PhaseTimings::total() const {
   double sum = 0;
@@ -15,7 +15,8 @@ double PhaseTimings::total() const {
 
 std::string PhaseTimings::to_string() const {
   std::ostringstream out;
-  for (const char* phase : {"load", "design", "compile", "render", "deploy"}) {
+  for (const char* phase :
+       {"load", "design", "compile", "render", "deploy", "measure"}) {
     auto it = ms.find(phase);
     if (it != ms.end()) out << phase << "=" << it->second << "ms ";
   }
@@ -28,15 +29,16 @@ Workflow::~Workflow() = default;
 Workflow::Workflow(Workflow&&) noexcept = default;
 Workflow& Workflow::operator=(Workflow&&) noexcept = default;
 
+// Each phase runs under an obs span (in the workflow's registry, made
+// current for the duration so every layer's instrumentation lands in the
+// same place); the PhaseTimings entry is the span's duration.
 template <typename F>
 void Workflow::timed(const std::string& phase, F&& f) {
-  auto start = Clock::now();
+  obs::Registry& registry = telemetry();
+  obs::RegistryScope use(registry);
+  obs::Span span(registry, phase);
   f();
-  auto end = Clock::now();
-  timings_.ms[phase] =
-      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(end -
-                                                                            start)
-          .count();
+  timings_.ms[phase] = span.stop_ms();
 }
 
 Workflow& Workflow::load(const graph::Graph& input) {
@@ -64,22 +66,30 @@ Workflow& Workflow::load(const graph::Graph& input) {
 Workflow& Workflow::design() {
   if (!loaded_) throw std::logic_error("Workflow::design before load");
   timed("design", [this]() {
-    design::build_ospf(anm_, options_.ospf);
-    if (options_.enable_isis) design::build_isis(anm_);
-    design::build_ebgp(anm_);
-    if (options_.ibgp == "mesh") {
-      design::build_ibgp_full_mesh(anm_);
-    } else if (options_.ibgp == "rr") {
-      design::build_ibgp_route_reflectors(anm_);
-    } else if (options_.ibgp == "rr-auto") {
-      design::select_route_reflectors(anm_, options_.rr_select);
-      design::build_ibgp_route_reflectors(anm_);
-    } else {
-      throw std::invalid_argument("unknown ibgp mode '" + options_.ibgp + "'");
-    }
-    design::build_ip(anm_, options_.ip);
-    if (options_.enable_dns) design::build_dns(anm_);
-    if (options_.enable_rpki) design::build_rpki(anm_);
+    // One child span per design rule: the per-rule breakdown the §3.2
+    // phase timings could not see.
+    auto rule = [](const char* name, auto&& f) {
+      obs::Span span(std::string("design.") + name);
+      f();
+    };
+    rule("ospf", [this] { design::build_ospf(anm_, options_.ospf); });
+    if (options_.enable_isis) rule("isis", [this] { design::build_isis(anm_); });
+    rule("ebgp", [this] { design::build_ebgp(anm_); });
+    rule("ibgp", [this] {
+      if (options_.ibgp == "mesh") {
+        design::build_ibgp_full_mesh(anm_);
+      } else if (options_.ibgp == "rr") {
+        design::build_ibgp_route_reflectors(anm_);
+      } else if (options_.ibgp == "rr-auto") {
+        design::select_route_reflectors(anm_, options_.rr_select);
+        design::build_ibgp_route_reflectors(anm_);
+      } else {
+        throw std::invalid_argument("unknown ibgp mode '" + options_.ibgp + "'");
+      }
+    });
+    rule("ip", [this] { design::build_ip(anm_, options_.ip); });
+    if (options_.enable_dns) rule("dns", [this] { design::build_dns(anm_); });
+    if (options_.enable_rpki) rule("rpki", [this] { design::build_rpki(anm_); });
   });
   return *this;
 }
@@ -106,6 +116,25 @@ Workflow& Workflow::deploy() {
     host_->attach_faults(faults_);
     deploy::Deployer deployer(*host_);
     deploy_result_ = deployer.deploy(*configs_, *nidb_, options_.deploy);
+  });
+  return *this;
+}
+
+Workflow& Workflow::measure() {
+  if (!host_ || host_->network() == nullptr) {
+    throw std::logic_error("Workflow::measure before a successful deploy");
+  }
+  timed("measure", [this]() {
+    {
+      obs::Span span("measure.validate_ospf");
+      measure_report_ = measure::validate_ospf(*host_->network(), anm_);
+    }
+    obs::Span span("measure.reachability");
+    auto matrix = measurement().reachability();
+    auto scope = obs::Registry::current().scope("measure");
+    scope.counter("reachability_probes")
+        .inc(matrix.routers.size() * (matrix.routers.size() - 1));
+    scope.counter("reachable_pairs").inc(matrix.reachable_pairs());
   });
   return *this;
 }
@@ -149,6 +178,11 @@ measure::ValidationReport Workflow::validate_ospf() const {
     throw std::logic_error("deploy() has not run successfully");
   }
   return measure::validate_ospf(*host_->network(), anm_);
+}
+
+const measure::ValidationReport& Workflow::measure_report() const {
+  if (!measure_report_) throw std::logic_error("measure() has not run");
+  return *measure_report_;
 }
 
 }  // namespace autonet::core

@@ -24,6 +24,7 @@
 #include "measure/client.hpp"
 #include "measure/validate.hpp"
 #include "nidb/nidb.hpp"
+#include "obs/registry.hpp"
 #include "render/renderer.hpp"
 #include "verify/static_check.hpp"
 
@@ -46,7 +47,8 @@ struct WorkflowOptions {
 
 struct PhaseTimings {
   /// Milliseconds per phase, keyed "load", "design", "compile", "render",
-  /// "deploy".
+  /// "deploy", "measure". Values are derived from the obs phase spans
+  /// (each entry is the duration of the span of the same name).
   std::map<std::string, double> ms;
   [[nodiscard]] double total() const;
   [[nodiscard]] std::string to_string() const;
@@ -73,6 +75,10 @@ class Workflow {
   /// Phase 5: archive/transfer/extract/boot on a simulated host; starts
   /// the emulated network.
   Workflow& deploy();
+  /// Phase 6: post-deployment measurement — design-vs-running OSPF
+  /// validation plus the loopback reachability matrix, timed like every
+  /// other phase (the paper's §3.2 numbers previously left it untimed).
+  Workflow& measure();
 
   /// All phases in order. Deployment faults do not throw: inspect ok(),
   /// errors(), and deploy_result() afterwards — a degraded deploy still
@@ -84,6 +90,18 @@ class Workflow {
   Workflow& use_faults(deploy::FaultPlan* plan) {
     faults_ = plan;
     return *this;
+  }
+
+  /// Records telemetry (phase spans, per-rule/per-device spans, counters)
+  /// into `registry` instead of obs::Registry::global(); pass nullptr to
+  /// revert. Used by tests to golden-compare isolated exports.
+  Workflow& use_telemetry(obs::Registry* registry) {
+    obs_ = registry;
+    return *this;
+  }
+  /// The registry this workflow records into.
+  [[nodiscard]] obs::Registry& telemetry() const {
+    return obs_ != nullptr ? *obs_ : obs::Registry::global();
   }
 
   // --- Results ----------------------------------------------------------
@@ -109,6 +127,8 @@ class Workflow {
   [[nodiscard]] measure::MeasurementClient measurement() const;
   /// Design-vs-running validation of OSPF adjacencies.
   [[nodiscard]] measure::ValidationReport validate_ospf() const;
+  /// Results of the measure() phase; throws before measure() has run.
+  [[nodiscard]] const measure::ValidationReport& measure_report() const;
   /// Pre-deployment static verification of the compiled NIDB (§8).
   [[nodiscard]] verify::Report static_check() const;
 
@@ -122,7 +142,9 @@ class Workflow {
   std::optional<render::ConfigTree> configs_;
   std::unique_ptr<deploy::EmulationHost> host_;
   deploy::FaultPlan* faults_ = nullptr;
+  obs::Registry* obs_ = nullptr;  // nullptr = obs::Registry::global()
   deploy::DeployResult deploy_result_;
+  std::optional<measure::ValidationReport> measure_report_;
   PhaseTimings timings_;
   bool loaded_ = false;
 };

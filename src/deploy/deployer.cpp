@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "deploy/archive.hpp"
+#include "obs/registry.hpp"
 
 namespace autonet::deploy {
 
@@ -35,8 +36,21 @@ int BackoffClock::next_delay_ms(int attempt) {
 
 void Deployer::emit(DeployPhase phase, std::string detail) {
   DeployEvent event{phase, std::move(detail)};
-  log_.push_back(std::string(to_string(phase)) + ": " + event.detail);
+  // Structured telemetry is the primary record; log() renders it.
+  obs::Registry& obs = obs::Registry::current();
+  obs.counter(std::string("deploy.events.") + to_string(phase)).inc();
+  obs.log_event("deploy", {{"phase", to_string(phase)},
+                           {"host", host_->name()},
+                           {"detail", event.detail}});
   if (logger_) logger_(event);
+  events_.push_back(std::move(event));
+}
+
+std::vector<std::string> Deployer::log() const {
+  std::vector<std::string> lines;
+  lines.reserve(events_.size());
+  for (const DeployEvent& event : events_) lines.push_back(event.to_line());
+  return lines;
 }
 
 DeployResult Deployer::deploy(const render::ConfigTree& configs,

@@ -40,6 +40,10 @@ enum class DeployPhase {
 struct DeployEvent {
   DeployPhase phase;
   std::string detail;
+  /// The legacy log-line rendering ("<phase>: <detail>").
+  [[nodiscard]] std::string to_line() const {
+    return std::string(to_string(phase)) + ": " + detail;
+  }
 };
 
 struct DeployOptions {
@@ -104,15 +108,20 @@ class Deployer {
   DeployResult deploy(const render::ConfigTree& configs, const nidb::Nidb& nidb,
                       const DeployOptions& opts = {});
 
-  /// Collected log lines (also passed to the logger as events happen).
-  [[nodiscard]] const std::vector<std::string>& log() const { return log_; }
+  /// The structured event stream (also mirrored as obs "deploy" log
+  /// events in the current telemetry registry and passed to the logger
+  /// as events happen).
+  [[nodiscard]] const std::vector<DeployEvent>& events() const { return events_; }
+
+  /// Backward-compatible rendered view of events().
+  [[nodiscard]] std::vector<std::string> log() const;
 
  private:
   void emit(DeployPhase phase, std::string detail);
 
   EmulationHost* host_;
   Logger logger_;
-  std::vector<std::string> log_;
+  std::vector<DeployEvent> events_;
 };
 
 /// Exponential backoff with deterministic jitter, shared by the single-

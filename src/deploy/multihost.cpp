@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "deploy/archive.hpp"
+#include "obs/registry.hpp"
 
 namespace autonet::deploy {
 
@@ -32,8 +33,19 @@ MultiHostDeployer::MultiHostDeployer(std::vector<EmulationHost*> hosts,
 
 void MultiHostDeployer::emit(DeployPhase phase, std::string detail) {
   DeployEvent event{phase, std::move(detail)};
-  log_.push_back(std::string(to_string(phase)) + ": " + event.detail);
+  obs::Registry& obs = obs::Registry::current();
+  obs.counter(std::string("deploy.events.") + to_string(phase)).inc();
+  obs.log_event("deploy", {{"phase", to_string(phase)},
+                           {"detail", event.detail}});
   if (logger_) logger_(event);
+  events_.push_back(std::move(event));
+}
+
+std::vector<std::string> MultiHostDeployer::log() const {
+  std::vector<std::string> lines;
+  lines.reserve(events_.size());
+  for (const DeployEvent& event : events_) lines.push_back(event.to_line());
+  return lines;
 }
 
 MultiHostResult MultiHostDeployer::deploy(const render::ConfigTree& configs,

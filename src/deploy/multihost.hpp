@@ -71,14 +71,19 @@ class MultiHostDeployer {
   /// successful deploy.
   [[nodiscard]] emulation::EmulatedNetwork* network() { return network_.get(); }
 
-  [[nodiscard]] const std::vector<std::string>& log() const { return log_; }
+  /// The structured event stream (also mirrored as obs "deploy" log
+  /// events in the current telemetry registry).
+  [[nodiscard]] const std::vector<DeployEvent>& events() const { return events_; }
+
+  /// Backward-compatible rendered view of events().
+  [[nodiscard]] std::vector<std::string> log() const;
 
  private:
   void emit(DeployPhase phase, std::string detail);
 
   std::vector<EmulationHost*> hosts_;
   Deployer::Logger logger_;
-  std::vector<std::string> log_;
+  std::vector<DeployEvent> events_;
   std::unique_ptr<emulation::EmulatedNetwork> network_;
   emulation::ConvergenceReport convergence_;
 };

@@ -100,6 +100,7 @@ ConvergenceReport EmulatedNetwork::run_bgp(std::size_t max_rounds) {
       sessions_.push_back(s);
     }
   }
+  stats_.bgp_sessions = sessions_.size();
 
   // Sessions by advertising router, deterministic order.
   std::vector<std::vector<std::size_t>> sessions_of(routers_.size());
@@ -198,6 +199,7 @@ ConvergenceReport EmulatedNetwork::run_bgp(std::size_t max_rounds) {
     bool changed = false;
     for (std::size_t r = 0; r < routers_.size(); ++r) {
       if (!routers_[r].config().bgp_enabled || router_failed(r)) continue;
+      ++stats_.decision_reruns;
       auto best = select_best(r);
       if (best == routers_[r].bgp_best() && round > 1) continue;
 
@@ -209,6 +211,7 @@ ConvergenceReport EmulatedNetwork::run_bgp(std::size_t max_rounds) {
           // At the peer, routes from us are keyed by our session address.
           routers_[s.peer].rib_in().erase({prefix, s.local_addr.value()});
           ++report.updates;
+          ++stats_.bgp_withdrawals;
         }
         changed = true;
       }

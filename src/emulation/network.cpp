@@ -5,6 +5,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+
 namespace autonet::emulation {
 
 using addressing::Ipv4Addr;
@@ -204,13 +207,60 @@ std::vector<std::string> EmulatedNetwork::failed_nodes() const {
   return out;
 }
 
+std::string EmulationStats::to_text() const {
+  std::ostringstream out;
+  out << "bgp sessions: " << bgp_sessions << "\n";
+  out << "bgp updates: " << bgp_updates << "\n";
+  out << "bgp withdrawals: " << bgp_withdrawals << "\n";
+  out << "convergence rounds: " << convergence_rounds << "\n";
+  out << "convergence runs: " << convergence_runs << "\n";
+  out << "decision process reruns: " << decision_reruns << "\n";
+  out << "lsa floods: " << lsa_floods << "\n";
+  out << "oscillation detections: " << oscillations << "\n";
+  out << "spf runs: " << spf_runs << "\n";
+  for (const auto& [router, runs] : spf_per_router) {
+    out << "  spf[" << router << "]: " << runs << "\n";
+  }
+  return out.str();
+}
+
 ConvergenceReport EmulatedNetwork::start(std::size_t max_bgp_rounds) {
+  // The hot loops below touch only the plain stats_ struct; telemetry
+  // publication happens once, as per-run deltas, after they finish.
+  const EmulationStats before = stats_;
   index_addresses();
   build_segments();
-  compute_ospf();
-  report_ = run_bgp(max_bgp_rounds);
+  {
+    obs::Span span("emulation.ospf");
+    compute_ospf();
+  }
+  {
+    obs::Span span("emulation.bgp");
+    report_ = run_bgp(max_bgp_rounds);
+  }
   install_bgp_routes();
+  stats_.bgp_updates += report_.updates;
+  stats_.convergence_rounds += report_.rounds;
+  ++stats_.convergence_runs;
+  if (report_.oscillating) ++stats_.oscillations;
   started_ = true;
+
+  obs::Registry& obs = obs::Registry::current();
+  if (obs.enabled()) {
+    auto scope = obs.scope("emulation");
+    scope.counter("spf_runs").inc(stats_.spf_runs - before.spf_runs);
+    scope.counter("lsa_floods").inc(stats_.lsa_floods - before.lsa_floods);
+    scope.counter("bgp_updates").inc(stats_.bgp_updates - before.bgp_updates);
+    scope.counter("bgp_withdrawals")
+        .inc(stats_.bgp_withdrawals - before.bgp_withdrawals);
+    scope.counter("decision_reruns")
+        .inc(stats_.decision_reruns - before.decision_reruns);
+    scope.counter("convergence_rounds").inc(report_.rounds);
+    scope.counter("convergence_runs").inc();
+    if (report_.oscillating) scope.counter("oscillations").inc();
+    scope.gauge("bgp_sessions").set(static_cast<std::int64_t>(sessions_.size()));
+    scope.gauge("routers").set(static_cast<std::int64_t>(routers_.size()));
+  }
   return report_;
 }
 
@@ -274,6 +324,10 @@ std::string EmulatedNetwork::exec(std::string_view router_name,
     }
     if (!dst) return "traceroute: unknown host " + target + "\n";
     return traceroute(router_name, *dst).to_text();
+  }
+  if (command == "show metrics") {
+    // Control-plane work counters (§3.2-style workload visibility).
+    return stats_.to_text();
   }
   if (command == "show failures" || command == "show incidents") {
     // Incident summary for what-if/fault studies: link and node state.

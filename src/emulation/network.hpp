@@ -30,6 +30,27 @@ struct ConvergenceReport {
   std::size_t updates = 0;
 };
 
+/// Cumulative control-plane work counters, accumulated across start()
+/// calls (reconvergence after fail_link/fail_node adds to them). The
+/// counters live in this plain struct so the SPF/BGP hot loops pay no
+/// telemetry cost; start() publishes the per-run deltas to the current
+/// obs registry under the "emulation" scope.
+struct EmulationStats {
+  std::uint64_t spf_runs = 0;
+  std::uint64_t lsa_floods = 0;
+  std::uint64_t bgp_sessions = 0;  // sessions established by the last run
+  std::uint64_t bgp_updates = 0;
+  std::uint64_t bgp_withdrawals = 0;
+  std::uint64_t decision_reruns = 0;
+  std::uint64_t convergence_rounds = 0;
+  std::uint64_t convergence_runs = 0;
+  std::uint64_t oscillations = 0;
+  std::map<std::string, std::uint64_t> spf_per_router;
+  /// The "show metrics" rendering: one "key: value" line per counter,
+  /// keys sorted, then the per-router SPF breakdown.
+  [[nodiscard]] std::string to_text() const;
+};
+
 struct TracerouteHop {
   addressing::Ipv4Addr address;
   std::string router;  // resolved from the emulation's address table
@@ -100,6 +121,8 @@ class EmulatedNetwork {
   [[nodiscard]] const VirtualRouter* router(std::string_view name) const;
   [[nodiscard]] VirtualRouter* router(std::string_view name);
   [[nodiscard]] const ConvergenceReport& last_report() const { return report_; }
+  /// Control-plane work counters (also via exec "show metrics").
+  [[nodiscard]] const EmulationStats& stats() const { return stats_; }
 
   /// Which router owns this address (interface or loopback)?
   [[nodiscard]] std::optional<std::string> owner_of(addressing::Ipv4Addr addr) const;
@@ -181,6 +204,7 @@ class EmulatedNetwork {
   std::set<std::size_t> failed_routers_;
   std::set<addressing::Ipv4Prefix> node_failed_subnets_;
   ConvergenceReport report_;
+  EmulationStats stats_;
   bool started_ = false;
 
   friend struct NetworkTestPeer;

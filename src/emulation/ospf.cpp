@@ -82,6 +82,7 @@ void EmulatedNetwork::compute_ospf() {
       auto rb = by_address_.find(link.b.value());
       if (ra == by_address_.end() || rb == by_address_.end()) continue;
       if (router_failed(ra->second) || router_failed(rb->second)) continue;
+      stats_.lsa_floods += 2;  // each end originates a router-LSA update
       direct_neighbors_[ra->second].insert(rb->second);
       direct_neighbors_[rb->second].insert(ra->second);
       const std::int64_t da = routers_[ra->second].config().igp_domain;
@@ -108,6 +109,8 @@ void EmulatedNetwork::compute_ospf() {
       }
       std::sort(neighbors.begin(), neighbors.end());
 
+      ++stats_.spf_runs;
+      ++stats_.spf_per_router[routers_[r].name()];
       auto result = spf(r, adj);
       auto& fib = routers_[r].mutable_fib();
       fib.clear();
@@ -186,6 +189,8 @@ void EmulatedNetwork::compute_ospf() {
   for (const auto& [area, adj] : area_adj) {
     for (const auto& [r, list] : adj) {
       (void)list;
+      ++stats_.spf_runs;
+      ++stats_.spf_per_router[routers_[r].name()];
       spf_of[{r, area}] = spf(r, adj);
     }
   }
@@ -227,6 +232,8 @@ void EmulatedNetwork::compute_ospf() {
       prefixes.push_back({r, cfg.loopback->prefix, area});
     }
   }
+  // Each advertised prefix is one LSA origination flooded through its area.
+  stats_.lsa_floods += prefixes.size();
 
   // Distance helpers: reach a destination router within one area.
   auto intra_dist = [&](std::size_t r, std::int64_t area,

@@ -1,0 +1,54 @@
+// Pluggable time source for the telemetry layer. Spans and events stamp
+// themselves through a Clock so that tests can substitute virtual time:
+// a VirtualClock advances by a fixed step per reading, which makes every
+// recorded duration — and therefore every exported metric value — a pure
+// function of the instrumented code path. Two identical seeded runs then
+// produce byte-identical exports (the same property PR 1 gave the
+// deployer's backoff delays).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace autonet::obs {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Monotonic microseconds since an arbitrary (per-clock) origin.
+  virtual std::uint64_t now_us() = 0;
+};
+
+/// Wall time: std::chrono::steady_clock, origin at clock construction so
+/// trace timestamps start near zero.
+class RealClock final : public Clock {
+ public:
+  RealClock() : origin_(std::chrono::steady_clock::now()) {}
+  std::uint64_t now_us() override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - origin_)
+            .count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+};
+
+/// Deterministic time: every reading advances by `step_us`. Durations
+/// become "number of clock readings in between", which is stable across
+/// runs of a deterministic pipeline.
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(std::uint64_t step_us = 1) : step_us_(step_us) {}
+  std::uint64_t now_us() override {
+    return now_us_.fetch_add(step_us_, std::memory_order_relaxed) + step_us_;
+  }
+
+ private:
+  std::atomic<std::uint64_t> now_us_{0};
+  std::uint64_t step_us_;
+};
+
+}  // namespace autonet::obs

@@ -1,0 +1,125 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace autonet::obs {
+
+namespace {
+
+/// "render.device.us" -> "autonet_render_device_us".
+std::string prometheus_name(std::string_view name) {
+  std::string out = "autonet_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void append_event_object(std::ostringstream& out, const LogEvent& event) {
+  out << "{\"ts_us\":" << event.ts_us << ",\"kind\":\""
+      << json_escape(event.kind) << "\"";
+  for (const auto& [key, value] : event.fields) {
+    out << ",\"" << json_escape(key) << "\":\"" << json_escape(value) << "\"";
+  }
+  out << "}";
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_chrome_trace(const Registry& registry) {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : registry.trace_events()) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << json_escape(e.name)
+        << "\",\"cat\":\"autonet\",\"ph\":\"X\",\"ts\":" << e.start_us
+        << ",\"dur\":" << e.dur_us << ",\"pid\":1,\"tid\":1,\"args\":{"
+        << "\"depth\":" << e.depth;
+    for (const auto& [key, value] : e.args) {
+      out << ",\"" << json_escape(key) << "\":\"" << json_escape(value) << "\"";
+    }
+    out << "}}";
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}";
+  return out.str();
+}
+
+std::string to_prometheus(const Registry& registry) {
+  std::ostringstream out;
+  for (const auto& [name, value] : registry.counter_values()) {
+    const std::string pname = prometheus_name(name);
+    out << "# TYPE " << pname << " counter\n" << pname << " " << value << "\n";
+  }
+  for (const auto& [name, value] : registry.gauge_values()) {
+    const std::string pname = prometheus_name(name);
+    out << "# TYPE " << pname << " gauge\n" << pname << " " << value << "\n";
+  }
+  for (const auto& snap : registry.histogram_values()) {
+    const std::string pname = prometheus_name(snap.name);
+    out << "# TYPE " << pname << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (snap.buckets[i] == 0) continue;
+      cumulative += snap.buckets[i];
+      out << pname << "_bucket{le=\"" << Histogram::bucket_bound(i) << "\"} "
+          << cumulative << "\n";
+    }
+    out << pname << "_bucket{le=\"+Inf\"} " << snap.count << "\n";
+    out << pname << "_sum " << snap.sum << "\n";
+    out << pname << "_count " << snap.count << "\n";
+  }
+  return out.str();
+}
+
+std::string to_jsonl(const Registry& registry) {
+  std::ostringstream out;
+  for (const LogEvent& event : registry.log_events()) {
+    append_event_object(out, event);
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string events_to_json(const Registry& registry) {
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  for (const LogEvent& event : registry.log_events()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  ";
+    append_event_object(out, event);
+  }
+  out << "\n]";
+  return out.str();
+}
+
+}  // namespace autonet::obs

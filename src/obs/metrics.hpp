@@ -1,0 +1,92 @@
+// The three metric primitives. All are lock-free (relaxed atomics): a
+// Counter increment on a hot path costs one atomic add, so the emulation
+// loops can afford them even at scale. Values are integral on purpose —
+// counts of work items are exactly reproducible across runs, where
+// float accumulation orders are not.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace autonet::obs {
+
+/// Monotonically increasing count of events (SPF runs, BGP updates,
+/// templates rendered, ...).
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A value that goes up and down (machines currently booted, routers in
+/// the network).
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed log-scale (power-of-two) bucket histogram: bucket i counts
+/// observations <= 2^i, with one overflow bucket beyond 2^(kBuckets-1).
+/// The fixed layout means no allocation, no locking, and identical
+/// bucket boundaries in every export.
+class Histogram {
+ public:
+  /// Finite buckets: upper bounds 2^0 .. 2^(kBuckets-1). In microseconds
+  /// that spans 1us .. ~134s, plenty for span durations; in bytes it
+  /// spans 1B .. 128MiB.
+  static constexpr std::size_t kBuckets = 28;
+
+  void observe(std::uint64_t v) {
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// Count in bucket i (0..kBuckets; index kBuckets is the overflow
+  /// bucket, upper bound +Inf). Non-cumulative.
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Upper bound of finite bucket i.
+  [[nodiscard]] static constexpr std::uint64_t bucket_bound(std::size_t i) {
+    return std::uint64_t{1} << i;
+  }
+  /// Bucket an observation lands in.
+  [[nodiscard]] static constexpr std::size_t bucket_index(std::uint64_t v) {
+    if (v <= 1) return 0;
+    const std::size_t idx = static_cast<std::size_t>(std::bit_width(v - 1));
+    return idx < kBuckets ? idx : kBuckets;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets + 1> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+}  // namespace autonet::obs

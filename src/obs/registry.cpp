@@ -1,0 +1,133 @@
+#include "obs/registry.hpp"
+
+namespace autonet::obs {
+
+namespace {
+thread_local Registry* t_current = nullptr;
+}  // namespace
+
+Registry::Registry() : clock_(std::make_unique<RealClock>()) {}
+Registry::Registry(std::unique_ptr<Clock> clock) : clock_(std::move(clock)) {}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Registry& Registry::current() {
+  return t_current != nullptr ? *t_current : global();
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void Registry::log_event(std::string kind, Fields fields) {
+  if (!enabled()) return;
+  const std::uint64_t ts = now_us();
+  std::lock_guard lock(mutex_);
+  if (events_.size() >= kMaxEvents) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(LogEvent{ts, std::move(kind), std::move(fields)});
+}
+
+void Registry::record_span(TraceEvent event) {
+  if (!enabled()) return;
+  std::lock_guard lock(mutex_);
+  if (spans_.size() >= kMaxEvents) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  spans_.push_back(std::move(event));
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::counter_values()
+    const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> Registry::gauge_values() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) out.emplace_back(name, gauge->value());
+  return out;
+}
+
+std::vector<Registry::HistogramSnapshot> Registry::histogram_values() const {
+  std::lock_guard lock(mutex_);
+  std::vector<HistogramSnapshot> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot snap;
+    snap.name = name;
+    snap.count = histogram->count();
+    snap.sum = histogram->sum();
+    snap.buckets.resize(Histogram::kBuckets + 1);
+    for (std::size_t i = 0; i <= Histogram::kBuckets; ++i) {
+      snap.buckets[i] = histogram->bucket_count(i);
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+std::vector<TraceEvent> Registry::trace_events() const {
+  std::lock_guard lock(mutex_);
+  return spans_;
+}
+
+std::vector<LogEvent> Registry::log_events() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  spans_.clear();
+  events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+RegistryScope::RegistryScope(Registry& registry) : previous_(t_current) {
+  t_current = &registry;
+}
+
+RegistryScope::~RegistryScope() { t_current = previous_; }
+
+}  // namespace autonet::obs

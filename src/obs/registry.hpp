@@ -1,0 +1,181 @@
+// The process-wide telemetry registry: named counters/gauges/histograms,
+// completed-span trace events, and structured log events, all behind one
+// thread-safe object. Library code reaches it through
+// Registry::current() — a thread-local override (set by RegistryScope)
+// falling back to Registry::global() — so instrumentation never needs a
+// registry parameter threaded through every call, yet tests can capture
+// a pipeline's telemetry into an isolated registry with a virtual clock
+// and golden-compare the exports.
+//
+// Disabled mode (set_enabled(false)) drops span/event recording while
+// leaving metric objects valid; hot paths keep only a relaxed atomic
+// increment. Defining AUTONET_OBS_DISABLED compiles recording out
+// entirely (kCompiledIn below folds every branch to the no-op side).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+
+namespace autonet::obs {
+
+/// Ordered key/value annotations on spans and events.
+using Fields = std::vector<std::pair<std::string, std::string>>;
+
+#ifdef AUTONET_OBS_DISABLED
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+
+/// A completed span (RAII timer), as recorded by obs::Span.
+struct TraceEvent {
+  std::string name;
+  std::uint64_t start_us = 0;
+  std::uint64_t dur_us = 0;
+  /// Nesting depth at the time the span opened (0 = top level).
+  int depth = 0;
+  Fields args;
+};
+
+/// A structured log event (deployer transfer/boot/retry, ...).
+struct LogEvent {
+  std::uint64_t ts_us = 0;
+  /// Event family, e.g. "deploy" or "bench".
+  std::string kind;
+  Fields fields;
+};
+
+class Registry {
+ public:
+  /// Real (steady_clock) time.
+  Registry();
+  /// Custom time source — pass a VirtualClock for deterministic exports.
+  explicit Registry(std::unique_ptr<Clock> clock);
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide default registry (real clock).
+  static Registry& global();
+  /// The active registry: the innermost RegistryScope on this thread,
+  /// else global().
+  static Registry& current();
+
+  /// Runtime switch for span/event recording. Metric objects stay live
+  /// either way; compiled-out builds ignore this entirely.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const {
+    return kCompiledIn && enabled_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t now_us() { return clock_->now_us(); }
+
+  // --- Metrics (references are stable for the registry's lifetime) ------
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  // --- Events -----------------------------------------------------------
+  /// Appends a structured event (timestamped now). Dropped when disabled
+  /// or past the buffer cap.
+  void log_event(std::string kind, Fields fields);
+  /// Appends a completed span. Normally called by obs::Span.
+  void record_span(TraceEvent event);
+
+  // --- Snapshots (copies; safe to export while instrumentation runs) ----
+  struct HistogramSnapshot {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    /// Non-cumulative per-bucket counts; index Histogram::kBuckets is
+    /// the overflow (+Inf) bucket.
+    std::vector<std::uint64_t> buckets;
+  };
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> counter_values()
+      const;
+  [[nodiscard]] std::vector<std::pair<std::string, std::int64_t>> gauge_values()
+      const;
+  [[nodiscard]] std::vector<HistogramSnapshot> histogram_values() const;
+  [[nodiscard]] std::vector<TraceEvent> trace_events() const;
+  [[nodiscard]] std::vector<LogEvent> log_events() const;
+  /// Events discarded once a buffer hit kMaxEvents.
+  [[nodiscard]] std::uint64_t dropped_events() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Clears all metrics and buffered events (tests, bench harness).
+  void reset();
+
+  /// Name-prefixing view: scope("emulation").counter("spf_runs") is
+  /// counter("emulation.spf_runs").
+  class ScopeView {
+   public:
+    ScopeView(Registry& registry, std::string prefix)
+        : registry_(&registry), prefix_(std::move(prefix)) {}
+    Counter& counter(std::string_view name) {
+      return registry_->counter(prefix_ + "." + std::string(name));
+    }
+    Gauge& gauge(std::string_view name) {
+      return registry_->gauge(prefix_ + "." + std::string(name));
+    }
+    Histogram& histogram(std::string_view name) {
+      return registry_->histogram(prefix_ + "." + std::string(name));
+    }
+    void log_event(Fields fields) {
+      registry_->log_event(prefix_, std::move(fields));
+    }
+    [[nodiscard]] Registry& registry() { return *registry_; }
+
+   private:
+    Registry* registry_;
+    std::string prefix_;
+  };
+  [[nodiscard]] ScopeView scope(std::string prefix) {
+    return ScopeView(*this, std::move(prefix));
+  }
+
+  /// Buffer cap per event stream; beyond it events are counted in
+  /// dropped_events() instead of stored (keeps long benchmark loops from
+  /// accumulating unbounded trace memory).
+  static constexpr std::size_t kMaxEvents = 1 << 16;
+
+ private:
+  std::unique_ptr<Clock> clock_;
+  std::atomic<bool> enabled_{true};
+  std::atomic<std::uint64_t> dropped_{0};
+
+  mutable std::mutex mutex_;
+  // node-based maps: element references stay valid across inserts.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::vector<TraceEvent> spans_;
+  std::vector<LogEvent> events_;
+};
+
+/// RAII thread-local registry override: while alive, Registry::current()
+/// on this thread returns the given registry.
+class RegistryScope {
+ public:
+  explicit RegistryScope(Registry& registry);
+  ~RegistryScope();
+  RegistryScope(const RegistryScope&) = delete;
+  RegistryScope& operator=(const RegistryScope&) = delete;
+
+ private:
+  Registry* previous_;
+};
+
+}  // namespace autonet::obs

@@ -1,0 +1,77 @@
+// RAII span timer. Opening a span stamps the start time and bumps a
+// thread-local nesting depth; closing it records a TraceEvent in the
+// registry and feeds a per-name duration histogram
+// ("span.<name>.us"). Spans always *measure* (callers like
+// Workflow::timings() need durations even with telemetry off); they only
+// *record* when the registry is enabled.
+//
+//   {
+//     obs::Span phase(reg, "compile");
+//     for (...) {
+//       obs::Span dev("compile.device");      // uses Registry::current()
+//       dev.arg("device", name);
+//     }                                        // child closes first
+//   }                                          // parent closes, depth 0
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "obs/registry.hpp"
+
+namespace autonet::obs {
+
+namespace detail {
+inline thread_local int t_span_depth = 0;
+}  // namespace detail
+
+class Span {
+ public:
+  Span(Registry& registry, std::string name)
+      : registry_(&registry), name_(std::move(name)),
+        depth_(detail::t_span_depth++) {
+    start_us_ = registry_->now_us();
+  }
+  /// Records into Registry::current().
+  explicit Span(std::string name) : Span(Registry::current(), std::move(name)) {}
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() {
+    if (!done_) stop_ms();
+  }
+
+  /// Annotates the recorded trace event.
+  Span& arg(std::string key, std::string value) {
+    args_.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+
+  /// Ends the span (idempotent) and returns its duration in
+  /// milliseconds — the value PhaseTimings is derived from.
+  double stop_ms() {
+    if (done_) return static_cast<double>(dur_us_) / 1000.0;
+    done_ = true;
+    --detail::t_span_depth;
+    const std::uint64_t end_us = registry_->now_us();
+    dur_us_ = end_us > start_us_ ? end_us - start_us_ : 0;
+    if (registry_->enabled()) {
+      registry_->record_span(
+          TraceEvent{name_, start_us_, dur_us_, depth_, std::move(args_)});
+      registry_->histogram("span." + name_ + ".us").observe(dur_us_);
+    }
+    return static_cast<double>(dur_us_) / 1000.0;
+  }
+
+ private:
+  Registry* registry_;
+  std::string name_;
+  Fields args_;
+  std::uint64_t start_us_ = 0;
+  std::uint64_t dur_us_ = 0;
+  int depth_;
+  bool done_ = false;
+};
+
+}  // namespace autonet::obs

@@ -5,6 +5,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+
 namespace autonet::render {
 
 namespace fs = std::filesystem;
@@ -65,6 +68,10 @@ const TemplateStore& TemplateStore::builtins() {
 
 ConfigTree render_configs(const nidb::Nidb& nidb, const TemplateStore& store) {
   ConfigTree tree;
+  obs::Registry& obs = obs::Registry::current();
+  obs::Counter& templates_rendered = obs.counter("render.templates_rendered");
+  obs::Counter& static_copied = obs.counter("render.static_files_copied");
+  obs::Counter& devices_rendered = obs.counter("render.devices");
 
   // Per-device rendering.
   for (const auto* rec : nidb.devices()) {
@@ -75,12 +82,16 @@ ConfigTree render_configs(const nidb::Nidb& nidb, const TemplateStore& store) {
       throw std::runtime_error("no template set registered for '" + base +
                                "' (device " + rec->name + ")");
     }
+    obs::Span span(obs, "render.device");
+    span.arg("device", rec->name);
+    devices_rendered.inc();
     templates::Context ctx;
     ctx.set("node", rec->data);
     ctx.set("data", nidb.data());
     for (const auto& entry : store.entries(base)) {
       std::string out =
           entry.is_template ? entry.tmpl.render(ctx) : entry.static_content;
+      (entry.is_template ? templates_rendered : static_copied).inc();
       tree.put(dst.empty() ? entry.path : dst + "/" + entry.path, std::move(out));
     }
   }
@@ -91,6 +102,8 @@ ConfigTree render_configs(const nidb::Nidb& nidb, const TemplateStore& store) {
   if (platform_name != nullptr) {
     const std::string base = "platform/" + *platform_name;
     if (store.has_base(base)) {
+      obs::Span span(obs, "render.platform");
+      span.arg("platform", *platform_name);
       templates::Context ctx;
       ctx.set("data", nidb.data());
       nidb::Array devices;
@@ -99,10 +112,13 @@ ConfigTree render_configs(const nidb::Nidb& nidb, const TemplateStore& store) {
       for (const auto& entry : store.entries(base)) {
         std::string out =
             entry.is_template ? entry.tmpl.render(ctx) : entry.static_content;
+        (entry.is_template ? templates_rendered : static_copied).inc();
         tree.put(entry.path, std::move(out));
       }
     }
   }
+  obs.counter("render.files").inc(tree.file_count());
+  obs.counter("render.bytes").inc(tree.total_bytes());
   return tree;
 }
 

@@ -8,15 +8,18 @@
 //                 [--isis] [--dns] [--out DIR] [--nidb F] [--viz F]
 //   autonet check <topology> [--platform P] [--ibgp MODE]
 //   autonet run   <topology> [--platform P] [--ibgp MODE]
-//                 [--trace SRC DST] [--validate]
+//                 [--trace SRC DST | --trace out.json] [--validate]
+//                 [--metrics FILE]
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/workflow.hpp"
+#include "obs/export.hpp"
 #include "topology/builtin.hpp"
 #include "topology/generators.hpp"
 #include "topology/gml.hpp"
@@ -40,7 +43,8 @@ int usage() {
                "[--viz FILE]\n"
                "  autonet check <topology> [--platform P] [--ibgp MODE]\n"
                "  autonet run <topology> [--platform P] [--ibgp MODE] "
-               "[--trace SRC DST] [--validate]\n");
+               "[--trace SRC DST | --trace OUT.json] [--validate]\n"
+               "              [--metrics FILE]   (Prometheus text export)\n");
   return 2;
 }
 
@@ -48,6 +52,7 @@ struct Args {
   std::vector<std::string> positional;
   std::map<std::string, std::string> options;
   std::vector<std::string> trace;  // SRC DST
+  std::string trace_file;          // Chrome trace-event JSON output
 
   static Args parse(int argc, char** argv, int start) {
     Args args;
@@ -55,6 +60,11 @@ struct Args {
       std::string arg = argv[i];
       if (arg == "--isis" || arg == "--dns" || arg == "--validate") {
         args.options[arg.substr(2)] = "1";
+      } else if (arg == "--trace" && i + 1 < argc &&
+                 std::string_view(argv[i + 1]).ends_with(".json")) {
+        // --trace out.json: write the pipeline's trace-event JSON there
+        // (a .json argument cannot be a router name).
+        args.trace_file = argv[++i];
       } else if (arg == "--trace" && i + 2 < argc) {
         args.trace = {argv[i + 1], argv[i + 2]};
         i += 2;
@@ -177,7 +187,30 @@ int cmd_run(const Args& args) {
                   : "");
   if (!result.success) return 1;
 
+  // Phase 6 on a running network: validation + reachability. Gives the
+  // exported trace all six pipeline phases.
+  wf.measure();
+
   int rc = 0;
+  if (!args.trace_file.empty()) {
+    std::ofstream file(args.trace_file, std::ios::binary);
+    if (!file) {
+      std::fprintf(stderr, "cannot write %s\n", args.trace_file.c_str());
+      return 1;
+    }
+    file << obs::to_chrome_trace(wf.telemetry());
+    std::printf("trace written to %s (open in Perfetto / chrome://tracing)\n",
+                args.trace_file.c_str());
+  }
+  if (args.has("metrics")) {
+    std::ofstream file(args.get("metrics"), std::ios::binary);
+    if (!file) {
+      std::fprintf(stderr, "cannot write %s\n", args.get("metrics").c_str());
+      return 1;
+    }
+    file << obs::to_prometheus(wf.telemetry());
+    std::printf("metrics written to %s\n", args.get("metrics").c_str());
+  }
   if (!args.trace.empty()) {
     auto trace = wf.measurement().traceroute(args.trace[0], args.trace[1]);
     std::printf("traceroute %s -> %s: [", args.trace[0].c_str(),
