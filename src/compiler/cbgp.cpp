@@ -36,6 +36,9 @@ void CbgpCompiler::compile(const CompileContext& ctx,
           if (auto peer_node = ctx.anm->overlay("ip").node(*peer)) {
             if (const auto* lo = peer_node->attr("loopback").as_string()) {
               entry["neighbor"] = strip_len(*lo);
+              // A node-id session is not on a shared collision domain;
+              // mark it so adjacency lint knows this is by design.
+              entry["multihop"] = true;
             }
           }
         }

@@ -57,6 +57,24 @@ nidb::Nidb PlatformCompiler::compile(const anm::AbstractNetworkModel& anm,
   nidb.data()["platform"] = platform();
   nidb.data()["host"] = opts.default_host;
 
+  // Design provenance for the static analyser: which design overlays
+  // produced this database, and the chosen iBGP signaling mode.
+  {
+    Object design;
+    Array rules;
+    for (const auto& name : anm.overlay_names()) rules.emplace_back(name);
+    design["rules"] = Value(std::move(rules));
+    if (anm.has_overlay("ibgp")) {
+      const graph::AttrMap& ibgp_data = anm["ibgp"].data();
+      if (auto it = ibgp_data.find("ibgp_mode"); it != ibgp_data.end()) {
+        if (const auto* mode = it->second.as_string()) {
+          design["ibgp_mode"] = *mode;
+        }
+      }
+    }
+    nidb.data()["design"] = Value(std::move(design));
+  }
+
   auto mgmt_block = addressing::Ipv4Prefix::parse(opts.mgmt_block);
   if (!mgmt_block) throw std::invalid_argument("bad mgmt block " + opts.mgmt_block);
   addressing::HostAllocator mgmt(*mgmt_block);

@@ -16,7 +16,7 @@ double PhaseTimings::total() const {
 std::string PhaseTimings::to_string() const {
   std::ostringstream out;
   for (const char* phase :
-       {"load", "design", "compile", "render", "deploy", "measure"}) {
+       {"load", "design", "compile", "render", "lint", "deploy", "measure"}) {
     auto it = ms.find(phase);
     if (it != ms.end()) out << phase << "=" << it->second << "ms ";
   }
@@ -109,6 +109,21 @@ Workflow& Workflow::render() {
   return *this;
 }
 
+Workflow& Workflow::lint() {
+  if (!nidb_) throw std::logic_error("Workflow::lint before compile");
+  timed("lint", [this]() {
+    verify::LintInput input;
+    input.nidb = &*nidb_;
+    input.templates = &render::TemplateStore::builtins();
+    lint_report_ = verify::run_lint(input, options_.lint.options);
+  });
+  if (options_.lint.fail_fast && options_.lint.options.should_fail(*lint_report_)) {
+    throw LintError("lint gate: refusing to deploy\n" + lint_report_->to_string(),
+                    *lint_report_);
+  }
+  return *this;
+}
+
 Workflow& Workflow::deploy() {
   if (!configs_) throw std::logic_error("Workflow::deploy before render");
   timed("deploy", [this]() {
@@ -140,7 +155,9 @@ Workflow& Workflow::measure() {
 }
 
 Workflow& Workflow::run(const graph::Graph& input) {
-  return load(input).design().compile().render().deploy();
+  load(input).design().compile().render();
+  if (options_.lint.enabled) lint();
+  return deploy();
 }
 
 const nidb::Nidb& Workflow::nidb() const {
@@ -171,6 +188,11 @@ measure::MeasurementClient Workflow::measurement() const {
 
 verify::Report Workflow::static_check() const {
   return verify::static_check(nidb());
+}
+
+const verify::Report& Workflow::lint_report() const {
+  if (!lint_report_) throw std::logic_error("lint() has not run");
+  return *lint_report_;
 }
 
 measure::ValidationReport Workflow::validate_ospf() const {

@@ -10,6 +10,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "anm/anm.hpp"
@@ -30,6 +31,19 @@
 
 namespace autonet::core {
 
+/// The pre-deployment lint gate: run() executes the static analyser
+/// between render and deploy, and with fail_fast refuses to deploy a
+/// network whose report crosses the failure threshold.
+struct LintGate {
+  bool enabled = true;
+  /// Throw LintError from lint()/run() when options.should_fail(report);
+  /// when false the report is recorded (see lint_report()) but the
+  /// pipeline continues.
+  bool fail_fast = true;
+  /// Per-rule enable/disable, severity overrides and the threshold.
+  verify::LintOptions options;
+};
+
 struct WorkflowOptions {
   std::string platform = "netkit";
   /// iBGP mode: "mesh", "rr" (attribute-based), or "rr-auto"
@@ -43,11 +57,24 @@ struct WorkflowOptions {
   design::RrSelectOptions rr_select;
   /// Deployment behaviour (retries, backoff, graceful degradation).
   deploy::DeployOptions deploy;
+  LintGate lint;
+};
+
+/// Thrown by the lint gate (fail-fast mode) when static analysis finds
+/// violations past the configured threshold; carries the full report.
+class LintError : public std::runtime_error {
+ public:
+  LintError(const std::string& what, verify::Report report)
+      : std::runtime_error(what), report_(std::move(report)) {}
+  [[nodiscard]] const verify::Report& report() const { return report_; }
+
+ private:
+  verify::Report report_;
 };
 
 struct PhaseTimings {
   /// Milliseconds per phase, keyed "load", "design", "compile", "render",
-  /// "deploy", "measure". Values are derived from the obs phase spans
+  /// "lint", "deploy", "measure". Values are derived from the obs phase spans
   /// (each entry is the duration of the span of the same name).
   std::map<std::string, double> ms;
   [[nodiscard]] double total() const;
@@ -72,6 +99,10 @@ class Workflow {
   Workflow& compile();
   /// Phase 4: template rendering into the configuration tree.
   Workflow& render();
+  /// Phase 4.5: the static-analysis gate — lints the compiled NIDB and
+  /// the builtin template sets. Respects options.lint: skipped when
+  /// disabled, throws LintError past the threshold with fail_fast.
+  Workflow& lint();
   /// Phase 5: archive/transfer/extract/boot on a simulated host; starts
   /// the emulated network.
   Workflow& deploy();
@@ -131,6 +162,8 @@ class Workflow {
   [[nodiscard]] const measure::ValidationReport& measure_report() const;
   /// Pre-deployment static verification of the compiled NIDB (§8).
   [[nodiscard]] verify::Report static_check() const;
+  /// Report recorded by the lint() phase; throws before lint() has run.
+  [[nodiscard]] const verify::Report& lint_report() const;
 
  private:
   template <typename F>
@@ -144,6 +177,7 @@ class Workflow {
   deploy::FaultPlan* faults_ = nullptr;
   obs::Registry* obs_ = nullptr;  // nullptr = obs::Registry::global()
   deploy::DeployResult deploy_result_;
+  std::optional<verify::Report> lint_report_;
   std::optional<measure::ValidationReport> measure_report_;
   PhaseTimings timings_;
   bool loaded_ = false;

@@ -32,6 +32,7 @@ OverlayGraph build_ibgp_full_mesh(anm::AbstractNetworkModel& anm) {
   OverlayGraph g_phy = anm["phy"];
   auto rtrs = g_phy.routers();
   OverlayGraph g_ibgp = anm.add_overlay("ibgp", rtrs, true, {"asn"});
+  g_ibgp.data()["ibgp_mode"] = "mesh";
   // Eq. 2: (s, t) for every ordered same-AS router pair.
   for (const auto& s : rtrs) {
     for (const auto& t : rtrs) {
@@ -48,6 +49,7 @@ OverlayGraph build_ibgp_route_reflectors(anm::AbstractNetworkModel& anm) {
   auto rtrs = g_phy.routers();
   OverlayGraph g_ibgp =
       anm.add_overlay("ibgp", rtrs, true, {"asn", "rr", "rr_cluster"});
+  g_ibgp.data()["ibgp_mode"] = "rr";
 
   std::map<std::int64_t, std::vector<OverlayNode>> reflectors;
   std::map<std::int64_t, std::vector<OverlayNode>> clients;

@@ -100,12 +100,43 @@ const Value* Value::find(std::string_view key) const {
   return it == obj->end() ? nullptr : &it->second;
 }
 
+namespace {
+
+/// Follows "[N][M]..." array-index suffixes; nullptr past the end or on
+/// malformed brackets.
+const Value* follow_indices(const Value* cur, std::string_view rest) {
+  while (!rest.empty()) {
+    if (rest.front() != '[') return nullptr;
+    auto close = rest.find(']');
+    if (close == std::string_view::npos || close == 1) return nullptr;
+    std::size_t index = 0;
+    for (char c : rest.substr(1, close - 1)) {
+      if (c < '0' || c > '9') return nullptr;
+      index = index * 10 + static_cast<std::size_t>(c - '0');
+    }
+    const Array* arr = cur->as_array();
+    if (arr == nullptr || index >= arr->size()) return nullptr;
+    cur = &(*arr)[index];
+    rest.remove_prefix(close + 1);
+  }
+  return cur;
+}
+
+}  // namespace
+
 const Value* Value::find_path(std::string_view dotted) const {
   const Value* cur = this;
   while (!dotted.empty()) {
     auto dot = dotted.find('.');
     std::string_view key = dotted.substr(0, dot);
-    cur = cur->find(key);
+    // A segment may carry array-index suffixes: "interfaces[2]".
+    auto bracket = key.find('[');
+    if (bracket == std::string_view::npos) {
+      cur = cur->find(key);
+    } else {
+      cur = cur->find(key.substr(0, bracket));
+      if (cur != nullptr) cur = follow_indices(cur, key.substr(bracket));
+    }
     if (cur == nullptr) return nullptr;
     if (dot == std::string_view::npos) break;
     dotted.remove_prefix(dot + 1);

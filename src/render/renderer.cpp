@@ -57,6 +57,13 @@ const std::vector<TemplateStore::Entry>& TemplateStore::entries(
   return it == sets_.end() ? kEmpty : it->second;
 }
 
+std::vector<std::string> TemplateStore::bases() const {
+  std::vector<std::string> names;
+  names.reserve(sets_.size());
+  for (const auto& [base, entries] : sets_) names.push_back(base);
+  return names;
+}
+
 const TemplateStore& TemplateStore::builtins() {
   static const TemplateStore store = [] {
     TemplateStore s;

@@ -43,6 +43,9 @@ class TemplateStore {
     std::string static_content;  // valid otherwise
   };
   [[nodiscard]] const std::vector<Entry>& entries(std::string_view base) const;
+  /// All registered base names, in order (verify's template lint walks
+  /// every set).
+  [[nodiscard]] std::vector<std::string> bases() const;
 
  private:
   std::map<std::string, std::vector<Entry>, std::less<>> sets_;

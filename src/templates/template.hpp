@@ -70,6 +70,10 @@ class Template {
 
   [[nodiscard]] std::string render(const Context& context) const;
   [[nodiscard]] const std::string& name() const { return name_; }
+  /// The parsed AST, for static analysis (verify's template lint).
+  [[nodiscard]] const std::vector<detail::TemplateNode>& nodes() const {
+    return nodes_;
+  }
 
  private:
   std::string name_;

@@ -1,0 +1,137 @@
+#include "verify/index.hpp"
+
+namespace autonet::verify::detail {
+
+using nidb::Array;
+using nidb::DeviceRecord;
+using nidb::Value;
+
+namespace {
+
+std::string strip_len(std::string addr) {
+  if (auto slash = addr.find('/'); slash != std::string::npos) addr.resize(slash);
+  return addr;
+}
+
+const std::string* find_string(const Value& v, std::string_view path) {
+  const Value* f = v.find_path(path);
+  return f != nullptr ? f->as_string() : nullptr;
+}
+
+std::int64_t find_int(const Value& v, std::string_view path, std::int64_t fallback) {
+  const Value* f = v.find_path(path);
+  if (f == nullptr) return fallback;
+  return f->as_int().value_or(fallback);
+}
+
+}  // namespace
+
+std::string NeighborRef::path() const {
+  return std::string("bgp.") + (ibgp ? "ibgp_neighbors" : "ebgp_neighbors") + "[" +
+         std::to_string(index) + "]";
+}
+
+NidbIndex NidbIndex::build(const nidb::Nidb& nidb) {
+  NidbIndex index;
+
+  if (const std::string* mode = find_string(nidb.data(), "design.ibgp_mode")) {
+    index.ibgp_mode = *mode;
+  }
+
+  for (const DeviceRecord* rec : nidb.devices()) {
+    const Value& d = rec->data;
+    index.device_asn[rec->name] = find_int(d, "asn", 0);
+    if (const std::string* type = find_string(d, "device_type")) {
+      index.device_type[rec->name] = *type;
+    }
+    if (const std::string* hostname = find_string(d, "hostname")) {
+      index.hostname_users[*hostname].push_back(rec->name);
+    }
+
+    auto claim_address = [&](const std::string& with_len, std::string path) {
+      std::string ip = strip_len(with_len);
+      auto [it, inserted] = index.address_owner.emplace(ip, rec->name);
+      if (!inserted && it->second != rec->name) {
+        index.duplicate_addresses.push_back(
+            {ip, rec->name, it->second, std::move(path)});
+      }
+      index.owned[rec->name].insert(ip);
+    };
+    if (const std::string* lo = find_string(d, "loopback")) {
+      index.device_loopback[rec->name] = strip_len(*lo);
+      claim_address(*lo, "loopback");
+    }
+
+    // OSPF coverage: which networks this device's process covers, and in
+    // which area (for per-subnet consistency and next-hop resolution).
+    std::map<std::string, std::int64_t> covered;
+    if (const Value* links = d.find_path("ospf.ospf_links")) {
+      if (const Array* arr = links->as_array()) {
+        for (const Value& link : *arr) {
+          const std::string* network =
+              link.find("network") != nullptr ? link.find("network")->as_string()
+                                              : nullptr;
+          if (network != nullptr) {
+            const Value* area = link.find("area");
+            covered[*network] = area != nullptr ? area->as_int().value_or(0) : 0;
+            index.ospf_covered[rec->name].insert(*network);
+          }
+        }
+      }
+    }
+
+    if (const Value* ifaces = d.find("interfaces")) {
+      if (const Array* arr = ifaces->as_array()) {
+        for (std::size_t i = 0; i < arr->size(); ++i) {
+          const Value& iface = (*arr)[i];
+          const std::string* ip = iface.find("ip_address") != nullptr
+                                      ? iface.find("ip_address")->as_string()
+                                      : nullptr;
+          const std::string* subnet = iface.find("subnet") != nullptr
+                                          ? iface.find("subnet")->as_string()
+                                          : nullptr;
+          if (ip == nullptr || subnet == nullptr) continue;
+          // Attached stub networks (`advertise_prefix` origins) are
+          // anycast by design: the same prefix may be originated at
+          // several points, so stub addresses claim no ownership.
+          const Value* stub = iface.find("stub");
+          if (stub == nullptr || !stub->truthy()) {
+            claim_address(*ip, "interfaces[" + std::to_string(i) + "].ip_address");
+          }
+          index.interfaces.push_back({rec->name, strip_len(*ip), *subnet, i});
+          auto it = covered.find(*subnet);
+          index.subnet_attachments[*subnet].push_back(
+              {rec->name, it == covered.end() ? -1 : it->second});
+        }
+      }
+    }
+
+    for (const bool ibgp : {true, false}) {
+      const Value* list =
+          d.find_path(ibgp ? "bgp.ibgp_neighbors" : "bgp.ebgp_neighbors");
+      const Array* arr = list != nullptr ? list->as_array() : nullptr;
+      if (arr == nullptr) continue;
+      for (std::size_t i = 0; i < arr->size(); ++i) {
+        const Value& n = (*arr)[i];
+        NeighborRef ref;
+        ref.device = rec->name;
+        ref.ibgp = ibgp;
+        ref.index = i;
+        if (const std::string* ip = n.find("neighbor") != nullptr
+                                        ? n.find("neighbor")->as_string()
+                                        : nullptr) {
+          ref.neighbor_ip = *ip;
+        }
+        if (const Value* remote = n.find("remote_as")) {
+          ref.remote_as = remote->as_int().value_or(0);
+        }
+        if (const Value* rr = n.find("rr_client")) ref.rr_client = rr->truthy();
+        if (const Value* mh = n.find("multihop")) ref.multihop = mh->truthy();
+        index.neighbors.push_back(std::move(ref));
+      }
+    }
+  }
+  return index;
+}
+
+}  // namespace autonet::verify::detail

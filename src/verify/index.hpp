@@ -1,0 +1,69 @@
+// Internal to the verify engine: the shared gather pass over the NIDB.
+// Built once per run_lint() invocation, then handed read-only to every
+// rule, so adding a rule does not add another database walk.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "nidb/nidb.hpp"
+
+namespace autonet::verify::detail {
+
+struct InterfaceRef {
+  std::string device;
+  std::string ip;      // bare address
+  std::string subnet;  // CIDR string
+  std::size_t index = 0;  // position in the device's interfaces array
+};
+
+struct NeighborRef {
+  std::string device;
+  std::string neighbor_ip;  // bare address ("" when the statement is empty)
+  std::int64_t remote_as = 0;
+  bool ibgp = false;
+  bool rr_client = false;  // this device treats the peer as an RR client
+  bool multihop = false;   // session deliberately targets a non-adjacent
+                           // address (e.g. C-BGP node-id peering)
+  std::size_t index = 0;   // position in the neighbor array
+  /// NIDB attribute path of the statement, e.g. "bgp.ibgp_neighbors[2]".
+  [[nodiscard]] std::string path() const;
+};
+
+struct SubnetAttachment {
+  std::string device;
+  /// OSPF area this device's process covers the subnet in; -1 = the
+  /// device does not run OSPF on it.
+  std::int64_t area = -1;
+};
+
+struct DuplicateAddress {
+  std::string ip;
+  std::string device;  // second claimer
+  std::string owner;   // first claimer
+  std::string path;    // where the second claim came from
+};
+
+struct NidbIndex {
+  std::map<std::string, std::string> address_owner;  // bare ip -> device
+  std::map<std::string, std::set<std::string>> owned;  // device -> bare ips
+  std::vector<InterfaceRef> interfaces;
+  std::vector<NeighborRef> neighbors;
+  std::map<std::string, std::vector<std::string>> hostname_users;
+  std::map<std::string, std::int64_t> device_asn;
+  std::map<std::string, std::string> device_type;
+  std::map<std::string, std::string> device_loopback;  // bare address
+  std::map<std::string, std::vector<SubnetAttachment>> subnet_attachments;
+  /// device -> CIDR networks its OSPF process covers (ospf_links).
+  std::map<std::string, std::set<std::string>> ospf_covered;
+  std::vector<DuplicateAddress> duplicate_addresses;
+  /// From nidb.data()["design"]["ibgp_mode"], "" when absent.
+  std::string ibgp_mode;
+
+  [[nodiscard]] static NidbIndex build(const nidb::Nidb& nidb);
+};
+
+}  // namespace autonet::verify::detail

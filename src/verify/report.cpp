@@ -1,0 +1,77 @@
+#include "verify/report.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "nidb/value.hpp"
+
+namespace autonet::verify {
+
+std::string_view severity_name(Severity severity) {
+  return severity == Severity::kError ? "error" : "warning";
+}
+
+bool operator==(const Finding& a, const Finding& b) {
+  return a.severity == b.severity && a.code == b.code && a.device == b.device &&
+         a.message == b.message && a.path == b.path && a.origin == b.origin;
+}
+
+bool operator<(const Finding& a, const Finding& b) {
+  return std::tie(a.code, a.device, a.path, a.message, a.severity) <
+         std::tie(b.code, b.device, b.path, b.message, b.severity);
+}
+
+void Report::finalize() {
+  std::stable_sort(findings.begin(), findings.end());
+  findings.erase(std::unique(findings.begin(), findings.end()), findings.end());
+}
+
+void Report::merge(Report other) {
+  findings.insert(findings.end(),
+                  std::make_move_iterator(other.findings.begin()),
+                  std::make_move_iterator(other.findings.end()));
+}
+
+std::size_t Report::error_count() const {
+  std::size_t n = 0;
+  for (const auto& f : findings) n += f.severity == Severity::kError;
+  return n;
+}
+
+std::size_t Report::warning_count() const {
+  return findings.size() - error_count();
+}
+
+std::string Report::to_string() const {
+  if (findings.empty()) return "static check: OK, no findings";
+  std::string out = "static check: " + std::to_string(error_count()) + " error(s), " +
+                    std::to_string(warning_count()) + " warning(s)";
+  for (const auto& f : findings) {
+    out += "\n  [" + std::string(f.severity == Severity::kError ? "ERROR" : "warn") +
+           "] " + f.code + (f.device.empty() ? "" : " (" + f.device + ")") + ": " +
+           f.message;
+    if (!f.path.empty()) out += " [at " + f.path + "]";
+  }
+  return out;
+}
+
+std::string Report::to_json(bool pretty) const {
+  nidb::Object doc;
+  doc["errors"] = static_cast<std::int64_t>(error_count());
+  doc["warnings"] = static_cast<std::int64_t>(warning_count());
+  nidb::Array items;
+  for (const auto& f : findings) {
+    nidb::Object o;
+    o["severity"] = std::string(severity_name(f.severity));
+    o["code"] = f.code;
+    if (!f.device.empty()) o["device"] = f.device;
+    o["message"] = f.message;
+    if (!f.path.empty()) o["path"] = f.path;
+    if (!f.origin.empty()) o["origin"] = f.origin;
+    items.emplace_back(std::move(o));
+  }
+  doc["findings"] = nidb::Value(std::move(items));
+  return nidb::Value(std::move(doc)).to_json(pretty);
+}
+
+}  // namespace autonet::verify

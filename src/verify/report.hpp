@@ -1,0 +1,59 @@
+// Findings and reports for the static-analysis engine (paper §8:
+// pre-deployment checking as one half of test-driven network
+// development). A Finding carries provenance — the offending device, the
+// NIDB attribute path that triggered it, and the originating design rule
+// when known — and a finalized Report is byte-deterministic: findings are
+// stably sorted and exact duplicates removed, so two runs over the same
+// input serialize identically (golden tests, CI diffing).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autonet::verify {
+
+enum class Severity { kError, kWarning };
+
+/// "error" / "warning" (SARIF level names).
+[[nodiscard]] std::string_view severity_name(Severity severity);
+
+struct Finding {
+  Severity severity = Severity::kError;
+  /// Stable machine-readable rule id, e.g. "dup-address".
+  std::string code;
+  std::string device;  // primary offender ("" for network-wide findings)
+  std::string message;
+  /// Provenance: NIDB attribute path ("bgp.ebgp_neighbors[0].neighbor")
+  /// or template file ("templates/quagga/etc/quagga/bgpd.conf").
+  std::string path;
+  /// Provenance: the design rule that produced the checked attributes,
+  /// when known ("design.ibgp", "design.ip", ...).
+  std::string origin;
+};
+
+[[nodiscard]] bool operator==(const Finding& a, const Finding& b);
+/// Deterministic order: code, device, path, message, severity.
+[[nodiscard]] bool operator<(const Finding& a, const Finding& b);
+
+struct Report {
+  std::vector<Finding> findings;
+
+  /// Stable-sorts by (code, device, path, message) and removes exact
+  /// duplicates. run_lint() returns finalized reports; call it again
+  /// after merging.
+  void finalize();
+  void merge(Report other);
+
+  [[nodiscard]] bool ok() const { return error_count() == 0; }
+  [[nodiscard]] std::size_t error_count() const;
+  [[nodiscard]] std::size_t warning_count() const;
+  /// Human-readable multi-line rendering (byte-deterministic once
+  /// finalized).
+  [[nodiscard]] std::string to_string() const;
+  /// Machine-readable JSON: {"errors":N,"warnings":N,"findings":[...]}.
+  [[nodiscard]] std::string to_json(bool pretty = true) const;
+};
+
+}  // namespace autonet::verify

@@ -1,0 +1,233 @@
+#include "verify/rules.hpp"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include "nidb/value.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+#include "verify/index.hpp"
+
+namespace autonet::verify {
+
+void Emitter::emit(std::string device, std::string message, std::string path) {
+  Finding f;
+  f.severity = severity_;
+  f.code = info_->id;
+  f.device = std::move(device);
+  f.message = std::move(message);
+  f.path = std::move(path);
+  f.origin = info_->origin;
+  report_->findings.push_back(std::move(f));
+  ++emitted_;
+}
+
+void RuleRegistry::add(Rule rule) {
+  auto [it, inserted] = by_id_.emplace(rule.info.id, rules_.size());
+  if (!inserted) {
+    throw std::invalid_argument("duplicate lint rule id '" + rule.info.id + "'");
+  }
+  rules_.push_back(std::move(rule));
+}
+
+const Rule* RuleRegistry::find(std::string_view id) const {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : &rules_[it->second];
+}
+
+const RuleRegistry& RuleRegistry::builtin() {
+  static const RuleRegistry registry = [] {
+    RuleRegistry r;
+    register_nidb_rules(r);
+    register_signaling_rules(r);
+    register_template_rules(r);
+    return r;
+  }();
+  return registry;
+}
+
+bool LintOptions::rule_enabled(std::string_view id) const {
+  auto it = enabled.find(id);
+  return it == enabled.end() ? true : it->second;
+}
+
+Severity LintOptions::severity_for(const RuleInfo& info) const {
+  auto it = severity.find(info.id);
+  return it == severity.end() ? info.default_severity : it->second;
+}
+
+bool LintOptions::should_fail(const Report& report) const {
+  if (report.error_count() > 0) return true;
+  return fail_on_warning && report.warning_count() > 0;
+}
+
+void LintOptions::merge(const LintOptions& other) {
+  for (const auto& [id, on] : other.enabled) enabled[id] = on;
+  for (const auto& [id, sev] : other.severity) severity[id] = sev;
+  fail_on_warning = fail_on_warning || other.fail_on_warning;
+}
+
+namespace {
+
+Severity parse_severity(const std::string& word, int line) {
+  if (word == "error") return Severity::kError;
+  if (word == "warning" || word == "warn") return Severity::kWarning;
+  throw std::runtime_error("lint config line " + std::to_string(line) +
+                           ": unknown severity '" + word + "'");
+}
+
+}  // namespace
+
+LintOptions LintOptions::parse_config(std::string_view text) {
+  LintOptions opts;
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  int line = 0;
+  while (std::getline(in, raw)) {
+    ++line;
+    std::istringstream words(raw);
+    std::string keyword;
+    if (!(words >> keyword) || keyword.front() == '#') continue;
+    std::string arg;
+    if (keyword == "disable" || keyword == "enable") {
+      if (!(words >> arg)) {
+        throw std::runtime_error("lint config line " + std::to_string(line) +
+                                 ": '" + keyword + "' needs a rule id");
+      }
+      opts.enabled[arg] = keyword == "enable";
+    } else if (keyword == "severity") {
+      std::string level;
+      if (!(words >> arg >> level)) {
+        throw std::runtime_error("lint config line " + std::to_string(line) +
+                                 ": usage: severity <rule-id> error|warning");
+      }
+      opts.severity[arg] = parse_severity(level, line);
+    } else if (keyword == "fail-on") {
+      if (!(words >> arg)) {
+        throw std::runtime_error("lint config line " + std::to_string(line) +
+                                 ": usage: fail-on error|warning");
+      }
+      opts.fail_on_warning = parse_severity(arg, line) == Severity::kWarning;
+    } else {
+      throw std::runtime_error("lint config line " + std::to_string(line) +
+                               ": unknown directive '" + keyword + "'");
+    }
+    std::string extra;
+    if (words >> extra) {
+      throw std::runtime_error("lint config line " + std::to_string(line) +
+                               ": trailing token '" + extra + "'");
+    }
+  }
+  return opts;
+}
+
+LintOptions LintOptions::load_config_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read lint config " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_config(ss.str());
+}
+
+Report run_lint(const LintInput& input, const LintOptions& options,
+                const RuleRegistry& registry) {
+  Report report;
+  std::optional<detail::NidbIndex> index;
+  if (input.nidb != nullptr) index = detail::NidbIndex::build(*input.nidb);
+
+  RuleContext ctx;
+  ctx.input = &input;
+  ctx.index = index ? &*index : nullptr;
+
+  obs::Registry& obs = obs::Registry::current();
+  auto scope = obs.scope("lint");
+  for (const Rule& rule : registry.rules()) {
+    if (!options.rule_enabled(rule.info.id)) continue;
+    if (rule.needs_nidb && input.nidb == nullptr) continue;
+    if (rule.needs_templates && input.templates == nullptr &&
+        input.template_files.empty()) {
+      continue;
+    }
+    obs::Span span(obs, "lint." + rule.info.id);
+    Emitter emitter(rule.info, options.severity_for(rule.info), report);
+    rule.run(ctx, emitter);
+    span.arg("findings", std::to_string(emitter.emitted()));
+    scope.counter("rules_run").inc();
+    if (emitter.emitted() > 0) {
+      scope.counter("findings").inc(emitter.emitted());
+      scope.counter(emitter.severity() == Severity::kError ? "errors" : "warnings")
+          .inc(emitter.emitted());
+    }
+  }
+  report.finalize();
+  return report;
+}
+
+std::string to_sarif(const Report& report, const RuleRegistry& registry) {
+  using nidb::Array;
+  using nidb::Object;
+  using nidb::Value;
+
+  Object driver;
+  driver["name"] = "autonet-lint";
+  driver["informationUri"] = "https://example.org/autonet/docs/static_analysis";
+  driver["version"] = "1.0.0";
+  Array rules;
+  for (const Rule& rule : registry.rules()) {
+    Object r;
+    r["id"] = rule.info.id;
+    Object desc;
+    desc["text"] = rule.info.description;
+    r["shortDescription"] = Value(std::move(desc));
+    Object props;
+    props["category"] = rule.info.category;
+    if (!rule.info.origin.empty()) props["origin"] = rule.info.origin;
+    r["properties"] = Value(std::move(props));
+    Object config;
+    config["level"] = std::string(severity_name(rule.info.default_severity));
+    r["defaultConfiguration"] = Value(std::move(config));
+    rules.emplace_back(std::move(r));
+  }
+  driver["rules"] = Value(std::move(rules));
+
+  Array results;
+  for (const Finding& f : report.findings) {
+    Object result;
+    result["ruleId"] = f.code;
+    result["level"] = std::string(severity_name(f.severity));
+    Object message;
+    message["text"] = f.message;
+    result["message"] = Value(std::move(message));
+    if (!f.device.empty() || !f.path.empty()) {
+      Object logical;
+      if (!f.device.empty()) logical["name"] = f.device;
+      logical["fullyQualifiedName"] =
+          f.device.empty() ? f.path
+                           : (f.path.empty() ? f.device : f.device + "." + f.path);
+      Object location;
+      location["logicalLocations"] = Value(Array{Value(std::move(logical))});
+      result["locations"] = Value(Array{Value(std::move(location))});
+    }
+    if (!f.origin.empty()) {
+      Object props;
+      props["origin"] = f.origin;
+      result["properties"] = Value(std::move(props));
+    }
+    results.emplace_back(std::move(result));
+  }
+
+  Object tool;
+  tool["driver"] = Value(std::move(driver));
+  Object run;
+  run["tool"] = Value(std::move(tool));
+  run["results"] = Value(std::move(results));
+  Object doc;
+  doc["$schema"] = "https://json.schemastore.org/sarif-2.1.0.json";
+  doc["version"] = "2.1.0";
+  doc["runs"] = Value(Array{Value(std::move(run))});
+  return Value(std::move(doc)).to_json(true);
+}
+
+}  // namespace autonet::verify

@@ -1,0 +1,156 @@
+// The pluggable static-analysis engine (paper §8). Checks are Rules with
+// stable ids, categories, default severities and provenance metadata,
+// registered in a RuleRegistry; run_lint() drives every enabled rule over
+// a LintInput (compiled NIDB and/or template sets), records one obs span
+// per rule ("lint.<id>"), and returns a finalized deterministic Report.
+// Per-rule enable/disable and severity overrides come from LintOptions,
+// loadable from an `.autonetlint` config or built from CLI flags.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "verify/report.hpp"
+
+namespace autonet::nidb {
+class Nidb;
+}
+namespace autonet::render {
+class TemplateStore;
+}
+
+namespace autonet::verify {
+
+struct RuleInfo {
+  /// Stable id, doubles as the finding code ("dup-address").
+  std::string id;
+  /// Rule family: addressing, naming, render, bgp, ospf, signaling,
+  /// template.
+  std::string category;
+  Severity default_severity = Severity::kError;
+  /// One-line description (rule catalogue, SARIF rule metadata).
+  std::string description;
+  /// The design rule whose output this rule checks, when known
+  /// ("design.ip", "design.ibgp", ...); copied into findings.
+  std::string origin;
+};
+
+namespace detail {
+struct NidbIndex;
+}
+
+/// What a lint run analyses. Any subset may be present; rules that need
+/// an absent input are skipped.
+struct LintInput {
+  /// Compiled Resource Database (NIDB + signaling rules).
+  const nidb::Nidb* nidb = nullptr;
+  /// Compiled template sets (undefined/unused variable analysis).
+  const render::TemplateStore* templates = nullptr;
+  /// Raw template texts (name, text) linted from source — additionally
+  /// catches parse errors such as unterminated blocks.
+  std::vector<std::pair<std::string, std::string>> template_files;
+};
+
+/// Everything a rule sees. `index` is the shared gather pass over the
+/// NIDB, built once per run; non-null iff input->nidb is non-null.
+struct RuleContext {
+  const LintInput* input = nullptr;
+  const detail::NidbIndex* index = nullptr;
+};
+
+/// Sink a rule emits findings through: the engine binds the rule id, its
+/// effective severity, and provenance defaults.
+class Emitter {
+ public:
+  Emitter(const RuleInfo& info, Severity severity, Report& report)
+      : info_(&info), severity_(severity), report_(&report) {}
+
+  void emit(std::string device, std::string message, std::string path = "");
+  [[nodiscard]] std::size_t emitted() const { return emitted_; }
+  [[nodiscard]] Severity severity() const { return severity_; }
+
+ private:
+  const RuleInfo* info_;
+  Severity severity_;
+  Report* report_;
+  std::size_t emitted_ = 0;
+};
+
+struct Rule {
+  RuleInfo info;
+  std::function<void(const RuleContext&, Emitter&)> run;
+  bool needs_nidb = false;
+  bool needs_templates = false;
+};
+
+class RuleRegistry {
+ public:
+  /// Registers a rule; throws std::invalid_argument on duplicate ids.
+  void add(Rule rule);
+
+  [[nodiscard]] const std::vector<Rule>& rules() const { return rules_; }
+  [[nodiscard]] const Rule* find(std::string_view id) const;
+
+  /// The built-in analyses: the ported NIDB consistency checks, the
+  /// control-plane signaling analysis, and the template analysis.
+  [[nodiscard]] static const RuleRegistry& builtin();
+
+ private:
+  std::vector<Rule> rules_;
+  std::map<std::string, std::size_t, std::less<>> by_id_;
+};
+
+/// Per-run configuration: rule enable/disable and severity overrides.
+struct LintOptions {
+  /// id -> explicitly enabled/disabled (absent = enabled).
+  std::map<std::string, bool, std::less<>> enabled;
+  /// id -> severity override.
+  std::map<std::string, Severity, std::less<>> severity;
+  /// Gate threshold used by callers: fail on warnings too.
+  bool fail_on_warning = false;
+
+  [[nodiscard]] bool rule_enabled(std::string_view id) const;
+  [[nodiscard]] Severity severity_for(const RuleInfo& info) const;
+  /// True when the report crosses this configuration's failure
+  /// threshold (any error; warnings too with fail_on_warning).
+  [[nodiscard]] bool should_fail(const Report& report) const;
+  /// Later-loaded options win key by key.
+  void merge(const LintOptions& other);
+
+  /// Parses `.autonetlint` text. Line-oriented:
+  ///   # comment
+  ///   disable <rule-id>
+  ///   enable <rule-id>
+  ///   severity <rule-id> error|warning
+  ///   fail-on error|warning
+  /// Throws std::runtime_error with a line number on malformed input.
+  [[nodiscard]] static LintOptions parse_config(std::string_view text);
+  /// Reads and parses a config file; throws std::runtime_error when
+  /// unreadable.
+  [[nodiscard]] static LintOptions load_config_file(const std::string& path);
+};
+
+/// Runs every enabled applicable rule and returns a finalized Report.
+/// Telemetry: one "lint.<rule-id>" span per rule plus lint.* counters in
+/// obs::Registry::current().
+[[nodiscard]] Report run_lint(const LintInput& input, const LintOptions& options = {},
+                              const RuleRegistry& registry = RuleRegistry::builtin());
+
+/// SARIF 2.1.0 export of a finalized report, with rule metadata from the
+/// registry (consumed by CI annotation tooling).
+[[nodiscard]] std::string to_sarif(const Report& report,
+                                   const RuleRegistry& registry =
+                                       RuleRegistry::builtin());
+
+// Registration hooks for the built-in analysis families (internal; used
+// by RuleRegistry::builtin() and tests that build custom registries).
+void register_nidb_rules(RuleRegistry& registry);
+void register_signaling_rules(RuleRegistry& registry);
+void register_template_rules(RuleRegistry& registry);
+
+}  // namespace autonet::verify

@@ -1,262 +1,11 @@
 #include "verify/static_check.hpp"
 
-#include <map>
-#include <optional>
-#include <set>
-
-#include "addressing/ipv4.hpp"
-
 namespace autonet::verify {
 
-using addressing::Ipv4Prefix;
-using nidb::Array;
-using nidb::DeviceRecord;
-using nidb::Value;
-
-namespace {
-
-std::string strip_len(std::string addr) {
-  if (auto slash = addr.find('/'); slash != std::string::npos) addr.resize(slash);
-  return addr;
-}
-
-const std::string* find_string(const Value& v, std::string_view path) {
-  const Value* f = v.find_path(path);
-  return f ? f->as_string() : nullptr;
-}
-
-std::int64_t find_int(const Value& v, std::string_view path, std::int64_t fallback) {
-  const Value* f = v.find_path(path);
-  if (f == nullptr) return fallback;
-  return f->as_int().value_or(fallback);
-}
-
-struct Interface {
-  std::string device;
-  std::string ip;      // bare address
-  std::string subnet;  // CIDR string
-};
-
-struct NeighborStatement {
-  std::string device;
-  std::string neighbor_ip;
-  std::int64_t remote_as = 0;
-};
-
-}  // namespace
-
-std::size_t Report::error_count() const {
-  std::size_t n = 0;
-  for (const auto& f : findings) n += f.severity == Severity::kError;
-  return n;
-}
-
-std::size_t Report::warning_count() const {
-  return findings.size() - error_count();
-}
-
-std::string Report::to_string() const {
-  if (findings.empty()) return "static check: OK, no findings";
-  std::string out = "static check: " + std::to_string(error_count()) + " error(s), " +
-                    std::to_string(warning_count()) + " warning(s)";
-  for (const auto& f : findings) {
-    out += "\n  [" + std::string(f.severity == Severity::kError ? "ERROR" : "warn") +
-           "] " + f.code + (f.device.empty() ? "" : " (" + f.device + ")") + ": " +
-           f.message;
-  }
-  return out;
-}
-
-Report static_check(const nidb::Nidb& nidb) {
-  Report report;
-  auto add = [&report](Severity severity, std::string code, std::string device,
-                       std::string message) {
-    report.findings.push_back(
-        {severity, std::move(code), std::move(device), std::move(message)});
-  };
-
-  // --- Gather ----------------------------------------------------------
-  std::map<std::string, std::string> address_owner;  // bare ip -> device
-  std::vector<Interface> interfaces;
-  std::vector<NeighborStatement> neighbors;
-  std::map<std::string, std::vector<std::string>> hostname_users;
-  std::map<std::string, std::int64_t> device_asn;
-  std::map<std::string, std::string> device_type;
-  // subnet -> devices attached with their configured OSPF area (-1: none)
-  struct Attachment {
-    std::string device;
-    std::int64_t area = -1;
-  };
-  std::map<std::string, std::vector<Attachment>> subnet_attachments;
-
-  for (const DeviceRecord* rec : nidb.devices()) {
-    const Value& d = rec->data;
-    device_asn[rec->name] = find_int(d, "asn", 0);
-    if (const std::string* type = find_string(d, "device_type")) {
-      device_type[rec->name] = *type;
-    }
-
-    if (const std::string* hostname = find_string(d, "hostname")) {
-      hostname_users[*hostname].push_back(rec->name);
-    }
-    if (d.find("render") == nullptr || find_string(d, "render.base") == nullptr) {
-      add(Severity::kWarning, "render-missing", rec->name,
-          "no render attributes; device will not produce configuration");
-    }
-
-    auto claim_address = [&](const std::string& with_len) {
-      std::string ip = strip_len(with_len);
-      auto [it, inserted] = address_owner.emplace(ip, rec->name);
-      if (!inserted && it->second != rec->name) {
-        add(Severity::kError, "dup-address", rec->name,
-            "address " + ip + " already assigned to " + it->second);
-      }
-    };
-    if (const std::string* lo = find_string(d, "loopback")) claim_address(*lo);
-
-    // OSPF coverage per subnet: which networks this device's process
-    // covers, and in which area.
-    std::map<std::string, std::int64_t> covered;  // subnet CIDR -> area
-    if (const Value* links = d.find_path("ospf.ospf_links")) {
-      if (const Array* arr = links->as_array()) {
-        for (const Value& link : *arr) {
-          const Value* network = link.find("network");
-          const std::string* s = network ? network->as_string() : nullptr;
-          if (s != nullptr) {
-            covered[*s] = link.find("area") ? link.find("area")->as_int().value_or(0)
-                                            : 0;
-          }
-        }
-      }
-    }
-
-    if (const Value* ifaces = d.find("interfaces")) {
-      if (const Array* arr = ifaces->as_array()) {
-        for (const Value& iface : *arr) {
-          const std::string* ip = iface.find("ip_address")
-                                      ? iface.find("ip_address")->as_string()
-                                      : nullptr;
-          const std::string* subnet =
-              iface.find("subnet") ? iface.find("subnet")->as_string() : nullptr;
-          if (ip == nullptr || subnet == nullptr) continue;
-          claim_address(*ip);
-          interfaces.push_back({rec->name, strip_len(*ip), *subnet});
-          auto it = covered.find(*subnet);
-          subnet_attachments[*subnet].push_back(
-              {rec->name, it == covered.end() ? -1 : it->second});
-        }
-      }
-    }
-
-    for (const char* kind : {"bgp.ibgp_neighbors", "bgp.ebgp_neighbors"}) {
-      const Value* list = d.find_path(kind);
-      const Array* arr = list ? list->as_array() : nullptr;
-      if (arr == nullptr) continue;
-      for (const Value& n : *arr) {
-        const std::string* ip =
-            n.find("neighbor") ? n.find("neighbor")->as_string() : nullptr;
-        if (ip == nullptr || ip->empty()) {
-          add(Severity::kError, "bgp-unknown-peer", rec->name,
-              std::string("empty neighbor address in ") + kind);
-          continue;
-        }
-        neighbors.push_back(
-            {rec->name, *ip,
-             n.find("remote_as") ? n.find("remote_as")->as_int().value_or(0) : 0});
-      }
-    }
-  }
-
-  // --- dup-hostname -----------------------------------------------------
-  for (const auto& [hostname, users] : hostname_users) {
-    if (users.size() > 1) {
-      std::string list;
-      for (const auto& u : users) list += (list.empty() ? "" : ", ") + u;
-      add(Severity::kError, "dup-hostname", users.front(),
-          "hostname '" + hostname + "' used by: " + list);
-    }
-  }
-
-  // --- subnet-overlap ---------------------------------------------------
-  {
-    std::vector<std::pair<std::string, Ipv4Prefix>> distinct;
-    std::set<std::string> seen;
-    for (const auto& [subnet, attachments] : subnet_attachments) {
-      if (!seen.insert(subnet).second) continue;
-      if (auto p = Ipv4Prefix::parse(subnet)) distinct.emplace_back(subnet, *p);
-    }
-    for (std::size_t i = 0; i < distinct.size(); ++i) {
-      for (std::size_t j = i + 1; j < distinct.size(); ++j) {
-        if (distinct[i].second.overlaps(distinct[j].second)) {
-          add(Severity::kError, "subnet-overlap", "",
-              "collision domains " + distinct[i].first + " and " +
-                  distinct[j].first + " overlap");
-        }
-      }
-    }
-  }
-
-  // --- BGP session symmetry / peer identity ------------------------------
-  // Index: device -> owned bare addresses.
-  std::map<std::string, std::set<std::string>> owned;
-  for (const auto& [ip, device] : address_owner) owned[device].insert(ip);
-
-  for (const auto& n : neighbors) {
-    auto owner = address_owner.find(n.neighbor_ip);
-    if (owner == address_owner.end()) {
-      add(Severity::kError, "bgp-unknown-peer", n.device,
-          "neighbor " + n.neighbor_ip + " is owned by no device");
-      continue;
-    }
-    const std::string& peer = owner->second;
-    if (n.remote_as != device_asn[peer]) {
-      add(Severity::kError, "bgp-wrong-as", n.device,
-          "neighbor " + n.neighbor_ip + " (" + peer + ") is AS" +
-              std::to_string(device_asn[peer]) + " but remote-as says " +
-              std::to_string(n.remote_as));
-    }
-    bool reverse = false;
-    for (const auto& back : neighbors) {
-      if (back.device == peer && owned[n.device].contains(back.neighbor_ip)) {
-        reverse = true;
-        break;
-      }
-    }
-    if (!reverse) {
-      add(Severity::kError, "bgp-asym-session", n.device,
-          "session to " + n.neighbor_ip + " (" + peer +
-              ") has no matching reverse neighbor statement");
-    }
-  }
-
-  // --- OSPF link consistency ---------------------------------------------
-  for (const auto& [subnet, attachments] : subnet_attachments) {
-    for (std::size_t i = 0; i < attachments.size(); ++i) {
-      for (std::size_t j = i + 1; j < attachments.size(); ++j) {
-        const auto& a = attachments[i];
-        const auto& b = attachments[j];
-        if (device_asn[a.device] != device_asn[b.device]) continue;  // eBGP link
-        // Only router-router links are expected to run OSPF.
-        if (device_type[a.device] != "router" || device_type[b.device] != "router") {
-          continue;
-        }
-        const bool a_runs = a.area >= 0;
-        const bool b_runs = b.area >= 0;
-        if (a_runs != b_runs) {
-          add(Severity::kError, "ospf-half-link", a_runs ? b.device : a.device,
-              "intra-AS link " + subnet + " between " + a.device + " and " +
-                  b.device + " runs OSPF on one side only");
-        } else if (a_runs && a.area != b.area) {
-          add(Severity::kError, "ospf-area-mismatch", a.device,
-              "link " + subnet + ": " + a.device + " uses area " +
-                  std::to_string(a.area) + ", " + b.device + " area " +
-                  std::to_string(b.area));
-        }
-      }
-    }
-  }
-
-  return report;
+Report static_check(const nidb::Nidb& nidb, const LintOptions& options) {
+  LintInput input;
+  input.nidb = &nidb;
+  return run_lint(input, options);
 }
 
 }  // namespace autonet::verify

@@ -3,48 +3,21 @@
 // [NCGuard] ... Integrating pre- and post-deployment verification systems
 // allows test-driven network development").
 //
-// The checker runs over the compiled Resource Database — after the design
-// rules and compilers, before deployment — and reports consistency
-// violations a misbehaving design rule, template edit, or manual NIDB
-// tweak could introduce.
+// static_check() is the NIDB entry point kept for existing callers: it
+// runs every registered rule that analyses the compiled Resource Database
+// (the ported consistency checks plus the control-plane signaling
+// analysis) through the pluggable engine in verify/rules.hpp.
 #pragma once
 
-#include <string>
-#include <vector>
-
 #include "nidb/nidb.hpp"
+#include "verify/report.hpp"
+#include "verify/rules.hpp"
 
 namespace autonet::verify {
 
-enum class Severity { kError, kWarning };
-
-struct Finding {
-  Severity severity = Severity::kError;
-  /// Stable machine-readable code, e.g. "dup-address".
-  std::string code;
-  std::string device;  // primary offender ("" for network-wide findings)
-  std::string message;
-};
-
-struct Report {
-  std::vector<Finding> findings;
-
-  [[nodiscard]] bool ok() const { return error_count() == 0; }
-  [[nodiscard]] std::size_t error_count() const;
-  [[nodiscard]] std::size_t warning_count() const;
-  [[nodiscard]] std::string to_string() const;
-};
-
-/// All checks:
-///  - dup-address:       an interface/loopback address used twice
-///  - subnet-overlap:    two distinct collision-domain subnets overlap
-///  - bgp-asym-session:  a neighbor statement without its reverse
-///  - bgp-unknown-peer:  a neighbor address owned by no device
-///  - bgp-wrong-as:      remote-as disagrees with the peer's AS
-///  - ospf-area-mismatch:the two ends of a link configure different areas
-///  - ospf-half-link:    only one end of an intra-AS link runs OSPF on it
-///  - dup-hostname:      two devices share a sanitised hostname
-///  - render-missing:    a device record lacks render attributes
-[[nodiscard]] Report static_check(const nidb::Nidb& nidb);
+/// Runs all NIDB-applicable built-in rules over the compiled database.
+/// Equivalent to run_lint({.nidb = &nidb}, options).
+[[nodiscard]] Report static_check(const nidb::Nidb& nidb,
+                                  const LintOptions& options = {});
 
 }  // namespace autonet::verify

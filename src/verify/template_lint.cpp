@@ -1,0 +1,198 @@
+// Template static analysis: walks compiled template ASTs before render
+// time to flag references to variables that are never passed in,
+// passed-in variables a template never uses, and (for raw template
+// sources) syntax errors such as unterminated % blocks.
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "render/renderer.hpp"
+#include "templates/detail.hpp"
+#include "templates/template.hpp"
+#include "verify/rules.hpp"
+
+namespace autonet::verify {
+
+namespace tdetail = templates::detail;
+
+namespace {
+
+std::string root_of(const std::string& dotted) {
+  auto dot = dotted.find('.');
+  return dot == std::string::npos ? dotted : dotted.substr(0, dot);
+}
+
+/// Walks one template AST recording, per reference, the root variable
+/// and whether it resolves against the scope chain.
+struct TemplateWalker {
+  std::set<std::string> roots;       // passed-in context variables
+  std::set<std::string> used_roots;  // passed-in variables referenced
+  /// Unresolved references: (dotted path, root) pairs, first occurrence.
+  std::vector<std::pair<std::string, std::string>> undefined;
+  std::set<std::string> seen_undefined;
+
+  void expr(const tdetail::Expr& e, const std::set<std::string>& locals) {
+    struct Visitor {
+      TemplateWalker& walker;
+      const std::set<std::string>& locals;
+      void operator()(const tdetail::Expr::Literal&) const {}
+      void operator()(const tdetail::Expr::Path& p) const {
+        const std::string root = root_of(p.dotted);
+        if (walker.roots.contains(root)) {
+          walker.used_roots.insert(root);
+        } else if (!locals.contains(root) &&
+                   walker.seen_undefined.insert(p.dotted).second) {
+          walker.undefined.emplace_back(p.dotted, root);
+        }
+      }
+      void operator()(const tdetail::Expr::Unary& u) const {
+        walker.expr(*u.operand, locals);
+      }
+      void operator()(const tdetail::Expr::Binary& b) const {
+        walker.expr(*b.lhs, locals);
+        walker.expr(*b.rhs, locals);
+      }
+      void operator()(const tdetail::Expr::FilterCall& f) const {
+        walker.expr(*f.input, locals);
+        for (const auto& arg : f.args) walker.expr(arg, locals);
+      }
+    };
+    std::visit(Visitor{*this, locals}, e.node);
+  }
+
+  void body(const std::vector<tdetail::TemplateNode>& nodes,
+            std::set<std::string> locals) {
+    for (const auto& n : nodes) {
+      if (const auto* output = std::get_if<tdetail::OutputNode>(&n.node)) {
+        expr(output->expr, locals);
+      } else if (const auto* loop = std::get_if<tdetail::ForNode>(&n.node)) {
+        expr(loop->collection, locals);
+        std::set<std::string> inner = locals;
+        inner.insert(loop->var);  // the loop variable shadows outer names
+        body(loop->body, std::move(inner));
+      } else if (const auto* branch = std::get_if<tdetail::IfNode>(&n.node)) {
+        for (const auto& b : branch->branches) {
+          if (b.condition) expr(*b.condition, locals);
+          body(b.body, locals);
+        }
+      }
+    }
+  }
+};
+
+/// Context roots a template set receives from the renderer: device sets
+/// get `node` + `data`, platform sets get `data` + `devices`.
+std::set<std::string> roots_for_base(std::string_view base) {
+  if (base.starts_with("platform/")) return {"data", "devices"};
+  return {"node", "data"};
+}
+
+/// `data` and `devices` are ambient context every template receives
+/// whether or not it needs them; only device-specific roots are worth an
+/// unused warning.
+bool exempt_from_unused(const std::string& root) {
+  return root == "data" || root == "devices";
+}
+
+struct AnalyzedTemplate {
+  std::string name;  // "<base>/<path>" or the raw file name
+  std::set<std::string> roots;
+  const std::vector<tdetail::TemplateNode>* nodes;
+};
+
+template <typename Fn>
+void each_template(const RuleContext& ctx, Fn&& fn) {
+  if (ctx.input->templates != nullptr) {
+    const render::TemplateStore& store = *ctx.input->templates;
+    for (const std::string& base : store.bases()) {
+      for (const auto& entry : store.entries(base)) {
+        if (!entry.is_template) continue;
+        fn(AnalyzedTemplate{base + "/" + entry.path, roots_for_base(base),
+                            &entry.tmpl.nodes()});
+      }
+    }
+  }
+}
+
+void check_undefined_var(const RuleContext& ctx, Emitter& out) {
+  auto analyze = [&](const AnalyzedTemplate& t) {
+    TemplateWalker walker;
+    walker.roots = t.roots;
+    walker.body(*t.nodes, {});
+    std::string scope;
+    for (const auto& r : t.roots) scope += (scope.empty() ? "" : ", ") + r;
+    for (const auto& [dotted, root] : walker.undefined) {
+      out.emit(t.name,
+               "reference to undefined variable '" + root +
+                   "' (in scope: " + scope + ")",
+               dotted);
+    }
+  };
+  each_template(ctx, analyze);
+  // Raw sources: parse then analyse with every renderer root in scope.
+  for (const auto& [name, text] : ctx.input->template_files) {
+    try {
+      templates::Template tmpl = templates::Template::parse(text, name);
+      analyze({name, {"node", "data", "devices"}, &tmpl.nodes()});
+    } catch (const templates::TemplateError&) {
+      // tpl-parse-error reports it
+    }
+  }
+}
+
+void check_unused_var(const RuleContext& ctx, Emitter& out) {
+  each_template(ctx, [&](const AnalyzedTemplate& t) {
+    TemplateWalker walker;
+    walker.roots = t.roots;
+    walker.body(*t.nodes, {});
+    for (const auto& root : t.roots) {
+      if (exempt_from_unused(root)) continue;
+      if (!walker.used_roots.contains(root)) {
+        out.emit(t.name, "passed-in variable '" + root + "' is never referenced",
+                 root);
+      }
+    }
+  });
+}
+
+void check_parse_error(const RuleContext& ctx, Emitter& out) {
+  for (const auto& [name, text] : ctx.input->template_files) {
+    try {
+      (void)templates::Template::parse(text, name);
+    } catch (const templates::TemplateError& err) {
+      out.emit(name, err.what());
+    }
+  }
+}
+
+Rule template_rule(std::string id, Severity severity, std::string description,
+                   void (*fn)(const RuleContext&, Emitter&)) {
+  Rule rule;
+  rule.info = {std::move(id), "template", severity, std::move(description),
+               /*origin=*/""};
+  rule.run = fn;
+  rule.needs_templates = true;
+  return rule;
+}
+
+}  // namespace
+
+void register_template_rules(RuleRegistry& registry) {
+  registry.add(template_rule(
+      "tpl-undefined-var", Severity::kError,
+      "a template references a variable the renderer never passes in",
+      check_undefined_var));
+  registry.add(template_rule(
+      "tpl-unused-var", Severity::kWarning,
+      "a template never references a passed-in variable",
+      check_unused_var));
+  registry.add(template_rule(
+      "tpl-parse-error", Severity::kError,
+      "a template source fails to parse (e.g. an unterminated % block)",
+      check_parse_error));
+}
+
+}  // namespace autonet::verify

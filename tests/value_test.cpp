@@ -32,6 +32,21 @@ TEST(Value, PathAccess) {
   EXPECT_EQ(root.find_path("zebra.hostname.too.deep"), nullptr);
 }
 
+TEST(Value, FindPathArrayIndexing) {
+  Value root = parse_json(
+      R"({"bgp": {"neighbors": [{"ip": "10.0.0.1"}, {"ip": "10.0.0.2"}]},)"
+      R"( "grid": [[1, 2], [3, 4]]})");
+  ASSERT_NE(root.find_path("bgp.neighbors[1]"), nullptr);
+  EXPECT_EQ(*root.find_path("bgp.neighbors[1].ip")->as_string(), "10.0.0.2");
+  EXPECT_EQ(root.find_path("grid[1][0]")->as_int(), 3);
+  // Out of range, malformed, or indexing a non-array all miss cleanly.
+  EXPECT_EQ(root.find_path("bgp.neighbors[2]"), nullptr);
+  EXPECT_EQ(root.find_path("bgp.neighbors[x]"), nullptr);
+  EXPECT_EQ(root.find_path("bgp.neighbors["), nullptr);
+  EXPECT_EQ(root.find_path("bgp.neighbors[]"), nullptr);
+  EXPECT_EQ(root.find_path("bgp[0]"), nullptr);
+}
+
 TEST(Value, IndexOperatorCreatesObjects) {
   Value v;
   v["a"]["b"] = Value(1);

@@ -7,13 +7,19 @@
 //   autonet build <topology> [--platform P] [--ibgp mesh|rr|rr-auto]
 //                 [--isis] [--dns] [--out DIR] [--nidb F] [--viz F]
 //   autonet check <topology> [--platform P] [--ibgp MODE]
+//   autonet lint  [<topology>] [--platform P] [--ibgp MODE] [--templates DIR]
+//                 [--config FILE] [--disable IDS] [--enable IDS]
+//                 [--severity ID=SEV,...] [--fail-on error|warning]
+//                 [--format text|json|sarif] [--out FILE] [--list-rules]
 //   autonet run   <topology> [--platform P] [--ibgp MODE]
 //                 [--trace SRC DST | --trace out.json] [--validate]
 //                 [--metrics FILE]
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -42,6 +48,12 @@ int usage() {
                "                [--isis] [--dns] [--out DIR] [--nidb FILE] "
                "[--viz FILE]\n"
                "  autonet check <topology> [--platform P] [--ibgp MODE]\n"
+               "  autonet lint [<topology>] [--platform P] [--ibgp MODE] "
+               "[--templates DIR] [--config FILE]\n"
+               "               [--disable IDS] [--enable IDS] "
+               "[--severity ID=error|warning,...] [--fail-on error|warning]\n"
+               "               [--format text|json|sarif] [--out FILE] "
+               "[--trace OUT.json] [--list-rules]\n"
                "  autonet run <topology> [--platform P] [--ibgp MODE] "
                "[--trace SRC DST | --trace OUT.json] [--validate]\n"
                "              [--metrics FILE]   (Prometheus text export)\n");
@@ -58,7 +70,8 @@ struct Args {
     Args args;
     for (int i = start; i < argc; ++i) {
       std::string arg = argv[i];
-      if (arg == "--isis" || arg == "--dns" || arg == "--validate") {
+      if (arg == "--isis" || arg == "--dns" || arg == "--validate" ||
+          arg == "--list-rules") {
         args.options[arg.substr(2)] = "1";
       } else if (arg == "--trace" && i + 1 < argc &&
                  std::string_view(argv[i + 1]).ends_with(".json")) {
@@ -171,6 +184,137 @@ int cmd_check(const Args& args) {
   return report.ok() ? 0 : 1;
 }
 
+std::vector<std::string> split_commas(const std::string& list) {
+  std::vector<std::string> out;
+  std::istringstream in(list);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+int cmd_lint(const Args& args) {
+  const verify::RuleRegistry& registry = verify::RuleRegistry::builtin();
+
+  if (args.has("list-rules")) {
+    for (const auto& rule : registry.rules()) {
+      const std::string severity(verify::severity_name(rule.info.default_severity));
+      const std::string origin =
+          rule.info.origin.empty() ? "" : " [origin: " + rule.info.origin + "]";
+      std::printf("%-24s %-10s %-7s %s%s\n", rule.info.id.c_str(),
+                  rule.info.category.c_str(), severity.c_str(),
+                  rule.info.description.c_str(), origin.c_str());
+    }
+    return 0;
+  }
+
+  // Configuration: explicit --config, else an `.autonetlint` in the
+  // working directory, then CLI overrides on top.
+  verify::LintOptions opts;
+  if (args.has("config")) {
+    opts = verify::LintOptions::load_config_file(args.get("config"));
+  } else if (std::filesystem::exists(".autonetlint")) {
+    opts = verify::LintOptions::load_config_file(".autonetlint");
+  }
+  for (const auto& id : split_commas(args.get("disable"))) opts.enabled[id] = false;
+  for (const auto& id : split_commas(args.get("enable"))) opts.enabled[id] = true;
+  for (const auto& spec : split_commas(args.get("severity"))) {
+    auto eq = spec.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "autonet lint: --severity expects ID=error|warning\n");
+      return 2;
+    }
+    const std::string level = spec.substr(eq + 1);
+    if (level != "error" && level != "warning") {
+      std::fprintf(stderr, "autonet lint: unknown severity '%s'\n", level.c_str());
+      return 2;
+    }
+    opts.severity[spec.substr(0, eq)] =
+        level == "error" ? verify::Severity::kError : verify::Severity::kWarning;
+  }
+  if (args.has("fail-on")) {
+    const std::string threshold = args.get("fail-on");
+    if (threshold != "error" && threshold != "warning") {
+      std::fprintf(stderr, "autonet lint: --fail-on expects error|warning\n");
+      return 2;
+    }
+    opts.fail_on_warning = threshold == "warning";
+  }
+  // Unknown rule ids are configuration typos, not silent no-ops.
+  for (const auto& [id, on] : opts.enabled) {
+    if (registry.find(id) == nullptr) {
+      std::fprintf(stderr, "autonet lint: unknown rule id '%s'\n", id.c_str());
+      return 2;
+    }
+  }
+  for (const auto& [id, sev] : opts.severity) {
+    if (registry.find(id) == nullptr) {
+      std::fprintf(stderr, "autonet lint: unknown rule id '%s'\n", id.c_str());
+      return 2;
+    }
+  }
+
+  verify::LintInput input;
+  core::Workflow wf(workflow_options(args));
+  if (!args.positional.empty()) {
+    wf.load(load_input(args.positional[0])).design().compile();
+    input.nidb = &wf.nidb();
+    input.templates = &render::TemplateStore::builtins();
+  }
+  if (args.has("templates")) {
+    const std::string dir = args.get("templates");
+    if (!std::filesystem::is_directory(dir)) {
+      std::fprintf(stderr, "autonet lint: %s is not a directory\n", dir.c_str());
+      return 2;
+    }
+    for (const auto& entry : std::filesystem::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file() || entry.path().extension() != ".tmpl") continue;
+      std::ifstream file(entry.path(), std::ios::binary);
+      std::ostringstream text;
+      text << file.rdbuf();
+      input.template_files.emplace_back(
+          std::filesystem::relative(entry.path(), dir).generic_string(),
+          text.str());
+    }
+  }
+  if (input.nidb == nullptr && input.template_files.empty()) return usage();
+
+  const verify::Report report = verify::run_lint(input, opts, registry);
+
+  const std::string format = args.get("format", "text");
+  std::string rendered;
+  if (format == "text") {
+    rendered = report.to_string() + "\n";
+  } else if (format == "json") {
+    rendered = report.to_json() + "\n";
+  } else if (format == "sarif") {
+    rendered = verify::to_sarif(report, registry) + "\n";
+  } else {
+    std::fprintf(stderr, "autonet lint: unknown format '%s'\n", format.c_str());
+    return 2;
+  }
+  if (args.has("out")) {
+    std::ofstream file(args.get("out"), std::ios::binary);
+    if (!file) {
+      std::fprintf(stderr, "cannot write %s\n", args.get("out").c_str());
+      return 2;
+    }
+    file << rendered;
+  } else {
+    std::fputs(rendered.c_str(), stdout);
+  }
+  if (!args.trace_file.empty()) {
+    std::ofstream file(args.trace_file, std::ios::binary);
+    if (!file) {
+      std::fprintf(stderr, "cannot write %s\n", args.trace_file.c_str());
+      return 2;
+    }
+    file << obs::to_chrome_trace(obs::Registry::current());
+  }
+  return opts.should_fail(report) ? 1 : 0;
+}
+
 int cmd_run(const Args& args) {
   if (args.positional.empty()) return usage();
   core::Workflow wf(workflow_options(args));
@@ -239,6 +383,7 @@ int main(int argc, char** argv) {
     if (command == "generate") return cmd_generate(args);
     if (command == "build") return cmd_build(args);
     if (command == "check") return cmd_check(args);
+    if (command == "lint") return cmd_lint(args);
     if (command == "run") return cmd_run(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "autonet: %s\n", e.what());
