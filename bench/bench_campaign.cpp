@@ -1,0 +1,95 @@
+// E16: experiment campaign throughput. The paper's pitch is running "as
+// many scenarios as you can imagine, as fast as the hardware allows" —
+// this bench measures the campaign layer itself: matrix expansion cost,
+// single-run execution, and parallel speedup of a figure5 sweep across
+// worker counts, plus aggregation over a synthetic result set.
+#include <benchmark/benchmark.h>
+
+#include "bench_json.hpp"
+
+#include "experiment/aggregate.hpp"
+#include "experiment/campaign.hpp"
+#include "experiment/runner.hpp"
+
+namespace {
+
+using namespace autonet;
+
+experiment::CampaignSpec sweep_spec() {
+  return experiment::parse_campaign(
+      "campaign bench\n"
+      "topology figure5\n"
+      "repetitions 2\n"
+      "seed 7\n"
+      "axis ibgp mesh rr-auto\n"
+      "axis dns on off\n"
+      "probe reachability\n");
+}
+
+void BM_Campaign_Expand(benchmark::State& state) {
+  experiment::CampaignSpec spec = sweep_spec();
+  spec.repetitions = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto matrix = experiment::expand(spec);
+    benchmark::DoNotOptimize(matrix.size());
+  }
+  state.counters["runs"] = static_cast<double>(spec.run_count());
+}
+BENCHMARK(BM_Campaign_Expand)->Arg(2)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+void BM_Campaign_SingleRun(benchmark::State& state) {
+  const experiment::CampaignSpec spec = sweep_spec();
+  const auto matrix = experiment::expand(spec);
+  for (auto _ : state) {
+    auto result = experiment::CampaignRunner::execute_run(matrix[0], spec);
+    benchmark::DoNotOptimize(result.metrics.size());
+  }
+}
+BENCHMARK(BM_Campaign_SingleRun)->Unit(benchmark::kMillisecond);
+
+// The headline number: the 8-run sweep end to end (expand + pool +
+// journal-less execution + span merge) at 1, 2, and 4 workers. The
+// jobs=1 / jobs=4 ratio is the campaign layer's parallel speedup.
+void BM_Campaign_Sweep(benchmark::State& state) {
+  const experiment::CampaignSpec spec = sweep_spec();
+  experiment::RunnerOptions opts;
+  opts.jobs = static_cast<int>(state.range(0));
+  std::size_t failed = 0;
+  for (auto _ : state) {
+    experiment::CampaignRunner runner(spec, opts);
+    auto result = runner.run();
+    failed += result.failed;
+    benchmark::DoNotOptimize(result.results.size());
+  }
+  state.counters["runs_per_campaign"] = static_cast<double>(spec.run_count());
+  state.counters["failed"] = static_cast<double>(failed);
+}
+BENCHMARK(BM_Campaign_Sweep)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()->UseRealTime();
+
+void BM_Campaign_Aggregate(benchmark::State& state) {
+  // Synthetic result set: 512 runs, 4 groups, 24 metrics each.
+  std::vector<experiment::RunResult> results;
+  for (int i = 0; i < 512; ++i) {
+    experiment::RunResult r;
+    r.id = "g=" + std::to_string(i % 4) + "/rep" + std::to_string(i / 4);
+    r.index = static_cast<std::size_t>(i);
+    r.ok = true;
+    r.axis_values = {{"g", std::to_string(i % 4)}};
+    for (int m = 0; m < 24; ++m) {
+      r.metrics.emplace_back("metric." + std::to_string(m),
+                             static_cast<double>((i * 31 + m * 7) % 997));
+    }
+    results.push_back(std::move(r));
+  }
+  for (auto _ : state) {
+    auto groups = experiment::aggregate(results);
+    auto csv = experiment::to_csv(groups);
+    benchmark::DoNotOptimize(csv.size());
+  }
+}
+BENCHMARK(BM_Campaign_Aggregate)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+AUTONET_BENCH_MAIN("campaign")

@@ -21,16 +21,23 @@ const char* to_string(DeployPhase phase) {
 }
 
 int BackoffClock::next_delay_ms(int attempt) {
-  // Exponential growth with full jitter, clamped to the ceiling. The
-  // jitter is drawn from a seeded RNG so identical seeds reproduce
-  // identical delays (and therefore byte-identical deploy logs).
+  // Exponential growth with jitter in [window/2, window], clamped to the
+  // ceiling. The jitter mapping is spelled out by hand rather than via
+  // std::uniform_int_distribution, whose algorithm is implementation-
+  // defined: campaign runs must replay byte-identically across standard
+  // libraries, not just across runs of one binary.
   std::int64_t window = base_ms_;
   for (int i = 1; i < attempt && window < max_ms_; ++i) window *= 2;
   window = std::min<std::int64_t>(window, max_ms_);
-  const int delay = static_cast<int>(
-      std::uniform_int_distribution<std::int64_t>(window / 2, window)(rng_));
+  const std::uint64_t span = static_cast<std::uint64_t>(window - window / 2) + 1;
+  const int delay =
+      static_cast<int>(window / 2 + static_cast<std::int64_t>(rng_() % span));
   elapsed_ms_ += delay;
   phase_ms_ += delay;
+  // Under a virtual obs clock the wait is jumped over, not slept: the
+  // recorded retry timestamps advance by exactly this delay.
+  obs::Registry::current().advance_clock_us(static_cast<std::uint64_t>(delay) *
+                                            1000);
   return delay;
 }
 

@@ -1,0 +1,144 @@
+#include "experiment/aggregate.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <numeric>
+#include <sstream>
+
+#include "nidb/value.hpp"
+#include "obs/stats.hpp"
+
+namespace autonet::experiment {
+
+namespace {
+
+std::string canonical_key(
+    std::vector<std::pair<std::string, std::string>> axis_values) {
+  if (axis_values.empty()) return "base";
+  std::sort(axis_values.begin(), axis_values.end());
+  std::string key;
+  for (const auto& [axis, value] : axis_values) {
+    if (!key.empty()) key += ',';
+    key += axis + "=" + value;
+  }
+  return key;
+}
+
+/// %.6g — enough digits to round-trip the summaries we produce, short
+/// enough to stay stable across compilers' default float formatting.
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<GroupAggregate> aggregate(const std::vector<RunResult>& results) {
+  struct Accumulator {
+    std::vector<std::pair<std::string, std::string>> axis_values;
+    std::size_t runs = 0;
+    std::size_t failed = 0;
+    std::map<std::string, std::vector<double>> samples;
+  };
+  std::map<std::string, Accumulator> by_key;
+  for (const RunResult& result : results) {
+    const std::string key = canonical_key(result.axis_values);
+    Accumulator& acc = by_key[key];
+    if (acc.runs == 0) {
+      acc.axis_values = result.axis_values;
+      std::sort(acc.axis_values.begin(), acc.axis_values.end());
+    }
+    ++acc.runs;
+    if (!result.ok) {
+      ++acc.failed;
+      continue;
+    }
+    for (const auto& [name, value] : result.metrics) {
+      acc.samples[name].push_back(value);
+    }
+  }
+
+  std::vector<GroupAggregate> groups;
+  groups.reserve(by_key.size());
+  for (auto& [key, acc] : by_key) {
+    GroupAggregate group;
+    group.key = key;
+    group.axis_values = std::move(acc.axis_values);
+    group.runs = acc.runs;
+    group.failed = acc.failed;
+    for (auto& [name, samples] : acc.samples) {
+      MetricSummary summary;
+      summary.name = name;
+      summary.count = samples.size();
+      summary.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+                     static_cast<double>(samples.size());
+      summary.min = *std::min_element(samples.begin(), samples.end());
+      summary.max = *std::max_element(samples.begin(), samples.end());
+      summary.p50 = obs::sample_percentile(samples, 50);
+      summary.p95 = obs::sample_percentile(samples, 95);
+      group.metrics.push_back(std::move(summary));
+    }
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+std::string to_csv(const std::vector<GroupAggregate>& groups) {
+  std::string out = "group,metric,count,mean,min,max,p50,p95\n";
+  for (const GroupAggregate& group : groups) {
+    for (const MetricSummary& m : group.metrics) {
+      out += group.key + "," + m.name + "," + std::to_string(m.count) + "," +
+             fmt(m.mean) + "," + fmt(m.min) + "," + fmt(m.max) + "," +
+             fmt(m.p50) + "," + fmt(m.p95) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string to_jsonl(const std::vector<GroupAggregate>& groups) {
+  std::string out;
+  for (const GroupAggregate& group : groups) {
+    nidb::Object object;
+    object["group"] = group.key;
+    nidb::Object axes;
+    for (const auto& [axis, value] : group.axis_values) axes[axis] = value;
+    object["axes"] = std::move(axes);
+    object["runs"] = static_cast<std::int64_t>(group.runs);
+    object["failed"] = static_cast<std::int64_t>(group.failed);
+    nidb::Object metrics;
+    for (const MetricSummary& m : group.metrics) {
+      nidb::Object s;
+      s["count"] = static_cast<std::int64_t>(m.count);
+      // Store the formatted value: parse_json(to_jsonl(x)) must equal
+      // what the CSV shows, and %.6g is the deterministic contract.
+      s["mean"] = std::stod(fmt(m.mean));
+      s["min"] = std::stod(fmt(m.min));
+      s["max"] = std::stod(fmt(m.max));
+      s["p50"] = std::stod(fmt(m.p50));
+      s["p95"] = std::stod(fmt(m.p95));
+      metrics[m.name] = std::move(s);
+    }
+    object["metrics"] = std::move(metrics);
+    out += nidb::Value(std::move(object)).to_json() + "\n";
+  }
+  return out;
+}
+
+std::string to_text(const std::vector<GroupAggregate>& groups) {
+  std::ostringstream out;
+  for (const GroupAggregate& group : groups) {
+    out << group.key << "  (" << group.runs << " runs";
+    if (group.failed > 0) out << ", " << group.failed << " FAILED";
+    out << ")\n";
+    for (const MetricSummary& m : group.metrics) {
+      out << "  " << m.name << ": mean=" << fmt(m.mean) << " min=" << fmt(m.min)
+          << " max=" << fmt(m.max) << " p50=" << fmt(m.p50)
+          << " p95=" << fmt(m.p95) << " (n=" << m.count << ")\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace autonet::experiment

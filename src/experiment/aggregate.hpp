@@ -1,0 +1,54 @@
+// Statistical aggregation over campaign results: runs are grouped by
+// their axis assignment (repetitions collapse into one group), and every
+// scalar metric in a group is summarised as count/mean/min/max/p50/p95.
+// Percentiles are exact order statistics with linear interpolation
+// (obs::sample_percentile) — repetitions are few, so there is no reason
+// to approximate. Exports are byte-deterministic: groups sort by their
+// canonical key, metrics by name, and all numbers format with %.6g.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "experiment/journal.hpp"
+
+namespace autonet::experiment {
+
+struct MetricSummary {
+  std::string name;
+  std::size_t count = 0;
+  double mean = 0;
+  double min = 0;
+  double max = 0;
+  double p50 = 0;
+  double p95 = 0;
+};
+
+struct GroupAggregate {
+  /// Canonical group key: axis pairs sorted by key, "k=v,k=v" ("base"
+  /// for an axis-less campaign).
+  std::string key;
+  std::vector<std::pair<std::string, std::string>> axis_values;
+  std::size_t runs = 0;
+  std::size_t failed = 0;
+  std::vector<MetricSummary> metrics;
+};
+
+/// Groups and summarises. Metrics of failed runs are excluded (their
+/// absence is visible in `failed`); groups appear even when every run
+/// failed.
+[[nodiscard]] std::vector<GroupAggregate> aggregate(
+    const std::vector<RunResult>& results);
+
+/// CSV: header "group,metric,count,mean,min,max,p50,p95", one row per
+/// group x metric, both sorted.
+[[nodiscard]] std::string to_csv(const std::vector<GroupAggregate>& groups);
+
+/// JSONL: one {"group":...,"axes":{...},"runs":N,"failed":N,
+/// "metrics":{name:{count,mean,min,max,p50,p95}}} object per group.
+[[nodiscard]] std::string to_jsonl(const std::vector<GroupAggregate>& groups);
+
+/// Human-readable table for the CLI.
+[[nodiscard]] std::string to_text(const std::vector<GroupAggregate>& groups);
+
+}  // namespace autonet::experiment

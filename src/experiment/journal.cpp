@@ -1,0 +1,107 @@
+#include "experiment/journal.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "nidb/value.hpp"
+
+namespace autonet::experiment {
+
+double RunResult::metric(const std::string& name, double fallback) const {
+  for (const auto& [key, value] : metrics) {
+    if (key == name) return value;
+  }
+  return fallback;
+}
+
+std::string RunResult::to_json() const {
+  nidb::Object object;
+  object["id"] = id;
+  object["index"] = static_cast<std::int64_t>(index);
+  object["rep"] = repetition;
+  object["seed"] = static_cast<std::int64_t>(seed);
+  object["ok"] = ok;
+  if (!error.empty()) object["error"] = error;
+  nidb::Object axes;
+  for (const auto& [key, value] : axis_values) axes[key] = value;
+  object["axes"] = std::move(axes);
+  nidb::Object metric_obj;
+  for (const auto& [key, value] : metrics) metric_obj[key] = value;
+  object["metrics"] = std::move(metric_obj);
+  return nidb::Value(std::move(object)).to_json();
+}
+
+RunResult RunResult::from_json(const std::string& line) {
+  const nidb::Value value = nidb::parse_json(line);
+  RunResult result;
+  if (const nidb::Value* v = value.find("id"); v && v->as_string()) {
+    result.id = *v->as_string();
+  } else {
+    throw std::runtime_error("journal line without an id");
+  }
+  if (const nidb::Value* v = value.find("index")) {
+    result.index = static_cast<std::size_t>(v->as_int().value_or(0));
+  }
+  if (const nidb::Value* v = value.find("rep")) {
+    result.repetition = static_cast<int>(v->as_int().value_or(0));
+  }
+  if (const nidb::Value* v = value.find("seed")) {
+    result.seed = static_cast<std::uint64_t>(v->as_int().value_or(0));
+  }
+  if (const nidb::Value* v = value.find("ok")) {
+    result.ok = v->as_bool().value_or(false);
+  }
+  if (const nidb::Value* v = value.find("error"); v && v->as_string()) {
+    result.error = *v->as_string();
+  }
+  if (const nidb::Value* v = value.find("axes")) {
+    if (const nidb::Object* object = v->as_object()) {
+      for (const auto& [key, axis_value] : *object) {
+        result.axis_values.emplace_back(key, axis_value.to_display());
+      }
+    }
+  }
+  if (const nidb::Value* v = value.find("metrics")) {
+    if (const nidb::Object* object = v->as_object()) {
+      for (const auto& [key, metric_value] : *object) {
+        result.metrics.emplace_back(key, metric_value.as_double().value_or(0));
+      }
+    }
+  }
+  return result;
+}
+
+std::map<std::string, RunResult> Journal::load() const {
+  std::map<std::string, RunResult> results;
+  if (path_.empty()) return results;
+  std::ifstream file(path_, std::ios::binary);
+  if (!file) return results;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (line.empty()) continue;
+    try {
+      RunResult result = RunResult::from_json(line);
+      std::string key = result.id;
+      results.insert_or_assign(std::move(key), std::move(result));
+    } catch (const std::exception&) {
+      // A kill mid-append leaves at most one torn line; skip it and let
+      // the runner redo that run.
+      continue;
+    }
+  }
+  return results;
+}
+
+void Journal::append(const RunResult& result) {
+  if (path_.empty()) return;
+  const std::string line = result.to_json();
+  std::lock_guard lock(mutex_);
+  std::ofstream file(path_, std::ios::binary | std::ios::app);
+  if (!file) {
+    throw std::runtime_error("journal: cannot append to " + path_);
+  }
+  file << line << "\n";
+  file.flush();
+}
+
+}  // namespace autonet::experiment

@@ -1,0 +1,56 @@
+// The campaign journal: one JSON line per completed run, appended and
+// flushed as results land, so a campaign killed mid-matrix resumes by
+// replaying the journal and executing only the missing runs — the same
+// philosophy as the deployer's retries, applied at campaign scope. A
+// truncated final line (the kill landed mid-write) is skipped on load.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace autonet::experiment {
+
+/// Outcome of one run of the matrix. Metrics are scalar name/value
+/// pairs, kept sorted by name for deterministic exports.
+struct RunResult {
+  std::string id;
+  std::size_t index = 0;
+  int repetition = 0;
+  std::uint64_t seed = 0;
+  std::vector<std::pair<std::string, std::string>> axis_values;
+  bool ok = false;
+  std::string error;
+  std::vector<std::pair<std::string, double>> metrics;
+
+  [[nodiscard]] double metric(const std::string& name, double fallback = 0) const;
+  /// One JSON object (single line, sorted keys).
+  [[nodiscard]] std::string to_json() const;
+  /// Parses a journal line; throws std::runtime_error on malformed JSON.
+  [[nodiscard]] static RunResult from_json(const std::string& line);
+};
+
+class Journal {
+ public:
+  /// An empty path disables persistence (in-memory campaign).
+  explicit Journal(std::string path) : path_(std::move(path)) {}
+
+  /// Loads completed results keyed by run id. Malformed trailing lines
+  /// (from a mid-write kill) are ignored; a missing file is an empty
+  /// journal.
+  [[nodiscard]] std::map<std::string, RunResult> load() const;
+
+  /// Appends one result and flushes (thread-safe; workers call this as
+  /// runs finish).
+  void append(const RunResult& result);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::mutex mutex_;
+};
+
+}  // namespace autonet::experiment

@@ -1,0 +1,259 @@
+#include "experiment/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "measure/client.hpp"
+#include "obs/span.hpp"
+#include "obs/stats.hpp"
+
+namespace autonet::experiment {
+
+namespace {
+
+void put_metric(RunResult& result, std::string name, double value) {
+  result.metrics.emplace_back(std::move(name), value);
+}
+
+// Metrics are snapped to the journal's JSON precision (6 significant
+// digits, integral values exact) when collected, so an aggregate over
+// journal-replayed results is byte-identical to one over fresh results.
+double snap_metric(double value) {
+  if (value == static_cast<double>(static_cast<std::int64_t>(value))) {
+    return value;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  return std::stod(buf);
+}
+
+// Pulls the scalar metrics the aggregator consumes out of a finished
+// (or failed) workflow run: convergence work, emulation stats,
+// reachability, deploy effort, and the per-phase virtual durations.
+void collect_metrics(RunResult& result, core::Workflow& wf, bool deployed) {
+  const auto& deploy = wf.deploy_result();
+  put_metric(result, "convergence.converged", deploy.convergence.converged ? 1 : 0);
+  put_metric(result, "convergence.rounds",
+             static_cast<double>(deploy.convergence.rounds));
+  put_metric(result, "convergence.updates",
+             static_cast<double>(deploy.convergence.updates));
+  put_metric(result, "deploy.transfer_attempts", deploy.transfer_attempts);
+  put_metric(result, "deploy.boot_attempts", deploy.boot_attempts);
+  put_metric(result, "deploy.backoff_ms", deploy.backoff_ms);
+  put_metric(result, "deploy.booted", static_cast<double>(deploy.booted.size()));
+  put_metric(result, "deploy.failed_machines",
+             static_cast<double>(deploy.failed_machines.size()));
+  if (deployed) {
+    const auto& stats = wf.network().stats();
+    put_metric(result, "emulation.spf_runs", static_cast<double>(stats.spf_runs));
+    put_metric(result, "emulation.lsa_floods",
+               static_cast<double>(stats.lsa_floods));
+    put_metric(result, "emulation.bgp_updates",
+               static_cast<double>(stats.bgp_updates));
+    put_metric(result, "emulation.bgp_withdrawals",
+               static_cast<double>(stats.bgp_withdrawals));
+    put_metric(result, "emulation.decision_reruns",
+               static_cast<double>(stats.decision_reruns));
+    put_metric(result, "emulation.convergence_rounds",
+               static_cast<double>(stats.convergence_rounds));
+    put_metric(result, "emulation.oscillations",
+               static_cast<double>(stats.oscillations));
+  }
+  for (const auto& [phase, ms] : wf.timings().ms) {
+    put_metric(result, "phase." + phase + ".ms", ms);
+  }
+}
+
+void run_probes(RunResult& result, core::Workflow& wf, const CampaignSpec& spec) {
+  for (const Probe& probe : spec.probes) {
+    if (probe.kind == "reachability") {
+      const auto matrix = wf.measurement().reachability();
+      const std::size_t total =
+          matrix.routers.size() * (matrix.routers.size() - 1);
+      const std::size_t pairs = matrix.reachable_pairs();
+      put_metric(result, "probe.reachability.pairs", static_cast<double>(pairs));
+      put_metric(result, "probe.reachability.total", static_cast<double>(total));
+      put_metric(result, "probe.reachability.frac",
+                 total == 0 ? 1.0
+                            : static_cast<double>(pairs) /
+                                  static_cast<double>(total));
+    } else if (probe.kind == "traceroute") {
+      const auto trace = wf.measurement().traceroute(probe.src, probe.dst);
+      const std::string stem = "probe.trace." + probe.src + "-" + probe.dst;
+      put_metric(result, stem + ".reached", trace.reached ? 1 : 0);
+      put_metric(result, stem + ".hops",
+                 static_cast<double>(trace.node_path.size()));
+    }
+  }
+}
+
+void run_incident(RunResult& result, core::Workflow& wf,
+                  const CampaignSpec& spec) {
+  if (spec.incident.empty()) return;
+  emulation::IncidentRunner runner(wf.network());
+  const emulation::IncidentReport report = runner.run(spec.incident);
+  put_metric(result, "incident.ok", report.ok ? 1 : 0);
+  put_metric(result, "incident.steps", static_cast<double>(report.steps.size()));
+  std::size_t applied = 0;
+  std::size_t lost_max = 0;
+  for (const auto& step : report.steps) {
+    if (step.applied) ++applied;
+    lost_max = std::max(lost_max, step.lost.size());
+  }
+  put_metric(result, "incident.applied", static_cast<double>(applied));
+  put_metric(result, "incident.pairs_lost_max", static_cast<double>(lost_max));
+  put_metric(result, "incident.baseline_pairs",
+             static_cast<double>(report.baseline_pairs));
+  put_metric(result, "incident.final_pairs",
+             report.steps.empty()
+                 ? static_cast<double>(report.baseline_pairs)
+                 : static_cast<double>(report.steps.back().pairs_after));
+}
+
+}  // namespace
+
+CampaignRunner::CampaignRunner(CampaignSpec spec, RunnerOptions options)
+    : spec_(std::move(spec)), options_(options),
+      owned_obs_(std::make_unique<obs::Registry>(
+          std::make_unique<obs::VirtualClock>())) {}
+
+RunResult CampaignRunner::execute_run(const RunSpec& run,
+                                      const CampaignSpec& spec,
+                                      obs::Registry* run_registry) {
+  RunResult result;
+  result.id = run.id;
+  result.index = run.index;
+  result.repetition = run.repetition;
+  result.seed = run.seed;
+  result.axis_values = run.axis_values;
+
+  // Own registry + virtual clock: the run's telemetry is isolated from
+  // every other run and deterministic regardless of scheduling.
+  std::unique_ptr<obs::Registry> owned;
+  if (run_registry == nullptr) {
+    owned = std::make_unique<obs::Registry>(std::make_unique<obs::VirtualClock>());
+    run_registry = owned.get();
+  }
+  obs::RegistryScope scope(*run_registry);
+
+  core::Workflow wf(run.workflow);
+  wf.use_telemetry(run_registry);
+  try {
+    wf.run(resolve_topology(run.topology));
+    const bool deployed = wf.deploy_result().success;
+    if (deployed) {
+      wf.measure();
+      run_probes(result, wf, spec);
+      run_incident(result, wf, spec);
+      result.ok = wf.deploy_result().errors.empty();
+      if (!result.ok) result.error = wf.errors().front().to_string();
+    } else {
+      result.error = wf.errors().empty() ? "deployment failed"
+                                         : wf.errors().front().to_string();
+    }
+    collect_metrics(result, wf, deployed);
+  } catch (const std::exception& e) {
+    result.ok = false;
+    result.error = e.what();
+  }
+  std::sort(result.metrics.begin(), result.metrics.end());
+  for (auto& [name, value] : result.metrics) value = snap_metric(value);
+  return result;
+}
+
+CampaignResult CampaignRunner::run() {
+  obs::Registry& campaign_obs = telemetry();
+  obs::RegistryScope campaign_scope(campaign_obs);
+  obs::Span root(campaign_obs, "campaign." + spec_.name);
+
+  std::vector<RunSpec> matrix;
+  {
+    obs::Span span(campaign_obs, "campaign.expand");
+    matrix = expand(spec_);
+  }
+
+  Journal journal(options_.journal_path);
+  std::map<std::string, RunResult> done =
+      options_.resume ? journal.load() : std::map<std::string, RunResult>{};
+
+  CampaignResult campaign;
+  campaign.name = spec_.name;
+  campaign.results.resize(matrix.size());
+  std::vector<std::vector<obs::Registry::HistogramSnapshot>> run_histograms(
+      matrix.size());
+
+  int jobs = options_.jobs != 0 ? options_.jobs : spec_.jobs;
+  if (jobs <= 0) {
+    jobs = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs <= 0) jobs = 2;
+  }
+  jobs = std::min<int>(jobs, static_cast<int>(matrix.size()));
+  jobs = std::max(jobs, 1);
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> executed{0};
+  std::atomic<std::size_t> skipped{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= matrix.size()) return;
+      const RunSpec& run = matrix[i];
+      if (const auto it = done.find(run.id); it != done.end() && it->second.ok) {
+        // Journal hit: the run completed in a previous invocation.
+        campaign.results[i] = it->second;
+        campaign.results[i].index = run.index;
+        skipped.fetch_add(1);
+        continue;
+      }
+      obs::Registry run_registry(std::make_unique<obs::VirtualClock>());
+      RunResult result = execute_run(run, spec_, &run_registry);
+      journal.append(result);
+      campaign_obs.log_event("exp", {{"campaign", spec_.name},
+                                     {"run", result.id},
+                                     {"ok", result.ok ? "true" : "false"}});
+      run_histograms[i] = run_registry.histogram_values();
+      campaign.results[i] = std::move(result);
+      executed.fetch_add(1);
+    }
+  };
+
+  {
+    obs::Span span(campaign_obs, "campaign.execute");
+    span.arg("runs", std::to_string(matrix.size()))
+        .arg("jobs", std::to_string(jobs));
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(jobs));
+    for (int t = 0; t < jobs; ++t) pool.emplace_back(worker);
+    for (std::thread& thread : pool) thread.join();
+  }
+
+  {
+    // Merge per-phase span histograms across runs in matrix order; the
+    // merge is order-independent (see obs::merge_histograms), so the
+    // result is identical however the pool interleaved.
+    obs::Span span(campaign_obs, "campaign.aggregate");
+    std::map<std::string, std::vector<obs::Registry::HistogramSnapshot>> by_name;
+    for (const auto& snapshots : run_histograms) {
+      for (const auto& snapshot : snapshots) {
+        if (snapshot.name.starts_with("span.")) {
+          by_name[snapshot.name].push_back(snapshot);
+        }
+      }
+    }
+    for (auto& [name, parts] : by_name) {
+      campaign.merged_spans.emplace(name, obs::merge_histograms(name, parts));
+    }
+  }
+
+  campaign.executed = executed.load();
+  campaign.skipped = skipped.load();
+  for (const RunResult& result : campaign.results) {
+    if (!result.ok) ++campaign.failed;
+  }
+  return campaign;
+}
+
+}  // namespace autonet::experiment

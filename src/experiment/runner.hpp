@@ -1,0 +1,86 @@
+// Executes an expanded campaign matrix on a pool of worker threads.
+// Isolation is the design invariant: each run builds its own Workflow
+// (own ANM/NIDB/config tree/emulation host) and records telemetry into
+// its own obs::Registry driven by a VirtualClock, made current on the
+// worker via obs::RegistryScope — so runs never share mutable state, and
+// every per-run duration/metric is a pure function of the run's code
+// path (byte-deterministic across invocations and across thread
+// interleavings).
+//
+// The campaign itself gets a span tree in a campaign-level registry
+// (expand / execute / aggregate children under "campaign.<name>"), one
+// "exp" log event per completed run, and merged per-phase span
+// histograms (obs::merge_histograms over the per-run registries, in
+// matrix order).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "experiment/campaign.hpp"
+#include "experiment/journal.hpp"
+#include "obs/registry.hpp"
+
+namespace autonet::experiment {
+
+struct RunnerOptions {
+  /// Worker threads; 0 = spec.jobs, then hardware concurrency.
+  int jobs = 0;
+  /// Journal path; empty = no persistence (every run executes).
+  std::string journal_path;
+  /// When false, previously journalled runs are re-executed.
+  bool resume = true;
+};
+
+struct CampaignResult {
+  std::string name;
+  /// All results, sorted by matrix index (deterministic order).
+  std::vector<RunResult> results;
+  std::size_t executed = 0;  // runs actually executed this invocation
+  std::size_t skipped = 0;   // runs satisfied from the journal
+  std::size_t failed = 0;    // results with ok == false
+  /// Merged per-phase span histograms across all runs, keyed
+  /// "span.<phase>.us" (see obs::merge_histograms).
+  std::map<std::string, obs::Registry::HistogramSnapshot> merged_spans;
+
+  [[nodiscard]] bool all_ok() const { return failed == 0; }
+};
+
+class CampaignRunner {
+ public:
+  CampaignRunner(CampaignSpec spec, RunnerOptions options = {});
+
+  /// Expands, executes (in parallel), and journals the campaign.
+  /// Telemetry lands in telemetry() — a virtual-clock registry unless
+  /// use_telemetry() was given one.
+  [[nodiscard]] CampaignResult run();
+
+  /// Executes exactly one RunSpec in isolation (no journal, no pool).
+  /// The building block workers call; exposed for tests and for
+  /// embedding runs in other drivers.
+  [[nodiscard]] static RunResult execute_run(const RunSpec& run,
+                                             const CampaignSpec& spec,
+                                             obs::Registry* run_registry = nullptr);
+
+  /// Campaign-level telemetry registry override (tests).
+  CampaignRunner& use_telemetry(obs::Registry* registry) {
+    obs_ = registry;
+    return *this;
+  }
+  [[nodiscard]] obs::Registry& telemetry() {
+    return obs_ != nullptr ? *obs_ : *owned_obs_;
+  }
+
+  [[nodiscard]] const CampaignSpec& spec() const { return spec_; }
+
+ private:
+  CampaignSpec spec_;
+  RunnerOptions options_;
+  std::unique_ptr<obs::Registry> owned_obs_;
+  obs::Registry* obs_ = nullptr;
+};
+
+}  // namespace autonet::experiment

@@ -18,6 +18,11 @@ class Clock {
   virtual ~Clock() = default;
   /// Monotonic microseconds since an arbitrary (per-clock) origin.
   virtual std::uint64_t now_us() = 0;
+  /// Jumps the clock forward by `us` if this time source supports it
+  /// (virtual clocks do; wall clocks cannot and return false). Lets the
+  /// deployer account its virtual backoff waits in recorded timestamps
+  /// without ever sleeping.
+  virtual bool advance_us(std::uint64_t /*us*/) { return false; }
 };
 
 /// Wall time: std::chrono::steady_clock, origin at clock construction so
@@ -44,6 +49,10 @@ class VirtualClock final : public Clock {
   explicit VirtualClock(std::uint64_t step_us = 1) : step_us_(step_us) {}
   std::uint64_t now_us() override {
     return now_us_.fetch_add(step_us_, std::memory_order_relaxed) + step_us_;
+  }
+  bool advance_us(std::uint64_t us) override {
+    now_us_.fetch_add(us, std::memory_order_relaxed);
+    return true;
   }
 
  private:

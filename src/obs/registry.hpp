@@ -81,6 +81,12 @@ class Registry {
   }
 
   [[nodiscard]] std::uint64_t now_us() { return clock_->now_us(); }
+  /// Advances a virtual clock (no-op returning false under a real one).
+  /// The deployer calls this with its computed backoff delays so that,
+  /// under a VirtualClock, retry events are spaced by exactly the
+  /// backoff the logs claim — timestamps become a pure function of the
+  /// executed code path, with no wall-clock leakage.
+  bool advance_clock_us(std::uint64_t us) { return clock_->advance_us(us); }
 
   // --- Metrics (references are stable for the registry's lifetime) ------
   Counter& counter(std::string_view name);

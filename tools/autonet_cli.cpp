@@ -14,6 +14,8 @@
 //   autonet run   <topology> [--platform P] [--ibgp MODE]
 //                 [--trace SRC DST | --trace out.json] [--validate]
 //                 [--metrics FILE]
+//   autonet exp run <campaign.file> [--out DIR] [--jobs N] [--fresh]
+//   autonet exp report <DIR|journal.jsonl> [--format text|csv|jsonl]
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -24,7 +26,12 @@
 #include <string_view>
 #include <vector>
 
+#include <algorithm>
+
 #include "core/workflow.hpp"
+#include "experiment/aggregate.hpp"
+#include "experiment/campaign.hpp"
+#include "experiment/runner.hpp"
 #include "obs/export.hpp"
 #include "topology/builtin.hpp"
 #include "topology/generators.hpp"
@@ -56,7 +63,11 @@ int usage() {
                "[--trace OUT.json] [--list-rules]\n"
                "  autonet run <topology> [--platform P] [--ibgp MODE] "
                "[--trace SRC DST | --trace OUT.json] [--validate]\n"
-               "              [--metrics FILE]   (Prometheus text export)\n");
+               "              [--metrics FILE]   (Prometheus text export)\n"
+               "  autonet exp run <campaign.file> [--out DIR] [--jobs N] "
+               "[--fresh] [--trace OUT.json]\n"
+               "  autonet exp report <DIR|journal.jsonl> "
+               "[--format text|csv|jsonl] [--out FILE]\n");
   return 2;
 }
 
@@ -71,7 +82,7 @@ struct Args {
     for (int i = start; i < argc; ++i) {
       std::string arg = argv[i];
       if (arg == "--isis" || arg == "--dns" || arg == "--validate" ||
-          arg == "--list-rules") {
+          arg == "--list-rules" || arg == "--fresh") {
         args.options[arg.substr(2)] = "1";
       } else if (arg == "--trace" && i + 1 < argc &&
                  std::string_view(argv[i + 1]).ends_with(".json")) {
@@ -300,7 +311,16 @@ int cmd_lint(const Args& args) {
       std::fprintf(stderr, "cannot write %s\n", args.get("out").c_str());
       return 2;
     }
+    // A failed write (disk full, I/O error) is an internal error like a
+    // failed open: exit 2, not the report's pass/fail verdict — CI must
+    // not read a half-written SARIF document as a clean gate.
     file << rendered;
+    file.flush();
+    if (!file) {
+      std::fprintf(stderr, "autonet lint: error writing %s\n",
+                   args.get("out").c_str());
+      return 2;
+    }
   } else {
     std::fputs(rendered.c_str(), stdout);
   }
@@ -311,8 +331,123 @@ int cmd_lint(const Args& args) {
       return 2;
     }
     file << obs::to_chrome_trace(obs::Registry::current());
+    file.flush();
+    if (!file) {
+      std::fprintf(stderr, "autonet lint: error writing %s\n",
+                   args.trace_file.c_str());
+      return 2;
+    }
   }
   return opts.should_fail(report) ? 1 : 0;
+}
+
+// --- Experiment campaigns -------------------------------------------------
+
+int write_file_checked(const std::string& path, const std::string& content) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  file << content;
+  file.flush();
+  if (!file) {
+    std::fprintf(stderr, "error writing %s\n", path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_exp_run(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  experiment::CampaignSpec spec;
+  try {
+    spec = experiment::load_campaign_file(args.positional[1]);
+  } catch (const experiment::CampaignError& e) {
+    std::fprintf(stderr, "autonet exp: %s\n", e.what());
+    return 2;
+  }
+
+  const std::string out_dir = args.get("out", "exp_" + spec.name);
+  std::filesystem::create_directories(out_dir);
+
+  experiment::RunnerOptions opts;
+  opts.journal_path = out_dir + "/journal.jsonl";
+  if (args.has("jobs")) opts.jobs = std::stoi(args.get("jobs"));
+  if (args.has("fresh")) {
+    std::filesystem::remove(opts.journal_path);
+  }
+
+  experiment::CampaignRunner runner(spec, opts);
+  std::printf("campaign %s: %zu runs (journal %s)\n", spec.name.c_str(),
+              spec.run_count(), opts.journal_path.c_str());
+  const experiment::CampaignResult result = runner.run();
+  std::printf("executed %zu, resumed %zu from journal, %zu failed\n",
+              result.executed, result.skipped, result.failed);
+
+  const auto groups = experiment::aggregate(result.results);
+  if (int rc = write_file_checked(out_dir + "/aggregate.csv",
+                                  experiment::to_csv(groups))) {
+    return 2 * rc;
+  }
+  if (int rc = write_file_checked(out_dir + "/aggregate.jsonl",
+                                  experiment::to_jsonl(groups))) {
+    return 2 * rc;
+  }
+  if (!args.trace_file.empty()) {
+    if (write_file_checked(args.trace_file,
+                           obs::to_chrome_trace(runner.telemetry()))) {
+      return 2;
+    }
+  }
+  std::printf("%s", experiment::to_text(groups).c_str());
+  std::printf("aggregates written to %s/aggregate.{csv,jsonl}\n",
+              out_dir.c_str());
+  return result.all_ok() ? 0 : 1;
+}
+
+int cmd_exp_report(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  std::string journal_path = args.positional[1];
+  if (std::filesystem::is_directory(journal_path)) {
+    journal_path += "/journal.jsonl";
+  }
+  if (!std::filesystem::exists(journal_path)) {
+    std::fprintf(stderr, "autonet exp: no journal at %s\n", journal_path.c_str());
+    return 2;
+  }
+  experiment::Journal journal(journal_path);
+  std::vector<experiment::RunResult> results;
+  for (auto& [id, result] : journal.load()) results.push_back(std::move(result));
+  std::sort(results.begin(), results.end(),
+            [](const auto& a, const auto& b) { return a.index < b.index; });
+  const auto groups = experiment::aggregate(results);
+
+  const std::string format = args.get("format", "text");
+  std::string rendered;
+  if (format == "text") {
+    rendered = experiment::to_text(groups);
+  } else if (format == "csv") {
+    rendered = experiment::to_csv(groups);
+  } else if (format == "jsonl") {
+    rendered = experiment::to_jsonl(groups);
+  } else {
+    std::fprintf(stderr, "autonet exp: unknown format '%s'\n", format.c_str());
+    return 2;
+  }
+  if (args.has("out")) {
+    if (write_file_checked(args.get("out"), rendered)) return 2;
+  } else {
+    std::fputs(rendered.c_str(), stdout);
+  }
+  return 0;
+}
+
+int cmd_exp(const Args& args) {
+  if (args.positional.empty()) return usage();
+  if (args.positional[0] == "run") return cmd_exp_run(args);
+  if (args.positional[0] == "report") return cmd_exp_report(args);
+  return usage();
 }
 
 int cmd_run(const Args& args) {
@@ -385,6 +520,7 @@ int main(int argc, char** argv) {
     if (command == "check") return cmd_check(args);
     if (command == "lint") return cmd_lint(args);
     if (command == "run") return cmd_run(args);
+    if (command == "exp") return cmd_exp(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "autonet: %s\n", e.what());
     return 1;
