@@ -1,0 +1,118 @@
+// Crash-consistent workflow checkpointing. A CheckpointStore is a
+// directory holding one content-hashed artifact per completed pipeline
+// phase plus a manifest describing what is durable; every write goes
+// through write-temp + fsync + atomic-rename, so a kill at any byte
+// leaves either the previous or the next consistent state — never a torn
+// one. Workflow::checkpoint_to() records phases as they finish and
+// restores the longest completed prefix on a later run, so a killed
+// pipeline resumes at the last finished phase, and a resumed run's
+// artifacts and metrics are byte-identical to an uninterrupted one
+// (virtual-clock registry discipline, see experiment::CampaignRunner).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "anm/anm.hpp"
+#include "graph/graph.hpp"
+#include "nidb/value.hpp"
+
+namespace autonet::core {
+
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// FNV-1a 64-bit content hash (stable across platforms); the checkpoint
+/// manifest stores it per artifact so resume detects corruption.
+[[nodiscard]] std::uint64_t checkpoint_hash(std::string_view data);
+
+/// Writes `content` to `path` crash-consistently: a temp file in the
+/// same directory is written, flushed with fsync, then renamed over the
+/// target (and the directory entry is fsynced). Throws CheckpointError
+/// on I/O failure. Shared by the checkpoint store and the experiment
+/// journal's recovery-critical writes.
+void write_file_atomic(const std::string& path, std::string_view content);
+
+/// Appends `line` + '\n' to `path` with O_APPEND + fsync (torn tails are
+/// possible on a kill mid-append, never interleaved or reordered ones).
+void append_line_durable(const std::string& path, std::string_view line);
+
+class CheckpointStore {
+ public:
+  struct PhaseRecord {
+    std::string artifact;   // file name inside the directory
+    std::uint64_t hash = 0; // checkpoint_hash of the artifact content
+    double ms = 0;          // the phase's span duration (restored timings)
+  };
+
+  /// Opens (creating the directory if needed) and loads the manifest.
+  /// A missing or torn manifest is an empty checkpoint.
+  explicit CheckpointStore(std::string dir);
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  /// True when the manifest records `phase` and its artifact is intact
+  /// (present with a matching content hash).
+  [[nodiscard]] bool has_phase(std::string_view phase) const;
+  /// The artifact content for a completed phase; throws CheckpointError
+  /// when absent or corrupt.
+  [[nodiscard]] std::string artifact(std::string_view phase) const;
+  [[nodiscard]] double phase_ms(std::string_view phase) const;
+  /// Phase names present in the manifest (manifest order).
+  [[nodiscard]] std::vector<std::string> phases() const;
+
+  /// Records a completed phase: writes the artifact atomically, then the
+  /// updated manifest atomically — a crash between the two leaves the
+  /// phase unrecorded (and re-run on resume), never half-recorded.
+  /// Increments the "ckpt.write" obs counter.
+  void record_phase(const std::string& phase, const std::string& artifact_file,
+                    const std::string& content, double ms);
+
+  /// Free-form metadata (options hash, input hash, CLI options...),
+  /// persisted in the manifest.
+  void set_meta(const std::string& key, std::string value);
+  [[nodiscard]] std::string meta(const std::string& key) const;
+
+  /// Removes the named phases in one manifest rewrite (absent names are
+  /// ignored). Workflow uses this to drop downstream records the moment
+  /// an upstream phase re-executes — their inputs just changed.
+  void invalidate(const std::vector<std::string>& phases);
+
+  /// Drops all recorded phases and metadata (input/options changed: the
+  /// checkpoint no longer describes this run). Artifact files are
+  /// removed best-effort; the manifest rewrite is what invalidates them.
+  void discard();
+
+ private:
+  void load_manifest();
+  void write_manifest();
+
+  std::string dir_;
+  std::map<std::string, PhaseRecord> phases_;
+  std::vector<std::string> order_;
+  std::map<std::string, std::string> meta_;
+};
+
+// --- Artifact (de)serialization -------------------------------------------
+// Lossless JSON encodings for the pipeline states a checkpoint snapshots.
+// Attribute values are type-tagged ({"t":"int","v":5}); doubles round-trip
+// through %.17g strings so restored graphs compare equal byte-for-byte.
+
+[[nodiscard]] nidb::Value graph_to_value(const graph::Graph& g);
+[[nodiscard]] graph::Graph graph_from_value(const nidb::Value& v);
+
+/// Serializes every overlay (nodes, edges, attrs, overlay-level data) in
+/// creation order.
+[[nodiscard]] nidb::Value anm_to_value(const anm::AbstractNetworkModel& anm);
+/// Restores overlays into `anm` (which may already hold the default
+/// 'input'/'phy' overlays; their contents are replaced).
+void anm_from_value(const nidb::Value& v, anm::AbstractNetworkModel& anm);
+
+}  // namespace autonet::core

@@ -6,6 +6,8 @@
 // diverging control plane is not.
 #pragma once
 
+#include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -61,6 +63,43 @@ struct Error {
 };
 
 using ErrorList = std::vector<Error>;
+
+/// Structured outcome of a convergence loop that ran out of its round
+/// budget (replaces the old silent max-rounds cap): how far it got and
+/// which routers were still flapping when the budget expired, so a
+/// supervisor can decide between raising the budget, degrading, or
+/// aborting — and an operator sees *who* failed to settle, not just that
+/// something did.
+struct ConvergenceTimeout {
+  std::size_t rounds_completed = 0;
+  std::size_t budget_rounds = 0;
+  /// Routers whose best-route selection still changed in the final
+  /// round (sorted; the partial state worth reporting).
+  std::vector<std::string> unsettled_routers;
+
+  [[nodiscard]] std::string to_string() const {
+    std::string out = "convergence budget exhausted after " +
+                      std::to_string(rounds_completed) + "/" +
+                      std::to_string(budget_rounds) + " rounds";
+    if (!unsettled_routers.empty()) {
+      out += "; unsettled:";
+      for (const std::string& r : unsettled_routers) {
+        out += ' ';
+        out += r;
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] Error to_error(std::string subject) const {
+    // Retryable: unlike an oscillation, a budget miss can succeed with a
+    // larger budget.
+    return {ErrorCategory::kConvergence, std::move(subject), to_string(), true};
+  }
+
+  friend bool operator==(const ConvergenceTimeout&,
+                         const ConvergenceTimeout&) = default;
+};
 
 /// One-line-per-error rendering for logs and reports.
 [[nodiscard]] inline std::string to_string(const ErrorList& errors) {

@@ -1,11 +1,190 @@
 #include "core/workflow.hpp"
 
+#include <set>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
+#include "deploy/archive.hpp"
+#include "nidb/value.hpp"
 #include "obs/span.hpp"
 
 namespace autonet::core {
+
+namespace {
+
+/// The pipeline order checkpoints restore in; save_phase() invalidates
+/// everything after a freshly executed phase.
+constexpr const char* kPipeline[] = {"load",   "design", "compile", "render",
+                                     "lint",   "deploy", "measure"};
+
+// --- Phase-state (de)serialization ----------------------------------------
+// DeployResult, lint Report, and the measure outcome have no library
+// from_json; the encodings here are checkpoint-private.
+
+nidb::Value string_list_to_value(const std::vector<std::string>& items) {
+  nidb::Array out;
+  for (const std::string& s : items) out.emplace_back(s);
+  return nidb::Value(std::move(out));
+}
+
+std::vector<std::string> string_list_from_value(const nidb::Value* v) {
+  std::vector<std::string> out;
+  if (v == nullptr || !v->is_array()) return out;
+  for (const auto& e : *v->as_array()) {
+    if (const auto* s = e.as_string()) out.push_back(*s);
+  }
+  return out;
+}
+
+ErrorCategory error_category_from_string(const std::string& name) {
+  for (ErrorCategory c :
+       {ErrorCategory::kTransfer, ErrorCategory::kBoot, ErrorCategory::kHostDown,
+        ErrorCategory::kDeadline, ErrorCategory::kConvergence,
+        ErrorCategory::kConfig, ErrorCategory::kMeasurement,
+        ErrorCategory::kInternal}) {
+    if (name == to_string(c)) return c;
+  }
+  return ErrorCategory::kInternal;
+}
+
+nidb::Value deploy_result_to_value(const deploy::DeployResult& r) {
+  nidb::Object out;
+  out["success"] = r.success;
+  out["degraded"] = r.degraded;
+  out["booted"] = string_list_to_value(r.booted);
+  out["failed_machines"] = string_list_to_value(r.failed_machines);
+  out["transfer_attempts"] = static_cast<std::int64_t>(r.transfer_attempts);
+  out["boot_attempts"] = static_cast<std::int64_t>(r.boot_attempts);
+  out["backoff_ms"] = static_cast<std::int64_t>(r.backoff_ms);
+  nidb::Object conv;
+  conv["converged"] = r.convergence.converged;
+  conv["oscillating"] = r.convergence.oscillating;
+  conv["rounds"] = static_cast<std::int64_t>(r.convergence.rounds);
+  conv["period"] = static_cast<std::int64_t>(r.convergence.period);
+  conv["updates"] = static_cast<std::int64_t>(r.convergence.updates);
+  if (r.convergence.timeout) {
+    nidb::Object t;
+    t["rounds_completed"] =
+        static_cast<std::int64_t>(r.convergence.timeout->rounds_completed);
+    t["budget_rounds"] =
+        static_cast<std::int64_t>(r.convergence.timeout->budget_rounds);
+    t["unsettled"] = string_list_to_value(r.convergence.timeout->unsettled_routers);
+    conv["timeout"] = nidb::Value(std::move(t));
+  }
+  out["convergence"] = nidb::Value(std::move(conv));
+  nidb::Array errors;
+  for (const Error& e : r.errors) {
+    nidb::Object err;
+    err["category"] = std::string(to_string(e.category));
+    err["subject"] = e.subject;
+    err["message"] = e.message;
+    err["retryable"] = e.retryable;
+    errors.emplace_back(std::move(err));
+  }
+  out["errors"] = nidb::Value(std::move(errors));
+  return nidb::Value(std::move(out));
+}
+
+deploy::DeployResult deploy_result_from_value(const nidb::Value& v) {
+  deploy::DeployResult r;
+  if (const auto* f = v.find("success")) r.success = f->as_bool().value_or(false);
+  if (const auto* f = v.find("degraded")) r.degraded = f->as_bool().value_or(false);
+  r.booted = string_list_from_value(v.find("booted"));
+  r.failed_machines = string_list_from_value(v.find("failed_machines"));
+  if (const auto* f = v.find("transfer_attempts")) {
+    r.transfer_attempts = static_cast<int>(f->as_int().value_or(0));
+  }
+  if (const auto* f = v.find("boot_attempts")) {
+    r.boot_attempts = static_cast<int>(f->as_int().value_or(0));
+  }
+  if (const auto* f = v.find("backoff_ms")) {
+    r.backoff_ms = static_cast<int>(f->as_int().value_or(0));
+  }
+  if (const auto* conv = v.find("convergence")) {
+    if (const auto* f = conv->find("converged")) {
+      r.convergence.converged = f->as_bool().value_or(false);
+    }
+    if (const auto* f = conv->find("oscillating")) {
+      r.convergence.oscillating = f->as_bool().value_or(false);
+    }
+    if (const auto* f = conv->find("rounds")) {
+      r.convergence.rounds = static_cast<std::size_t>(f->as_int().value_or(0));
+    }
+    if (const auto* f = conv->find("period")) {
+      r.convergence.period = static_cast<std::size_t>(f->as_int().value_or(0));
+    }
+    if (const auto* f = conv->find("updates")) {
+      r.convergence.updates = static_cast<std::size_t>(f->as_int().value_or(0));
+    }
+    if (const auto* t = conv->find("timeout")) {
+      ConvergenceTimeout timeout;
+      if (const auto* f = t->find("rounds_completed")) {
+        timeout.rounds_completed = static_cast<std::size_t>(f->as_int().value_or(0));
+      }
+      if (const auto* f = t->find("budget_rounds")) {
+        timeout.budget_rounds = static_cast<std::size_t>(f->as_int().value_or(0));
+      }
+      timeout.unsettled_routers = string_list_from_value(t->find("unsettled"));
+      r.convergence.timeout = std::move(timeout);
+    }
+  }
+  if (const auto* errors = v.find("errors"); errors != nullptr && errors->is_array()) {
+    for (const auto& e : *errors->as_array()) {
+      Error err;
+      if (const auto* f = e.find("category"); f != nullptr && f->as_string()) {
+        err.category = error_category_from_string(*f->as_string());
+      }
+      if (const auto* f = e.find("subject"); f != nullptr && f->as_string()) {
+        err.subject = *f->as_string();
+      }
+      if (const auto* f = e.find("message"); f != nullptr && f->as_string()) {
+        err.message = *f->as_string();
+      }
+      if (const auto* f = e.find("retryable")) {
+        err.retryable = f->as_bool().value_or(false);
+      }
+      r.errors.push_back(std::move(err));
+    }
+  }
+  return r;
+}
+
+verify::Report lint_report_from_json(const std::string& text) {
+  const nidb::Value doc = nidb::parse_json(text);
+  verify::Report report;
+  if (const auto* findings = doc.find("findings");
+      findings != nullptr && findings->is_array()) {
+    for (const auto& f : *findings->as_array()) {
+      verify::Finding finding;
+      if (const auto* sev = f.find("severity"); sev != nullptr && sev->as_string()) {
+        finding.severity = *sev->as_string() == "warning"
+                               ? verify::Severity::kWarning
+                               : verify::Severity::kError;
+      }
+      if (const auto* s = f.find("code"); s != nullptr && s->as_string()) {
+        finding.code = *s->as_string();
+      }
+      if (const auto* s = f.find("device"); s != nullptr && s->as_string()) {
+        finding.device = *s->as_string();
+      }
+      if (const auto* s = f.find("message"); s != nullptr && s->as_string()) {
+        finding.message = *s->as_string();
+      }
+      if (const auto* s = f.find("path"); s != nullptr && s->as_string()) {
+        finding.path = *s->as_string();
+      }
+      if (const auto* s = f.find("origin"); s != nullptr && s->as_string()) {
+        finding.origin = *s->as_string();
+      }
+      report.findings.push_back(std::move(finding));
+    }
+  }
+  report.finalize();
+  return report;
+}
+
+}  // namespace
 
 double PhaseTimings::total() const {
   double sum = 0;
@@ -41,7 +220,209 @@ void Workflow::timed(const std::string& phase, F&& f) {
   timings_.ms[phase] = span.stop_ms();
 }
 
+// --- Checkpoint plumbing ---------------------------------------------------
+
+Workflow& Workflow::checkpoint_to(const std::string& dir) {
+  ckpt_ = std::make_unique<CheckpointStore>(dir);
+  return *this;
+}
+
+std::string Workflow::options_signature() const {
+  std::ostringstream sig;
+  sig << "platform=" << options_.platform << ";ibgp=" << options_.ibgp
+      << ";isis=" << options_.enable_isis << ";dns=" << options_.enable_dns
+      << ";rpki=" << options_.enable_rpki << ";lint=" << options_.lint.enabled
+      << "," << options_.lint.fail_fast << ","
+      << options_.lint.options.fail_on_warning
+      << ";deploy=" << options_.deploy.max_transfer_attempts << ","
+      << options_.deploy.max_boot_attempts << ","
+      << options_.deploy.backoff_base_ms << "," << options_.deploy.backoff_max_ms
+      << "," << options_.deploy.backoff_seed << ","
+      << options_.deploy.transfer_deadline_ms << ","
+      << options_.deploy.boot_deadline_ms << "," << options_.deploy.allow_partial
+      << "," << options_.deploy.min_booted << ","
+      << options_.deploy.min_host_quorum;
+  for (const auto& [id, on] : options_.lint.options.enabled) {
+    sig << ";L:" << id << "=" << on;
+  }
+  for (const auto& [id, sev] : options_.lint.options.severity) {
+    sig << ";S:" << id << "=" << static_cast<int>(sev);
+  }
+  return std::to_string(checkpoint_hash(sig.str()));
+}
+
+// A checkpoint only describes one (input, options) pair; anything else
+// recorded in the directory is from a different run and must not leak
+// into this one.
+void Workflow::validate_checkpoint(const graph::Graph& input) {
+  if (ckpt_ == nullptr) return;
+  const std::string input_hash =
+      std::to_string(checkpoint_hash(graph_to_value(input).to_json(false)));
+  const std::string options_sig = options_signature();
+  const std::string old_input = ckpt_->meta("input_hash");
+  const std::string old_options = ckpt_->meta("options");
+  if ((!old_input.empty() && old_input != input_hash) ||
+      (!old_options.empty() && old_options != options_sig)) {
+    ckpt_->discard();
+  }
+  if (ckpt_->meta("input_hash") != input_hash) {
+    ckpt_->set_meta("input_hash", input_hash);
+  }
+  if (ckpt_->meta("options") != options_sig) {
+    ckpt_->set_meta("options", options_sig);
+  }
+}
+
+bool Workflow::try_restore(const std::string& phase) {
+  if (ckpt_ == nullptr || fresh_executed_) return false;
+  if (!ckpt_->has_phase(phase)) return false;
+  obs::Registry& registry = telemetry();
+  obs::RegistryScope use(registry);
+  try {
+    restore_phase_state(phase, ckpt_->artifact(phase));
+  } catch (const std::exception&) {
+    // A corrupt or stale artifact is not fatal: execute the phase fresh
+    // (which re-records it and invalidates anything downstream).
+    return false;
+  }
+  timings_.ms[phase] = ckpt_->phase_ms(phase);
+  restored_.push_back(phase);
+  registry.counter("ckpt.phase_restored").inc();
+  if (!resume_counted_) {
+    registry.counter("ckpt.resume").inc();
+    resume_counted_ = true;
+  }
+  return true;
+}
+
+void Workflow::begin_phase(const std::string& phase) {
+  // Any fresh execution invalidates downstream checkpoints — they derive
+  // from state this phase is about to recompute.
+  fresh_executed_ = true;
+  core::checkpoint(control_, "phase." + phase);
+}
+
+void Workflow::save_phase(const std::string& phase) {
+  if (ckpt_ == nullptr) return;
+  obs::Registry& registry = telemetry();
+  obs::RegistryScope use(registry);
+  std::vector<std::string> stale{phase};
+  bool after = false;
+  for (const char* name : kPipeline) {
+    if (after) stale.emplace_back(name);
+    if (phase == name) after = true;
+  }
+  ckpt_->invalidate(stale);
+  ckpt_->record_phase(phase, phase + ".json", phase_artifact(phase),
+                      timings_.ms[phase]);
+}
+
+std::string Workflow::phase_artifact(const std::string& phase) const {
+  if (phase == "load" || phase == "design") {
+    return anm_to_value(anm_).to_json(true);
+  }
+  if (phase == "compile") return nidb_->to_json(true);
+  if (phase == "render") {
+    nidb::Object files;
+    for (const auto& [path, content] : *configs_) files[path] = content;
+    return nidb::Value(std::move(files)).to_json(true);
+  }
+  if (phase == "lint") return lint_report_->to_json(true);
+  if (phase == "deploy") return deploy_result_to_value(deploy_result_).to_json(true);
+  if (phase == "measure") {
+    nidb::Object out;
+    out["ok"] = measure_report_->ok;
+    out["missing"] = string_list_to_value(measure_report_->missing);
+    out["unexpected"] = string_list_to_value(measure_report_->unexpected);
+    out["probes"] = static_cast<std::int64_t>(measure_probes_);
+    out["reachable"] = static_cast<std::int64_t>(measure_reachable_);
+    return nidb::Value(std::move(out)).to_json(true);
+  }
+  throw CheckpointError("unknown workflow phase '" + phase + "'");
+}
+
+void Workflow::restore_phase_state(const std::string& phase,
+                                   const std::string& artifact) {
+  if (phase == "load" || phase == "design") {
+    anm::AbstractNetworkModel fresh;
+    anm_from_value(nidb::parse_json(artifact), fresh);
+    anm_ = std::move(fresh);
+    loaded_ = true;
+    return;
+  }
+  if (phase == "compile") {
+    nidb_ = nidb::Nidb::from_json(artifact);
+    return;
+  }
+  if (phase == "render") {
+    const nidb::Value doc = nidb::parse_json(artifact);
+    const auto* files = doc.as_object();
+    if (files == nullptr) throw CheckpointError("render checkpoint is not an object");
+    render::ConfigTree tree;
+    for (const auto& [path, content] : *files) {
+      if (const auto* text = content.as_string()) tree.put(path, *text);
+    }
+    configs_ = std::move(tree);
+    return;
+  }
+  if (phase == "lint") {
+    lint_report_ = lint_report_from_json(artifact);
+    return;
+  }
+  if (phase == "deploy") {
+    deploy_result_ = deploy_result_from_value(nidb::parse_json(artifact));
+    rehydrate_network();
+    return;
+  }
+  if (phase == "measure") {
+    const nidb::Value doc = nidb::parse_json(artifact);
+    measure::ValidationReport report;
+    if (const auto* f = doc.find("ok")) report.ok = f->as_bool().value_or(true);
+    report.missing = string_list_from_value(doc.find("missing"));
+    report.unexpected = string_list_from_value(doc.find("unexpected"));
+    measure_report_ = std::move(report);
+    measure_probes_ = 0;
+    measure_reachable_ = 0;
+    if (const auto* f = doc.find("probes")) {
+      measure_probes_ = static_cast<std::uint64_t>(f->as_int().value_or(0));
+    }
+    if (const auto* f = doc.find("reachable")) {
+      measure_reachable_ = static_cast<std::uint64_t>(f->as_int().value_or(0));
+    }
+    // Replay the phase's counter contributions so a resumed run's
+    // registry export matches the uninterrupted one.
+    auto scope = obs::Registry::current().scope("measure");
+    scope.counter("reachability_probes").inc(measure_probes_);
+    scope.counter("reachable_pairs").inc(measure_reachable_);
+    return;
+  }
+  throw CheckpointError("unknown workflow phase '" + phase + "'");
+}
+
+// Restoring a deploy phase must leave network() usable for measure and
+// probes. The deploy *decisions* (retries, casualties, degradation) come
+// verbatim from the checkpoint; only the deterministic final handoff —
+// extract configs, start the control plane over the booted set — is
+// replayed, which also republishes the same emulation counter deltas an
+// uninterrupted run records.
+void Workflow::rehydrate_network() {
+  host_ = std::make_unique<deploy::EmulationHost>("localhost");
+  if (!deploy_result_.success) return;
+  host_->receive(deploy::pack(*configs_));
+  host_->extract();
+  std::set<std::string> only;
+  if (deploy_result_.degraded) {
+    only.insert(deploy_result_.booted.begin(), deploy_result_.booted.end());
+  }
+  host_->start_network(*nidb_, host_->filesystem(), only, nullptr);
+}
+
+// --- Phases ----------------------------------------------------------------
+
 Workflow& Workflow::load(const graph::Graph& input) {
+  validate_checkpoint(input);
+  if (try_restore("load")) return *this;
+  begin_phase("load");
   timed("load", [this, &input]() {
     auto g_in = anm_["input"];
     // Copy the raw input graph into the 'input' overlay, every attribute
@@ -60,15 +441,19 @@ Workflow& Workflow::load(const graph::Graph& input) {
     design::build_phy(anm_);
     loaded_ = true;
   });
+  save_phase("load");
   return *this;
 }
 
 Workflow& Workflow::design() {
   if (!loaded_) throw std::logic_error("Workflow::design before load");
+  if (try_restore("design")) return *this;
+  begin_phase("design");
   timed("design", [this]() {
     // One child span per design rule: the per-rule breakdown the §3.2
-    // phase timings could not see.
-    auto rule = [](const char* name, auto&& f) {
+    // phase timings could not see. Each rule is a cancellation point.
+    auto rule = [this](const char* name, auto&& f) {
+      core::checkpoint(control_, std::string("design.") + name);
       obs::Span span(std::string("design.") + name);
       f();
     };
@@ -91,32 +476,49 @@ Workflow& Workflow::design() {
     if (options_.enable_dns) rule("dns", [this] { design::build_dns(anm_); });
     if (options_.enable_rpki) rule("rpki", [this] { design::build_rpki(anm_); });
   });
+  save_phase("design");
   return *this;
 }
 
 Workflow& Workflow::compile() {
   if (!anm_.has_overlay("ip")) throw std::logic_error("Workflow::compile before design");
+  if (try_restore("compile")) return *this;
+  begin_phase("compile");
   timed("compile", [this]() {
     const auto& pc = compiler::platform_compiler_for(options_.platform);
     nidb_ = pc.compile(anm_);
   });
+  save_phase("compile");
   return *this;
 }
 
 Workflow& Workflow::render() {
   if (!nidb_) throw std::logic_error("Workflow::render before compile");
-  timed("render", [this]() { configs_ = render::render_configs(*nidb_); });
+  if (try_restore("render")) return *this;
+  begin_phase("render");
+  timed("render", [this]() {
+    configs_ =
+        render::render_configs(*nidb_, render::TemplateStore::builtins(), control_);
+  });
+  save_phase("render");
   return *this;
 }
 
 Workflow& Workflow::lint() {
   if (!nidb_) throw std::logic_error("Workflow::lint before compile");
-  timed("lint", [this]() {
-    verify::LintInput input;
-    input.nidb = &*nidb_;
-    input.templates = &render::TemplateStore::builtins();
-    lint_report_ = verify::run_lint(input, options_.lint.options);
-  });
+  if (!try_restore("lint")) {
+    begin_phase("lint");
+    timed("lint", [this]() {
+      verify::LintInput input;
+      input.nidb = &*nidb_;
+      input.templates = &render::TemplateStore::builtins();
+      lint_report_ = verify::run_lint(input, options_.lint.options,
+                                      verify::RuleRegistry::builtin(), control_);
+    });
+    save_phase("lint");
+  }
+  // The gate re-fires on restore too: resuming a workflow whose lint
+  // failed the threshold behaves exactly like re-running it.
   if (options_.lint.fail_fast && options_.lint.options.should_fail(*lint_report_)) {
     throw LintError("lint gate: refusing to deploy\n" + lint_report_->to_string(),
                     *lint_report_);
@@ -126,12 +528,17 @@ Workflow& Workflow::lint() {
 
 Workflow& Workflow::deploy() {
   if (!configs_) throw std::logic_error("Workflow::deploy before render");
+  if (try_restore("deploy")) return *this;
+  begin_phase("deploy");
   timed("deploy", [this]() {
     host_ = std::make_unique<deploy::EmulationHost>("localhost");
     host_->attach_faults(faults_);
     deploy::Deployer deployer(*host_);
-    deploy_result_ = deployer.deploy(*configs_, *nidb_, options_.deploy);
+    deploy::DeployOptions opts = options_.deploy;
+    if (opts.control == nullptr) opts.control = control_;
+    deploy_result_ = deployer.deploy(*configs_, *nidb_, opts);
   });
+  save_phase("deploy");
   return *this;
 }
 
@@ -139,18 +546,24 @@ Workflow& Workflow::measure() {
   if (!host_ || host_->network() == nullptr) {
     throw std::logic_error("Workflow::measure before a successful deploy");
   }
+  if (try_restore("measure")) return *this;
+  begin_phase("measure");
   timed("measure", [this]() {
     {
+      core::checkpoint(control_, "measure.validate_ospf");
       obs::Span span("measure.validate_ospf");
       measure_report_ = measure::validate_ospf(*host_->network(), anm_);
     }
+    core::checkpoint(control_, "measure.reachability");
     obs::Span span("measure.reachability");
     auto matrix = measurement().reachability();
     auto scope = obs::Registry::current().scope("measure");
-    scope.counter("reachability_probes")
-        .inc(matrix.routers.size() * (matrix.routers.size() - 1));
-    scope.counter("reachable_pairs").inc(matrix.reachable_pairs());
+    measure_probes_ = matrix.routers.size() * (matrix.routers.size() - 1);
+    measure_reachable_ = matrix.reachable_pairs();
+    scope.counter("reachability_probes").inc(measure_probes_);
+    scope.counter("reachable_pairs").inc(measure_reachable_);
   });
+  save_phase("measure");
   return *this;
 }
 

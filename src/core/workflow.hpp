@@ -7,14 +7,18 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "anm/anm.hpp"
 #include "compiler/platform_compiler.hpp"
+#include "core/cancel.hpp"
+#include "core/checkpoint.hpp"
 #include "core/error.hpp"
 #include "deploy/deployer.hpp"
 #include "deploy/faults.hpp"
@@ -135,6 +139,36 @@ class Workflow {
     return obs_ != nullptr ? *obs_ : obs::Registry::global();
   }
 
+  /// Attaches run supervision (cooperative cancellation + a virtual-time
+  /// deadline): every phase and sub-phase boundary polls it, so a cancel
+  /// or an expired deadline interrupts the pipeline within one unit of
+  /// work (one design rule, one rendered device, one lint rule, one BGP
+  /// round, one deploy attempt) while completed phases' results — and
+  /// their checkpoints — stay intact. Non-owning; pass nullptr to detach.
+  Workflow& use_control(core::RunControl* control) {
+    control_ = control;
+    return *this;
+  }
+  [[nodiscard]] core::RunControl* control() const { return control_; }
+
+  /// Enables crash-consistent checkpointing into `dir`: each phase's
+  /// state is snapshotted (write-temp + fsync + rename) as it completes,
+  /// and phases already recorded there — by a previous, possibly killed
+  /// or cancelled, run over the same input and options — are restored
+  /// instead of re-executed. A restored prefix plus a freshly executed
+  /// suffix yields results byte-identical to an uninterrupted run (the
+  /// emulated network is rehydrated by replaying its deterministic
+  /// start). Obs counters: "ckpt.write" per snapshot,
+  /// "ckpt.phase_restored" per phase skipped, "ckpt.resume" once per
+  /// workflow that restored anything.
+  Workflow& checkpoint_to(const std::string& dir);
+  /// The attached store; nullptr when checkpointing is off.
+  [[nodiscard]] CheckpointStore* checkpoint_store() { return ckpt_.get(); }
+  /// Phases satisfied from the checkpoint by this run, pipeline order.
+  [[nodiscard]] const std::vector<std::string>& restored_phases() const {
+    return restored_;
+  }
+
   // --- Results ----------------------------------------------------------
   [[nodiscard]] anm::AbstractNetworkModel& anm() { return anm_; }
   [[nodiscard]] const anm::AbstractNetworkModel& anm() const { return anm_; }
@@ -169,6 +203,16 @@ class Workflow {
   template <typename F>
   void timed(const std::string& phase, F&& f);
 
+  // Checkpoint/resume plumbing (all no-ops when ckpt_ is null).
+  void validate_checkpoint(const graph::Graph& input);
+  [[nodiscard]] std::string options_signature() const;
+  bool try_restore(const std::string& phase);
+  void restore_phase_state(const std::string& phase, const std::string& artifact);
+  void begin_phase(const std::string& phase);
+  void save_phase(const std::string& phase);
+  [[nodiscard]] std::string phase_artifact(const std::string& phase) const;
+  void rehydrate_network();
+
   WorkflowOptions options_;
   anm::AbstractNetworkModel anm_;
   std::optional<nidb::Nidb> nidb_;
@@ -181,6 +225,18 @@ class Workflow {
   std::optional<measure::ValidationReport> measure_report_;
   PhaseTimings timings_;
   bool loaded_ = false;
+
+  core::RunControl* control_ = nullptr;  // non-owning supervision
+  std::unique_ptr<CheckpointStore> ckpt_;
+  std::vector<std::string> restored_;
+  /// Once any phase executes fresh, downstream checkpoint records are
+  /// stale — restores stop and save_phase() invalidates them.
+  bool fresh_executed_ = false;
+  bool resume_counted_ = false;
+  /// Measure-phase counter values, snapshotted so a restored measure
+  /// phase can replay its registry contributions exactly.
+  std::uint64_t measure_probes_ = 0;
+  std::uint64_t measure_reachable_ = 0;
 };
 
 }  // namespace autonet::core

@@ -16,11 +16,13 @@ const char* to_string(DeployPhase phase) {
     case DeployPhase::kStarted: return "started";
     case DeployPhase::kDegraded: return "degraded";
     case DeployPhase::kFailed: return "failed";
+    case DeployPhase::kRetriesExhausted: return "retries-exhausted";
+    case DeployPhase::kDeadlineExceeded: return "deadline-exceeded";
   }
   return "?";
 }
 
-int BackoffClock::next_delay_ms(int attempt) {
+int BackoffClock::next_delay_ms(int attempt, int clamp_ms) {
   // Exponential growth with jitter in [window/2, window], clamped to the
   // ceiling. The jitter mapping is spelled out by hand rather than via
   // std::uniform_int_distribution, whose algorithm is implementation-
@@ -30,8 +32,11 @@ int BackoffClock::next_delay_ms(int attempt) {
   for (int i = 1; i < attempt && window < max_ms_; ++i) window *= 2;
   window = std::min<std::int64_t>(window, max_ms_);
   const std::uint64_t span = static_cast<std::uint64_t>(window - window / 2) + 1;
-  const int delay =
+  int delay =
       static_cast<int>(window / 2 + static_cast<std::int64_t>(rng_() % span));
+  // Deadline-aware clamp, applied after the RNG draw so the jitter
+  // stream stays seed-deterministic whether or not a deadline is armed.
+  if (clamp_ms >= 0) delay = std::min(delay, clamp_ms);
   elapsed_ms_ += delay;
   phase_ms_ += delay;
   // Under a virtual obs clock the wait is jumped over, not slept: the
@@ -39,6 +44,20 @@ int BackoffClock::next_delay_ms(int attempt) {
   obs::Registry::current().advance_clock_us(static_cast<std::uint64_t>(delay) *
                                             1000);
   return delay;
+}
+
+int backoff_clamp_ms(const BackoffClock& clock, int phase_deadline_ms,
+                     const DeployOptions& opts) {
+  std::int64_t clamp = -1;
+  if (phase_deadline_ms > 0) {
+    clamp = std::max<std::int64_t>(0, phase_deadline_ms - clock.phase_ms());
+  }
+  if (opts.control != nullptr && opts.control->deadline.armed()) {
+    const std::int64_t run_left =
+        static_cast<std::int64_t>(opts.control->deadline.remaining_us() / 1000);
+    clamp = clamp < 0 ? run_left : std::min(clamp, run_left);
+  }
+  return static_cast<int>(clamp);
 }
 
 void Deployer::emit(DeployPhase phase, std::string detail) {
@@ -80,10 +99,13 @@ DeployResult Deployer::deploy(const render::ConfigTree& configs,
   bool extracted = false;
   clock.reset_phase();
   for (int attempt = 1; attempt <= opts.max_transfer_attempts; ++attempt) {
+    observe_cancel(opts, "deploy.transfer.attempt");
     if (attempt > 1) {
-      const int delay = clock.next_delay_ms(attempt - 1);
-      if (clock.past_deadline(opts.transfer_deadline_ms)) {
-        emit(DeployPhase::kFailed,
+      const int delay = clock.next_delay_ms(
+          attempt - 1, backoff_clamp_ms(clock, opts.transfer_deadline_ms, opts));
+      if (clock.past_deadline(opts.transfer_deadline_ms) ||
+          run_deadline_expired(opts)) {
+        emit(DeployPhase::kDeadlineExceeded,
              "transfer deadline exceeded (" + std::to_string(clock.phase_ms()) +
                  "ms budget " + std::to_string(opts.transfer_deadline_ms) + "ms)");
         result.errors.push_back({core::ErrorCategory::kDeadline, host_->name(),
@@ -113,9 +135,9 @@ DeployResult Deployer::deploy(const render::ConfigTree& configs,
   }
   result.backoff_ms = clock.elapsed_ms();
   if (!extracted) {
-    emit(DeployPhase::kFailed, "transfer failed after " +
-                                   std::to_string(result.transfer_attempts) +
-                                   " attempts");
+    emit(DeployPhase::kRetriesExhausted,
+         "transfer failed after " + std::to_string(result.transfer_attempts) +
+             " attempts");
     result.errors.push_back(
         {core::ErrorCategory::kHostDown, host_->name(),
          "transfer failed after " + std::to_string(result.transfer_attempts) +
@@ -129,11 +151,14 @@ DeployResult Deployer::deploy(const render::ConfigTree& configs,
   bool boot_deadline_hit = false;
   for (const auto* rec : nidb.devices()) {
     const std::string& machine = rec->name;
+    observe_cancel(opts, "deploy.boot." + machine);
     bool up = false;
     for (int attempt = 1; attempt <= opts.max_boot_attempts; ++attempt) {
       if (attempt > 1) {
-        const int delay = clock.next_delay_ms(attempt - 1);
-        if (clock.past_deadline(opts.boot_deadline_ms)) {
+        const int delay = clock.next_delay_ms(
+            attempt - 1, backoff_clamp_ms(clock, opts.boot_deadline_ms, opts));
+        if (clock.past_deadline(opts.boot_deadline_ms) ||
+            run_deadline_expired(opts)) {
           boot_deadline_hit = true;
           break;
         }
@@ -158,7 +183,7 @@ DeployResult Deployer::deploy(const render::ConfigTree& configs,
                                false});
     }
     if (boot_deadline_hit) {
-      emit(DeployPhase::kFailed,
+      emit(DeployPhase::kDeadlineExceeded,
            "boot deadline exceeded (" + std::to_string(clock.phase_ms()) +
                "ms budget " + std::to_string(opts.boot_deadline_ms) + "ms)");
       result.errors.push_back({core::ErrorCategory::kDeadline, host_->name(),
@@ -179,7 +204,9 @@ DeployResult Deployer::deploy(const render::ConfigTree& configs,
       return result;
     }
     std::set<std::string> survivors(result.booted.begin(), result.booted.end());
-    result.convergence = host_->start_network(nidb, host_->filesystem(), survivors);
+    observe_cancel(opts, "deploy.start_network");
+    result.convergence =
+        host_->start_network(nidb, host_->filesystem(), survivors, opts.control);
     result.degraded = true;
     result.success = true;
     emit(DeployPhase::kDegraded,
@@ -189,7 +216,9 @@ DeployResult Deployer::deploy(const render::ConfigTree& configs,
     return result;
   }
 
-  result.convergence = host_->start_network(nidb, host_->filesystem());
+  observe_cancel(opts, "deploy.start_network");
+  result.convergence =
+      host_->start_network(nidb, host_->filesystem(), {}, opts.control);
   result.success = true;
   emit(DeployPhase::kStarted,
        std::to_string(result.booted.size()) + " machines, BGP " +
@@ -198,10 +227,16 @@ DeployResult Deployer::deploy(const render::ConfigTree& configs,
                       " rounds"
                 : (result.convergence.oscillating ? "OSCILLATING" : "not converged")));
   if (!result.convergence.converged) {
-    result.errors.push_back(
-        {core::ErrorCategory::kConvergence, host_->name(),
-         result.convergence.oscillating ? "BGP oscillating" : "BGP not converged",
-         !result.convergence.oscillating});
+    // The structured timeout (who was still unsettled at the budget)
+    // beats the bare "not converged" when it is available.
+    if (result.convergence.timeout) {
+      result.errors.push_back(result.convergence.timeout->to_error(host_->name()));
+    } else {
+      result.errors.push_back(
+          {core::ErrorCategory::kConvergence, host_->name(),
+           result.convergence.oscillating ? "BGP oscillating" : "BGP not converged",
+           !result.convergence.oscillating});
+    }
   }
   return result;
 }

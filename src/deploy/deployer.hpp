@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "core/error.hpp"
 #include "deploy/host.hpp"
 #include "nidb/nidb.hpp"
@@ -33,6 +34,12 @@ enum class DeployPhase {
   kStarted,
   kDegraded,
   kFailed,
+  /// A retry budget (max_transfer_attempts / max_boot_attempts) ran out.
+  kRetriesExhausted,
+  /// A time budget ran out — the phase deadline or the run deadline of an
+  /// attached RunControl. Distinct from kRetriesExhausted so operators
+  /// can tell "kept failing" from "ran out of time".
+  kDeadlineExceeded,
 };
 
 [[nodiscard]] const char* to_string(DeployPhase phase);
@@ -70,6 +77,14 @@ struct DeployOptions {
   std::size_t min_booted = 1;
   /// Multi-host: at least this many hosts must survive transfer+boot.
   std::size_t min_host_quorum = 1;
+
+  // --- Supervision ------------------------------------------------------
+  /// Optional run supervision (non-owning; must outlive the deploy call).
+  /// Cancellation is observed between attempts and per machine boot; an
+  /// armed run deadline clamps backoff waits (a virtual sleep never
+  /// overshoots it) and aborts the deployment with a kDeadlineExceeded
+  /// event + kDeadline error when it expires.
+  core::RunControl* control = nullptr;
 };
 
 /// Outcome of a deployment.
@@ -134,7 +149,11 @@ class BackoffClock {
         rng_(opts.backoff_seed) {}
 
   /// Delay before retry number `attempt` (1-based: first retry = 1).
-  int next_delay_ms(int attempt);
+  /// `clamp_ms >= 0` caps the delay (deadline-aware backoff: the wait is
+  /// cut to exactly what the remaining budget allows, never past it).
+  /// The jitter RNG is consumed before clamping, so clamped and
+  /// unclamped runs with the same seed draw the same stream.
+  int next_delay_ms(int attempt, int clamp_ms = -1);
   [[nodiscard]] int elapsed_ms() const { return elapsed_ms_; }
   void reset_phase() { phase_ms_ = 0; }
   [[nodiscard]] int phase_ms() const { return phase_ms_; }
@@ -150,5 +169,27 @@ class BackoffClock {
   int elapsed_ms_ = 0;
   int phase_ms_ = 0;
 };
+
+/// The largest backoff the budgets allow right now: the remaining phase
+/// budget and the remaining run deadline of the attached RunControl,
+/// whichever is tighter (-1 = unbounded). Feeding this into
+/// next_delay_ms guarantees a sleep never overshoots either budget.
+[[nodiscard]] int backoff_clamp_ms(const BackoffClock& clock,
+                                   int phase_deadline_ms,
+                                   const DeployOptions& opts);
+
+/// Observes a pending cancellation request (throws core::Cancelled via
+/// the control's checkpoint). Deadline expiry is NOT raised here — the
+/// deployers report it structurally (kDeadlineExceeded event + kDeadline
+/// error + partial result) rather than by unwinding.
+inline void observe_cancel(const DeployOptions& opts, std::string_view where) {
+  if (opts.control != nullptr && opts.control->token.cancelled()) {
+    opts.control->checkpoint(where);
+  }
+}
+
+[[nodiscard]] inline bool run_deadline_expired(const DeployOptions& opts) {
+  return opts.control != nullptr && opts.control->deadline.expired();
+}
 
 }  // namespace autonet::deploy

@@ -76,11 +76,11 @@ std::vector<std::string> EmulationHost::lstart(
 
 const emulation::ConvergenceReport& EmulationHost::start_network(
     const nidb::Nidb& nidb, const render::ConfigTree& configs,
-    const std::set<std::string>& machines) {
+    const std::set<std::string>& machines, core::RunControl* control) {
   network_ = std::make_unique<emulation::EmulatedNetwork>(
       emulation::EmulatedNetwork::from_nidb(
           nidb, configs, machines.empty() ? nullptr : &machines));
-  convergence_ = network_->start();
+  convergence_ = network_->start(128, control);
   return convergence_;
 }
 

@@ -78,10 +78,12 @@ class EmulationHost {
   /// Starts the emulated control plane over `machines` (all devices when
   /// empty) from the given configs — the deployer calls this once boot
   /// retries settle, possibly with only a surviving subset (graceful
-  /// degradation). Returns the convergence report.
+  /// degradation). An optional RunControl interrupts convergence per BGP
+  /// round. Returns the convergence report.
   const emulation::ConvergenceReport& start_network(
       const nidb::Nidb& nidb, const render::ConfigTree& configs,
-      const std::set<std::string>& machines = {});
+      const std::set<std::string>& machines = {},
+      core::RunControl* control = nullptr);
 
   /// The running emulated network; nullptr before a successful lstart.
   [[nodiscard]] emulation::EmulatedNetwork* network() { return network_.get(); }

@@ -82,10 +82,14 @@ MultiHostResult MultiHostDeployer::deploy(const render::ConfigTree& configs,
     bool extracted = false;
     clock.reset_phase();
     for (int attempt = 1; attempt <= opts.max_transfer_attempts; ++attempt) {
+      observe_cancel(opts, "deploy.transfer." + host->name());
       if (attempt > 1) {
-        const int delay = clock.next_delay_ms(attempt - 1);
-        if (clock.past_deadline(opts.transfer_deadline_ms)) {
-          emit(DeployPhase::kFailed,
+        const int delay = clock.next_delay_ms(
+            attempt - 1,
+            backoff_clamp_ms(clock, opts.transfer_deadline_ms, opts));
+        if (clock.past_deadline(opts.transfer_deadline_ms) ||
+            run_deadline_expired(opts)) {
+          emit(DeployPhase::kDeadlineExceeded,
                host->name() + ": transfer deadline exceeded");
           result.errors.push_back({core::ErrorCategory::kDeadline, host->name(),
                                    "transfer phase deadline exceeded", false});
@@ -115,7 +119,8 @@ MultiHostResult MultiHostDeployer::deploy(const render::ConfigTree& configs,
       slice.online = false;
       slice.lost = host->assigned_machines(nidb);
       result.dead_hosts.push_back(host->name());
-      emit(DeployPhase::kFailed, host->name() + ": transfer failed, host dead");
+      emit(DeployPhase::kRetriesExhausted,
+           host->name() + ": transfer failed, host dead");
       result.errors.push_back(
           {core::ErrorCategory::kHostDown, host->name(),
            "transfer failed after " + std::to_string(slice.transfer_attempts) +
@@ -137,11 +142,16 @@ MultiHostResult MultiHostDeployer::deploy(const render::ConfigTree& configs,
     if (!slice.online) continue;
     clock.reset_phase();
     for (const auto& machine : host->assigned_machines(nidb)) {
+      observe_cancel(opts, "deploy.boot." + machine);
       bool up = false;
       for (int attempt = 1; attempt <= opts.max_boot_attempts; ++attempt) {
         if (attempt > 1) {
-          const int delay = clock.next_delay_ms(attempt - 1);
-          if (clock.past_deadline(opts.boot_deadline_ms)) break;
+          const int delay = clock.next_delay_ms(
+              attempt - 1, backoff_clamp_ms(clock, opts.boot_deadline_ms, opts));
+          if (clock.past_deadline(opts.boot_deadline_ms) ||
+              run_deadline_expired(opts)) {
+            break;
+          }
           emit(DeployPhase::kBoot, host->name() + ": " + machine +
                                        " retry after " + std::to_string(delay) +
                                        "ms backoff");
@@ -224,16 +234,22 @@ MultiHostResult MultiHostDeployer::deploy(const render::ConfigTree& configs,
     }
   }
 
+  observe_cancel(opts, "deploy.start_network");
   network_ = std::make_unique<emulation::EmulatedNetwork>(
       emulation::EmulatedNetwork::from_nidb(
           nidb, configs, fully_booted ? nullptr : &booted_machines));
-  result.convergence = network_->start();
+  result.convergence = network_->start(128, opts.control);
   result.success = true;
   if (!result.convergence.converged) {
-    result.errors.push_back(
-        {core::ErrorCategory::kConvergence, hosts_.front()->name(),
-         result.convergence.oscillating ? "BGP oscillating" : "BGP not converged",
-         !result.convergence.oscillating});
+    if (result.convergence.timeout) {
+      result.errors.push_back(
+          result.convergence.timeout->to_error(hosts_.front()->name()));
+    } else {
+      result.errors.push_back(
+          {core::ErrorCategory::kConvergence, hosts_.front()->name(),
+           result.convergence.oscillating ? "BGP oscillating" : "BGP not converged",
+           !result.convergence.oscillating});
+    }
   }
   emit(result.degraded ? DeployPhase::kDegraded : DeployPhase::kStarted,
        std::to_string(booted_machines.size()) + "/" +

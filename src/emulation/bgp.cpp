@@ -14,6 +14,7 @@
 // Propagation runs in deterministic round-robin rounds until a full round
 // produces no change (converged) or the global state revisits an earlier
 // fingerprint (oscillation detected — the Bad-Gadget signature).
+#include <algorithm>
 #include <functional>
 #include <limits>
 #include <map>
@@ -44,7 +45,8 @@ Ipv4Addr session_source(const RouterConfig& cfg, Ipv4Addr peer_addr,
 
 }  // namespace
 
-ConvergenceReport EmulatedNetwork::run_bgp(std::size_t max_rounds) {
+ConvergenceReport EmulatedNetwork::run_bgp(std::size_t max_rounds,
+                                           core::RunControl* control) {
   // --- Establish sessions ---------------------------------------------------
   sessions_.clear();
   for (std::size_t r = 0; r < routers_.size(); ++r) {
@@ -194,9 +196,16 @@ ConvergenceReport EmulatedNetwork::run_bgp(std::size_t max_rounds) {
 
   ConvergenceReport report;
   std::map<std::size_t, std::size_t> seen_states;  // fingerprint hash -> round
+  // Routers whose selection changed in the most recent round: the
+  // partial state reported when the round budget runs out.
+  std::set<std::size_t> unsettled;
 
   for (std::size_t round = 1; round <= max_rounds; ++round) {
+    // Cooperative cancellation: convergence on large topologies is the
+    // longest emulation stage, so an interrupt lands within one round.
+    core::checkpoint(control, "emulation.bgp.round");
     bool changed = false;
+    unsettled.clear();
     for (std::size_t r = 0; r < routers_.size(); ++r) {
       if (!routers_[r].config().bgp_enabled || router_failed(r)) continue;
       ++stats_.decision_reruns;
@@ -214,6 +223,7 @@ ConvergenceReport EmulatedNetwork::run_bgp(std::size_t max_rounds) {
           ++stats_.bgp_withdrawals;
         }
         changed = true;
+        unsettled.insert(r);
       }
 
       // Advertise (possibly re-advertise) the current selections.
@@ -224,6 +234,7 @@ ConvergenceReport EmulatedNetwork::run_bgp(std::size_t max_rounds) {
         const bool is_new = previous == nullptr || !(*previous == route);
         if (!is_new) continue;
         changed = true;
+        unsettled.insert(r);
         for (std::size_t si : sessions_of[r]) {
           const BgpSession& s = sessions_[si];
           const auto rib_key =
@@ -338,7 +349,17 @@ ConvergenceReport EmulatedNetwork::run_bgp(std::size_t max_rounds) {
       return report;
     }
   }
+  // Round budget exhausted without convergence or oscillation: report
+  // the partial state instead of silently capping.
   report.rounds = max_rounds;
+  core::ConvergenceTimeout timeout;
+  timeout.rounds_completed = max_rounds;
+  timeout.budget_rounds = max_rounds;
+  for (std::size_t r : unsettled) {
+    timeout.unsettled_routers.push_back(routers_[r].name());
+  }
+  std::sort(timeout.unsettled_routers.begin(), timeout.unsettled_routers.end());
+  report.timeout = std::move(timeout);
   return report;
 }
 

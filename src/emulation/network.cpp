@@ -224,19 +224,22 @@ std::string EmulationStats::to_text() const {
   return out.str();
 }
 
-ConvergenceReport EmulatedNetwork::start(std::size_t max_bgp_rounds) {
+ConvergenceReport EmulatedNetwork::start(std::size_t max_bgp_rounds,
+                                         core::RunControl* control) {
   // The hot loops below touch only the plain stats_ struct; telemetry
   // publication happens once, as per-run deltas, after they finish.
   const EmulationStats before = stats_;
+  core::checkpoint(control, "emulation.start");
   index_addresses();
   build_segments();
   {
     obs::Span span("emulation.ospf");
     compute_ospf();
   }
+  core::checkpoint(control, "emulation.bgp");
   {
     obs::Span span("emulation.bgp");
-    report_ = run_bgp(max_bgp_rounds);
+    report_ = run_bgp(max_bgp_rounds, control);
   }
   install_bgp_routes();
   stats_.bgp_updates += report_.updates;

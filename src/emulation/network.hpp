@@ -14,6 +14,8 @@
 #include <string_view>
 #include <vector>
 
+#include "core/cancel.hpp"
+#include "core/error.hpp"
 #include "emulation/router.hpp"
 #include "nidb/nidb.hpp"
 #include "render/config_tree.hpp"
@@ -28,6 +30,10 @@ struct ConvergenceReport {
   std::size_t period = 0;
   /// Advertisement messages processed.
   std::size_t updates = 0;
+  /// Set when the round budget ran out before convergence: how far the
+  /// loop got and which routers were still unsettled (no more silent
+  /// capping at max_bgp_rounds).
+  std::optional<core::ConvergenceTimeout> timeout;
 };
 
 /// Cumulative control-plane work counters, accumulated across start()
@@ -88,8 +94,12 @@ class EmulatedNetwork {
   static EmulatedNetwork from_router_configs(std::vector<RouterConfig> configs);
 
   /// Runs the control plane: OSPF SPF, then BGP to convergence (or until
-  /// `max_bgp_rounds`), then installs BGP routes in the FIBs.
-  ConvergenceReport start(std::size_t max_bgp_rounds = 128);
+  /// the `max_bgp_rounds` budget, reported as a ConvergenceTimeout), then
+  /// installs BGP routes in the FIBs. An optional RunControl is polled
+  /// every BGP round, so cancellation/deadlines interrupt convergence
+  /// within one round.
+  ConvergenceReport start(std::size_t max_bgp_rounds = 128,
+                          core::RunControl* control = nullptr);
 
   // --- What-if experimentation (paper §8: "creating tools to emulate
   // workflow, or incidents") -------------------------------------------
@@ -170,7 +180,8 @@ class EmulatedNetwork {
   void index_addresses();
   void build_segments();
   void compute_ospf();        // ospf.cpp
-  ConvergenceReport run_bgp(std::size_t max_rounds);  // bgp.cpp
+  ConvergenceReport run_bgp(std::size_t max_rounds,
+                            core::RunControl* control);  // bgp.cpp
   void install_bgp_routes();  // bgp.cpp
 
   /// IGP metric from router r to address `addr`; infinity when unknown.

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "core/checkpoint.hpp"
 #include "nidb/value.hpp"
 
 namespace autonet::experiment {
@@ -71,6 +72,46 @@ RunResult RunResult::from_json(const std::string& line) {
   return result;
 }
 
+std::string CheckpointRecord::to_json() const {
+  nidb::Object inner;
+  inner["run_id"] = run_id;
+  inner["dir"] = dir;
+  if (!reason.empty()) inner["reason"] = reason;
+  nidb::Array done;
+  for (const std::string& phase : phases) done.emplace_back(phase);
+  inner["phases"] = nidb::Value(std::move(done));
+  nidb::Object object;
+  object["ckpt"] = nidb::Value(std::move(inner));
+  return nidb::Value(std::move(object)).to_json();
+}
+
+std::optional<CheckpointRecord> CheckpointRecord::from_json(
+    const std::string& line) {
+  const nidb::Value value = nidb::parse_json(line);
+  const nidb::Value* inner = value.find("ckpt");
+  if (inner == nullptr || !inner->is_object()) return std::nullopt;
+  CheckpointRecord record;
+  if (const nidb::Value* v = inner->find("run_id"); v && v->as_string()) {
+    record.run_id = *v->as_string();
+  } else {
+    throw std::runtime_error("ckpt journal line without a run_id");
+  }
+  if (const nidb::Value* v = inner->find("dir"); v && v->as_string()) {
+    record.dir = *v->as_string();
+  }
+  if (const nidb::Value* v = inner->find("reason"); v && v->as_string()) {
+    record.reason = *v->as_string();
+  }
+  if (const nidb::Value* v = inner->find("phases")) {
+    if (const nidb::Array* arr = v->as_array()) {
+      for (const auto& phase : *arr) {
+        if (const auto* s = phase.as_string()) record.phases.push_back(*s);
+      }
+    }
+  }
+  return record;
+}
+
 std::map<std::string, RunResult> Journal::load() const {
   std::map<std::string, RunResult> results;
   if (path_.empty()) return results;
@@ -92,16 +133,43 @@ std::map<std::string, RunResult> Journal::load() const {
   return results;
 }
 
+std::map<std::string, CheckpointRecord> Journal::load_checkpoints() const {
+  std::map<std::string, CheckpointRecord> records;
+  if (path_.empty()) return records;
+  std::ifstream file(path_, std::ios::binary);
+  if (!file) return records;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (line.empty()) continue;
+    try {
+      if (auto record = CheckpointRecord::from_json(line)) {
+        std::string key = record->run_id;
+        records.insert_or_assign(std::move(key), std::move(*record));
+        continue;
+      }
+      // A completed result supersedes any earlier checkpoint pointer for
+      // the same run.
+      const RunResult result = RunResult::from_json(line);
+      if (result.ok) records.erase(result.id);
+    } catch (const std::exception&) {
+      continue;  // torn tail
+    }
+  }
+  return records;
+}
+
 void Journal::append(const RunResult& result) {
   if (path_.empty()) return;
   const std::string line = result.to_json();
   std::lock_guard lock(mutex_);
-  std::ofstream file(path_, std::ios::binary | std::ios::app);
-  if (!file) {
-    throw std::runtime_error("journal: cannot append to " + path_);
-  }
-  file << line << "\n";
-  file.flush();
+  core::append_line_durable(path_, line);
+}
+
+void Journal::append_checkpoint(const CheckpointRecord& record) {
+  if (path_.empty()) return;
+  const std::string line = record.to_json();
+  std::lock_guard lock(mutex_);
+  core::append_line_durable(path_, line);
 }
 
 }  // namespace autonet::experiment

@@ -1,13 +1,17 @@
-// The campaign journal: one JSON line per completed run, appended and
-// flushed as results land, so a campaign killed mid-matrix resumes by
-// replaying the journal and executing only the missing runs — the same
-// philosophy as the deployer's retries, applied at campaign scope. A
-// truncated final line (the kill landed mid-write) is skipped on load.
+// The campaign journal: one JSON line per completed run, appended
+// durably (O_APPEND + fsync) as results land, so a campaign killed
+// mid-matrix resumes by replaying the journal and executing only the
+// missing runs — the same philosophy as the deployer's retries, applied
+// at campaign scope. A truncated final line (the kill landed mid-write)
+// is skipped on load. Besides results, the journal records checkpoint
+// pointers ({"ckpt":...} lines) for runs interrupted mid-pipeline, so a
+// resumed campaign restarts those runs from their last completed phase.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -32,19 +36,49 @@ struct RunResult {
   [[nodiscard]] static RunResult from_json(const std::string& line);
 };
 
+/// A journal record for a run that was interrupted (cancelled, deadline
+/// expired, process killed) after some phases checkpointed: where the
+/// checkpoint directory is and how far the pipeline got. Serialized as a
+/// {"ckpt": {...}} line, which result loaders skip (no "id" key).
+struct CheckpointRecord {
+  std::string run_id;
+  /// The Workflow::checkpoint_to() directory for this run.
+  std::string dir;
+  /// Why the run stopped ("cancelled", "deadline", an error message).
+  std::string reason;
+  /// Phases durably completed when the run stopped, pipeline order.
+  std::vector<std::string> phases;
+
+  [[nodiscard]] std::string to_json() const;
+  /// Parses a {"ckpt": ...} line; nullopt when the line is a result (or
+  /// anything else); throws std::runtime_error on malformed JSON.
+  [[nodiscard]] static std::optional<CheckpointRecord> from_json(
+      const std::string& line);
+};
+
 class Journal {
  public:
   /// An empty path disables persistence (in-memory campaign).
   explicit Journal(std::string path) : path_(std::move(path)) {}
 
   /// Loads completed results keyed by run id. Malformed trailing lines
-  /// (from a mid-write kill) are ignored; a missing file is an empty
-  /// journal.
+  /// (from a mid-write kill) and checkpoint records are ignored; a
+  /// missing file is an empty journal.
   [[nodiscard]] std::map<std::string, RunResult> load() const;
 
-  /// Appends one result and flushes (thread-safe; workers call this as
-  /// runs finish).
+  /// Loads checkpoint records keyed by run id (latest wins). Runs that
+  /// later completed — a result line follows the ckpt line — are
+  /// excluded: their checkpoints are spent.
+  [[nodiscard]] std::map<std::string, CheckpointRecord> load_checkpoints() const;
+
+  /// Appends one result durably — O_APPEND + fsync, so a crash can tear
+  /// at most the final line, never reorder or interleave (thread-safe;
+  /// workers call this as runs finish).
   void append(const RunResult& result);
+
+  /// Appends a checkpoint pointer for an interrupted run (same
+  /// durability).
+  void append_checkpoint(const CheckpointRecord& record);
 
   [[nodiscard]] const std::string& path() const { return path_; }
 

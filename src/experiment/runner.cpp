@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <string>
 #include <thread>
 
+#include "core/checkpoint.hpp"
 #include "measure/client.hpp"
 #include "obs/span.hpp"
 #include "obs/stats.hpp"
@@ -115,6 +117,17 @@ void run_incident(RunResult& result, core::Workflow& wf,
 
 }  // namespace
 
+std::string checkpoint_dir_name(const std::string& run_id) {
+  std::string out;
+  out.reserve(run_id.size() + 17);
+  for (const char c : run_id) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_');
+  }
+  out += '-';
+  out += std::to_string(core::checkpoint_hash(run_id) % 1000000000ULL);
+  return out;
+}
+
 CampaignRunner::CampaignRunner(CampaignSpec spec, RunnerOptions options)
     : spec_(std::move(spec)), options_(options),
       owned_obs_(std::make_unique<obs::Registry>(
@@ -122,7 +135,9 @@ CampaignRunner::CampaignRunner(CampaignSpec spec, RunnerOptions options)
 
 RunResult CampaignRunner::execute_run(const RunSpec& run,
                                       const CampaignSpec& spec,
-                                      obs::Registry* run_registry) {
+                                      obs::Registry* run_registry,
+                                      const std::string& checkpoint_dir,
+                                      core::RunControl* control) {
   RunResult result;
   result.id = run.id;
   result.index = run.index;
@@ -141,6 +156,8 @@ RunResult CampaignRunner::execute_run(const RunSpec& run,
 
   core::Workflow wf(run.workflow);
   wf.use_telemetry(run_registry);
+  wf.use_control(control);
+  if (!checkpoint_dir.empty()) wf.checkpoint_to(checkpoint_dir);
   try {
     wf.run(resolve_topology(run.topology));
     const bool deployed = wf.deploy_result().success;
@@ -155,6 +172,10 @@ RunResult CampaignRunner::execute_run(const RunSpec& run,
                                          : wf.errors().front().to_string();
     }
     collect_metrics(result, wf, deployed);
+  } catch (const core::Interrupted&) {
+    // Cancellation/deadline is not a run failure: completed phases are
+    // checkpointed; the caller journals a pointer and stops gracefully.
+    throw;
   } catch (const std::exception& e) {
     result.ok = false;
     result.error = e.what();
@@ -178,6 +199,9 @@ CampaignResult CampaignRunner::run() {
   Journal journal(options_.journal_path);
   std::map<std::string, RunResult> done =
       options_.resume ? journal.load() : std::map<std::string, RunResult>{};
+  std::map<std::string, CheckpointRecord> pending_ckpts =
+      options_.resume ? journal.load_checkpoints()
+                      : std::map<std::string, CheckpointRecord>{};
 
   CampaignResult campaign;
   campaign.name = spec_.name;
@@ -196,8 +220,17 @@ CampaignResult CampaignRunner::run() {
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> executed{0};
   std::atomic<std::size_t> skipped{0};
+  std::atomic<std::size_t> resumed{0};
+  std::atomic<bool> stop{false};
   auto worker = [&]() {
     for (;;) {
+      // A cancellation or expired deadline stops the pool between runs;
+      // the run that observed it has already checkpointed its progress.
+      if (stop.load() ||
+          (options_.control != nullptr && options_.control->should_stop())) {
+        stop.store(true);
+        return;
+      }
       const std::size_t i = next.fetch_add(1);
       if (i >= matrix.size()) return;
       const RunSpec& run = matrix[i];
@@ -208,15 +241,38 @@ CampaignResult CampaignRunner::run() {
         skipped.fetch_add(1);
         continue;
       }
+      std::string ckpt_dir;
+      if (!options_.checkpoint_dir.empty()) {
+        ckpt_dir = options_.checkpoint_dir + "/" + checkpoint_dir_name(run.id);
+      }
+      if (pending_ckpts.find(run.id) != pending_ckpts.end()) {
+        resumed.fetch_add(1);
+      }
       obs::Registry run_registry(std::make_unique<obs::VirtualClock>());
-      RunResult result = execute_run(run, spec_, &run_registry);
-      journal.append(result);
-      campaign_obs.log_event("exp", {{"campaign", spec_.name},
-                                     {"run", result.id},
-                                     {"ok", result.ok ? "true" : "false"}});
-      run_histograms[i] = run_registry.histogram_values();
-      campaign.results[i] = std::move(result);
-      executed.fetch_add(1);
+      try {
+        RunResult result =
+            execute_run(run, spec_, &run_registry, ckpt_dir, options_.control);
+        journal.append(result);
+        campaign_obs.log_event("exp", {{"campaign", spec_.name},
+                                       {"run", result.id},
+                                       {"ok", result.ok ? "true" : "false"}});
+        run_histograms[i] = run_registry.histogram_values();
+        campaign.results[i] = std::move(result);
+        executed.fetch_add(1);
+      } catch (const core::Interrupted& e) {
+        // Journal where this run got to, so the next invocation resumes
+        // it from its last completed phase, then drain the pool.
+        if (!ckpt_dir.empty()) {
+          CheckpointRecord record;
+          record.run_id = run.id;
+          record.dir = ckpt_dir;
+          record.reason = e.what();
+          record.phases = core::CheckpointStore(ckpt_dir).phases();
+          journal.append_checkpoint(record);
+        }
+        stop.store(true);
+        return;
+      }
     }
   };
 
@@ -250,6 +306,14 @@ CampaignResult CampaignRunner::run() {
 
   campaign.executed = executed.load();
   campaign.skipped = skipped.load();
+  campaign.resumed = resumed.load();
+  campaign.interrupted = stop.load();
+  if (campaign.interrupted) {
+    // Drop the placeholder slots of runs the stopped pool never reached;
+    // what remains is exactly what completed (and is journalled).
+    std::erase_if(campaign.results,
+                  [](const RunResult& r) { return r.id.empty(); });
+  }
   for (const RunResult& result : campaign.results) {
     if (!result.ok) ++campaign.failed;
   }

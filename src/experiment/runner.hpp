@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "experiment/campaign.hpp"
 #include "experiment/journal.hpp"
 #include "obs/registry.hpp"
@@ -33,6 +34,16 @@ struct RunnerOptions {
   std::string journal_path;
   /// When false, previously journalled runs are re-executed.
   bool resume = true;
+  /// Root for per-run checkpoint directories
+  /// (<checkpoint_dir>/<sanitized-run-id>); empty = no mid-run
+  /// checkpointing. With a journal, interrupted runs leave a {"ckpt":...}
+  /// pointer and a later invocation resumes them at the last completed
+  /// phase instead of from scratch.
+  std::string checkpoint_dir;
+  /// Campaign-wide supervision (non-owning): cancellation and the run
+  /// deadline are observed by every worker between runs and by the
+  /// running workflows at every phase/sub-phase boundary.
+  core::RunControl* control = nullptr;
 };
 
 struct CampaignResult {
@@ -41,13 +52,23 @@ struct CampaignResult {
   std::vector<RunResult> results;
   std::size_t executed = 0;  // runs actually executed this invocation
   std::size_t skipped = 0;   // runs satisfied from the journal
+  std::size_t resumed = 0;   // runs restarted from a mid-run checkpoint
   std::size_t failed = 0;    // results with ok == false
+  /// True when the campaign stopped early on cancellation or an expired
+  /// deadline; `results` then holds what completed (partial results are
+  /// preserved, and journalled runs stay resumable).
+  bool interrupted = false;
   /// Merged per-phase span histograms across all runs, keyed
   /// "span.<phase>.us" (see obs::merge_histograms).
   std::map<std::string, obs::Registry::HistogramSnapshot> merged_spans;
 
   [[nodiscard]] bool all_ok() const { return failed == 0; }
 };
+
+/// The filesystem-safe checkpoint directory name for a run id: non-
+/// alphanumerics become '_', with a content-hash suffix so distinct ids
+/// never collide after sanitization.
+[[nodiscard]] std::string checkpoint_dir_name(const std::string& run_id);
 
 class CampaignRunner {
  public:
@@ -60,10 +81,15 @@ class CampaignRunner {
 
   /// Executes exactly one RunSpec in isolation (no journal, no pool).
   /// The building block workers call; exposed for tests and for
-  /// embedding runs in other drivers.
+  /// embedding runs in other drivers. A non-empty `checkpoint_dir`
+  /// snapshots phases there (and restores any already recorded); an
+  /// attached `control` makes the run cancellable — core::Interrupted
+  /// propagates to the caller, with completed phases checkpointed.
   [[nodiscard]] static RunResult execute_run(const RunSpec& run,
                                              const CampaignSpec& spec,
-                                             obs::Registry* run_registry = nullptr);
+                                             obs::Registry* run_registry = nullptr,
+                                             const std::string& checkpoint_dir = "",
+                                             core::RunControl* control = nullptr);
 
   /// Campaign-level telemetry registry override (tests).
   CampaignRunner& use_telemetry(obs::Registry* registry) {

@@ -73,7 +73,8 @@ const TemplateStore& TemplateStore::builtins() {
   return store;
 }
 
-ConfigTree render_configs(const nidb::Nidb& nidb, const TemplateStore& store) {
+ConfigTree render_configs(const nidb::Nidb& nidb, const TemplateStore& store,
+                          core::RunControl* control) {
   ConfigTree tree;
   obs::Registry& obs = obs::Registry::current();
   obs::Counter& templates_rendered = obs.counter("render.templates_rendered");
@@ -82,6 +83,7 @@ ConfigTree render_configs(const nidb::Nidb& nidb, const TemplateStore& store) {
 
   // Per-device rendering.
   for (const auto* rec : nidb.devices()) {
+    core::checkpoint(control, "render.device." + rec->name);
     const std::string base = rec->template_base();
     const std::string dst = rec->dst_folder();
     if (base.empty()) continue;

@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "nidb/nidb.hpp"
 #include "render/config_tree.hpp"
 #include "templates/template.hpp"
@@ -61,10 +62,13 @@ struct RenderStats {
 /// Renders the whole NIDB. Device records render under their
 /// `render.base_dst_folder`; platform templates render at the root.
 /// The context exposes `node` (device record), `data` (network data),
-/// and for platform templates `devices` (array of all records).
+/// and for platform templates `devices` (array of all records). An
+/// optional RunControl is polled per device, so cancellation interrupts
+/// a long render within one device's worth of work.
 [[nodiscard]] ConfigTree render_configs(const nidb::Nidb& nidb,
                                         const TemplateStore& store =
-                                            TemplateStore::builtins());
+                                            TemplateStore::builtins(),
+                                        core::RunControl* control = nullptr);
 
 [[nodiscard]] RenderStats stats_of(const nidb::Nidb& nidb, const ConfigTree& tree);
 

@@ -132,7 +132,7 @@ LintOptions LintOptions::load_config_file(const std::string& path) {
 }
 
 Report run_lint(const LintInput& input, const LintOptions& options,
-                const RuleRegistry& registry) {
+                const RuleRegistry& registry, core::RunControl* control) {
   Report report;
   std::optional<detail::NidbIndex> index;
   if (input.nidb != nullptr) index = detail::NidbIndex::build(*input.nidb);
@@ -144,6 +144,7 @@ Report run_lint(const LintInput& input, const LintOptions& options,
   obs::Registry& obs = obs::Registry::current();
   auto scope = obs.scope("lint");
   for (const Rule& rule : registry.rules()) {
+    core::checkpoint(control, "lint." + rule.info.id);
     if (!options.rule_enabled(rule.info.id)) continue;
     if (rule.needs_nidb && input.nidb == nullptr) continue;
     if (rule.needs_templates && input.templates == nullptr &&

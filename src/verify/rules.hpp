@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "verify/report.hpp"
 
 namespace autonet::nidb {
@@ -137,9 +138,11 @@ struct LintOptions {
 
 /// Runs every enabled applicable rule and returns a finalized Report.
 /// Telemetry: one "lint.<rule-id>" span per rule plus lint.* counters in
-/// obs::Registry::current().
+/// obs::Registry::current(). An optional RunControl is polled before
+/// each rule, so cancellation interrupts a lint within one rule's work.
 [[nodiscard]] Report run_lint(const LintInput& input, const LintOptions& options = {},
-                              const RuleRegistry& registry = RuleRegistry::builtin());
+                              const RuleRegistry& registry = RuleRegistry::builtin(),
+                              core::RunControl* control = nullptr);
 
 /// SARIF 2.1.0 export of a finalized report, with rule metadata from the
 /// registry (consumed by CI annotation tooling).

@@ -100,11 +100,11 @@ TEST_F(DeployFixture, TransferBudgetExhaustedFails) {
   EXPECT_FALSE(result.success);
   EXPECT_EQ(result.transfer_attempts, 1);
   EXPECT_EQ(host.network(), nullptr);
-  bool saw_failed = false;
+  bool saw_exhausted = false;
   for (const auto& line : deployer.log()) {
-    if (line.starts_with("failed:")) saw_failed = true;
+    if (line.starts_with("retries-exhausted:")) saw_exhausted = true;
   }
-  EXPECT_TRUE(saw_failed);
+  EXPECT_TRUE(saw_exhausted);
 }
 
 TEST_F(DeployFixture, BootFailureReported) {

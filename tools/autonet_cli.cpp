@@ -13,9 +13,17 @@
 //                 [--format text|json|sarif] [--out FILE] [--list-rules]
 //   autonet run   <topology> [--platform P] [--ibgp MODE]
 //                 [--trace SRC DST | --trace out.json] [--validate]
-//                 [--metrics FILE]
+//                 [--metrics FILE] [--checkpoint DIR] [--resume DIR]
+//                 [--deadline MS]
 //   autonet exp run <campaign.file> [--out DIR] [--jobs N] [--fresh]
+//                 [--checkpoints] [--deadline MS]
 //   autonet exp report <DIR|journal.jsonl> [--format text|csv|jsonl]
+//
+// Supervision: `run` and `exp run` install a graceful SIGINT handler —
+// the first ^C cancels cooperatively at the next phase/sub-phase
+// boundary, checkpointing completed phases (exit 130); --deadline gives
+// the run a time budget (exit 124 on expiry). --resume/--checkpoints
+// restart interrupted work at the last completed phase.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -63,9 +71,10 @@ int usage() {
                "[--trace OUT.json] [--list-rules]\n"
                "  autonet run <topology> [--platform P] [--ibgp MODE] "
                "[--trace SRC DST | --trace OUT.json] [--validate]\n"
-               "              [--metrics FILE]   (Prometheus text export)\n"
+               "              [--metrics FILE] [--checkpoint DIR] "
+               "[--resume DIR] [--deadline MS]\n"
                "  autonet exp run <campaign.file> [--out DIR] [--jobs N] "
-               "[--fresh] [--trace OUT.json]\n"
+               "[--fresh] [--checkpoints] [--deadline MS] [--trace OUT.json]\n"
                "  autonet exp report <DIR|journal.jsonl> "
                "[--format text|csv|jsonl] [--out FILE]\n");
   return 2;
@@ -82,7 +91,7 @@ struct Args {
     for (int i = start; i < argc; ++i) {
       std::string arg = argv[i];
       if (arg == "--isis" || arg == "--dns" || arg == "--validate" ||
-          arg == "--list-rules" || arg == "--fresh") {
+          arg == "--list-rules" || arg == "--fresh" || arg == "--checkpoints") {
         args.options[arg.substr(2)] = "1";
       } else if (arg == "--trace" && i + 1 < argc &&
                  std::string_view(argv[i + 1]).ends_with(".json")) {
@@ -374,16 +383,39 @@ int cmd_exp_run(const Args& args) {
   experiment::RunnerOptions opts;
   opts.journal_path = out_dir + "/journal.jsonl";
   if (args.has("jobs")) opts.jobs = std::stoi(args.get("jobs"));
+  if (args.has("checkpoints")) opts.checkpoint_dir = out_dir + "/checkpoints";
   if (args.has("fresh")) {
     std::filesystem::remove(opts.journal_path);
+    if (!opts.checkpoint_dir.empty()) {
+      std::filesystem::remove_all(opts.checkpoint_dir);
+    }
   }
+
+  // Graceful supervision: ^C (or an expired --deadline, wall time,
+  // observed between runs) drains the worker pool; interrupted runs
+  // journal a checkpoint pointer and a later `exp run` resumes them.
+  core::RunControl control;
+  control.token.link_sigint();
+  if (args.has("deadline")) {
+    control.deadline = core::Deadline::after_ms(
+        static_cast<std::uint64_t>(std::stoll(args.get("deadline"))));
+  }
+  opts.control = &control;
 
   experiment::CampaignRunner runner(spec, opts);
   std::printf("campaign %s: %zu runs (journal %s)\n", spec.name.c_str(),
               spec.run_count(), opts.journal_path.c_str());
   const experiment::CampaignResult result = runner.run();
-  std::printf("executed %zu, resumed %zu from journal, %zu failed\n",
-              result.executed, result.skipped, result.failed);
+  std::printf("executed %zu, resumed %zu from journal (%zu mid-run), "
+              "%zu failed\n",
+              result.executed, result.skipped, result.resumed, result.failed);
+  if (result.interrupted) {
+    std::fprintf(stderr,
+                 "campaign interrupted; completed runs are journalled. "
+                 "resume with:\n  autonet exp run %s --out %s%s\n",
+                 args.positional[1].c_str(), out_dir.c_str(),
+                 opts.checkpoint_dir.empty() ? "" : " --checkpoints");
+  }
 
   const auto groups = experiment::aggregate(result.results);
   if (int rc = write_file_checked(out_dir + "/aggregate.csv",
@@ -403,6 +435,7 @@ int cmd_exp_run(const Args& args) {
   std::printf("%s", experiment::to_text(groups).c_str());
   std::printf("aggregates written to %s/aggregate.{csv,jsonl}\n",
               out_dir.c_str());
+  if (result.interrupted) return 130;
   return result.all_ok() ? 0 : 1;
 }
 
@@ -453,7 +486,46 @@ int cmd_exp(const Args& args) {
 int cmd_run(const Args& args) {
   if (args.positional.empty()) return usage();
   core::Workflow wf(workflow_options(args));
-  wf.run(load_input(args.positional[0]));
+
+  // Supervision: ^C cancels cooperatively at the next phase/sub-phase
+  // boundary; --deadline arms a time budget. With --checkpoint/--resume,
+  // completed phases are durable and a rerun restarts after them.
+  core::RunControl control;
+  control.token.link_sigint();
+  if (args.has("deadline")) {
+    control.deadline = core::Deadline::after_ms(
+        static_cast<std::uint64_t>(std::stoll(args.get("deadline"))));
+  }
+  wf.use_control(&control);
+  const std::string ckpt_dir =
+      args.has("resume") ? args.get("resume") : args.get("checkpoint");
+  if (!ckpt_dir.empty()) wf.checkpoint_to(ckpt_dir);
+
+  auto interrupted = [&](const core::Interrupted& e, int code) {
+    std::fprintf(stderr, "autonet run: %s\n", e.what());
+    if (!ckpt_dir.empty()) {
+      std::fprintf(stderr,
+                   "completed phases are checkpointed; resume with:\n"
+                   "  autonet run %s --resume %s\n",
+                   args.positional[0].c_str(), ckpt_dir.c_str());
+    }
+    return code;
+  };
+
+  try {
+    wf.run(load_input(args.positional[0]));
+  } catch (const core::DeadlineExceeded& e) {
+    return interrupted(e, 124);
+  } catch (const core::Cancelled& e) {
+    return interrupted(e, 130);
+  }
+  if (!wf.restored_phases().empty()) {
+    std::printf("resumed from %s: restored", ckpt_dir.c_str());
+    for (const std::string& phase : wf.restored_phases()) {
+      std::printf(" %s", phase.c_str());
+    }
+    std::printf("\n");
+  }
   const auto& result = wf.deploy_result();
   std::printf("deploy: %s; %zu machines; BGP %s (%zu rounds%s)\n",
               result.success ? "ok" : "FAILED", result.booted.size(),
@@ -468,7 +540,13 @@ int cmd_run(const Args& args) {
 
   // Phase 6 on a running network: validation + reachability. Gives the
   // exported trace all six pipeline phases.
-  wf.measure();
+  try {
+    wf.measure();
+  } catch (const core::DeadlineExceeded& e) {
+    return interrupted(e, 124);
+  } catch (const core::Cancelled& e) {
+    return interrupted(e, 130);
+  }
 
   int rc = 0;
   if (!args.trace_file.empty()) {
