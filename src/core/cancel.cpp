@@ -2,6 +2,7 @@
 
 #include <csignal>
 
+#include "obs/recorder.hpp"
 #include "obs/registry.hpp"
 
 namespace autonet::core {
@@ -88,10 +89,14 @@ void RunControl::checkpoint(std::string_view where) {
   }
   if (token.cancelled()) {
     obs::Registry::current().counter("cancel.observed").inc();
+    obs::record("cancel", obs::Severity::kWarning, "observed",
+                {{"where", std::string(where)}});
     throw Cancelled(std::string(where), token.reason());
   }
   if (deadline.expired()) {
     obs::Registry::current().counter("deadline.observed").inc();
+    obs::record("cancel", obs::Severity::kWarning, "deadline",
+                {{"where", std::string(where)}});
     throw DeadlineExceeded(std::string(where), deadline.budget_us(),
                            deadline.elapsed_us());
   }

@@ -12,6 +12,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/recorder.hpp"
 #include "obs/registry.hpp"
 
 namespace autonet::core {
@@ -164,6 +165,13 @@ void CheckpointStore::load_manifest() {
     if (const auto* ms = rec->find("ms"); ms != nullptr && ms->as_string()) {
       record.ms = parse_double_repr(*ms->as_string());
     }
+    if (const auto* ev = rec->find("events"); ev != nullptr && ev->as_string()) {
+      record.events_file = *ev->as_string();
+    }
+    if (const auto* eh = rec->find("events_hash");
+        eh != nullptr && eh->as_string()) {
+      record.events_hash = parse_hash_hex(*eh->as_string());
+    }
     order_.push_back(*name);
     phases_[*name] = std::move(record);
   }
@@ -178,6 +186,10 @@ void CheckpointStore::write_manifest() {
     entry["artifact"] = rec.artifact;
     entry["hash"] = hash_hex(rec.hash);
     entry["ms"] = double_repr(rec.ms);
+    if (!rec.events_file.empty()) {
+      entry["events"] = rec.events_file;
+      entry["events_hash"] = hash_hex(rec.events_hash);
+    }
     phases[name] = nidb::Value(std::move(entry));
     order.emplace_back(name);
   }
@@ -230,16 +242,52 @@ std::vector<std::string> CheckpointStore::phases() const { return order_; }
 
 void CheckpointStore::record_phase(const std::string& phase,
                                    const std::string& artifact_file,
-                                   const std::string& content, double ms) {
+                                   const std::string& content, double ms,
+                                   const std::optional<std::string>& events) {
   write_file_atomic(dir_ + "/" + artifact_file, content);
   PhaseRecord rec;
   rec.artifact = artifact_file;
   rec.hash = checkpoint_hash(content);
   rec.ms = ms;
+  if (events) {
+    rec.events_file = phase + ".events.jsonl";
+    rec.events_hash = checkpoint_hash(*events);
+    write_file_atomic(dir_ + "/" + rec.events_file, *events);
+  }
   if (phases_.find(phase) == phases_.end()) order_.push_back(phase);
   phases_[phase] = std::move(rec);
   write_manifest();
   obs::Registry::current().counter("ckpt.write").inc();
+  obs::record("ckpt", "write", {{"phase", phase}});
+}
+
+bool CheckpointStore::has_events(std::string_view phase) const {
+  const auto it = phases_.find(std::string(phase));
+  if (it == phases_.end() || it->second.events_file.empty()) return false;
+  std::ifstream in(dir_ + "/" + it->second.events_file, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return checkpoint_hash(buf.str()) == it->second.events_hash;
+}
+
+std::string CheckpointStore::events(std::string_view phase) const {
+  const auto it = phases_.find(std::string(phase));
+  if (it == phases_.end() || it->second.events_file.empty()) {
+    throw CheckpointError("no event slice for phase '" + std::string(phase) + "'");
+  }
+  std::ifstream in(dir_ + "/" + it->second.events_file, std::ios::binary);
+  if (!in) {
+    throw CheckpointError("missing event slice " + it->second.events_file);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string content = buf.str();
+  if (checkpoint_hash(content) != it->second.events_hash) {
+    throw CheckpointError("corrupt event slice " + it->second.events_file +
+                          " (content hash mismatch)");
+  }
+  return content;
 }
 
 void CheckpointStore::set_meta(const std::string& key, std::string value) {
@@ -259,6 +307,9 @@ void CheckpointStore::invalidate(const std::vector<std::string>& phases) {
     if (it == phases_.end()) continue;
     std::error_code ec;
     fs::remove(fs::path(dir_) / it->second.artifact, ec);
+    if (!it->second.events_file.empty()) {
+      fs::remove(fs::path(dir_) / it->second.events_file, ec);
+    }
     phases_.erase(it);
     order_.erase(std::remove(order_.begin(), order_.end(), name), order_.end());
     changed = true;
@@ -270,6 +321,9 @@ void CheckpointStore::discard() {
   for (const auto& [name, rec] : phases_) {
     std::error_code ec;
     fs::remove(fs::path(dir_) / rec.artifact, ec);
+    if (!rec.events_file.empty()) {
+      fs::remove(fs::path(dir_) / rec.events_file, ec);
+    }
   }
   phases_.clear();
   order_.clear();
@@ -436,6 +490,56 @@ nidb::Value anm_to_value(const anm::AbstractNetworkModel& anm) {
   nidb::Object out;
   out["overlays"] = nidb::Value(std::move(overlays));
   return nidb::Value(std::move(out));
+}
+
+obs::RecorderEvent event_from_value(const nidb::Value& doc) {
+  obs::RecorderEvent event;
+  if (const auto* ts = doc.find("ts_us")) {
+    event.ts_us = static_cast<std::uint64_t>(ts->as_int().value_or(0));
+  }
+  if (const auto* s = doc.find("phase"); s != nullptr && s->as_string()) {
+    event.phase = *s->as_string();
+  }
+  if (const auto* s = doc.find("category"); s != nullptr && s->as_string()) {
+    event.category = *s->as_string();
+  }
+  if (const auto* s = doc.find("severity"); s != nullptr && s->as_string()) {
+    event.severity = obs::severity_from_label(*s->as_string());
+  }
+  if (const auto* s = doc.find("name"); s != nullptr && s->as_string()) {
+    event.name = *s->as_string();
+  }
+  if (const auto* fields = doc.find("fields");
+      fields != nullptr && fields->is_object()) {
+    // nidb objects iterate in sorted key order — the same order
+    // obs::event_to_json emits — so parse→serialize round trips are
+    // byte-stable.
+    for (const auto& [key, value] : *fields->as_object()) {
+      event.fields.emplace_back(key,
+                                value.as_string() ? *value.as_string() : "");
+    }
+  }
+  return event;
+}
+
+std::vector<obs::RecorderEvent> events_from_jsonl(const std::string& text) {
+  std::vector<obs::RecorderEvent> out;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    nidb::Value doc;
+    try {
+      doc = nidb::parse_json(line);
+    } catch (const std::exception& e) {
+      throw CheckpointError(std::string("malformed event line: ") + e.what());
+    }
+    out.push_back(event_from_value(doc));
+  }
+  return out;
 }
 
 void anm_from_value(const nidb::Value& v, anm::AbstractNetworkModel& anm) {

@@ -21,6 +21,7 @@
 #include "anm/anm.hpp"
 #include "graph/graph.hpp"
 #include "nidb/value.hpp"
+#include "obs/event.hpp"
 
 namespace autonet::core {
 
@@ -50,6 +51,12 @@ class CheckpointStore {
     std::string artifact;   // file name inside the directory
     std::uint64_t hash = 0; // checkpoint_hash of the artifact content
     double ms = 0;          // the phase's span duration (restored timings)
+    /// Flight-recorder event slice for the phase ("<phase>.events.jsonl";
+    /// empty name = recorded before events existed). Replayed on restore
+    /// so a resumed run's run report is byte-identical to an
+    /// uninterrupted one.
+    std::string events_file;
+    std::uint64_t events_hash = 0;
   };
 
   /// Opens (creating the directory if needed) and loads the manifest.
@@ -71,9 +78,18 @@ class CheckpointStore {
   /// Records a completed phase: writes the artifact atomically, then the
   /// updated manifest atomically — a crash between the two leaves the
   /// phase unrecorded (and re-run on resume), never half-recorded.
-  /// Increments the "ckpt.write" obs counter.
+  /// Increments the "ckpt.write" obs counter and emits a "ckpt" flight
+  /// event. When `events` is set, the phase's flight-recorder slice is
+  /// persisted alongside the artifact as "<phase>.events.jsonl".
   void record_phase(const std::string& phase, const std::string& artifact_file,
-                    const std::string& content, double ms);
+                    const std::string& content, double ms,
+                    const std::optional<std::string>& events = std::nullopt);
+
+  /// True when `phase` has an intact persisted event slice.
+  [[nodiscard]] bool has_events(std::string_view phase) const;
+  /// The persisted event-slice JSONL for a phase; throws CheckpointError
+  /// when absent or corrupt.
+  [[nodiscard]] std::string events(std::string_view phase) const;
 
   /// Free-form metadata (options hash, input hash, CLI options...),
   /// persisted in the manifest.
@@ -114,5 +130,16 @@ class CheckpointStore {
 /// Restores overlays into `anm` (which may already hold the default
 /// 'input'/'phy' overlays; their contents are replaced).
 void anm_from_value(const nidb::Value& v, anm::AbstractNetworkModel& anm);
+
+/// Parses one serialized flight-recorder event (the object form
+/// obs::event_to_json emits) out of a JSON value.
+[[nodiscard]] obs::RecorderEvent event_from_value(const nidb::Value& v);
+
+/// Parses flight-recorder events back out of obs::events_to_jsonl text
+/// (checkpoint event slices, run-report timelines). Torn or malformed
+/// lines throw CheckpointError — a corrupt slice must degrade to fresh
+/// re-execution, not to a silently shorter timeline.
+[[nodiscard]] std::vector<obs::RecorderEvent> events_from_jsonl(
+    const std::string& text);
 
 }  // namespace autonet::core

@@ -7,6 +7,7 @@
 
 #include "deploy/archive.hpp"
 #include "nidb/value.hpp"
+#include "obs/recorder.hpp"
 #include "obs/span.hpp"
 
 namespace autonet::core {
@@ -210,14 +211,36 @@ Workflow& Workflow::operator=(Workflow&&) noexcept = default;
 
 // Each phase runs under an obs span (in the workflow's registry, made
 // current for the duration so every layer's instrumentation lands in the
-// same place); the PhaseTimings entry is the span's duration.
+// same place); the PhaseTimings entry is the span's duration. The
+// PhaseScope makes flight-recorder events carry this phase name and
+// phase-relative timestamps; at phase end the recorder is drained and
+// the phase's slice kept for the run report (and, when checkpointing,
+// persisted next to the phase artifact). On interruption the unsaved
+// recorder tail is dumped next to the checkpoint before rethrowing.
 template <typename F>
 void Workflow::timed(const std::string& phase, F&& f) {
   obs::Registry& registry = telemetry();
   obs::RegistryScope use(registry);
+  obs::PhaseScope phase_scope(phase);
   obs::Span span(registry, phase);
-  f();
+  try {
+    f();
+  } catch (...) {
+    span.stop_ms();
+    dump_flight_tail(phase);
+    throw;
+  }
   timings_.ms[phase] = span.stop_ms();
+  if (registry.enabled()) {
+    std::vector<obs::RecorderEvent> slice;
+    for (obs::RecorderEvent& event : registry.recorder().drain()) {
+      // Out-of-phase stragglers (checkpoint writes after the previous
+      // drain) are bookkeeping, not phase work: they are excluded so a
+      // phase's slice is a pure function of the phase body.
+      if (event.phase == phase) slice.push_back(std::move(event));
+    }
+    phase_events_[phase] = std::move(slice);
+  }
 }
 
 // --- Checkpoint plumbing ---------------------------------------------------
@@ -255,9 +278,12 @@ std::string Workflow::options_signature() const {
 // recorded in the directory is from a different run and must not leak
 // into this one.
 void Workflow::validate_checkpoint(const graph::Graph& input) {
-  if (ckpt_ == nullptr) return;
-  const std::string input_hash =
+  // The input signature is kept even without a store: run reports embed
+  // it so two reports are comparable without the checkpoint directory.
+  input_hash_ =
       std::to_string(checkpoint_hash(graph_to_value(input).to_json(false)));
+  if (ckpt_ == nullptr) return;
+  const std::string& input_hash = input_hash_;
   const std::string options_sig = options_signature();
   const std::string old_input = ckpt_->meta("input_hash");
   const std::string old_options = ckpt_->meta("options");
@@ -280,9 +306,19 @@ bool Workflow::try_restore(const std::string& phase) {
   obs::RegistryScope use(registry);
   try {
     restore_phase_state(phase, ckpt_->artifact(phase));
+    // Replay the phase's persisted flight-recorder slice so the run
+    // report's timeline is byte-identical to an uninterrupted run's. A
+    // record without a slice (pre-recorder checkpoint) restores with an
+    // empty one.
+    if (ckpt_->has_events(phase)) {
+      phase_events_[phase] = events_from_jsonl(ckpt_->events(phase));
+    } else {
+      phase_events_[phase] = {};
+    }
   } catch (const std::exception&) {
     // A corrupt or stale artifact is not fatal: execute the phase fresh
     // (which re-records it and invalidates anything downstream).
+    phase_events_.erase(phase);
     return false;
   }
   timings_.ms[phase] = ckpt_->phase_ms(phase);
@@ -313,8 +349,50 @@ void Workflow::save_phase(const std::string& phase) {
     if (phase == name) after = true;
   }
   ckpt_->invalidate(stale);
+  std::optional<std::string> events;
+  if (const auto it = phase_events_.find(phase); it != phase_events_.end()) {
+    events = obs::events_to_jsonl(it->second);
+  }
   ckpt_->record_phase(phase, phase + ".json", phase_artifact(phase),
-                      timings_.ms[phase]);
+                      timings_.ms[phase], events);
+}
+
+// A cancelled, deadline-expired, or otherwise-thrown-out-of phase leaves
+// its black box behind: every event the recorder still holds (the
+// interrupted phase's partial slice plus bookkeeping stragglers) goes to
+// flight.jsonl, and a partial run report — what completed, what was
+// restored, where it stopped — next to it. Both sit in the checkpoint
+// directory so the post-mortem and the resume start from the same place.
+void Workflow::dump_flight_tail(const std::string& phase) noexcept {
+  if (ckpt_ == nullptr) return;
+  try {
+    obs::Registry& registry = telemetry();
+    const std::vector<obs::RecorderEvent> tail = registry.recorder().drain();
+    write_file_atomic(ckpt_->dir() + "/flight.jsonl", obs::events_to_jsonl(tail));
+    std::ostringstream report;
+    report << "{\n  \"interrupted_phase\": \"" << phase << "\",\n";
+    report << "  \"status\": \"interrupted\",\n";
+    report << "  \"input_hash\": \"" << input_hash_ << "\",\n";
+    report << "  \"options_signature\": \"" << options_signature() << "\",\n";
+    report << "  \"restored\": [";
+    for (std::size_t i = 0; i < restored_.size(); ++i) {
+      report << (i > 0 ? ", " : "") << "\"" << restored_[i] << "\"";
+    }
+    report << "],\n  \"completed_phases\": [";
+    bool first = true;
+    for (const char* name : kPipeline) {
+      const auto it = timings_.ms.find(name);
+      if (it == timings_.ms.end()) continue;
+      if (!first) report << ", ";
+      first = false;
+      report << "\"" << name << "\"";
+    }
+    report << "],\n  \"tail_events\": " << tail.size() << "\n}\n";
+    write_file_atomic(ckpt_->dir() + "/run_report.partial.json", report.str());
+  } catch (...) {
+    // Post-mortem artifacts are best-effort; the interruption itself is
+    // what must propagate.
+  }
 }
 
 std::string Workflow::phase_artifact(const std::string& phase) const {
@@ -456,6 +534,7 @@ Workflow& Workflow::design() {
       core::checkpoint(control_, std::string("design.") + name);
       obs::Span span(std::string("design.") + name);
       f();
+      obs::record("design", "rule", {{"rule", name}});
     };
     rule("ospf", [this] { design::build_ospf(anm_, options_.ospf); });
     if (options_.enable_isis) rule("isis", [this] { design::build_isis(anm_); });
@@ -562,6 +641,12 @@ Workflow& Workflow::measure() {
     measure_reachable_ = matrix.reachable_pairs();
     scope.counter("reachability_probes").inc(measure_probes_);
     scope.counter("reachable_pairs").inc(measure_reachable_);
+    obs::record("measure",
+                measure_reachable_ == measure_probes_ ? obs::Severity::kInfo
+                                                      : obs::Severity::kWarning,
+                "reachability",
+                {{"probes", std::to_string(measure_probes_)},
+                 {"reachable", std::to_string(measure_reachable_)}});
   });
   save_phase("measure");
   return *this;

@@ -169,6 +169,24 @@ class Workflow {
     return restored_;
   }
 
+  // --- Flight-recorder / run-report surface -----------------------------
+  /// Per-phase flight-recorder event slices: each completed phase's
+  /// events (phase-relative timestamps), drained at phase end. Restored
+  /// phases carry the slice their original execution persisted, so the
+  /// map — and any report built from it — is identical whether a phase
+  /// ran fresh or came from a checkpoint.
+  [[nodiscard]] const std::map<std::string, std::vector<obs::RecorderEvent>>&
+  phase_events() const {
+    return phase_events_;
+  }
+  /// FNV-1a hash of the serialized input graph (set by load()); the same
+  /// value checkpointing stores as "input_hash".
+  [[nodiscard]] const std::string& input_hash() const { return input_hash_; }
+  /// Stable hash of the workflow options (platform, iBGP mode, deploy
+  /// and lint settings); the same value checkpointing stores as
+  /// "options".
+  [[nodiscard]] std::string options_signature() const;
+
   // --- Results ----------------------------------------------------------
   [[nodiscard]] anm::AbstractNetworkModel& anm() { return anm_; }
   [[nodiscard]] const anm::AbstractNetworkModel& anm() const { return anm_; }
@@ -205,8 +223,11 @@ class Workflow {
 
   // Checkpoint/resume plumbing (all no-ops when ckpt_ is null).
   void validate_checkpoint(const graph::Graph& input);
-  [[nodiscard]] std::string options_signature() const;
   bool try_restore(const std::string& phase);
+  /// Interruption path: drains the recorder's unsaved tail into
+  /// flight.jsonl + run_report.partial.json next to the checkpoint
+  /// (no-op without a store; never throws).
+  void dump_flight_tail(const std::string& phase) noexcept;
   void restore_phase_state(const std::string& phase, const std::string& artifact);
   void begin_phase(const std::string& phase);
   void save_phase(const std::string& phase);
@@ -229,6 +250,8 @@ class Workflow {
   core::RunControl* control_ = nullptr;  // non-owning supervision
   std::unique_ptr<CheckpointStore> ckpt_;
   std::vector<std::string> restored_;
+  std::map<std::string, std::vector<obs::RecorderEvent>> phase_events_;
+  std::string input_hash_;
   /// Once any phase executes fresh, downstream checkpoint records are
   /// stale — restores stop and save_phase() invalidates them.
   bool fresh_executed_ = false;

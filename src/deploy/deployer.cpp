@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "deploy/archive.hpp"
+#include "obs/recorder.hpp"
 #include "obs/registry.hpp"
 
 namespace autonet::deploy {
@@ -20,6 +21,19 @@ const char* to_string(DeployPhase phase) {
     case DeployPhase::kDeadlineExceeded: return "deadline-exceeded";
   }
   return "?";
+}
+
+obs::Severity deploy_event_severity(DeployPhase phase) {
+  switch (phase) {
+    case DeployPhase::kFailed:
+    case DeployPhase::kRetriesExhausted:
+    case DeployPhase::kDeadlineExceeded:
+      return obs::Severity::kError;
+    case DeployPhase::kDegraded:
+      return obs::Severity::kWarning;
+    default:
+      return obs::Severity::kInfo;
+  }
 }
 
 int BackoffClock::next_delay_ms(int attempt, int clamp_ms) {
@@ -68,6 +82,8 @@ void Deployer::emit(DeployPhase phase, std::string detail) {
   obs.log_event("deploy", {{"phase", to_string(phase)},
                            {"host", host_->name()},
                            {"detail", event.detail}});
+  obs::record("deploy", deploy_event_severity(phase), to_string(phase),
+              {{"host", host_->name()}, {"detail", event.detail}});
   if (logger_) logger_(event);
   events_.push_back(std::move(event));
 }

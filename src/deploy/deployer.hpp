@@ -21,6 +21,7 @@
 #include "core/cancel.hpp"
 #include "core/error.hpp"
 #include "deploy/host.hpp"
+#include "obs/event.hpp"
 #include "nidb/nidb.hpp"
 #include "render/config_tree.hpp"
 
@@ -43,6 +44,11 @@ enum class DeployPhase {
 };
 
 [[nodiscard]] const char* to_string(DeployPhase phase);
+
+/// Flight-recorder severity of a deploy event: faults and exhausted
+/// budgets are errors, degraded service is a warning, the rest is
+/// routine progress.
+[[nodiscard]] obs::Severity deploy_event_severity(DeployPhase phase);
 
 struct DeployEvent {
   DeployPhase phase;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "deploy/archive.hpp"
+#include "obs/recorder.hpp"
 #include "obs/registry.hpp"
 
 namespace autonet::deploy {
@@ -37,6 +38,8 @@ void MultiHostDeployer::emit(DeployPhase phase, std::string detail) {
   obs.counter(std::string("deploy.events.") + to_string(phase)).inc();
   obs.log_event("deploy", {{"phase", to_string(phase)},
                            {"detail", event.detail}});
+  obs::record("deploy", deploy_event_severity(phase), to_string(phase),
+              {{"detail", event.detail}});
   if (logger_) logger_(event);
   events_.push_back(std::move(event));
 }

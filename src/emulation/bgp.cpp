@@ -21,6 +21,7 @@
 #include <set>
 
 #include "emulation/network.hpp"
+#include "obs/recorder.hpp"
 
 namespace autonet::emulation {
 
@@ -325,9 +326,17 @@ ConvergenceReport EmulatedNetwork::run_bgp(std::size_t max_rounds,
       routers_[r].bgp_best() = std::move(best);
     }
 
+    obs::record("emulation", "bgp.round",
+                {{"round", std::to_string(round)},
+                 {"changed", changed ? "1" : "0"},
+                 {"updates", std::to_string(report.updates)}});
+
     if (!changed) {
       report.converged = true;
       report.rounds = round;
+      obs::record("emulation", "bgp.converged",
+                  {{"rounds", std::to_string(round)},
+                   {"updates", std::to_string(report.updates)}});
       return report;
     }
 
@@ -346,6 +355,9 @@ ConvergenceReport EmulatedNetwork::run_bgp(std::size_t max_rounds,
       report.oscillating = true;
       report.rounds = round;
       report.period = round - it->second;
+      obs::record("emulation", obs::Severity::kWarning, "bgp.oscillating",
+                  {{"rounds", std::to_string(round)},
+                   {"period", std::to_string(report.period)}});
       return report;
     }
   }
@@ -359,6 +371,9 @@ ConvergenceReport EmulatedNetwork::run_bgp(std::size_t max_rounds,
     timeout.unsettled_routers.push_back(routers_[r].name());
   }
   std::sort(timeout.unsettled_routers.begin(), timeout.unsettled_routers.end());
+  obs::record("emulation", obs::Severity::kWarning, "bgp.timeout",
+              {{"budget_rounds", std::to_string(max_rounds)},
+               {"unsettled", std::to_string(timeout.unsettled_routers.size())}});
   report.timeout = std::move(timeout);
   return report;
 }

@@ -23,6 +23,9 @@ std::string RunResult::to_json() const {
   object["seed"] = static_cast<std::int64_t>(seed);
   object["ok"] = ok;
   if (!error.empty()) object["error"] = error;
+  // Conditional key: report-less runs serialize exactly as they did
+  // before the field existed.
+  if (!report_path.empty()) object["report"] = report_path;
   nidb::Object axes;
   for (const auto& [key, value] : axis_values) axes[key] = value;
   object["axes"] = std::move(axes);
@@ -54,6 +57,9 @@ RunResult RunResult::from_json(const std::string& line) {
   }
   if (const nidb::Value* v = value.find("error"); v && v->as_string()) {
     result.error = *v->as_string();
+  }
+  if (const nidb::Value* v = value.find("report"); v && v->as_string()) {
+    result.report_path = *v->as_string();
   }
   if (const nidb::Value* v = value.find("axes")) {
     if (const nidb::Object* object = v->as_object()) {
@@ -156,6 +162,33 @@ std::map<std::string, CheckpointRecord> Journal::load_checkpoints() const {
     }
   }
   return records;
+}
+
+std::vector<std::string> Journal::resumed_ids() const {
+  std::vector<std::string> resumed;
+  if (path_.empty()) return resumed;
+  std::ifstream file(path_, std::ios::binary);
+  if (!file) return resumed;
+  std::map<std::string, bool> pending;  // run id -> still unspent
+  std::string line;
+  while (std::getline(file, line)) {
+    if (line.empty()) continue;
+    try {
+      if (auto record = CheckpointRecord::from_json(line)) {
+        pending[record->run_id] = true;
+        continue;
+      }
+      const RunResult result = RunResult::from_json(line);
+      auto it = pending.find(result.id);
+      if (it != pending.end() && it->second && result.ok) {
+        it->second = false;
+        resumed.push_back(result.id);
+      }
+    } catch (const std::exception&) {
+      continue;  // torn tail
+    }
+  }
+  return resumed;
 }
 
 void Journal::append(const RunResult& result) {

@@ -28,6 +28,11 @@ struct RunResult {
   bool ok = false;
   std::string error;
   std::vector<std::pair<std::string, double>> metrics;
+  /// Path of the run's run_report.json, when report writing was on.
+  /// Deliberately the only provenance field: whether a run resumed is
+  /// derived from the journal's structure (see Journal::resumed_ids) so
+  /// a resumed run's result line stays byte-identical to a fresh one.
+  std::string report_path;
 
   [[nodiscard]] double metric(const std::string& name, double fallback = 0) const;
   /// One JSON object (single line, sorted keys).
@@ -70,6 +75,12 @@ class Journal {
   /// later completed — a result line follows the ckpt line — are
   /// excluded: their checkpoints are spent.
   [[nodiscard]] std::map<std::string, CheckpointRecord> load_checkpoints() const;
+
+  /// Run ids that were interrupted mid-pipeline and later completed: a
+  /// {"ckpt":...} line superseded by an ok result. Resume provenance is
+  /// derived from the journal's shape, never stored on the result, so
+  /// resumed and fresh result lines stay byte-identical.
+  [[nodiscard]] std::vector<std::string> resumed_ids() const;
 
   /// Appends one result durably — O_APPEND + fsync, so a crash can tear
   /// at most the final line, never reorder or interleave (thread-safe;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cctype>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <thread>
 
@@ -11,6 +12,7 @@
 #include "measure/client.hpp"
 #include "obs/span.hpp"
 #include "obs/stats.hpp"
+#include "report/run_report.hpp"
 
 namespace autonet::experiment {
 
@@ -20,52 +22,14 @@ void put_metric(RunResult& result, std::string name, double value) {
   result.metrics.emplace_back(std::move(name), value);
 }
 
-// Metrics are snapped to the journal's JSON precision (6 significant
-// digits, integral values exact) when collected, so an aggregate over
-// journal-replayed results is byte-identical to one over fresh results.
-double snap_metric(double value) {
-  if (value == static_cast<double>(static_cast<std::int64_t>(value))) {
-    return value;
-  }
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.6g", value);
-  return std::stod(buf);
-}
-
-// Pulls the scalar metrics the aggregator consumes out of a finished
-// (or failed) workflow run: convergence work, emulation stats,
-// reachability, deploy effort, and the per-phase virtual durations.
+// Workflow-level metrics (convergence, deploy effort, emulation stats,
+// phase durations) live in report::workflow_metrics so the run report
+// and the journal derive from the same values; snapping also matches
+// (report::snap_metric) so journal-replayed aggregates stay
+// byte-identical to fresh ones.
 void collect_metrics(RunResult& result, core::Workflow& wf, bool deployed) {
-  const auto& deploy = wf.deploy_result();
-  put_metric(result, "convergence.converged", deploy.convergence.converged ? 1 : 0);
-  put_metric(result, "convergence.rounds",
-             static_cast<double>(deploy.convergence.rounds));
-  put_metric(result, "convergence.updates",
-             static_cast<double>(deploy.convergence.updates));
-  put_metric(result, "deploy.transfer_attempts", deploy.transfer_attempts);
-  put_metric(result, "deploy.boot_attempts", deploy.boot_attempts);
-  put_metric(result, "deploy.backoff_ms", deploy.backoff_ms);
-  put_metric(result, "deploy.booted", static_cast<double>(deploy.booted.size()));
-  put_metric(result, "deploy.failed_machines",
-             static_cast<double>(deploy.failed_machines.size()));
-  if (deployed) {
-    const auto& stats = wf.network().stats();
-    put_metric(result, "emulation.spf_runs", static_cast<double>(stats.spf_runs));
-    put_metric(result, "emulation.lsa_floods",
-               static_cast<double>(stats.lsa_floods));
-    put_metric(result, "emulation.bgp_updates",
-               static_cast<double>(stats.bgp_updates));
-    put_metric(result, "emulation.bgp_withdrawals",
-               static_cast<double>(stats.bgp_withdrawals));
-    put_metric(result, "emulation.decision_reruns",
-               static_cast<double>(stats.decision_reruns));
-    put_metric(result, "emulation.convergence_rounds",
-               static_cast<double>(stats.convergence_rounds));
-    put_metric(result, "emulation.oscillations",
-               static_cast<double>(stats.oscillations));
-  }
-  for (const auto& [phase, ms] : wf.timings().ms) {
-    put_metric(result, "phase." + phase + ".ms", ms);
+  for (auto& [name, value] : report::workflow_metrics(wf, deployed)) {
+    put_metric(result, std::move(name), value);
   }
 }
 
@@ -137,7 +101,8 @@ RunResult CampaignRunner::execute_run(const RunSpec& run,
                                       const CampaignSpec& spec,
                                       obs::Registry* run_registry,
                                       const std::string& checkpoint_dir,
-                                      core::RunControl* control) {
+                                      core::RunControl* control,
+                                      const std::string& report_path) {
   RunResult result;
   result.id = run.id;
   result.index = run.index;
@@ -180,8 +145,17 @@ RunResult CampaignRunner::execute_run(const RunSpec& run,
     result.ok = false;
     result.error = e.what();
   }
+  if (!report_path.empty()) {
+    // Observability artifact: failing to write it must not turn a good
+    // run into a failed one.
+    try {
+      report::write_run_report(wf, report_path);
+      result.report_path = report_path;
+    } catch (const std::exception&) {
+    }
+  }
   std::sort(result.metrics.begin(), result.metrics.end());
-  for (auto& [name, value] : result.metrics) value = snap_metric(value);
+  for (auto& [name, value] : result.metrics) value = report::snap_metric(value);
   return result;
 }
 
@@ -194,6 +168,10 @@ CampaignResult CampaignRunner::run() {
   {
     obs::Span span(campaign_obs, "campaign.expand");
     matrix = expand(spec_);
+  }
+
+  if (!options_.report_dir.empty()) {
+    std::filesystem::create_directories(options_.report_dir);
   }
 
   Journal journal(options_.journal_path);
@@ -245,13 +223,18 @@ CampaignResult CampaignRunner::run() {
       if (!options_.checkpoint_dir.empty()) {
         ckpt_dir = options_.checkpoint_dir + "/" + checkpoint_dir_name(run.id);
       }
+      std::string report_path;
+      if (!options_.report_dir.empty()) {
+        report_path = options_.report_dir + "/" + checkpoint_dir_name(run.id) +
+                      ".report.json";
+      }
       if (pending_ckpts.find(run.id) != pending_ckpts.end()) {
         resumed.fetch_add(1);
       }
       obs::Registry run_registry(std::make_unique<obs::VirtualClock>());
       try {
-        RunResult result =
-            execute_run(run, spec_, &run_registry, ckpt_dir, options_.control);
+        RunResult result = execute_run(run, spec_, &run_registry, ckpt_dir,
+                                       options_.control, report_path);
         journal.append(result);
         campaign_obs.log_event("exp", {{"campaign", spec_.name},
                                        {"run", result.id},

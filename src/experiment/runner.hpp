@@ -40,6 +40,12 @@ struct RunnerOptions {
   /// pointer and a later invocation resumes them at the last completed
   /// phase instead of from scratch.
   std::string checkpoint_dir;
+  /// Root for per-run run_report.json files
+  /// (<report_dir>/<sanitized-run-id>.report.json); empty = no reports.
+  /// A run's report is byte-deterministic (same spec + seed ⇒ same
+  /// bytes, resumed or not), so committed reports gate regressions via
+  /// `autonet report diff`.
+  std::string report_dir;
   /// Campaign-wide supervision (non-owning): cancellation and the run
   /// deadline are observed by every worker between runs and by the
   /// running workflows at every phase/sub-phase boundary.
@@ -85,11 +91,14 @@ class CampaignRunner {
   /// snapshots phases there (and restores any already recorded); an
   /// attached `control` makes the run cancellable — core::Interrupted
   /// propagates to the caller, with completed phases checkpointed.
+  /// A non-empty `report_path` writes the run's run_report.json there
+  /// (best-effort; a report write failure never fails the run).
   [[nodiscard]] static RunResult execute_run(const RunSpec& run,
                                              const CampaignSpec& spec,
                                              obs::Registry* run_registry = nullptr,
                                              const std::string& checkpoint_dir = "",
-                                             core::RunControl* control = nullptr);
+                                             core::RunControl* control = nullptr,
+                                             const std::string& report_path = "");
 
   /// Campaign-level telemetry registry override (tests).
   CampaignRunner& use_telemetry(obs::Registry* registry) {

@@ -23,6 +23,12 @@ class Clock {
   /// deployer account its virtual backoff waits in recorded timestamps
   /// without ever sleeping.
   virtual bool advance_us(std::uint64_t /*us*/) { return false; }
+  /// Reads the clock WITHOUT consuming a virtual reading. The flight
+  /// recorder stamps events through this so that instrumenting a code
+  /// path never shifts span durations (which are counts of now_us()
+  /// readings under a VirtualClock) or any golden export derived from
+  /// them. For wall clocks peeking and reading are the same thing.
+  virtual std::uint64_t peek_us() { return now_us(); }
 };
 
 /// Wall time: std::chrono::steady_clock, origin at clock construction so
@@ -53,6 +59,9 @@ class VirtualClock final : public Clock {
   bool advance_us(std::uint64_t us) override {
     now_us_.fetch_add(us, std::memory_order_relaxed);
     return true;
+  }
+  std::uint64_t peek_us() override {
+    return now_us_.load(std::memory_order_relaxed);
   }
 
  private:

@@ -1,13 +1,51 @@
 #include "obs/registry.hpp"
 
+#include <set>
+
+#include "obs/recorder.hpp"
+
 namespace autonet::obs {
 
 namespace {
 thread_local Registry* t_current = nullptr;
+
+// Live-registry set backing Registry::alive(). A plain static (not a
+// function-local) would race with registries destroyed after main();
+// keep it function-local so it outlives global() and every test-scoped
+// registry.
+std::mutex& live_mutex() {
+  static std::mutex m;
+  return m;
+}
+std::set<const Registry*>& live_registries() {
+  static std::set<const Registry*> s;
+  return s;
+}
 }  // namespace
 
-Registry::Registry() : clock_(std::make_unique<RealClock>()) {}
-Registry::Registry(std::unique_ptr<Clock> clock) : clock_(std::move(clock)) {}
+Registry::Registry()
+    : clock_(std::make_unique<RealClock>()),
+      recorder_(std::make_unique<FlightRecorder>()) {
+  std::lock_guard lock(live_mutex());
+  live_registries().insert(this);
+}
+
+Registry::Registry(std::unique_ptr<Clock> clock)
+    : clock_(std::move(clock)),
+      recorder_(std::make_unique<FlightRecorder>()) {
+  std::lock_guard lock(live_mutex());
+  live_registries().insert(this);
+}
+
+Registry::~Registry() {
+  std::lock_guard lock(live_mutex());
+  live_registries().erase(this);
+}
+
+bool Registry::alive(const Registry* registry) {
+  std::lock_guard lock(live_mutex());
+  return live_registries().count(registry) != 0;
+}
 
 Registry& Registry::global() {
   static Registry instance;

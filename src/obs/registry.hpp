@@ -24,12 +24,12 @@
 #include <vector>
 
 #include "obs/clock.hpp"
+#include "obs/event.hpp"
 #include "obs/metrics.hpp"
 
 namespace autonet::obs {
 
-/// Ordered key/value annotations on spans and events.
-using Fields = std::vector<std::pair<std::string, std::string>>;
+class FlightRecorder;
 
 #ifdef AUTONET_OBS_DISABLED
 inline constexpr bool kCompiledIn = false;
@@ -64,6 +64,12 @@ class Registry {
 
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
+  ~Registry();
+
+  /// True while `registry` points at a live Registry. Lets an RAII
+  /// obs::Span that escaped its RegistryScope detect that its registry
+  /// was destroyed instead of dereferencing a dangling pointer.
+  [[nodiscard]] static bool alive(const Registry* registry);
 
   /// The process-wide default registry (real clock).
   static Registry& global();
@@ -81,6 +87,9 @@ class Registry {
   }
 
   [[nodiscard]] std::uint64_t now_us() { return clock_->now_us(); }
+  /// Non-advancing clock read; flight-recorder event timestamps use
+  /// this so recording never perturbs span durations (see Clock).
+  [[nodiscard]] std::uint64_t peek_us() { return clock_->peek_us(); }
   /// Advances a virtual clock (no-op returning false under a real one).
   /// The deployer calls this with its computed backoff delays so that,
   /// under a VirtualClock, retry events are spaced by exactly the
@@ -99,6 +108,10 @@ class Registry {
   void log_event(std::string kind, Fields fields);
   /// Appends a completed span. Normally called by obs::Span.
   void record_span(TraceEvent event);
+  /// The registry's flight recorder (always present; gate writes on
+  /// enabled()). Most callers should use the obs::record() helper in
+  /// obs/recorder.hpp, which also stamps phase-relative timestamps.
+  [[nodiscard]] FlightRecorder& recorder() { return *recorder_; }
 
   // --- Snapshots (copies; safe to export while instrumentation runs) ----
   struct HistogramSnapshot {
@@ -159,6 +172,7 @@ class Registry {
 
  private:
   std::unique_ptr<Clock> clock_;
+  std::unique_ptr<FlightRecorder> recorder_;
   std::atomic<bool> enabled_{true};
   std::atomic<std::uint64_t> dropped_{0};
 

@@ -49,11 +49,17 @@ class Span {
   }
 
   /// Ends the span (idempotent) and returns its duration in
-  /// milliseconds — the value PhaseTimings is derived from.
+  /// milliseconds — the value PhaseTimings is derived from. Safe to call
+  /// after the registry died (a span that outlived its RegistryScope's
+  /// registry): the span closes without recording and reports 0.
   double stop_ms() {
     if (done_) return static_cast<double>(dur_us_) / 1000.0;
     done_ = true;
     --detail::t_span_depth;
+    if (!Registry::alive(registry_)) {
+      dur_us_ = 0;
+      return 0.0;
+    }
     const std::uint64_t end_us = registry_->now_us();
     dur_us_ = end_us > start_us_ ? end_us - start_us_ : 0;
     if (registry_->enabled()) {

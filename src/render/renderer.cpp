@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/recorder.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
 
@@ -97,12 +98,18 @@ ConfigTree render_configs(const nidb::Nidb& nidb, const TemplateStore& store,
     templates::Context ctx;
     ctx.set("node", rec->data);
     ctx.set("data", nidb.data());
+    std::size_t files = 0;
     for (const auto& entry : store.entries(base)) {
       std::string out =
           entry.is_template ? entry.tmpl.render(ctx) : entry.static_content;
       (entry.is_template ? templates_rendered : static_copied).inc();
       tree.put(dst.empty() ? entry.path : dst + "/" + entry.path, std::move(out));
+      ++files;
     }
+    obs::record("render", "device",
+                {{"device", rec->name},
+                 {"base", base},
+                 {"files", std::to_string(files)}});
   }
 
   // Platform-level rendering (lab.conf, .net, network-wide scripts).

@@ -1,0 +1,93 @@
+// Run reports: every workflow run folds its flight-recorder timeline,
+// phase timings, and derived metrics into one deterministic
+// run_report.json. The same graph + options + seed produce a
+// byte-identical report — including a run that was killed mid-pipeline
+// and resumed from its checkpoint (restored phases replay the event
+// slice their original execution persisted). That byte-stability is
+// what makes `autonet report diff` a regression gate: an empty diff
+// means the two runs did the same work.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nidb/value.hpp"
+#include "obs/event.hpp"
+
+namespace autonet::core {
+class Workflow;
+}
+
+namespace autonet::report {
+
+/// Snaps a metric to the journal's JSON precision (6 significant
+/// digits, integral values exact), so aggregates over journal-replayed
+/// results are byte-identical to aggregates over fresh ones. Shared
+/// with experiment::CampaignRunner.
+[[nodiscard]] double snap_metric(double value);
+
+/// The scalar metrics a finished (or failed) workflow run yields:
+/// convergence outcome, deploy effort, emulation control-plane work
+/// (only when `deployed` — the network must exist), and per-phase
+/// virtual durations. Sorted by name; values are NOT snapped (the
+/// journal snaps on collection, the report formats with the same
+/// precision).
+[[nodiscard]] std::vector<std::pair<std::string, double>> workflow_metrics(
+    core::Workflow& wf, bool deployed);
+
+/// Builds the deterministic run-report JSON for a workflow that has
+/// completed (or failed) its pipeline. Fixed key order, %.17g phase
+/// durations (matching checkpoint manifests, so restored timings
+/// round-trip exactly), %.6g metrics (matching the journal snap), and
+/// a timeline that concatenates the per-phase flight-recorder slices in
+/// pipeline order. Deliberately carries no resume provenance: a
+/// resumed run's report is byte-identical to an uninterrupted one.
+[[nodiscard]] std::string run_report_json(core::Workflow& wf);
+
+/// Writes run_report_json(wf) to `path` crash-consistently
+/// (write-temp + fsync + rename).
+void write_run_report(core::Workflow& wf, const std::string& path);
+
+/// Parses a run report file; throws std::runtime_error when the file is
+/// missing or not a report.
+[[nodiscard]] nidb::Value load_report(const std::string& path);
+
+/// The flight-recorder timeline of a parsed report (its "events"
+/// array).
+[[nodiscard]] std::vector<obs::RecorderEvent> report_events(
+    const nidb::Value& report);
+
+struct DiffOptions {
+  /// Phase-duration and metric deltas within this percentage of the
+  /// baseline are noise, not drift. Event-count and metadata changes
+  /// are always reported (0% → any change reports).
+  double threshold_pct = 0.0;
+};
+
+/// One cross-run difference. `kind` is "meta" (hash/signature/status),
+/// "phase" (duration drift past the threshold), "metric" (value drift
+/// past the threshold), or "events" (per-category event-count drift).
+struct ReportDiff {
+  struct Entry {
+    std::string kind;
+    std::string key;
+    std::string a;  // baseline value ("-" when absent)
+    std::string b;  // candidate value ("-" when absent)
+  };
+  std::vector<Entry> entries;
+
+  [[nodiscard]] bool empty() const { return entries.empty(); }
+  /// One line per entry: "kind key: a -> b". Empty string when empty().
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Compares two parsed run reports: phase-time deltas past the
+/// threshold, metric deltas past the threshold, event-count drift per
+/// category, and metadata changes (input hash, options signature,
+/// status). Two byte-identical reports diff empty.
+[[nodiscard]] ReportDiff diff_reports(const nidb::Value& a,
+                                      const nidb::Value& b,
+                                      const DiffOptions& options = {});
+
+}  // namespace autonet::report

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "nidb/value.hpp"
+#include "obs/recorder.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
 #include "verify/index.hpp"
@@ -156,11 +157,18 @@ Report run_lint(const LintInput& input, const LintOptions& options,
     rule.run(ctx, emitter);
     span.arg("findings", std::to_string(emitter.emitted()));
     scope.counter("rules_run").inc();
+    // Verdict severity mirrors the findings: clean rules are routine,
+    // warning findings warn, error findings flag the event red.
+    obs::Severity verdict = obs::Severity::kInfo;
     if (emitter.emitted() > 0) {
       scope.counter("findings").inc(emitter.emitted());
       scope.counter(emitter.severity() == Severity::kError ? "errors" : "warnings")
           .inc(emitter.emitted());
+      verdict = emitter.severity() == Severity::kError ? obs::Severity::kError
+                                                       : obs::Severity::kWarning;
     }
+    obs::record("lint", verdict, rule.info.id,
+                {{"findings", std::to_string(emitter.emitted())}});
   }
   report.finalize();
   return report;

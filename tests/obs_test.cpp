@@ -166,10 +166,15 @@ TEST(ObsExport, PrometheusGolden) {
   h.observe(3);
   h.observe(300);
   EXPECT_EQ(obs::to_prometheus(reg),
+            "# HELP autonet_render_files Template rendering outcomes "
+            "(render/). Source metric 'render.files'.\n"
             "# TYPE autonet_render_files counter\n"
             "autonet_render_files 3\n"
+            "# HELP autonet_emulation_routers Control-plane emulation "
+            "statistics (emulation/). Source metric 'emulation.routers'.\n"
             "# TYPE autonet_emulation_routers gauge\n"
             "autonet_emulation_routers 5\n"
+            "# HELP autonet_bytes Source metric 'bytes'.\n"
             "# TYPE autonet_bytes histogram\n"
             "autonet_bytes_bucket{le=\"1\"} 1\n"
             "autonet_bytes_bucket{le=\"4\"} 2\n"
@@ -177,6 +182,18 @@ TEST(ObsExport, PrometheusGolden) {
             "autonet_bytes_bucket{le=\"+Inf\"} 3\n"
             "autonet_bytes_sum 304\n"
             "autonet_bytes_count 3\n");
+}
+
+TEST(ObsExport, PrometheusHelpEscapesBackslashAndNewline) {
+  obs::Registry reg(std::make_unique<obs::VirtualClock>(1));
+  // The metric name flows into the HELP text; exposition-format escapes
+  // (backslash, newline) must be applied there.
+  reg.counter("odd\\name\nwith newline").inc();
+  const std::string text = obs::to_prometheus(reg);
+  EXPECT_NE(text.find("# HELP autonet_odd_name_with_newline Source metric "
+                      "'odd\\\\name\\nwith newline'.\n"),
+            std::string::npos)
+      << text;
 }
 
 TEST(ObsExport, JsonlGoldenAndEscaping) {

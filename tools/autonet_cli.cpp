@@ -14,10 +14,14 @@
 //   autonet run   <topology> [--platform P] [--ibgp MODE]
 //                 [--trace SRC DST | --trace out.json] [--validate]
 //                 [--metrics FILE] [--checkpoint DIR] [--resume DIR]
-//                 [--deadline MS]
+//                 [--deadline MS] [--report FILE]
 //   autonet exp run <campaign.file> [--out DIR] [--jobs N] [--fresh]
 //                 [--checkpoints] [--deadline MS]
 //   autonet exp report <DIR|journal.jsonl> [--format text|csv|jsonl]
+//   autonet events <run_report.json|events.jsonl> [--phase P]
+//                 [--category C] [--severity info|warning|error]
+//                 [--min-us N] [--max-us N] [--format text|jsonl]
+//   autonet report diff <A> <B> [--threshold-pct N]
 //
 // Supervision: `run` and `exp run` install a graceful SIGINT handler —
 // the first ^C cancels cooperatively at the next phase/sub-phase
@@ -28,7 +32,11 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <map>
+#include <memory>
+#include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -41,6 +49,8 @@
 #include "experiment/campaign.hpp"
 #include "experiment/runner.hpp"
 #include "obs/export.hpp"
+#include "obs/recorder.hpp"
+#include "report/run_report.hpp"
 #include "topology/builtin.hpp"
 #include "topology/generators.hpp"
 #include "topology/gml.hpp"
@@ -72,11 +82,17 @@ int usage() {
                "  autonet run <topology> [--platform P] [--ibgp MODE] "
                "[--trace SRC DST | --trace OUT.json] [--validate]\n"
                "              [--metrics FILE] [--checkpoint DIR] "
-               "[--resume DIR] [--deadline MS]\n"
+               "[--resume DIR] [--deadline MS] [--report FILE] "
+               "[--virtual-clock]\n"
                "  autonet exp run <campaign.file> [--out DIR] [--jobs N] "
                "[--fresh] [--checkpoints] [--deadline MS] [--trace OUT.json]\n"
                "  autonet exp report <DIR|journal.jsonl> "
-               "[--format text|csv|jsonl] [--out FILE]\n");
+               "[--format text|csv|jsonl] [--out FILE]\n"
+               "  autonet events <run_report.json|events.jsonl> [--phase P] "
+               "[--category C]\n"
+               "                 [--severity info|warning|error] [--min-us N] "
+               "[--max-us N] [--format text|jsonl]\n"
+               "  autonet report diff <A> <B> [--threshold-pct N]\n");
   return 2;
 }
 
@@ -91,7 +107,8 @@ struct Args {
     for (int i = start; i < argc; ++i) {
       std::string arg = argv[i];
       if (arg == "--isis" || arg == "--dns" || arg == "--validate" ||
-          arg == "--list-rules" || arg == "--fresh" || arg == "--checkpoints") {
+          arg == "--list-rules" || arg == "--fresh" || arg == "--checkpoints" ||
+          arg == "--virtual-clock") {
         args.options[arg.substr(2)] = "1";
       } else if (arg == "--trace" && i + 1 < argc &&
                  std::string_view(argv[i + 1]).ends_with(".json")) {
@@ -382,10 +399,12 @@ int cmd_exp_run(const Args& args) {
 
   experiment::RunnerOptions opts;
   opts.journal_path = out_dir + "/journal.jsonl";
+  opts.report_dir = out_dir + "/reports";
   if (args.has("jobs")) opts.jobs = std::stoi(args.get("jobs"));
   if (args.has("checkpoints")) opts.checkpoint_dir = out_dir + "/checkpoints";
   if (args.has("fresh")) {
     std::filesystem::remove(opts.journal_path);
+    std::filesystem::remove_all(opts.report_dir);
     if (!opts.checkpoint_dir.empty()) {
       std::filesystem::remove_all(opts.checkpoint_dir);
     }
@@ -456,12 +475,45 @@ int cmd_exp_report(const Args& args) {
             [](const auto& a, const auto& b) { return a.index < b.index; });
   const auto groups = experiment::aggregate(results);
 
+  // Run-status summary: how many journalled runs resumed from a mid-run
+  // checkpoint (derived from the journal's shape — ckpt pointer lines
+  // later superseded by completed results), how many are still
+  // interrupted (pending checkpoints), and where each run's
+  // run_report.json landed.
+  const auto pending = journal.load_checkpoints();
+  const auto resumed_list = journal.resumed_ids();
+  const std::set<std::string> resumed_set(resumed_list.begin(),
+                                          resumed_list.end());
+
   const std::string format = args.get("format", "text");
   std::string rendered;
   if (format == "text") {
     rendered = experiment::to_text(groups);
+    std::ostringstream summary;
+    summary << "runs: " << results.size() << " journalled, "
+            << resumed_set.size() << " resumed, " << pending.size()
+            << " interrupted (pending checkpoint)\n";
+    for (const auto& result : results) {
+      if (!result.report_path.empty()) {
+        summary << "report " << result.id << ": " << result.report_path << "\n";
+      }
+    }
+    rendered += summary.str();
   } else if (format == "csv") {
     rendered = experiment::to_csv(groups);
+    // A second CSV section (own header) after a blank line: per-run
+    // status rows, so spreadsheets ingest both tables.
+    std::ostringstream summary;
+    summary << "\nrun,ok,resumed,interrupted,report\n";
+    for (const auto& result : results) {
+      summary << result.id << "," << (result.ok ? 1 : 0) << ","
+              << (resumed_set.count(result.id) != 0 ? 1 : 0) << ",0,"
+              << result.report_path << "\n";
+    }
+    for (const auto& [run_id, record] : pending) {
+      summary << run_id << ",0,0,1,\n";
+    }
+    rendered += summary.str();
   } else if (format == "jsonl") {
     rendered = experiment::to_jsonl(groups);
   } else {
@@ -476,6 +528,117 @@ int cmd_exp_report(const Args& args) {
   return 0;
 }
 
+// --- Flight-recorder timelines & run-report diffs -------------------------
+
+// Loads a timeline from either a run_report.json (its "events" array)
+// or an events JSONL file (flight.jsonl, <phase>.events.jsonl).
+std::vector<obs::RecorderEvent> load_events_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  try {
+    const nidb::Value doc = nidb::parse_json(text);
+    if (doc.find("events") != nullptr) return report::report_events(doc);
+  } catch (const std::exception&) {
+    // Not a single JSON document: fall through to JSONL.
+  }
+  return core::events_from_jsonl(text);
+}
+
+int cmd_events(const Args& args) {
+  if (args.positional.empty()) return usage();
+  std::vector<obs::RecorderEvent> events;
+  try {
+    events = load_events_file(args.positional[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "autonet events: %s\n", e.what());
+    return 2;
+  }
+
+  const std::string phase = args.get("phase");
+  const std::string category = args.get("category");
+  const std::string severity = args.get("severity");
+  if (!severity.empty() && severity != "info" && severity != "warning" &&
+      severity != "error") {
+    std::fprintf(stderr,
+                 "autonet events: --severity expects info|warning|error\n");
+    return 2;
+  }
+  const std::uint64_t min_us =
+      args.has("min-us") ? std::stoull(args.get("min-us")) : 0;
+  const std::uint64_t max_us = args.has("max-us")
+                                   ? std::stoull(args.get("max-us"))
+                                   : std::numeric_limits<std::uint64_t>::max();
+  // --severity filters at-or-above: warning shows warnings and errors.
+  const auto min_severity =
+      severity.empty() ? obs::Severity::kInfo : obs::severity_from_label(severity);
+
+  std::vector<const obs::RecorderEvent*> selected;
+  for (const obs::RecorderEvent& event : events) {
+    if (!phase.empty() && event.phase != phase) continue;
+    if (!category.empty() && event.category != category) continue;
+    if (event.severity < min_severity) continue;
+    if (event.ts_us < min_us || event.ts_us > max_us) continue;
+    selected.push_back(&event);
+  }
+
+  const std::string format = args.get("format", "text");
+  if (format == "jsonl") {
+    for (const obs::RecorderEvent* event : selected) {
+      std::printf("%s\n", obs::event_to_json(*event).c_str());
+    }
+  } else if (format == "text") {
+    for (const obs::RecorderEvent* event : selected) {
+      std::printf("%8llu us  %-7s %-8s %s/%s",
+                  static_cast<unsigned long long>(event->ts_us),
+                  obs::severity_label(event->severity),
+                  event->phase.empty() ? "-" : event->phase.c_str(),
+                  event->category.c_str(), event->name.c_str());
+      for (const auto& [key, value] : event->fields) {
+        std::printf(" %s=%s", key.c_str(), value.c_str());
+      }
+      std::printf("\n");
+    }
+  } else {
+    std::fprintf(stderr, "autonet events: unknown format '%s'\n",
+                 format.c_str());
+    return 2;
+  }
+  std::fprintf(stderr, "%zu of %zu events\n", selected.size(), events.size());
+  return 0;
+}
+
+int cmd_report_diff(const Args& args) {
+  if (args.positional.size() < 3) return usage();
+  report::DiffOptions options;
+  if (args.has("threshold-pct")) {
+    options.threshold_pct = std::stod(args.get("threshold-pct"));
+  }
+  report::ReportDiff diff;
+  try {
+    diff = report::diff_reports(report::load_report(args.positional[1]),
+                                report::load_report(args.positional[2]),
+                                options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "autonet report: %s\n", e.what());
+    return 2;
+  }
+  // An empty diff is silent success — scripts and CI gate on the exit
+  // code alone.
+  if (diff.empty()) return 0;
+  std::fputs(diff.to_string().c_str(), stdout);
+  return 1;
+}
+
+int cmd_report(const Args& args) {
+  if (!args.positional.empty() && args.positional[0] == "diff") {
+    return cmd_report_diff(args);
+  }
+  return usage();
+}
+
 int cmd_exp(const Args& args) {
   if (args.positional.empty()) return usage();
   if (args.positional[0] == "run") return cmd_exp_run(args);
@@ -486,6 +649,18 @@ int cmd_exp(const Args& args) {
 int cmd_run(const Args& args) {
   if (args.positional.empty()) return usage();
   core::Workflow wf(workflow_options(args));
+
+  // --virtual-clock: record telemetry into a private registry driven by
+  // a VirtualClock, so timings, metrics exports, and the run report are
+  // byte-deterministic (goldens, report diffing across machines).
+  std::unique_ptr<obs::Registry> virtual_registry;
+  std::optional<obs::RegistryScope> virtual_scope;
+  if (args.has("virtual-clock")) {
+    virtual_registry =
+        std::make_unique<obs::Registry>(std::make_unique<obs::VirtualClock>());
+    wf.use_telemetry(virtual_registry.get());
+    virtual_scope.emplace(*virtual_registry);
+  }
 
   // Supervision: ^C cancels cooperatively at the next phase/sub-phase
   // boundary; --deadline arms a time budget. With --checkpoint/--resume,
@@ -512,6 +687,31 @@ int cmd_run(const Args& args) {
     return code;
   };
 
+  // The run report lands next to the checkpoint (so interrupted runs'
+  // partial reports are replaced by the final one on completion) and at
+  // --report FILE when given. Byte-deterministic: a resumed run writes
+  // the same bytes an uninterrupted one would.
+  auto write_report = [&]() {
+    std::vector<std::string> targets;
+    if (!ckpt_dir.empty()) targets.push_back(ckpt_dir + "/run_report.json");
+    if (args.has("report")) targets.push_back(args.get("report"));
+    for (const std::string& path : targets) {
+      try {
+        report::write_run_report(wf, path);
+        std::printf("run report written to %s\n", path.c_str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "autonet run: cannot write %s: %s\n", path.c_str(),
+                     e.what());
+      }
+    }
+    if (!ckpt_dir.empty()) {
+      // The run finished: the interruption-path diagnostics are stale.
+      std::error_code ec;
+      std::filesystem::remove(ckpt_dir + "/run_report.partial.json", ec);
+      std::filesystem::remove(ckpt_dir + "/flight.jsonl", ec);
+    }
+  };
+
   try {
     wf.run(load_input(args.positional[0]));
   } catch (const core::DeadlineExceeded& e) {
@@ -536,7 +736,10 @@ int cmd_run(const Args& args) {
               result.convergence.oscillating
                   ? (", period " + std::to_string(result.convergence.period)).c_str()
                   : "");
-  if (!result.success) return 1;
+  if (!result.success) {
+    write_report();
+    return 1;
+  }
 
   // Phase 6 on a running network: validation + reachability. Gives the
   // exported trace all six pipeline phases.
@@ -547,6 +750,7 @@ int cmd_run(const Args& args) {
   } catch (const core::Cancelled& e) {
     return interrupted(e, 130);
   }
+  write_report();
 
   int rc = 0;
   if (!args.trace_file.empty()) {
@@ -599,6 +803,8 @@ int main(int argc, char** argv) {
     if (command == "lint") return cmd_lint(args);
     if (command == "run") return cmd_run(args);
     if (command == "exp") return cmd_exp(args);
+    if (command == "events") return cmd_events(args);
+    if (command == "report") return cmd_report(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "autonet: %s\n", e.what());
     return 1;

@@ -1,0 +1,199 @@
+// The cross-run benchmark regression gate: compares fresh BENCH_*.json
+// results (bench/bench_json.hpp exports) against committed baselines
+// and fails when any benchmark's per-iteration wall time regressed past
+// a threshold. Timings are machine-dependent, so CI runs this warn-only
+// by default; on a pinned perf box drop --warn-only to make it a hard
+// gate.
+//
+//   bench_gate <baseline.json> <fresh.json> [options]
+//   bench_gate --baseline-dir DIR --fresh-dir DIR [options]
+//     --max-regress-pct N   allowed slowdown before failing (default 10)
+//     --warn-only           report regressions but exit 0
+//     --verbose             print every benchmark, not just regressions
+//
+// Exit codes: 0 clean (or --warn-only), 1 regression found, 2 bad
+// invocation or unreadable input.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "nidb/value.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+namespace nidb = autonet::nidb;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  bench_gate <baseline.json> <fresh.json> [--max-regress-pct N]"
+               " [--warn-only] [--verbose]\n"
+               "  bench_gate --baseline-dir DIR --fresh-dir DIR"
+               " [--max-regress-pct N] [--warn-only] [--verbose]\n");
+  return 2;
+}
+
+/// name -> per-iteration wall ms, parsed from one BENCH_<suite>.json
+/// (an array of {"kind":"bench","name":...,"wall_ms":"0.123456",...}
+/// event objects).
+std::map<std::string, double> load_bench(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const nidb::Value doc = nidb::parse_json(ss.str());
+  const nidb::Array* events = doc.as_array();
+  if (events == nullptr) throw std::runtime_error(path + ": not a JSON array");
+  std::map<std::string, double> out;
+  for (const nidb::Value& event : *events) {
+    const nidb::Value* kind = event.find("kind");
+    if (kind == nullptr || kind->as_string() == nullptr ||
+        *kind->as_string() != "bench") {
+      continue;
+    }
+    const nidb::Value* name = event.find("name");
+    const nidb::Value* wall = event.find("wall_ms");
+    if (name == nullptr || name->as_string() == nullptr || wall == nullptr ||
+        wall->as_string() == nullptr) {
+      continue;
+    }
+    out[*name->as_string()] = std::stod(*wall->as_string());
+  }
+  return out;
+}
+
+struct GateResult {
+  std::size_t compared = 0;
+  std::size_t regressed = 0;
+  std::size_t missing = 0;  // in baseline, absent from fresh
+  std::size_t added = 0;    // fresh benchmarks with no baseline
+};
+
+void gate_pair(const std::string& label,
+               const std::map<std::string, double>& baseline,
+               const std::map<std::string, double>& fresh,
+               double max_regress_pct, bool verbose, GateResult& total) {
+  for (const auto& [name, base_ms] : baseline) {
+    auto it = fresh.find(name);
+    if (it == fresh.end()) {
+      ++total.missing;
+      std::printf("MISS %s %s: baseline %.6f ms, no fresh result\n",
+                  label.c_str(), name.c_str(), base_ms);
+      continue;
+    }
+    ++total.compared;
+    const double fresh_ms = it->second;
+    const double delta_pct =
+        base_ms == 0 ? 0 : (fresh_ms - base_ms) / base_ms * 100.0;
+    if (delta_pct > max_regress_pct) {
+      ++total.regressed;
+      std::printf("REGR %s %s: %.6f ms -> %.6f ms (%+.1f%% > %.1f%%)\n",
+                  label.c_str(), name.c_str(), base_ms, fresh_ms, delta_pct,
+                  max_regress_pct);
+    } else if (verbose) {
+      std::printf("OK   %s %s: %.6f ms -> %.6f ms (%+.1f%%)\n", label.c_str(),
+                  name.c_str(), base_ms, fresh_ms, delta_pct);
+    }
+  }
+  for (const auto& [name, fresh_ms] : fresh) {
+    if (baseline.find(name) == baseline.end()) {
+      ++total.added;
+      if (verbose) {
+        std::printf("NEW  %s %s: %.6f ms (no baseline)\n", label.c_str(),
+                    name.c_str(), fresh_ms);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  std::string baseline_dir;
+  std::string fresh_dir;
+  double max_regress_pct = 10.0;
+  bool warn_only = false;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--warn-only") {
+      warn_only = true;
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--max-regress-pct" && i + 1 < argc) {
+      max_regress_pct = std::stod(argv[++i]);
+    } else if (arg == "--baseline-dir" && i + 1 < argc) {
+      baseline_dir = argv[++i];
+    } else if (arg == "--fresh-dir" && i + 1 < argc) {
+      fresh_dir = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  // (baseline, fresh) file pairs to gate, labelled by suite.
+  std::vector<std::pair<std::string, std::pair<std::string, std::string>>> pairs;
+  if (!baseline_dir.empty() || !fresh_dir.empty()) {
+    if (baseline_dir.empty() || fresh_dir.empty() || !positional.empty()) {
+      return usage();
+    }
+    if (!fs::is_directory(baseline_dir)) {
+      std::fprintf(stderr, "bench_gate: %s is not a directory\n",
+                   baseline_dir.c_str());
+      return 2;
+    }
+    // Pair by file name; a fresh suite with no committed baseline is
+    // not an error (new benchmarks land before their baselines).
+    std::vector<std::string> names;
+    for (const auto& entry : fs::directory_iterator(baseline_dir)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+          entry.path().extension() == ".json") {
+        names.push_back(name);
+      }
+    }
+    std::sort(names.begin(), names.end());
+    for (const std::string& name : names) {
+      const std::string fresh_path = fresh_dir + "/" + name;
+      if (!fs::exists(fresh_path)) {
+        std::printf("MISS %s: no fresh results (%s not produced)\n",
+                    name.c_str(), fresh_path.c_str());
+        continue;
+      }
+      pairs.emplace_back(name, std::make_pair(baseline_dir + "/" + name,
+                                              fresh_path));
+    }
+  } else if (positional.size() == 2) {
+    pairs.emplace_back(fs::path(positional[0]).filename().string(),
+                       std::make_pair(positional[0], positional[1]));
+  } else {
+    return usage();
+  }
+
+  GateResult total;
+  try {
+    for (const auto& [label, files] : pairs) {
+      gate_pair(label, load_bench(files.first), load_bench(files.second),
+                max_regress_pct, verbose, total);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_gate: %s\n", e.what());
+    return 2;
+  }
+
+  std::printf("bench_gate: %zu compared, %zu regressed (>%.1f%%), "
+              "%zu missing, %zu new%s\n",
+              total.compared, total.regressed, max_regress_pct, total.missing,
+              total.added, warn_only ? " [warn-only]" : "");
+  if (total.regressed > 0) return warn_only ? 0 : 1;
+  return 0;
+}
