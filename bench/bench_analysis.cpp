@@ -1,0 +1,76 @@
+// The static analyzer's cost model: predicted-FIB construction and the
+// k=1 link-failure what-if sweep over the Small-Internet lab — the two
+// phases `autonet analyze` spends its time in. Everything here runs
+// offline; no emulation is booted.
+#include <benchmark/benchmark.h>
+
+#include <set>
+
+#include "bench_json.hpp"
+
+#include "core/workflow.hpp"
+#include "topology/builtin.hpp"
+#include "verify/analysis/model.hpp"
+#include "verify/rules.hpp"
+
+namespace {
+
+using namespace autonet;
+using verify::analysis::Model;
+
+nidb::Nidb small_internet_nidb() {
+  core::Workflow wf;
+  wf.load(topology::small_internet()).design().compile();
+  return wf.nidb();
+}
+
+void BM_Analysis_PredictFibs(benchmark::State& state) {
+  const nidb::Nidb nidb = small_internet_nidb();
+  const Model model = Model::from_nidb(nidb);
+  std::size_t spf_runs = 0;
+  for (auto _ : state) {
+    auto prediction = verify::analysis::predict(model);
+    spf_runs = prediction.spf_runs;
+    benchmark::DoNotOptimize(prediction.fibs.size());
+  }
+  state.counters["routers"] = static_cast<double>(model.size());
+  state.counters["spf_runs"] = static_cast<double>(spf_runs);
+}
+BENCHMARK(BM_Analysis_PredictFibs)->Unit(benchmark::kMillisecond);
+
+void BM_Analysis_WhatifK1(benchmark::State& state) {
+  const nidb::Nidb nidb = small_internet_nidb();
+  const Model model = Model::from_nidb(nidb);
+  const auto links = model.links();
+  for (auto _ : state) {
+    std::size_t reachable = 0;
+    for (const auto& link : links) {
+      auto prediction = verify::analysis::predict(model, {link.subnet});
+      for (const auto& fib : prediction.fibs) reachable += fib.size();
+    }
+    benchmark::DoNotOptimize(reachable);
+  }
+  state.counters["links"] = static_cast<double>(links.size());
+}
+BENCHMARK(BM_Analysis_WhatifK1)->Unit(benchmark::kMillisecond);
+
+// The full rule family end to end, as `autonet analyze` runs it (shared
+// workspace, parallel rules, per-rule spans).
+void BM_Analysis_RuleFamily(benchmark::State& state) {
+  const nidb::Nidb nidb = small_internet_nidb();
+  verify::LintInput input;
+  input.nidb = &nidb;
+  std::size_t findings = 0;
+  for (auto _ : state) {
+    auto report =
+        verify::run_lint(input, {}, verify::RuleRegistry::with_analysis());
+    findings = report.findings.size();
+    benchmark::DoNotOptimize(findings);
+  }
+  state.counters["findings"] = static_cast<double>(findings);
+}
+BENCHMARK(BM_Analysis_RuleFamily)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+AUTONET_BENCH_MAIN("analysis")

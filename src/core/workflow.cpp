@@ -256,7 +256,8 @@ std::string Workflow::options_signature() const {
       << ";isis=" << options_.enable_isis << ";dns=" << options_.enable_dns
       << ";rpki=" << options_.enable_rpki << ";lint=" << options_.lint.enabled
       << "," << options_.lint.fail_fast << ","
-      << options_.lint.options.fail_on_warning
+      << options_.lint.options.fail_on_warning << ","
+      << options_.lint.analysis
       << ";deploy=" << options_.deploy.max_transfer_attempts << ","
       << options_.deploy.max_boot_attempts << ","
       << options_.deploy.backoff_base_ms << "," << options_.deploy.backoff_max_ms
@@ -591,8 +592,11 @@ Workflow& Workflow::lint() {
       verify::LintInput input;
       input.nidb = &*nidb_;
       input.templates = &render::TemplateStore::builtins();
-      lint_report_ = verify::run_lint(input, options_.lint.options,
-                                      verify::RuleRegistry::builtin(), control_);
+      const verify::RuleRegistry& registry =
+          options_.lint.analysis ? verify::RuleRegistry::with_analysis()
+                                 : verify::RuleRegistry::builtin();
+      lint_report_ =
+          verify::run_lint(input, options_.lint.options, registry, control_);
     });
     save_phase("lint");
   }

@@ -44,6 +44,10 @@ struct LintGate {
   /// when false the report is recorded (see lint_report()) but the
   /// pipeline continues.
   bool fail_fast = true;
+  /// Opt-in: also run the semantic "analysis" rule family (predicted
+  /// FIBs, reachability/loop/blackhole, k=1 what-if) in the gate, i.e.
+  /// use RuleRegistry::with_analysis() instead of builtin().
+  bool analysis = false;
   /// Per-rule enable/disable, severity overrides and the threshold.
   verify::LintOptions options;
 };

@@ -1,0 +1,86 @@
+#include "verify/analysis/cache.hpp"
+
+#include <string>
+
+namespace autonet::verify::analysis {
+
+namespace {
+
+// FNV-1a 64-bit — byte-for-byte the same scheme as
+// core::checkpoint_hash (not linked from here: autonet_core depends on
+// autonet_verify, so the hash is restated rather than imported).
+std::uint64_t fnv1a(std::string_view data) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t nidb_content_hash(const nidb::Nidb& nidb) {
+  return fnv1a(nidb.to_json(false));
+}
+
+std::uint64_t whatif_key(std::uint64_t base,
+                         const std::set<addressing::Ipv4Prefix>& failed_subnets) {
+  std::string tail;
+  for (const auto& subnet : failed_subnets) {
+    tail += subnet.to_string();
+    tail += '|';
+  }
+  // Mix the base hash in so the same failure set over different designs
+  // never collides by construction of the tail alone.
+  return base ^ (fnv1a(tail) + 0x9e3779b97f4a7c15ULL + (base << 6) + (base >> 2));
+}
+
+FibCache& FibCache::global() {
+  static FibCache cache;
+  return cache;
+}
+
+std::shared_ptr<const Prediction> FibCache::get(
+    std::uint64_t key, const std::function<Prediction()>& compute, bool* hit) {
+  std::promise<std::shared_ptr<const Prediction>> promise;
+  std::shared_future<std::shared_ptr<const Prediction>> future;
+  bool mine = false;
+  {
+    std::lock_guard lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      future = it->second;
+    } else {
+      if (entries_.size() >= kMaxEntries) entries_.clear();
+      future = promise.get_future().share();
+      entries_.emplace(key, future);
+      mine = true;
+    }
+  }
+  if (hit != nullptr) *hit = !mine;
+  if (mine) {
+    try {
+      promise.set_value(std::make_shared<const Prediction>(compute()));
+    } catch (...) {
+      // Propagate to every waiter, then drop the entry so a later call
+      // can retry instead of re-observing a stale failure.
+      promise.set_exception(std::current_exception());
+      std::lock_guard lock(mu_);
+      entries_.erase(key);
+    }
+  }
+  return future.get();
+}
+
+void FibCache::clear() {
+  std::lock_guard lock(mu_);
+  entries_.clear();
+}
+
+std::size_t FibCache::size() const {
+  std::lock_guard lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace autonet::verify::analysis

@@ -1,0 +1,118 @@
+// The symbolic control-plane model behind `autonet analyze`: compiles
+// the NIDB straight into per-router configurations (no rendering, no
+// emulation boot) and derives predicted FIBs offline — link-state SPF
+// per OSPF area, the full iBGP/eBGP decision process, connected routes,
+// and admin-distance arbitration. The algorithms deliberately mirror
+// src/emulation/ semantics step for step so `--cross-check` can use the
+// emulation as a differential oracle; only the *inputs* differ (NIDB
+// records here, rendered-and-reparsed configs there).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "addressing/ipv4.hpp"
+#include "emulation/router.hpp"
+#include "nidb/nidb.hpp"
+
+namespace autonet::verify::analysis {
+
+/// A point-to-point or LAN link: one collision-domain subnet shared by
+/// at least two routers. The unit of what-if failure enumeration.
+struct Link {
+  std::string a;  // lexicographically first member
+  std::string b;  // second member (representative on LANs)
+  addressing::Ipv4Prefix subnet;
+  /// Every router attached to the subnet, sorted.
+  std::vector<std::string> members;
+};
+
+/// Immutable network model lifted from the NIDB device records. Safe to
+/// share read-only across analysis worker threads.
+class Model {
+ public:
+  [[nodiscard]] static Model from_nidb(const nidb::Nidb& nidb);
+
+  [[nodiscard]] const std::vector<emulation::RouterConfig>& routers() const {
+    return configs_;
+  }
+  [[nodiscard]] std::size_t size() const { return configs_.size(); }
+  [[nodiscard]] const emulation::RouterConfig* router(std::string_view name) const;
+  [[nodiscard]] std::optional<std::size_t> index_of(std::string_view name) const;
+  /// Which router owns this address (interface or loopback)?
+  [[nodiscard]] std::optional<std::string> owner_of(addressing::Ipv4Addr addr) const;
+  [[nodiscard]] const std::map<std::uint32_t, std::size_t>& by_address() const {
+    return by_address_;
+  }
+  /// Failure-enumerable links: subnets attached to >= 2 routers, in
+  /// deterministic (subnet) order.
+  [[nodiscard]] std::vector<Link> links() const;
+
+ private:
+  std::vector<emulation::RouterConfig> configs_;  // sorted by hostname
+  std::map<std::string, std::size_t, std::less<>> by_name_;
+  std::map<std::uint32_t, std::size_t> by_address_;
+};
+
+/// Predicted control-plane outcome for one (model, failure set) pair.
+struct Prediction {
+  /// fibs[i] belongs to Model::routers()[i].
+  std::vector<std::vector<emulation::FibEntry>> fibs;
+  /// igp_dist[r]: router index -> IGP distance (same semantics as the
+  /// emulation's igp_dist_).
+  std::vector<std::map<std::size_t, double>> igp_dist;
+  bool bgp_converged = false;
+  bool bgp_oscillating = false;
+  std::size_t bgp_rounds = 0;
+  std::size_t bgp_sessions = 0;
+  std::size_t spf_runs = 0;
+};
+
+/// Derives the predicted FIBs with the given subnets administratively
+/// down. Pure function of its arguments; thread-safe.
+[[nodiscard]] Prediction predict(const Model& model,
+                                 const std::set<addressing::Ipv4Prefix>& failed_subnets = {},
+                                 std::size_t max_bgp_rounds = 128);
+
+/// Longest-prefix match over one predicted FIB (ties: lowest admin
+/// distance, then metric) — VirtualRouter::lookup over a plain vector.
+[[nodiscard]] const emulation::FibEntry* lookup(
+    const std::vector<emulation::FibEntry>& fib, addressing::Ipv4Addr dst);
+
+struct PathHop {
+  addressing::Ipv4Addr address;
+  std::string router;
+};
+
+/// A predicted forwarding path, hop semantics identical to the
+/// emulation's traceroute.
+struct Path {
+  bool reached = false;
+  /// TTL exhausted: the predicted FIBs forward in a cycle.
+  bool looped = false;
+  /// Router whose FIB dropped the packet when !reached && !looped; equal
+  /// to the source router when the source itself had no route.
+  std::string dropped_at;
+  std::vector<PathHop> hops;
+};
+
+/// Walks the predicted FIBs from `src_router` towards `dst`.
+[[nodiscard]] Path trace(const Model& model, const Prediction& prediction,
+                         std::string_view src_router, addressing::Ipv4Addr dst,
+                         int max_ttl = 30);
+
+/// Traces to a router's loopback (first interface when it has none).
+[[nodiscard]] Path trace_to_router(const Model& model, const Prediction& prediction,
+                                   std::string_view src_router,
+                                   std::string_view dst_router, int max_ttl = 30);
+
+/// The router sequence a path visits, starting at `src`.
+[[nodiscard]] std::vector<std::string> router_sequence(std::string_view src,
+                                                       const Path& path);
+
+}  // namespace autonet::verify::analysis

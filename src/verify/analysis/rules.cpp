@@ -1,0 +1,331 @@
+// The "analysis" rule family: semantic checks over predicted FIBs.
+// Unlike the structural nidb/signaling/template families these rules
+// reason about where traffic actually goes — all-pairs reachability,
+// forwarding loops, blackholes, path asymmetry, and static k=1
+// link-failure what-if. Registered via RuleRegistry::with_analysis(),
+// not builtin(): they are opt-in (autonet analyze, or the workflow
+// gate's `analysis` flag) because they judge outcomes, not config shape.
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "verify/analysis/workspace.hpp"
+#include "verify/rules.hpp"
+
+namespace autonet::verify {
+namespace {
+
+using analysis::Link;
+using analysis::Model;
+using analysis::Path;
+using analysis::Prediction;
+using analysis::Workspace;
+
+Rule analysis_rule(std::string id, std::string description, Severity severity,
+                   std::function<void(const RuleContext&, Emitter&)> run) {
+  Rule rule;
+  rule.info.id = std::move(id);
+  rule.info.category = "analysis";
+  rule.info.default_severity = severity;
+  rule.info.description = std::move(description);
+  rule.info.origin = "analysis.fib";
+  rule.run = std::move(run);
+  rule.needs_nidb = true;
+  return rule;
+}
+
+/// Joins up to `cap` items with ", ", appending "… (+N more)" past the cap.
+std::string join_capped(const std::vector<std::string>& items, std::size_t cap) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size() && i < cap; ++i) {
+    if (i > 0) out += ", ";
+    out += items[i];
+  }
+  if (items.size() > cap) {
+    out += "… (+" + std::to_string(items.size() - cap) + " more)";
+  }
+  return out;
+}
+
+void check_unreachable(const RuleContext& ctx, Emitter& out) {
+  const Workspace& ws = *ctx.analysis;
+  const Model& model = ws.model();
+  const auto& paths = ws.baseline_paths();
+  const auto& routers = model.routers();
+  for (std::size_t s = 0; s < model.size(); ++s) {
+    std::vector<std::string> missing;
+    for (std::size_t d = 0; d < model.size(); ++d) {
+      if (s == d) continue;
+      const Path& path = paths[s][d];
+      if (path.reached || path.looped) continue;
+      if (path.dropped_at == routers[s].hostname) {
+        missing.push_back(routers[d].hostname);
+      }
+    }
+    if (missing.empty()) continue;
+    out.emit(routers[s].hostname,
+             "no predicted route to " + std::to_string(missing.size()) +
+                 " router(s): " + join_capped(missing, 5),
+             "fib");
+  }
+}
+
+void check_blackhole(const RuleContext& ctx, Emitter& out) {
+  const Workspace& ws = *ctx.analysis;
+  const Model& model = ws.model();
+  const auto& paths = ws.baseline_paths();
+  const auto& routers = model.routers();
+
+  // Transit drops: the source had a route, but a router along the
+  // predicted path has none and silently discards the traffic.
+  std::map<std::string, std::vector<std::string>> drops;
+  for (std::size_t s = 0; s < model.size(); ++s) {
+    for (std::size_t d = 0; d < model.size(); ++d) {
+      if (s == d) continue;
+      const Path& path = paths[s][d];
+      if (path.reached || path.looped) continue;
+      if (path.dropped_at.empty() || path.dropped_at == routers[s].hostname) {
+        continue;
+      }
+      drops[path.dropped_at].push_back(routers[s].hostname + "->" +
+                                       routers[d].hostname);
+    }
+  }
+  for (const auto& [dropper, pairs] : drops) {
+    out.emit(dropper,
+             "predicted blackhole: drops traffic for " +
+                 std::to_string(pairs.size()) + " pair(s): " +
+                 join_capped(pairs, 5),
+             "fib");
+  }
+
+  // Origination blackholes: a router advertises a BGP prefix it has no
+  // route into and owns no address under — attracted traffic dies here.
+  auto prediction = ws.baseline();
+  for (std::size_t r = 0; r < model.size(); ++r) {
+    const auto& cfg = routers[r];
+    for (const auto& advertised : cfg.bgp_networks) {
+      bool owns = false;
+      if (cfg.loopback && advertised.contains(cfg.loopback->address)) owns = true;
+      for (const auto& iface : cfg.interfaces) {
+        if (advertised.contains(iface.address.address)) owns = true;
+      }
+      if (owns) continue;
+      bool routed = false;
+      for (const auto& entry : prediction->fibs[r]) {
+        if (advertised.contains(entry.prefix) ||
+            entry.prefix.contains(advertised)) {
+          routed = true;
+          break;
+        }
+      }
+      if (routed) continue;
+      out.emit(cfg.hostname,
+               "advertises " + advertised.to_string() +
+                   " but has no route into it: attracted traffic is "
+                   "blackholed",
+               "bgp.networks");
+    }
+  }
+}
+
+void check_forwarding_loop(const RuleContext& ctx, Emitter& out) {
+  const Workspace& ws = *ctx.analysis;
+  const Model& model = ws.model();
+  const auto& paths = ws.baseline_paths();
+  const auto& routers = model.routers();
+  // canonical cycle key -> (lead router, message)
+  std::map<std::string, std::pair<std::string, std::string>> cycles;
+  for (std::size_t s = 0; s < model.size(); ++s) {
+    for (std::size_t d = 0; d < model.size(); ++d) {
+      if (s == d || !paths[s][d].looped) continue;
+      const auto sequence =
+          analysis::router_sequence(routers[s].hostname, paths[s][d]);
+      // First repeated router delimits the cycle.
+      std::map<std::string, std::size_t> first_seen;
+      std::vector<std::string> cycle;
+      for (std::size_t i = 0; i < sequence.size(); ++i) {
+        auto [it, inserted] = first_seen.emplace(sequence[i], i);
+        if (inserted) continue;
+        cycle.assign(sequence.begin() + static_cast<std::ptrdiff_t>(it->second),
+                     sequence.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+        break;
+      }
+      if (cycle.empty()) continue;  // TTL ran out on a long simple path
+      // Canonicalise: rotate so the smallest name leads, so the same
+      // physical loop found from different pairs dedups to one finding.
+      auto min_it = std::min_element(cycle.begin(), cycle.end() - 1);
+      std::vector<std::string> canon(min_it, cycle.end() - 1);
+      canon.insert(canon.end(), cycle.begin(), min_it);
+      canon.push_back(canon.front());
+      std::string key;
+      std::string shown;
+      for (const auto& hop : canon) {
+        key += hop + "|";
+        if (!shown.empty()) shown += " -> ";
+        shown += hop;
+      }
+      cycles.emplace(key,
+                     std::make_pair(canon.front(),
+                                    "predicted forwarding loop " + shown +
+                                        " (first seen tracing " +
+                                        routers[s].hostname + " -> " +
+                                        routers[d].hostname + ")"));
+    }
+  }
+  for (const auto& [key, finding] : cycles) {
+    (void)key;
+    out.emit(finding.first, finding.second, "fib");
+  }
+}
+
+void check_asymmetric(const RuleContext& ctx, Emitter& out) {
+  const Workspace& ws = *ctx.analysis;
+  const Model& model = ws.model();
+  const auto& paths = ws.baseline_paths();
+  const auto& routers = model.routers();
+  // One aggregated finding per source router (ITZ-scale models have
+  // hundreds of thousands of asymmetric pairs; per-pair findings would
+  // swamp the report), with the first pair spelled out as an example.
+  for (std::size_t s = 0; s < model.size(); ++s) {
+    std::vector<std::string> peers;
+    std::string example;
+    for (std::size_t d = s + 1; d < model.size(); ++d) {
+      const Path& forward = paths[s][d];
+      const Path& reverse = paths[d][s];
+      if (!forward.reached || !reverse.reached) continue;
+      auto fwd = analysis::router_sequence(routers[s].hostname, forward);
+      auto rev = analysis::router_sequence(routers[d].hostname, reverse);
+      std::reverse(rev.begin(), rev.end());
+      if (fwd == rev) continue;
+      peers.push_back(routers[d].hostname);
+      if (example.empty()) {
+        std::string fwd_s;
+        std::string rev_s;
+        for (const auto& hop : fwd) {
+          if (!fwd_s.empty()) fwd_s += " -> ";
+          fwd_s += hop;
+        }
+        for (auto it = rev.rbegin(); it != rev.rend(); ++it) {
+          if (!rev_s.empty()) rev_s += " -> ";
+          rev_s += *it;
+        }
+        example = "e.g. forward " + fwd_s + ", reverse " + rev_s;
+      }
+    }
+    if (peers.empty()) continue;
+    out.emit(routers[s].hostname,
+             "asymmetric predicted paths with " + std::to_string(peers.size()) +
+                 " router(s): " + join_capped(peers, 5) + "; " + example,
+             "fib");
+  }
+}
+
+void check_whatif(const RuleContext& ctx, Emitter& out) {
+  const Workspace& ws = *ctx.analysis;
+  const Model& model = ws.model();
+  const auto& baseline_paths = ws.baseline_paths();
+  const auto& routers = model.routers();
+  const std::vector<Link> links = model.links();
+  if (links.empty()) return;
+
+  // Pairs reachable in the intact design; only their loss is a finding.
+  std::vector<std::pair<std::size_t, std::size_t>> reachable;
+  for (std::size_t s = 0; s < model.size(); ++s) {
+    for (std::size_t d = 0; d < model.size(); ++d) {
+      if (s != d && baseline_paths[s][d].reached) reachable.emplace_back(s, d);
+    }
+  }
+  if (reachable.empty()) return;
+
+  // Enumeration bound: the sweep costs one re-prediction plus
+  // |reachable| re-traces per link, so ITZ-scale models (the
+  // 1158-router NREN generator) would take minutes. Links are
+  // enumerated in deterministic sorted order until the trace budget is
+  // spent; past the budget the remaining links are not evaluated. The
+  // bound is documented in docs/static_analysis.md.
+  constexpr std::size_t kTraceBudget = 500'000;
+  const std::size_t considered =
+      std::min(links.size(), kTraceBudget / reachable.size());
+  if (considered == 0) return;
+
+  // Evaluate scenarios in a scoped worker batch (Workspace::whatif is
+  // thread-safe); merge results by scenario index so the emitted
+  // findings are deterministic regardless of scheduling.
+  std::vector<std::vector<std::string>> lost(considered);
+  std::atomic<std::size_t> cursor{0};
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= considered) return;
+      auto prediction = ws.whatif({links[i].subnet});
+      for (const auto& [s, d] : reachable) {
+        const Path path = analysis::trace_to_router(
+            model, *prediction, routers[s].hostname, routers[d].hostname);
+        if (!path.reached) {
+          lost[i].push_back(routers[s].hostname + "->" + routers[d].hostname);
+        }
+      }
+    }
+  };
+  const std::size_t workers = std::clamp<std::size_t>(
+      std::thread::hardware_concurrency(), 1,
+      std::min<std::size_t>(considered, 8));
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+
+  for (std::size_t i = 0; i < considered; ++i) {
+    if (lost[i].empty()) continue;
+    out.emit(links[i].a,
+             "failure of link " + links[i].a + "<->" + links[i].b + " (" +
+                 links[i].subnet.to_string() + ") loses predicted "
+                 "reachability for " + std::to_string(lost[i].size()) +
+                 " pair(s): " + join_capped(lost[i], 5),
+             links[i].subnet.to_string());
+  }
+}
+
+}  // namespace
+
+void register_analysis_rules(RuleRegistry& registry) {
+  {
+    Rule rule = analysis_rule(
+        "predicted-unreachable",
+        "Router has no predicted route to another router's loopback",
+        Severity::kError, check_unreachable);
+    rule.info.origin = "analysis.reachability";
+    registry.add(std::move(rule));
+  }
+  registry.add(analysis_rule(
+      "predicted-blackhole",
+      "Predicted FIBs drop traffic in transit or attract traffic into a "
+      "prefix with no underlying route",
+      Severity::kError, check_blackhole));
+  registry.add(analysis_rule(
+      "forwarding-loop",
+      "Predicted FIBs forward traffic in a cycle (TTL exhaustion)",
+      Severity::kError, check_forwarding_loop));
+  {
+    Rule rule = analysis_rule(
+        "asymmetric-path",
+        "Forward and reverse predicted paths between two routers differ",
+        Severity::kWarning, check_asymmetric);
+    rule.info.origin = "analysis.path";
+    registry.add(std::move(rule));
+  }
+  {
+    Rule rule = analysis_rule(
+        "whatif-link-failure",
+        "Single-link failure loses predicted reachability for some pair",
+        Severity::kWarning, check_whatif);
+    rule.info.origin = "analysis.whatif";
+    registry.add(std::move(rule));
+  }
+}
+
+}  // namespace autonet::verify

@@ -131,6 +131,48 @@ NidbIndex NidbIndex::build(const nidb::Nidb& nidb) {
       }
     }
   }
+
+  // Derive the iBGP session view from the gathered neighbor statements:
+  // directed statement edges device -> peer (neighbor loopback resolved
+  // to its owner, same-AS only), then keep the bidirectional ones.
+  std::map<std::string, std::set<std::string>> stated;
+  std::map<std::pair<std::string, std::string>, bool> client_edge;
+  std::set<std::int64_t> active_as;  // ASes with any iBGP configured
+  for (const auto& n : index.neighbors) {
+    if (!n.ibgp || n.neighbor_ip.empty()) continue;
+    auto owner = index.address_owner.find(n.neighbor_ip);
+    if (owner == index.address_owner.end()) continue;  // bgp-unknown-peer
+    const std::string& peer = owner->second;
+    auto as_a = index.device_asn.find(n.device);
+    auto as_b = index.device_asn.find(peer);
+    if (as_a == index.device_asn.end() || as_b == index.device_asn.end() ||
+        as_a->second != as_b->second) {
+      continue;  // bgp-wrong-as territory
+    }
+    stated[n.device].insert(peer);
+    if (n.rr_client) client_edge[{n.device, peer}] = true;
+    active_as.insert(as_a->second);
+  }
+  // Every router of an AS that runs iBGP is a member — including one
+  // with no sessions at all, which is exactly a partition.
+  for (const auto& [device, asn] : index.device_asn) {
+    if (!active_as.contains(asn)) continue;
+    auto type = index.device_type.find(device);
+    if (type != index.device_type.end() && type->second == "router") {
+      index.ibgp.members[asn].insert(device);
+    }
+  }
+  for (const auto& [device, peers] : stated) {
+    for (const auto& peer : peers) {
+      auto back = stated.find(peer);
+      if (back != stated.end() && back->second.contains(device)) {
+        index.ibgp.sessions[device].insert(peer);
+      }
+      if (client_edge.contains({device, peer})) {
+        index.ibgp.clients_of[device].insert(peer);
+      }
+    }
+  }
   return index;
 }
 

@@ -47,6 +47,18 @@ struct DuplicateAddress {
   std::string path;    // where the second claim came from
 };
 
+/// The per-AS iBGP session view shared by the signaling rules: built in
+/// the same gather pass as the rest of the index so the rules that read
+/// it (partition, cluster loops) do not each rebuild it.
+struct IbgpView {
+  /// AS -> member routers (device_type "router") that appear in it.
+  std::map<std::int64_t, std::set<std::string>> members;
+  /// Established sessions: both ends carry a statement for the other.
+  std::map<std::string, std::set<std::string>> sessions;
+  /// device -> peers it treats as route-reflector clients.
+  std::map<std::string, std::set<std::string>> clients_of;
+};
+
 struct NidbIndex {
   std::map<std::string, std::string> address_owner;  // bare ip -> device
   std::map<std::string, std::set<std::string>> owned;  // device -> bare ips
@@ -62,6 +74,8 @@ struct NidbIndex {
   std::vector<DuplicateAddress> duplicate_addresses;
   /// From nidb.data()["design"]["ibgp_mode"], "" when absent.
   std::string ibgp_mode;
+  /// iBGP session graph, derived from `neighbors` after the walk.
+  IbgpView ibgp;
 
   [[nodiscard]] static NidbIndex build(const nidb::Nidb& nidb);
 };

@@ -1,14 +1,20 @@
 #include "verify/rules.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <exception>
 #include <fstream>
+#include <future>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "nidb/value.hpp"
 #include "obs/recorder.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
+#include "verify/analysis/workspace.hpp"
 #include "verify/index.hpp"
 
 namespace autonet::verify {
@@ -49,6 +55,18 @@ const RuleRegistry& RuleRegistry::builtin() {
   return registry;
 }
 
+const RuleRegistry& RuleRegistry::with_analysis() {
+  static const RuleRegistry registry = [] {
+    RuleRegistry r;
+    register_nidb_rules(r);
+    register_signaling_rules(r);
+    register_template_rules(r);
+    register_analysis_rules(r);
+    return r;
+  }();
+  return registry;
+}
+
 bool LintOptions::rule_enabled(std::string_view id) const {
   auto it = enabled.find(id);
   return it == enabled.end() ? true : it->second;
@@ -72,16 +90,25 @@ void LintOptions::merge(const LintOptions& other) {
 
 namespace {
 
-Severity parse_severity(const std::string& word, int line) {
+/// "file.autonetlint:3: " when a source name is known, the legacy
+/// "lint config line 3: " otherwise.
+std::string config_at(const std::string& source, int line) {
+  if (source.empty()) return "lint config line " + std::to_string(line) + ": ";
+  return source + ":" + std::to_string(line) + ": ";
+}
+
+Severity parse_severity(const std::string& word, const std::string& source,
+                        int line) {
   if (word == "error") return Severity::kError;
   if (word == "warning" || word == "warn") return Severity::kWarning;
-  throw std::runtime_error("lint config line " + std::to_string(line) +
-                           ": unknown severity '" + word + "'");
+  throw std::runtime_error(config_at(source, line) + "unknown severity '" +
+                           word + "'");
 }
 
 }  // namespace
 
-LintOptions LintOptions::parse_config(std::string_view text) {
+LintOptions LintOptions::parse_config(std::string_view text,
+                                      const std::string& source) {
   LintOptions opts;
   std::istringstream in{std::string(text)};
   std::string raw;
@@ -94,31 +121,31 @@ LintOptions LintOptions::parse_config(std::string_view text) {
     std::string arg;
     if (keyword == "disable" || keyword == "enable") {
       if (!(words >> arg)) {
-        throw std::runtime_error("lint config line " + std::to_string(line) +
-                                 ": '" + keyword + "' needs a rule id");
+        throw std::runtime_error(config_at(source, line) + "'" + keyword +
+                                 "' needs a rule id");
       }
       opts.enabled[arg] = keyword == "enable";
     } else if (keyword == "severity") {
       std::string level;
       if (!(words >> arg >> level)) {
-        throw std::runtime_error("lint config line " + std::to_string(line) +
-                                 ": usage: severity <rule-id> error|warning");
+        throw std::runtime_error(config_at(source, line) +
+                                 "usage: severity <rule-id> error|warning");
       }
-      opts.severity[arg] = parse_severity(level, line);
+      opts.severity[arg] = parse_severity(level, source, line);
     } else if (keyword == "fail-on") {
       if (!(words >> arg)) {
-        throw std::runtime_error("lint config line " + std::to_string(line) +
-                                 ": usage: fail-on error|warning");
+        throw std::runtime_error(config_at(source, line) +
+                                 "usage: fail-on error|warning");
       }
-      opts.fail_on_warning = parse_severity(arg, line) == Severity::kWarning;
+      opts.fail_on_warning = parse_severity(arg, source, line) == Severity::kWarning;
     } else {
-      throw std::runtime_error("lint config line " + std::to_string(line) +
-                               ": unknown directive '" + keyword + "'");
+      throw std::runtime_error(config_at(source, line) + "unknown directive '" +
+                               keyword + "'");
     }
     std::string extra;
     if (words >> extra) {
-      throw std::runtime_error("lint config line " + std::to_string(line) +
-                               ": trailing token '" + extra + "'");
+      throw std::runtime_error(config_at(source, line) + "trailing token '" +
+                               extra + "'");
     }
   }
   return opts;
@@ -129,46 +156,136 @@ LintOptions LintOptions::load_config_file(const std::string& path) {
   if (!in) throw std::runtime_error("cannot read lint config " + path);
   std::ostringstream ss;
   ss << in.rdbuf();
-  return parse_config(ss.str());
+  return parse_config(ss.str(), path);
 }
 
 Report run_lint(const LintInput& input, const LintOptions& options,
                 const RuleRegistry& registry, core::RunControl* control) {
   Report report;
   std::optional<detail::NidbIndex> index;
-  if (input.nidb != nullptr) index = detail::NidbIndex::build(*input.nidb);
+  std::optional<analysis::Workspace> workspace;
+  if (input.nidb != nullptr) {
+    index = detail::NidbIndex::build(*input.nidb);
+    workspace.emplace(*input.nidb);
+  }
 
   RuleContext ctx;
   ctx.input = &input;
   ctx.index = index ? &*index : nullptr;
+  ctx.analysis = workspace ? &*workspace : nullptr;
 
-  obs::Registry& obs = obs::Registry::current();
-  auto scope = obs.scope("lint");
+  // Rule bodies run on a worker pool; everything observable — findings,
+  // spans, counters, flight-recorder events — is merged here on the
+  // calling thread in registry order, so the report and all telemetry
+  // stay byte-deterministic regardless of scheduling. (The obs registry
+  // is thread-local; workers must not touch it.)
+  struct Task {
+    const Rule* rule = nullptr;
+    Severity severity = Severity::kError;
+    Report partial;
+    std::size_t emitted = 0;
+    std::exception_ptr error;
+    std::promise<void> done;
+    std::future<void> finished;
+  };
+  std::vector<Task> tasks;
   for (const Rule& rule : registry.rules()) {
-    core::checkpoint(control, "lint." + rule.info.id);
     if (!options.rule_enabled(rule.info.id)) continue;
     if (rule.needs_nidb && input.nidb == nullptr) continue;
     if (rule.needs_templates && input.templates == nullptr &&
         input.template_files.empty()) {
       continue;
     }
+    Task task;
+    task.rule = &rule;
+    task.severity = options.severity_for(rule.info);
+    tasks.push_back(std::move(task));
+  }
+  for (Task& task : tasks) task.finished = task.done.get_future();
+
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> abort{false};
+  auto work = [&] {
+    while (!abort.load(std::memory_order_relaxed)) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= tasks.size()) return;
+      Task& task = tasks[i];
+      Emitter emitter(task.rule->info, task.severity, task.partial);
+      try {
+        task.rule->run(ctx, emitter);
+      } catch (...) {
+        task.error = std::current_exception();
+      }
+      task.emitted = emitter.emitted();
+      task.done.set_value();
+    }
+  };
+  std::size_t workers =
+      options.jobs != 0 ? options.jobs : std::thread::hardware_concurrency();
+  workers = std::clamp<std::size_t>(workers, 1,
+                                    std::max<std::size_t>(tasks.size(), 1));
+  workers = std::min<std::size_t>(workers, 8);
+  std::vector<std::thread> pool;
+  struct Joiner {
+    std::vector<std::thread>* pool;
+    std::atomic<bool>* abort;
+    ~Joiner() {
+      abort->store(true, std::memory_order_relaxed);
+      for (std::thread& t : *pool) t.join();
+    }
+  } joiner{&pool, &abort};
+  if (!tasks.empty()) {
+    pool.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) pool.emplace_back(work);
+  }
+
+  obs::Registry& obs = obs::Registry::current();
+  auto scope = obs.scope("lint");
+  std::size_t next_task = 0;
+  for (const Rule& rule : registry.rules()) {
+    core::checkpoint(control, "lint." + rule.info.id);
+    if (next_task >= tasks.size() || tasks[next_task].rule != &rule) continue;
+    Task& task = tasks[next_task++];
     obs::Span span(obs, "lint." + rule.info.id);
-    Emitter emitter(rule.info, options.severity_for(rule.info), report);
-    rule.run(ctx, emitter);
-    span.arg("findings", std::to_string(emitter.emitted()));
+    task.finished.wait();
+    if (task.error) std::rethrow_exception(task.error);
+    span.arg("findings", std::to_string(task.emitted));
     scope.counter("rules_run").inc();
     // Verdict severity mirrors the findings: clean rules are routine,
     // warning findings warn, error findings flag the event red.
     obs::Severity verdict = obs::Severity::kInfo;
-    if (emitter.emitted() > 0) {
-      scope.counter("findings").inc(emitter.emitted());
-      scope.counter(emitter.severity() == Severity::kError ? "errors" : "warnings")
-          .inc(emitter.emitted());
-      verdict = emitter.severity() == Severity::kError ? obs::Severity::kError
-                                                       : obs::Severity::kWarning;
+    if (task.emitted > 0) {
+      scope.counter("findings").inc(task.emitted);
+      scope.counter(task.severity == Severity::kError ? "errors" : "warnings")
+          .inc(task.emitted);
+      verdict = task.severity == Severity::kError ? obs::Severity::kError
+                                                  : obs::Severity::kWarning;
     }
     obs::record("lint", verdict, rule.info.id,
-                {{"findings", std::to_string(emitter.emitted())}});
+                {{"findings", std::to_string(task.emitted)}});
+    for (Finding& finding : task.partial.findings) {
+      report.findings.push_back(std::move(finding));
+    }
+  }
+
+  // Publish the analysis work counters (main thread — workers only
+  // bumped the workspace's atomics). Gated on actual work so runs
+  // without analysis rules emit byte-identical telemetry to before.
+  if (workspace) {
+    const analysis::Stats stats = workspace->stats();
+    if (stats.fib_builds > 0 || stats.fib_cache_hits > 0 ||
+        stats.whatif_scenarios > 0) {
+      auto analysis_scope = obs.scope("analysis");
+      analysis_scope.counter("fib_builds").inc(stats.fib_builds);
+      analysis_scope.counter("fib_cache_hits").inc(stats.fib_cache_hits);
+      analysis_scope.counter("spf_runs").inc(stats.spf_runs);
+      analysis_scope.counter("bgp_rounds").inc(stats.bgp_rounds);
+      analysis_scope.counter("whatif_scenarios").inc(stats.whatif_scenarios);
+      obs::record("analysis", obs::Severity::kInfo, "predicted_fibs",
+                  {{"fib_builds", std::to_string(stats.fib_builds)},
+                   {"cache_hits", std::to_string(stats.fib_cache_hits)},
+                   {"whatif_scenarios", std::to_string(stats.whatif_scenarios)}});
+    }
   }
   report.finalize();
   return report;

@@ -44,6 +44,9 @@ struct RuleInfo {
 namespace detail {
 struct NidbIndex;
 }
+namespace analysis {
+class Workspace;
+}
 
 /// What a lint run analyses. Any subset may be present; rules that need
 /// an absent input are skipped.
@@ -62,6 +65,10 @@ struct LintInput {
 struct RuleContext {
   const LintInput* input = nullptr;
   const detail::NidbIndex* index = nullptr;
+  /// Shared analysis state (symbolic model, predicted FIBs, what-if
+  /// cache); non-null iff input->nidb is non-null. Lazy: rules that
+  /// never touch it cost nothing.
+  const analysis::Workspace* analysis = nullptr;
 };
 
 /// Sink a rule emits findings through: the engine binds the rule id, its
@@ -101,6 +108,13 @@ class RuleRegistry {
   /// control-plane signaling analysis, and the template analysis.
   [[nodiscard]] static const RuleRegistry& builtin();
 
+  /// builtin() plus the semantic "analysis" family (predicted-FIB
+  /// reachability/loop/blackhole/what-if). Used by `autonet analyze`
+  /// and the workflow gate's opt-in analysis mode — kept out of
+  /// builtin() because these rules judge forwarding outcomes, not
+  /// configuration shape.
+  [[nodiscard]] static const RuleRegistry& with_analysis();
+
  private:
   std::vector<Rule> rules_;
   std::map<std::string, std::size_t, std::less<>> by_id_;
@@ -114,6 +128,10 @@ struct LintOptions {
   std::map<std::string, Severity, std::less<>> severity;
   /// Gate threshold used by callers: fail on warnings too.
   bool fail_on_warning = false;
+  /// Worker threads for rule execution; 0 = one per hardware thread
+  /// (capped). Not part of the workflow options signature: it changes
+  /// scheduling only, never findings.
+  std::size_t jobs = 0;
 
   [[nodiscard]] bool rule_enabled(std::string_view id) const;
   [[nodiscard]] Severity severity_for(const RuleInfo& info) const;
@@ -129,15 +147,22 @@ struct LintOptions {
   ///   enable <rule-id>
   ///   severity <rule-id> error|warning
   ///   fail-on error|warning
-  /// Throws std::runtime_error with a line number on malformed input.
-  [[nodiscard]] static LintOptions parse_config(std::string_view text);
+  /// Throws std::runtime_error naming the offending line and token on
+  /// malformed input; `source` (a file name), when given, prefixes the
+  /// message as "<source>:<line>".
+  [[nodiscard]] static LintOptions parse_config(std::string_view text,
+                                                const std::string& source = "");
   /// Reads and parses a config file; throws std::runtime_error when
   /// unreadable.
   [[nodiscard]] static LintOptions load_config_file(const std::string& path);
 };
 
 /// Runs every enabled applicable rule and returns a finalized Report.
-/// Telemetry: one "lint.<rule-id>" span per rule plus lint.* counters in
+/// Rule bodies execute on a worker pool (LintOptions::jobs); findings,
+/// spans, counters and flight-recorder events are merged on the calling
+/// thread in registry order, so the report and all telemetry stay
+/// byte-deterministic regardless of scheduling. Telemetry: one
+/// "lint.<rule-id>" span per rule plus lint.* counters in
 /// obs::Registry::current(). An optional RunControl is polled before
 /// each rule, so cancellation interrupts a lint within one rule's work.
 [[nodiscard]] Report run_lint(const LintInput& input, const LintOptions& options = {},
@@ -155,5 +180,6 @@ struct LintOptions {
 void register_nidb_rules(RuleRegistry& registry);
 void register_signaling_rules(RuleRegistry& registry);
 void register_template_rules(RuleRegistry& registry);
+void register_analysis_rules(RuleRegistry& registry);
 
 }  // namespace autonet::verify

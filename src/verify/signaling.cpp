@@ -23,62 +23,9 @@ using addressing::Ipv4Addr;
 using addressing::Ipv4Prefix;
 using detail::NidbIndex;
 
+using detail::IbgpView;
+
 namespace {
-
-/// The per-AS iBGP session view shared by the signaling rules.
-struct IbgpView {
-  /// AS -> member routers (device_type "router") that appear in it.
-  std::map<std::int64_t, std::set<std::string>> members;
-  /// Established sessions: both ends carry a statement for the other.
-  std::map<std::string, std::set<std::string>> sessions;
-  /// device -> peers it treats as route-reflector clients.
-  std::map<std::string, std::set<std::string>> clients_of;
-};
-
-IbgpView build_ibgp_view(const NidbIndex& index) {
-  IbgpView view;
-  // Directed statement edges device -> peer device, by resolving the
-  // neighbor loopback address to its owner.
-  std::map<std::string, std::set<std::string>> stated;
-  std::map<std::pair<std::string, std::string>, bool> client_edge;
-  std::set<std::int64_t> active_as;  // ASes with any iBGP configured
-  for (const auto& n : index.neighbors) {
-    if (!n.ibgp || n.neighbor_ip.empty()) continue;
-    auto owner = index.address_owner.find(n.neighbor_ip);
-    if (owner == index.address_owner.end()) continue;  // bgp-unknown-peer
-    const std::string& peer = owner->second;
-    auto as_a = index.device_asn.find(n.device);
-    auto as_b = index.device_asn.find(peer);
-    if (as_a == index.device_asn.end() || as_b == index.device_asn.end() ||
-        as_a->second != as_b->second) {
-      continue;  // bgp-wrong-as territory
-    }
-    stated[n.device].insert(peer);
-    if (n.rr_client) client_edge[{n.device, peer}] = true;
-    active_as.insert(as_a->second);
-  }
-  // Every router of an AS that runs iBGP is a member — including one
-  // with no sessions at all, which is exactly a partition.
-  for (const auto& [device, asn] : index.device_asn) {
-    if (!active_as.contains(asn)) continue;
-    auto type = index.device_type.find(device);
-    if (type != index.device_type.end() && type->second == "router") {
-      view.members[asn].insert(device);
-    }
-  }
-  for (const auto& [device, peers] : stated) {
-    for (const auto& peer : peers) {
-      auto back = stated.find(peer);
-      if (back != stated.end() && back->second.contains(device)) {
-        view.sessions[device].insert(peer);
-      }
-      if (client_edge.contains({device, peer})) {
-        view.clients_of[device].insert(peer);
-      }
-    }
-  }
-  return view;
-}
 
 /// RFC 4456 propagation: which routers receive a route originated at
 /// `source`, given reflection semantics. A reflector forwards routes
@@ -127,7 +74,7 @@ std::set<std::string> ibgp_reach(const IbgpView& view, const std::string& source
 }
 
 void check_ibgp_partition(const RuleContext& ctx, Emitter& out) {
-  const IbgpView view = build_ibgp_view(*ctx.index);
+  const IbgpView& view = ctx.index->ibgp;
   const std::string& mode = ctx.index->ibgp_mode;
   for (const auto& [asn, members] : view.members) {
     if (members.size() < 2) continue;
@@ -150,7 +97,7 @@ void check_ibgp_partition(const RuleContext& ctx, Emitter& out) {
 }
 
 void check_rr_cluster_loop(const RuleContext& ctx, Emitter& out) {
-  const IbgpView view = build_ibgp_view(*ctx.index);
+  const IbgpView& view = ctx.index->ibgp;
   // Cycle detection over the reflector -> client digraph; a loop means
   // reflected routes can circulate between clusters forever.
   enum Color { kWhite, kGrey, kBlack };

@@ -118,6 +118,25 @@ TEST(LintOptions, RejectsMalformedConfig) {
                std::runtime_error);
 }
 
+TEST(LintOptions, ConfigErrorsNameFileLineAndToken) {
+  try {
+    (void)verify::LintOptions::parse_config("# fine\nfrobnicate x\n",
+                                            "conf/.autonetlint");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()),
+              "conf/.autonetlint:2: unknown directive 'frobnicate'");
+  }
+  try {
+    (void)verify::LintOptions::parse_config("disable a trailing\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    // Without a source name the legacy "lint config line N" prefix holds.
+    EXPECT_EQ(std::string(e.what()),
+              "lint config line 1: trailing token 'trailing'");
+  }
+}
+
 TEST(LintOptions, DisablingARuleSuppressesItsFindings) {
   auto nidb = compiled(topology::figure5());
   nidb.device("r2")->data["hostname"] = "r1";

@@ -11,6 +11,11 @@
 //                 [--config FILE] [--disable IDS] [--enable IDS]
 //                 [--severity ID=SEV,...] [--fail-on error|warning]
 //                 [--format text|json|sarif] [--out FILE] [--list-rules]
+//   autonet analyze <topology> [--platform P] [--ibgp MODE] [--jobs N]
+//                 [--config FILE] [--disable IDS] [--enable IDS]
+//                 [--severity ID=SEV,...] [--fail-on error|warning]
+//                 [--format text|json|sarif] [--out FILE] [--list-rules]
+//                 [--cross-check]
 //   autonet run   <topology> [--platform P] [--ibgp MODE]
 //                 [--trace SRC DST | --trace out.json] [--validate]
 //                 [--metrics FILE] [--checkpoint DIR] [--resume DIR]
@@ -56,6 +61,7 @@
 #include "topology/gml.hpp"
 #include "topology/graphml.hpp"
 #include "topology/load.hpp"
+#include "verify/analysis/crosscheck.hpp"
 #include "verify/static_check.hpp"
 #include "viz/export.hpp"
 
@@ -79,6 +85,12 @@ int usage() {
                "[--severity ID=error|warning,...] [--fail-on error|warning]\n"
                "               [--format text|json|sarif] [--out FILE] "
                "[--trace OUT.json] [--list-rules]\n"
+               "  autonet analyze <topology> [--platform P] [--ibgp MODE] "
+               "[--jobs N] [--config FILE]\n"
+               "               [--disable IDS] [--enable IDS] "
+               "[--severity ID=error|warning,...] [--fail-on error|warning]\n"
+               "               [--format text|json|sarif] [--out FILE] "
+               "[--list-rules] [--cross-check]\n"
                "  autonet run <topology> [--platform P] [--ibgp MODE] "
                "[--trace SRC DST | --trace OUT.json] [--validate]\n"
                "              [--metrics FILE] [--checkpoint DIR] "
@@ -108,7 +120,7 @@ struct Args {
       std::string arg = argv[i];
       if (arg == "--isis" || arg == "--dns" || arg == "--validate" ||
           arg == "--list-rules" || arg == "--fresh" || arg == "--checkpoints" ||
-          arg == "--virtual-clock") {
+          arg == "--virtual-clock" || arg == "--cross-check") {
         args.options[arg.substr(2)] = "1";
       } else if (arg == "--trace" && i + 1 < argc &&
                  std::string_view(argv[i + 1]).ends_with(".json")) {
@@ -231,40 +243,47 @@ std::vector<std::string> split_commas(const std::string& list) {
   return out;
 }
 
-int cmd_lint(const Args& args) {
-  const verify::RuleRegistry& registry = verify::RuleRegistry::builtin();
-
-  if (args.has("list-rules")) {
-    for (const auto& rule : registry.rules()) {
-      const std::string severity(verify::severity_name(rule.info.default_severity));
-      const std::string origin =
-          rule.info.origin.empty() ? "" : " [origin: " + rule.info.origin + "]";
-      std::printf("%-24s %-10s %-7s %s%s\n", rule.info.id.c_str(),
-                  rule.info.category.c_str(), severity.c_str(),
-                  rule.info.description.c_str(), origin.c_str());
-    }
-    return 0;
+void list_rules(const verify::RuleRegistry& registry) {
+  for (const auto& rule : registry.rules()) {
+    const std::string severity(verify::severity_name(rule.info.default_severity));
+    const std::string origin =
+        rule.info.origin.empty() ? "" : " [origin: " + rule.info.origin + "]";
+    std::printf("%-24s %-10s %-7s %s%s\n", rule.info.id.c_str(),
+                rule.info.category.c_str(), severity.c_str(),
+                rule.info.description.c_str(), origin.c_str());
   }
+}
 
-  // Configuration: explicit --config, else an `.autonetlint` in the
-  // working directory, then CLI overrides on top.
-  verify::LintOptions opts;
-  if (args.has("config")) {
-    opts = verify::LintOptions::load_config_file(args.get("config"));
-  } else if (std::filesystem::exists(".autonetlint")) {
-    opts = verify::LintOptions::load_config_file(".autonetlint");
+// Shared by `lint` and `analyze`: the configuration file (explicit
+// --config, else `.autonetlint` in the working directory) with CLI
+// overrides on top. Returns 0 on success, 2 on any configuration error
+// — including `.autonetlint` parse errors, which already carry
+// file:line and the offending token.
+int parse_lint_options(const Args& args, const verify::RuleRegistry& registry,
+                       const char* tool, verify::LintOptions& opts) {
+  try {
+    if (args.has("config")) {
+      opts = verify::LintOptions::load_config_file(args.get("config"));
+    } else if (std::filesystem::exists(".autonetlint")) {
+      opts = verify::LintOptions::load_config_file(".autonetlint");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "autonet %s: %s\n", tool, e.what());
+    return 2;
   }
   for (const auto& id : split_commas(args.get("disable"))) opts.enabled[id] = false;
   for (const auto& id : split_commas(args.get("enable"))) opts.enabled[id] = true;
   for (const auto& spec : split_commas(args.get("severity"))) {
     auto eq = spec.find('=');
     if (eq == std::string::npos) {
-      std::fprintf(stderr, "autonet lint: --severity expects ID=error|warning\n");
+      std::fprintf(stderr, "autonet %s: --severity expects ID=error|warning\n",
+                   tool);
       return 2;
     }
     const std::string level = spec.substr(eq + 1);
     if (level != "error" && level != "warning") {
-      std::fprintf(stderr, "autonet lint: unknown severity '%s'\n", level.c_str());
+      std::fprintf(stderr, "autonet %s: unknown severity '%s'\n", tool,
+                   level.c_str());
       return 2;
     }
     opts.severity[spec.substr(0, eq)] =
@@ -273,23 +292,97 @@ int cmd_lint(const Args& args) {
   if (args.has("fail-on")) {
     const std::string threshold = args.get("fail-on");
     if (threshold != "error" && threshold != "warning") {
-      std::fprintf(stderr, "autonet lint: --fail-on expects error|warning\n");
+      std::fprintf(stderr, "autonet %s: --fail-on expects error|warning\n", tool);
       return 2;
     }
     opts.fail_on_warning = threshold == "warning";
   }
+  if (args.has("jobs")) {
+    try {
+      opts.jobs = static_cast<std::size_t>(std::stoull(args.get("jobs")));
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "autonet %s: --jobs expects a number\n", tool);
+      return 2;
+    }
+  }
   // Unknown rule ids are configuration typos, not silent no-ops.
   for (const auto& [id, on] : opts.enabled) {
     if (registry.find(id) == nullptr) {
-      std::fprintf(stderr, "autonet lint: unknown rule id '%s'\n", id.c_str());
+      std::fprintf(stderr, "autonet %s: unknown rule id '%s'\n", tool, id.c_str());
       return 2;
     }
   }
   for (const auto& [id, sev] : opts.severity) {
     if (registry.find(id) == nullptr) {
-      std::fprintf(stderr, "autonet lint: unknown rule id '%s'\n", id.c_str());
+      std::fprintf(stderr, "autonet %s: unknown rule id '%s'\n", tool, id.c_str());
       return 2;
     }
+  }
+  return 0;
+}
+
+// Renders and writes the report (+ optional trace file). Returns 0, or
+// 2 on an output error — CI must not read a half-written SARIF document
+// as a clean gate.
+int write_lint_output(const Args& args, const char* tool,
+                      const verify::Report& report,
+                      const verify::RuleRegistry& registry) {
+  const std::string format = args.get("format", "text");
+  std::string rendered;
+  if (format == "text") {
+    rendered = report.to_string() + "\n";
+  } else if (format == "json") {
+    rendered = report.to_json() + "\n";
+  } else if (format == "sarif") {
+    rendered = verify::to_sarif(report, registry) + "\n";
+  } else {
+    std::fprintf(stderr, "autonet %s: unknown format '%s'\n", tool,
+                 format.c_str());
+    return 2;
+  }
+  if (args.has("out")) {
+    std::ofstream file(args.get("out"), std::ios::binary);
+    if (!file) {
+      std::fprintf(stderr, "cannot write %s\n", args.get("out").c_str());
+      return 2;
+    }
+    file << rendered;
+    file.flush();
+    if (!file) {
+      std::fprintf(stderr, "autonet %s: error writing %s\n", tool,
+                   args.get("out").c_str());
+      return 2;
+    }
+  } else {
+    std::fputs(rendered.c_str(), stdout);
+  }
+  if (!args.trace_file.empty()) {
+    std::ofstream file(args.trace_file, std::ios::binary);
+    if (!file) {
+      std::fprintf(stderr, "cannot write %s\n", args.trace_file.c_str());
+      return 2;
+    }
+    file << obs::to_chrome_trace(obs::Registry::current());
+    file.flush();
+    if (!file) {
+      std::fprintf(stderr, "autonet %s: error writing %s\n", tool,
+                   args.trace_file.c_str());
+      return 2;
+    }
+  }
+  return 0;
+}
+
+int cmd_lint(const Args& args) {
+  const verify::RuleRegistry& registry = verify::RuleRegistry::builtin();
+
+  if (args.has("list-rules")) {
+    list_rules(registry);
+    return 0;
+  }
+  verify::LintOptions opts;
+  if (int rc = parse_lint_options(args, registry, "lint", opts); rc != 0) {
+    return rc;
   }
 
   verify::LintInput input;
@@ -318,51 +411,57 @@ int cmd_lint(const Args& args) {
   if (input.nidb == nullptr && input.template_files.empty()) return usage();
 
   const verify::Report report = verify::run_lint(input, opts, registry);
+  if (int rc = write_lint_output(args, "lint", report, registry); rc != 0) {
+    return rc;
+  }
+  return opts.should_fail(report) ? 1 : 0;
+}
 
-  const std::string format = args.get("format", "text");
-  std::string rendered;
-  if (format == "text") {
-    rendered = report.to_string() + "\n";
-  } else if (format == "json") {
-    rendered = report.to_json() + "\n";
-  } else if (format == "sarif") {
-    rendered = verify::to_sarif(report, registry) + "\n";
-  } else {
-    std::fprintf(stderr, "autonet lint: unknown format '%s'\n", format.c_str());
-    return 2;
+// `autonet analyze`: the semantic twin of lint — runs every builtin
+// rule plus the "analysis" family over predicted FIBs, or with
+// --cross-check boots the emulation and differentially tests the
+// prediction against it.
+int cmd_analyze(const Args& args) {
+  const verify::RuleRegistry& registry = verify::RuleRegistry::with_analysis();
+
+  if (args.has("list-rules")) {
+    list_rules(registry);
+    return 0;
   }
-  if (args.has("out")) {
-    std::ofstream file(args.get("out"), std::ios::binary);
-    if (!file) {
-      std::fprintf(stderr, "cannot write %s\n", args.get("out").c_str());
-      return 2;
-    }
-    // A failed write (disk full, I/O error) is an internal error like a
-    // failed open: exit 2, not the report's pass/fail verdict — CI must
-    // not read a half-written SARIF document as a clean gate.
-    file << rendered;
-    file.flush();
-    if (!file) {
-      std::fprintf(stderr, "autonet lint: error writing %s\n",
-                   args.get("out").c_str());
-      return 2;
-    }
-  } else {
-    std::fputs(rendered.c_str(), stdout);
+  verify::LintOptions opts;
+  if (int rc = parse_lint_options(args, registry, "analyze", opts); rc != 0) {
+    return rc;
   }
-  if (!args.trace_file.empty()) {
-    std::ofstream file(args.trace_file, std::ios::binary);
-    if (!file) {
-      std::fprintf(stderr, "cannot write %s\n", args.trace_file.c_str());
-      return 2;
+  if (args.positional.empty()) return usage();
+
+  core::Workflow wf(workflow_options(args));
+  wf.load(load_input(args.positional[0])).design().compile();
+
+  if (args.has("cross-check")) {
+    wf.render();
+    const verify::analysis::CrossCheckResult result =
+        verify::analysis::cross_check(wf.nidb(), wf.configs());
+    std::printf("cross-check: %zu pairs, %zu divergences\n", result.pairs,
+                result.divergences.size());
+    constexpr std::size_t kShow = 20;
+    for (std::size_t i = 0; i < result.divergences.size(); ++i) {
+      if (i == kShow) {
+        std::printf("  … (+%zu more)\n", result.divergences.size() - kShow);
+        break;
+      }
+      const verify::analysis::Divergence& d = result.divergences[i];
+      std::printf("  %s -> %s: %s\n", d.src.c_str(), d.dst.c_str(),
+                  d.detail.c_str());
     }
-    file << obs::to_chrome_trace(obs::Registry::current());
-    file.flush();
-    if (!file) {
-      std::fprintf(stderr, "autonet lint: error writing %s\n",
-                   args.trace_file.c_str());
-      return 2;
-    }
+    return result.clean() ? 0 : 1;
+  }
+
+  verify::LintInput input;
+  input.nidb = &wf.nidb();
+  input.templates = &render::TemplateStore::builtins();
+  const verify::Report report = verify::run_lint(input, opts, registry);
+  if (int rc = write_lint_output(args, "analyze", report, registry); rc != 0) {
+    return rc;
   }
   return opts.should_fail(report) ? 1 : 0;
 }
@@ -801,6 +900,7 @@ int main(int argc, char** argv) {
     if (command == "build") return cmd_build(args);
     if (command == "check") return cmd_check(args);
     if (command == "lint") return cmd_lint(args);
+    if (command == "analyze") return cmd_analyze(args);
     if (command == "run") return cmd_run(args);
     if (command == "exp") return cmd_exp(args);
     if (command == "events") return cmd_events(args);
