@@ -1,14 +1,17 @@
 #include "core/workflow.hpp"
 
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "deploy/archive.hpp"
+#include "incremental/hot_apply.hpp"
 #include "nidb/value.hpp"
 #include "obs/recorder.hpp"
 #include "obs/span.hpp"
+#include "verify/analysis/cache.hpp"
 
 namespace autonet::core {
 
@@ -187,6 +190,24 @@ verify::Report lint_report_from_json(const std::string& text) {
 
 }  // namespace
 
+std::string IncrementalReport::to_text() const {
+  std::ostringstream out;
+  out << "incremental: mode=" << mode << "\n";
+  if (!delta.empty()) {
+    out << "input delta (" << delta.size() << " change"
+        << (delta.size() == 1 ? "" : "s") << "):\n"
+        << delta.to_text();
+  }
+  for (const std::string& line : plan.explain) out << line << "\n";
+  if (mode == "partial") {
+    out << "compile: " << devices_reused_compile << " device(s) reused\n";
+    out << "render: " << devices_reused_render << " device(s) reused\n";
+    out << "lint: " << lint_rules_reused << " template rule(s) replayed\n";
+  }
+  if (hot_applied) out << "deploy: delta hot-applied to the running emulation\n";
+  return out.str();
+}
+
 double PhaseTimings::total() const {
   double sum = 0;
   for (const auto& [phase, value] : ms) sum += value;
@@ -250,22 +271,63 @@ Workflow& Workflow::checkpoint_to(const std::string& dir) {
   return *this;
 }
 
-std::string Workflow::options_signature() const {
+Workflow& Workflow::incremental_from(const std::string& baseline_dir) {
+  baseline_ = std::make_unique<CheckpointStore>(baseline_dir);
+  incr_.enabled = true;
+  return *this;
+}
+
+std::string Workflow::signature_text(bool include_deploy) const {
   std::ostringstream sig;
   sig << "platform=" << options_.platform << ";ibgp=" << options_.ibgp
       << ";isis=" << options_.enable_isis << ";dns=" << options_.enable_dns
       << ";rpki=" << options_.enable_rpki << ";lint=" << options_.lint.enabled
       << "," << options_.lint.fail_fast << ","
       << options_.lint.options.fail_on_warning << ","
-      << options_.lint.analysis
-      << ";deploy=" << options_.deploy.max_transfer_attempts << ","
-      << options_.deploy.max_boot_attempts << ","
-      << options_.deploy.backoff_base_ms << "," << options_.deploy.backoff_max_ms
-      << "," << options_.deploy.backoff_seed << ","
-      << options_.deploy.transfer_deadline_ms << ","
-      << options_.deploy.boot_deadline_ms << "," << options_.deploy.allow_partial
-      << "," << options_.deploy.min_booted << ","
-      << options_.deploy.min_host_quorum;
+      << options_.lint.analysis;
+  if (include_deploy) {
+    sig << ";deploy=" << options_.deploy.max_transfer_attempts << ","
+        << options_.deploy.max_boot_attempts << ","
+        << options_.deploy.backoff_base_ms << ","
+        << options_.deploy.backoff_max_ms << ","
+        << options_.deploy.backoff_seed << ","
+        << options_.deploy.transfer_deadline_ms << ","
+        << options_.deploy.boot_deadline_ms << ","
+        << options_.deploy.allow_partial << "," << options_.deploy.min_booted
+        << "," << options_.deploy.min_host_quorum;
+  }
+  // The design-rule knobs: previously absent, which let a checkpoint
+  // recorded under different OSPF/IP/RR settings restore silently.
+  sig << ";ospf=" << options_.ospf.default_area << ","
+      << options_.ospf.default_cost << "," << options_.ospf.cost_attr << ","
+      << options_.ospf.area_attr
+      << ";ip=" << options_.ip.infra_block << "," << options_.ip.loopback_block
+      << "," << options_.ip.ipv6 << "," << options_.ip.ipv6_infra_block << ","
+      << options_.ip.ipv6_loopback_block
+      << ";rr=" << options_.rr_select.per_as << "," << options_.rr_select.metric
+      << "," << options_.rr_select.min_as_size;
+  for (const auto& [id, on] : options_.lint.options.enabled) {
+    sig << ";L:" << id << "=" << on;
+  }
+  for (const auto& [id, sev] : options_.lint.options.severity) {
+    sig << ";S:" << id << "=" << static_cast<int>(sev);
+  }
+  return sig.str();
+}
+
+std::string Workflow::options_signature() const {
+  return std::to_string(checkpoint_hash(signature_text(true)));
+}
+
+std::string Workflow::build_signature() const {
+  return std::to_string(checkpoint_hash(signature_text(false)));
+}
+
+std::string Workflow::lint_signature() const {
+  std::ostringstream sig;
+  sig << "lint=" << options_.lint.enabled << "," << options_.lint.fail_fast
+      << "," << options_.lint.options.fail_on_warning << ","
+      << options_.lint.analysis;
   for (const auto& [id, on] : options_.lint.options.enabled) {
     sig << ";L:" << id << "=" << on;
   }
@@ -273,6 +335,18 @@ std::string Workflow::options_signature() const {
     sig << ";S:" << id << "=" << static_cast<int>(sev);
   }
   return std::to_string(checkpoint_hash(sig.str()));
+}
+
+incremental::DesignSpec Workflow::design_spec() const {
+  incremental::DesignSpec spec;
+  spec.ibgp = options_.ibgp;
+  spec.enable_isis = options_.enable_isis;
+  spec.enable_dns = options_.enable_dns;
+  spec.enable_rpki = options_.enable_rpki;
+  spec.ospf = options_.ospf;
+  spec.ip = options_.ip;
+  spec.rr_select = options_.rr_select;
+  return spec;
 }
 
 // A checkpoint only describes one (input, options) pair; anything else
@@ -283,36 +357,136 @@ void Workflow::validate_checkpoint(const graph::Graph& input) {
   // it so two reports are comparable without the checkpoint directory.
   input_hash_ =
       std::to_string(checkpoint_hash(graph_to_value(input).to_json(false)));
-  if (ckpt_ == nullptr) return;
-  const std::string& input_hash = input_hash_;
-  const std::string options_sig = options_signature();
-  const std::string old_input = ckpt_->meta("input_hash");
-  const std::string old_options = ckpt_->meta("options");
-  if ((!old_input.empty() && old_input != input_hash) ||
-      (!old_options.empty() && old_options != options_sig)) {
-    ckpt_->discard();
+  if (ckpt_ != nullptr) {
+    const std::string& input_hash = input_hash_;
+    const std::string options_sig = options_signature();
+    const std::string old_input = ckpt_->meta("input_hash");
+    const std::string old_options = ckpt_->meta("options");
+    if ((!old_input.empty() && old_input != input_hash) ||
+        (!old_options.empty() && old_options != options_sig)) {
+      ckpt_->discard();
+    }
+    if (ckpt_->meta("input_hash") != input_hash) {
+      ckpt_->set_meta("input_hash", input_hash);
+    }
+    if (ckpt_->meta("options") != options_sig) {
+      ckpt_->set_meta("options", options_sig);
+    }
+    if (ckpt_->meta("options_build") != build_signature()) {
+      ckpt_->set_meta("options_build", build_signature());
+    }
   }
-  if (ckpt_->meta("input_hash") != input_hash) {
-    ckpt_->set_meta("input_hash", input_hash);
+  prepare_incremental();
+}
+
+// Decides, once per run, what the baseline can contribute: everything
+// ("warm"), the snapshot-planned subset ("partial"), or nothing
+// ("cold"). Partial mode eagerly loads the baseline's design/compile/
+// render/lint artifacts — each later phase consults them.
+void Workflow::prepare_incremental() {
+  if (baseline_ == nullptr) return;
+  incr_.enabled = true;
+  const std::string base_options = baseline_->meta("options");
+  const std::string base_input = baseline_->meta("input_hash");
+  // Build-phase compatibility is what reuse needs; the full signature
+  // (deploy knobs included) additionally gates warm deploy restore.
+  // Baselines recorded before the signature split carry no
+  // "options_build" meta — fall back to the full signature, which is
+  // strictly more conservative.
+  const std::string base_build = baseline_->meta("options_build");
+  const bool build_match =
+      base_build.empty() ? (!base_options.empty() &&
+                            base_options == options_signature())
+                         : base_build == build_signature();
+  if (!build_match) {
+    incr_.mode = incr_.plan.mode = "cold";
+    incr_.plan.explain.push_back(
+        "baseline options differ (or baseline is empty): full recompute");
+    return;
   }
-  if (ckpt_->meta("options") != options_sig) {
-    ckpt_->set_meta("options", options_sig);
+  if (base_input == input_hash_ && base_options == options_signature()) {
+    incr_warm_ = true;
+    incr_.mode = incr_.plan.mode = "warm";
+    incr_.plan.explain.push_back(
+        "input unchanged: every phase restores from the baseline");
+    return;
+  }
+  std::ifstream snap_in(baseline_->dir() + "/snapshot.json", std::ios::binary);
+  if (snap_in) {
+    std::ostringstream ss;
+    ss << snap_in.rdbuf();
+    base_snap_ = incremental::Snapshot::from_json(ss.str());
+  }
+  if (!base_snap_) {
+    incr_.mode = incr_.plan.mode = "cold";
+    incr_.plan.explain.push_back(
+        "baseline left no usable snapshot.json: full recompute");
+    return;
+  }
+  try {
+    if (baseline_->has_phase("design")) {
+      anm::AbstractNetworkModel fresh;
+      anm_from_value(nidb::parse_json(baseline_->artifact("design")), fresh);
+      baseline_anm_.emplace(std::move(fresh));
+    }
+    if (baseline_->has_phase("compile")) {
+      baseline_nidb_ = nidb::Nidb::from_json(baseline_->artifact("compile"));
+    }
+    if (baseline_->has_phase("render")) {
+      const nidb::Value doc = nidb::parse_json(baseline_->artifact("render"));
+      if (const auto* files = doc.as_object()) {
+        render::ConfigTree tree;
+        for (const auto& [path, content] : *files) {
+          if (const auto* text = content.as_string()) tree.put(path, *text);
+        }
+        baseline_configs_ = std::move(tree);
+      }
+    }
+    if (baseline_->has_phase("lint")) {
+      baseline_lint_ = lint_report_from_json(baseline_->artifact("lint"));
+    }
+  } catch (const std::exception&) {
+    baseline_anm_.reset();
+    baseline_nidb_.reset();
+    baseline_configs_.reset();
+    baseline_lint_.reset();
+    base_snap_.reset();
+    incr_.mode = incr_.plan.mode = "cold";
+    incr_.plan.explain.push_back("baseline artifacts unreadable: full recompute");
+    return;
+  }
+  incr_partial_ = true;
+  incr_.mode = incr_.plan.mode = "partial";
+  if (base_input == input_hash_) {
+    incr_.plan.explain.push_back(
+        "input unchanged, deploy options differ: build phases reuse, "
+        "deploy runs fresh");
   }
 }
 
 bool Workflow::try_restore(const std::string& phase) {
-  if (ckpt_ == nullptr || fresh_executed_) return false;
-  if (!ckpt_->has_phase(phase)) return false;
+  if (fresh_executed_) return false;
+  // Own checkpoint first (resume); in warm incremental mode a phase the
+  // own store lacks restores from the baseline instead.
+  CheckpointStore* src = nullptr;
+  bool from_baseline = false;
+  if (ckpt_ != nullptr && ckpt_->has_phase(phase)) {
+    src = ckpt_.get();
+  } else if (incr_warm_ && baseline_ != nullptr && baseline_->has_phase(phase)) {
+    src = baseline_.get();
+    from_baseline = true;
+  }
+  if (src == nullptr) return false;
   obs::Registry& registry = telemetry();
   obs::RegistryScope use(registry);
   try {
-    restore_phase_state(phase, ckpt_->artifact(phase));
+    restore_phase_state(phase, src->artifact(phase));
     // Replay the phase's persisted flight-recorder slice so the run
     // report's timeline is byte-identical to an uninterrupted run's. A
     // record without a slice (pre-recorder checkpoint) restores with an
     // empty one.
-    if (ckpt_->has_events(phase)) {
-      phase_events_[phase] = events_from_jsonl(ckpt_->events(phase));
+    if (src->has_events(phase)) {
+      phase_events_[phase] = events_from_jsonl(src->events(phase));
     } else {
       phase_events_[phase] = {};
     }
@@ -322,9 +496,15 @@ bool Workflow::try_restore(const std::string& phase) {
     phase_events_.erase(phase);
     return false;
   }
-  timings_.ms[phase] = ckpt_->phase_ms(phase);
+  timings_.ms[phase] = src->phase_ms(phase);
   restored_.push_back(phase);
   registry.counter("ckpt.phase_restored").inc();
+  if (from_baseline) {
+    registry.counter("incr.phase_reused").inc();
+    // Chain: record the phase into this run's own store so the next run
+    // in a campaign can use this directory as its baseline.
+    if (ckpt_ != nullptr) save_phase(phase);
+  }
   if (!resume_counted_) {
     registry.counter("ckpt.resume").inc();
     resume_counted_ = true;
@@ -496,6 +676,49 @@ void Workflow::rehydrate_network() {
   host_->start_network(*nidb_, host_->filesystem(), only, nullptr);
 }
 
+// --- Incremental reuse ------------------------------------------------------
+
+// Satisfies one design rule from the baseline instead of re-running it:
+// the rule's overlay is copied wholesale (each rule's writes land in its
+// own overlay, including the overlay-local data() blocks ip and ibgp
+// record), plus the phy-node annotations the rr-auto selector leaves
+// behind. Returns false when the rule must run fresh.
+bool Workflow::copy_design_rule(const std::string& name) {
+  if (!incr_partial_ || !baseline_anm_ || !incr_.plan.rule_reused(name)) {
+    return false;
+  }
+  if (!baseline_anm_->has_overlay(name)) return false;
+  if (!anm_.has_overlay(name)) anm_.add_overlay(name);
+  anm_[name].unwrap() = (*baseline_anm_)[name].unwrap();
+  if (name == "ibgp" && options_.ibgp == "rr-auto") {
+    // The selector also marks phy nodes (rr, rr_cluster); carry those
+    // over so the designed model matches a fresh run byte for byte.
+    auto phy = anm_["phy"];
+    for (const auto& base_node : (*baseline_anm_)["phy"].nodes()) {
+      auto cur = phy.node(base_node.name());
+      if (!cur) continue;
+      for (const char* key : {"rr", "rr_cluster"}) {
+        if (base_node.attr(key).is_set()) cur->set(key, base_node.attr(key));
+      }
+    }
+  }
+  return true;
+}
+
+// Persists this run's snapshot next to its phase checkpoints once both
+// halves exist (rule projections from design entry, device signatures
+// from compile entry, NIDB hashes from render entry) — the data a later
+// `--incremental --since <this dir>` run plans against.
+void Workflow::maybe_write_snapshot() {
+  if (ckpt_ == nullptr || !snap_has_rules_ || !snap_has_sigs_) return;
+  cur_snap_.input_hash = input_hash_;
+  cur_snap_.platform = options_.platform;
+  cur_snap_.lint_sig = lint_signature();
+  cur_snap_.template_hashes =
+      incremental::template_base_hashes(render::TemplateStore::builtins());
+  write_file_atomic(ckpt_->dir() + "/snapshot.json", cur_snap_.to_json());
+}
+
 // --- Phases ----------------------------------------------------------------
 
 Workflow& Workflow::load(const graph::Graph& input) {
@@ -526,15 +749,32 @@ Workflow& Workflow::load(const graph::Graph& input) {
 
 Workflow& Workflow::design() {
   if (!loaded_) throw std::logic_error("Workflow::design before load");
+  // Rule projections hash the *post-load* model, so they must be taken
+  // here — a checkpoint restore replaces anm_ with the designed state.
+  // Consumers: the partial-mode design plan, and snapshot.json (own
+  // store only) — a warm run without a checkpoint needs neither.
+  if (ckpt_ != nullptr || incr_partial_) {
+    cur_snap_.rule_hashes = incremental::rule_projections(anm_, design_spec());
+    snap_has_rules_ = true;
+  }
+  if (incr_partial_ && baseline_anm_) {
+    incr_.delta = incremental::diff_graphs((*baseline_anm_)["input"].unwrap(),
+                                           anm_["input"].unwrap());
+    incremental::plan_design(*base_snap_, cur_snap_.rule_hashes,
+                             design_spec().rule_order(), incr_.plan);
+  }
   if (try_restore("design")) return *this;
   begin_phase("design");
   timed("design", [this]() {
     // One child span per design rule: the per-rule breakdown the §3.2
-    // phase timings could not see. Each rule is a cancellation point.
+    // phase timings could not see. Each rule is a cancellation point. A
+    // rule the recompute plan marks clean copies its baseline overlay
+    // instead of running, under the same span/record telemetry — the
+    // design artifact and report timeline stay byte-identical.
     auto rule = [this](const char* name, auto&& f) {
       core::checkpoint(control_, std::string("design.") + name);
       obs::Span span(std::string("design.") + name);
-      f();
+      if (!copy_design_rule(name)) f();
       obs::record("design", "rule", {{"rule", name}});
     };
     rule("ospf", [this] { design::build_ospf(anm_, options_.ospf); });
@@ -562,11 +802,40 @@ Workflow& Workflow::design() {
 
 Workflow& Workflow::compile() {
   if (!anm_.has_overlay("ip")) throw std::logic_error("Workflow::compile before design");
+  // Device signatures read the fully designed model — available here
+  // whether design() ran fresh or restored. Same consumers as the rule
+  // projections: the device plan and snapshot.json.
+  if ((ckpt_ != nullptr || incr_partial_) && !snap_has_sigs_) {
+    incremental::DeviceSignatures sigs =
+        incremental::device_signatures(anm_, options_.platform);
+    cur_snap_.global_digest = sigs.global_digest;
+    cur_snap_.device_sigs = sigs.sigs;
+    snap_has_sigs_ = true;
+    if (incr_partial_ && !incr_planned_devices_) {
+      incr_planned_devices_ = true;
+      incremental::plan_devices(*base_snap_, sigs, incr_.plan);
+      // Published outside any phase: visible in the registry export but
+      // never in the (byte-compared) run report timeline.
+      obs::Registry& registry = telemetry();
+      obs::RegistryScope use(registry);
+      auto scope = registry.scope("delta");
+      scope.counter("dirty_devices").inc(incr_.plan.dirty_devices.size());
+      scope.counter("reused").inc(incr_.plan.reused_devices.size());
+    }
+  }
   if (try_restore("compile")) return *this;
   begin_phase("compile");
   timed("compile", [this]() {
     const auto& pc = compiler::platform_compiler_for(options_.platform);
-    nidb_ = pc.compile(anm_);
+    if (incr_partial_ && baseline_nidb_ && !incr_.plan.reused_devices.empty()) {
+      compiler::CompileReuse reuse;
+      reuse.baseline = &*baseline_nidb_;
+      reuse.devices = &incr_.plan.reused_devices;
+      reuse.reused_out = &incr_.devices_reused_compile;
+      nidb_ = pc.compile(anm_, {}, &reuse);
+    } else {
+      nidb_ = pc.compile(anm_);
+    }
   });
   save_phase("compile");
   return *this;
@@ -574,18 +843,50 @@ Workflow& Workflow::compile() {
 
 Workflow& Workflow::render() {
   if (!nidb_) throw std::logic_error("Workflow::render before compile");
-  if (try_restore("render")) return *this;
+  // The full-NIDB content hash is only persisted (snapshot.json); the
+  // data()-section hash additionally drives render reuse in partial
+  // mode. Hashing the whole NIDB is the expensive one — skip it when
+  // nothing will be written.
+  if (ckpt_ != nullptr) {
+    cur_snap_.nidb_hash = verify::analysis::nidb_content_hash(*nidb_);
+  }
+  if (ckpt_ != nullptr || incr_partial_) {
+    cur_snap_.data_hash = incremental::fnv1a(nidb_->data().to_json(false));
+  }
+  if (try_restore("render")) {
+    maybe_write_snapshot();
+    return *this;
+  }
   begin_phase("render");
   timed("render", [this]() {
-    configs_ =
-        render::render_configs(*nidb_, render::TemplateStore::builtins(), control_);
+    if (incr_partial_ && baseline_configs_ && !incr_.plan.reused_devices.empty()) {
+      render::RenderReuse reuse;
+      reuse.baseline = &*baseline_configs_;
+      reuse.devices = &incr_.plan.reused_devices;
+      reuse.data_changed =
+          base_snap_ && base_snap_->data_hash != cur_snap_.data_hash;
+      reuse.reused_out = &incr_.devices_reused_render;
+      configs_ = render::render_configs(*nidb_, render::TemplateStore::builtins(),
+                                        control_, &reuse);
+    } else {
+      configs_ = render::render_configs(*nidb_, render::TemplateStore::builtins(),
+                                        control_);
+    }
   });
   save_phase("render");
+  maybe_write_snapshot();
   return *this;
 }
 
 Workflow& Workflow::lint() {
   if (!nidb_) throw std::logic_error("Workflow::lint before compile");
+  if (incr_partial_ && !incr_planned_lint_) {
+    incr_planned_lint_ = true;
+    incremental::plan_lint(
+        *base_snap_, lint_signature(),
+        incremental::template_base_hashes(render::TemplateStore::builtins()),
+        incr_.plan);
+  }
   if (!try_restore("lint")) {
     begin_phase("lint");
     timed("lint", [this]() {
@@ -595,8 +896,16 @@ Workflow& Workflow::lint() {
       const verify::RuleRegistry& registry =
           options_.lint.analysis ? verify::RuleRegistry::with_analysis()
                                  : verify::RuleRegistry::builtin();
-      lint_report_ =
-          verify::run_lint(input, options_.lint.options, registry, control_);
+      if (incr_.plan.lint_reusable && baseline_lint_) {
+        verify::LintReuse reuse;
+        reuse.baseline = &*baseline_lint_;
+        reuse.reused_out = &incr_.lint_rules_reused;
+        lint_report_ = verify::run_lint(input, options_.lint.options, registry,
+                                        control_, &reuse);
+      } else {
+        lint_report_ =
+            verify::run_lint(input, options_.lint.options, registry, control_);
+      }
     });
     save_phase("lint");
   }
@@ -612,6 +921,43 @@ Workflow& Workflow::lint() {
 Workflow& Workflow::deploy() {
   if (!configs_) throw std::logic_error("Workflow::deploy before render");
   if (try_restore("deploy")) return *this;
+  // Hot-apply: when every input change maps to a scoped action (link
+  // cost, link failure), boot the *baseline* emulation and mutate it in
+  // place instead of deploying the re-rendered configs from scratch.
+  // Routers keep their identity and sessions; one reconvergence pass
+  // settles the applied actions. Excluded from the byte-equivalence
+  // contract — its deploy artifact is a synthesis, validated by the
+  // FIB-equivalence tests instead.
+  if (hot_apply_ && incr_partial_ && baseline_nidb_ && baseline_configs_ &&
+      !incr_.delta.empty()) {
+    const incremental::HotApplyPlan hplan =
+        incremental::plan_hot_apply(incr_.delta, options_.ospf.cost_attr);
+    if (hplan.applicable()) {
+      begin_phase("deploy");
+      timed("deploy", [this, &hplan]() {
+        host_ = std::make_unique<deploy::EmulationHost>("localhost");
+        host_->receive(deploy::pack(*baseline_configs_));
+        host_->extract();
+        host_->start_network(*baseline_nidb_, host_->filesystem(), {}, nullptr);
+        const incremental::HotApplyResult result =
+            incremental::hot_apply(*host_->network(), hplan, 128, control_);
+        deploy_result_ = {};
+        deploy_result_.success =
+            result.failed == 0 && result.convergence.converged;
+        for (const auto* rec : baseline_nidb_->devices()) {
+          deploy_result_.booted.push_back(rec->name);
+        }
+        deploy_result_.convergence = result.convergence;
+        incr_.hot_applied = true;
+      });
+      save_phase("deploy");
+      return *this;
+    }
+    incr_.plan.explain.push_back("hot-apply not applicable: full deploy");
+    for (const std::string& reason : hplan.unsupported) {
+      incr_.plan.explain.push_back("  " + reason);
+    }
+  }
   begin_phase("deploy");
   timed("deploy", [this]() {
     host_ = std::make_unique<deploy::EmulationHost>("localhost");

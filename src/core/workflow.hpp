@@ -26,6 +26,9 @@
 #include "design/igp.hpp"
 #include "design/ip_allocation.hpp"
 #include "design/services.hpp"
+#include "incremental/delta.hpp"
+#include "incremental/plan.hpp"
+#include "incremental/snapshot.hpp"
 #include "measure/client.hpp"
 #include "measure/validate.hpp"
 #include "nidb/nidb.hpp"
@@ -78,6 +81,25 @@ class LintError : public std::runtime_error {
 
  private:
   verify::Report report_;
+};
+
+/// What an incremental run did: its mode, the input delta against the
+/// baseline, the recompute plan, and per-phase reuse tallies. mode is
+/// "cold" (no usable baseline), "warm" (input unchanged — every phase
+/// restores), or "partial" (snapshot-planned minimal recompute).
+struct IncrementalReport {
+  bool enabled = false;
+  std::string mode = "cold";
+  incremental::DeltaSet delta;
+  incremental::RecomputePlan plan;
+  std::size_t devices_reused_compile = 0;
+  std::size_t devices_reused_render = 0;
+  std::size_t lint_rules_reused = 0;
+  bool hot_applied = false;
+
+  /// The --explain rendering: mode, delta, then one line per plan
+  /// decision and reuse tally.
+  [[nodiscard]] std::string to_text() const;
 };
 
 struct PhaseTimings {
@@ -173,6 +195,34 @@ class Workflow {
     return restored_;
   }
 
+  // --- Incremental pipeline ---------------------------------------------
+  /// Chains this run off a previous run's checkpoint directory. When the
+  /// input and options match the baseline exactly, every phase restores
+  /// from it ("warm"); when only the input differs and the baseline left
+  /// a snapshot.json, the delta engine diffs the two snapshots and
+  /// re-executes only dirty design rules, dirty devices (compile and
+  /// render), and NIDB-reading lint rules ("partial") — reused work is
+  /// rehydrated with telemetry parity, so results and run reports stay
+  /// byte-identical to a from-scratch run. Obs counters:
+  /// "delta.dirty_devices", "delta.reused", "incr.phase_reused",
+  /// "incr.hot_apply".
+  Workflow& incremental_from(const std::string& baseline_dir);
+  /// Opt-in: when the input delta maps entirely onto scoped emulation
+  /// actions (link cost changes, link removals), deploy() boots the
+  /// baseline configuration and hot-applies the delta instead of a full
+  /// redeploy. The resulting control plane converges to the new design;
+  /// the deploy result is synthesized (see docs/incremental.md).
+  Workflow& set_hot_apply(bool on) {
+    hot_apply_ = on;
+    return *this;
+  }
+  /// What the incremental machinery decided and did this run.
+  [[nodiscard]] const IncrementalReport& incremental_report() const {
+    return incr_;
+  }
+  /// True once compile() has produced (or restored) the NIDB.
+  [[nodiscard]] bool has_nidb() const { return nidb_.has_value(); }
+
   // --- Flight-recorder / run-report surface -----------------------------
   /// Per-phase flight-recorder event slices: each completed phase's
   /// events (phase-relative timestamps), drained at phase end. Restored
@@ -228,6 +278,28 @@ class Workflow {
   // Checkpoint/resume plumbing (all no-ops when ckpt_ is null).
   void validate_checkpoint(const graph::Graph& input);
   bool try_restore(const std::string& phase);
+  // Incremental plumbing (all no-ops when baseline_ is null).
+  void prepare_incremental();
+  /// Canonical option text hashed into the signatures; the deploy knobs
+  /// are separable because they affect no phase before deploy().
+  [[nodiscard]] std::string signature_text(bool include_deploy) const;
+  /// Deploy-independent slice of the options signature: two runs with
+  /// equal build signatures produce identical design/compile/render/lint
+  /// results, even when deploy knobs (retry budgets, the per-run backoff
+  /// seed campaigns inject) differ — so incremental reuse of the build
+  /// phases stays sound across a campaign's per-run seeds.
+  [[nodiscard]] std::string build_signature() const;
+  [[nodiscard]] incremental::DesignSpec design_spec() const;
+  /// Lint-option slice of the options signature; part of snapshot.json.
+  [[nodiscard]] std::string lint_signature() const;
+  /// Copies a reused design rule's baseline overlay (and, for rr-auto,
+  /// the phy reflector attributes) instead of executing the rule.
+  /// Returns false — run the rule — when the plan or baseline cannot
+  /// vouch for it.
+  bool copy_design_rule(const std::string& name);
+  /// Persists snapshot.json next to the phase checkpoints once the rule
+  /// projections and device signatures for this run are both known.
+  void maybe_write_snapshot();
   /// Interruption path: drains the recorder's unsaved tail into
   /// flight.jsonl + run_report.partial.json next to the checkpoint
   /// (no-op without a store; never throws).
@@ -264,6 +336,23 @@ class Workflow {
   /// phase can replay its registry contributions exactly.
   std::uint64_t measure_probes_ = 0;
   std::uint64_t measure_reachable_ = 0;
+
+  // --- Incremental state -------------------------------------------------
+  std::unique_ptr<CheckpointStore> baseline_;  // incremental_from() source
+  bool incr_warm_ = false;     // baseline input+options match: full restore
+  bool incr_partial_ = false;  // options match, input differs: plan reuse
+  bool hot_apply_ = false;
+  std::optional<incremental::Snapshot> base_snap_;
+  incremental::Snapshot cur_snap_;
+  bool snap_has_rules_ = false;
+  bool snap_has_sigs_ = false;
+  bool incr_planned_devices_ = false;
+  bool incr_planned_lint_ = false;
+  std::optional<anm::AbstractNetworkModel> baseline_anm_;
+  std::optional<nidb::Nidb> baseline_nidb_;
+  std::optional<render::ConfigTree> baseline_configs_;
+  std::optional<verify::Report> baseline_lint_;
+  IncrementalReport incr_;
 };
 
 }  // namespace autonet::core

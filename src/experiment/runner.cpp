@@ -102,7 +102,8 @@ RunResult CampaignRunner::execute_run(const RunSpec& run,
                                       obs::Registry* run_registry,
                                       const std::string& checkpoint_dir,
                                       core::RunControl* control,
-                                      const std::string& report_path) {
+                                      const std::string& report_path,
+                                      const std::string& baseline_dir) {
   RunResult result;
   result.id = run.id;
   result.index = run.index;
@@ -123,6 +124,7 @@ RunResult CampaignRunner::execute_run(const RunSpec& run,
   wf.use_telemetry(run_registry);
   wf.use_control(control);
   if (!checkpoint_dir.empty()) wf.checkpoint_to(checkpoint_dir);
+  if (!baseline_dir.empty()) wf.incremental_from(baseline_dir);
   try {
     wf.run(resolve_topology(run.topology));
     const bool deployed = wf.deploy_result().success;
@@ -137,6 +139,19 @@ RunResult CampaignRunner::execute_run(const RunSpec& run,
                                          : wf.errors().front().to_string();
     }
     collect_metrics(result, wf, deployed);
+    // Incremental savings, journalled per run (not in workflow_metrics:
+    // they depend on the baseline, so they must never enter the
+    // byte-compared run report). `exp report` aggregates them per axis.
+    if (wf.incremental_report().enabled) {
+      const core::IncrementalReport& incr = wf.incremental_report();
+      const double dirty = static_cast<double>(incr.plan.dirty_devices.size());
+      const double reused = static_cast<double>(incr.plan.reused_devices.size());
+      put_metric(result, "delta.dirty_devices", dirty);
+      put_metric(result, "delta.reused_devices", reused);
+      put_metric(result, "delta.reuse_ratio",
+                 dirty + reused == 0 ? (incr.mode == "warm" ? 1.0 : 0.0)
+                                     : reused / (dirty + reused));
+    }
   } catch (const core::Interrupted&) {
     // Cancellation/deadline is not a run failure: completed phases are
     // checkpointed; the caller journals a pointer and stops gracefully.
@@ -195,11 +210,71 @@ CampaignResult CampaignRunner::run() {
   jobs = std::min<int>(jobs, static_cast<int>(matrix.size()));
   jobs = std::max(jobs, 1);
 
+  // Incremental campaigns: matrix[0] completes first (synchronously) and
+  // becomes the delta-engine baseline every later cell chains off.
+  std::string baseline_dir;
+  if (options_.incremental && !options_.checkpoint_dir.empty() &&
+      !matrix.empty()) {
+    baseline_dir =
+        options_.checkpoint_dir + "/" + checkpoint_dir_name(matrix[0].id);
+  }
+
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> executed{0};
   std::atomic<std::size_t> skipped{0};
   std::atomic<std::size_t> resumed{0};
   std::atomic<bool> stop{false};
+  // One matrix cell, start to journalled finish. Returns false when the
+  // pool must drain (cancellation / expired deadline).
+  auto process = [&](std::size_t i) -> bool {
+    const RunSpec& run = matrix[i];
+    if (const auto it = done.find(run.id); it != done.end() && it->second.ok) {
+      // Journal hit: the run completed in a previous invocation.
+      campaign.results[i] = it->second;
+      campaign.results[i].index = run.index;
+      skipped.fetch_add(1);
+      return true;
+    }
+    std::string ckpt_dir;
+    if (!options_.checkpoint_dir.empty()) {
+      ckpt_dir = options_.checkpoint_dir + "/" + checkpoint_dir_name(run.id);
+    }
+    std::string report_path;
+    if (!options_.report_dir.empty()) {
+      report_path = options_.report_dir + "/" + checkpoint_dir_name(run.id) +
+                    ".report.json";
+    }
+    if (pending_ckpts.find(run.id) != pending_ckpts.end()) {
+      resumed.fetch_add(1);
+    }
+    obs::Registry run_registry(std::make_unique<obs::VirtualClock>());
+    try {
+      RunResult result =
+          execute_run(run, spec_, &run_registry, ckpt_dir, options_.control,
+                      report_path, i == 0 ? std::string() : baseline_dir);
+      journal.append(result);
+      campaign_obs.log_event("exp", {{"campaign", spec_.name},
+                                     {"run", result.id},
+                                     {"ok", result.ok ? "true" : "false"}});
+      run_histograms[i] = run_registry.histogram_values();
+      campaign.results[i] = std::move(result);
+      executed.fetch_add(1);
+    } catch (const core::Interrupted& e) {
+      // Journal where this run got to, so the next invocation resumes
+      // it from its last completed phase, then drain the pool.
+      if (!ckpt_dir.empty()) {
+        CheckpointRecord record;
+        record.run_id = run.id;
+        record.dir = ckpt_dir;
+        record.reason = e.what();
+        record.phases = core::CheckpointStore(ckpt_dir).phases();
+        journal.append_checkpoint(record);
+      }
+      stop.store(true);
+      return false;
+    }
+    return true;
+  };
   auto worker = [&]() {
     for (;;) {
       // A cancellation or expired deadline stops the pool between runs;
@@ -211,51 +286,7 @@ CampaignResult CampaignRunner::run() {
       }
       const std::size_t i = next.fetch_add(1);
       if (i >= matrix.size()) return;
-      const RunSpec& run = matrix[i];
-      if (const auto it = done.find(run.id); it != done.end() && it->second.ok) {
-        // Journal hit: the run completed in a previous invocation.
-        campaign.results[i] = it->second;
-        campaign.results[i].index = run.index;
-        skipped.fetch_add(1);
-        continue;
-      }
-      std::string ckpt_dir;
-      if (!options_.checkpoint_dir.empty()) {
-        ckpt_dir = options_.checkpoint_dir + "/" + checkpoint_dir_name(run.id);
-      }
-      std::string report_path;
-      if (!options_.report_dir.empty()) {
-        report_path = options_.report_dir + "/" + checkpoint_dir_name(run.id) +
-                      ".report.json";
-      }
-      if (pending_ckpts.find(run.id) != pending_ckpts.end()) {
-        resumed.fetch_add(1);
-      }
-      obs::Registry run_registry(std::make_unique<obs::VirtualClock>());
-      try {
-        RunResult result = execute_run(run, spec_, &run_registry, ckpt_dir,
-                                       options_.control, report_path);
-        journal.append(result);
-        campaign_obs.log_event("exp", {{"campaign", spec_.name},
-                                       {"run", result.id},
-                                       {"ok", result.ok ? "true" : "false"}});
-        run_histograms[i] = run_registry.histogram_values();
-        campaign.results[i] = std::move(result);
-        executed.fetch_add(1);
-      } catch (const core::Interrupted& e) {
-        // Journal where this run got to, so the next invocation resumes
-        // it from its last completed phase, then drain the pool.
-        if (!ckpt_dir.empty()) {
-          CheckpointRecord record;
-          record.run_id = run.id;
-          record.dir = ckpt_dir;
-          record.reason = e.what();
-          record.phases = core::CheckpointStore(ckpt_dir).phases();
-          journal.append_checkpoint(record);
-        }
-        stop.store(true);
-        return;
-      }
+      if (!process(i)) return;
     }
   };
 
@@ -263,6 +294,12 @@ CampaignResult CampaignRunner::run() {
     obs::Span span(campaign_obs, "campaign.execute");
     span.arg("runs", std::to_string(matrix.size()))
         .arg("jobs", std::to_string(jobs));
+    if (!baseline_dir.empty()) {
+      // The baseline cell runs alone; every other cell plans against its
+      // finished checkpoint directory.
+      next.store(1);
+      if (!process(0)) stop.store(true);
+    }
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(jobs));
     for (int t = 0; t < jobs; ++t) pool.emplace_back(worker);

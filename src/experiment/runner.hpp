@@ -46,6 +46,13 @@ struct RunnerOptions {
   /// bytes, resumed or not), so committed reports gate regressions via
   /// `autonet report diff`.
   std::string report_dir;
+  /// Incremental campaigns (needs checkpoint_dir): the first matrix cell
+  /// runs to completion first and every later cell chains off its
+  /// checkpoint directory through the delta engine, so per-axis sweeps
+  /// recompute only what each axis value actually dirties. Each run
+  /// journals delta.* metrics (dirty/reused devices, reuse ratio) that
+  /// `exp report` aggregates per axis.
+  bool incremental = false;
   /// Campaign-wide supervision (non-owning): cancellation and the run
   /// deadline are observed by every worker between runs and by the
   /// running workflows at every phase/sub-phase boundary.
@@ -93,12 +100,16 @@ class CampaignRunner {
   /// propagates to the caller, with completed phases checkpointed.
   /// A non-empty `report_path` writes the run's run_report.json there
   /// (best-effort; a report write failure never fails the run).
+  /// A non-empty `baseline_dir` chains the run off that checkpoint
+  /// directory through the incremental delta engine and journals the
+  /// resulting delta.* metrics.
   [[nodiscard]] static RunResult execute_run(const RunSpec& run,
                                              const CampaignSpec& spec,
                                              obs::Registry* run_registry = nullptr,
                                              const std::string& checkpoint_dir = "",
                                              core::RunControl* control = nullptr,
-                                             const std::string& report_path = "");
+                                             const std::string& report_path = "",
+                                             const std::string& baseline_dir = "");
 
   /// Campaign-level telemetry registry override (tests).
   CampaignRunner& use_telemetry(obs::Registry* registry) {

@@ -1,0 +1,164 @@
+#include "incremental/delta.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "nidb/value.hpp"
+
+namespace autonet::incremental {
+
+using graph::AttrMap;
+using graph::EdgeId;
+using graph::Graph;
+using graph::NodeId;
+
+const char* to_string(DeltaKind kind) {
+  switch (kind) {
+    case DeltaKind::kNodeAdded: return "node_added";
+    case DeltaKind::kNodeRemoved: return "node_removed";
+    case DeltaKind::kNodeAttrChanged: return "node_attr_changed";
+    case DeltaKind::kLinkAdded: return "link_added";
+    case DeltaKind::kLinkRemoved: return "link_removed";
+    case DeltaKind::kLinkAttrChanged: return "link_attr_changed";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void diff_attrs(const AttrMap& a, const AttrMap& b, DeltaKind kind,
+                const std::string& node, const std::string& src,
+                const std::string& dst, std::vector<Delta>& out) {
+  std::set<std::string> keys;
+  for (const auto& [key, value] : a) keys.insert(key);
+  for (const auto& [key, value] : b) keys.insert(key);
+  for (const auto& key : keys) {
+    auto ia = a.find(key);
+    auto ib = b.find(key);
+    const bool in_a = ia != a.end();
+    const bool in_b = ib != b.end();
+    if (in_a && in_b && ia->second == ib->second) continue;
+    Delta d;
+    d.kind = kind;
+    d.node = node;
+    d.src = src;
+    d.dst = dst;
+    d.attr = key;
+    if (in_a) d.old_value = ia->second.to_string();
+    if (in_b) d.new_value = ib->second.to_string();
+    out.push_back(std::move(d));
+  }
+}
+
+/// Edges keyed by canonical endpoint pair, in insertion order per pair so
+/// parallel edges pair up positionally.
+std::map<std::pair<std::string, std::string>, std::vector<EdgeId>> edges_by_pair(
+    const Graph& g) {
+  std::map<std::pair<std::string, std::string>, std::vector<EdgeId>> out;
+  for (EdgeId e : g.edges()) {
+    std::string u = g.node_name(g.edge_src(e));
+    std::string v = g.node_name(g.edge_dst(e));
+    if (!g.directed() && v < u) std::swap(u, v);
+    out[{std::move(u), std::move(v)}].push_back(e);
+  }
+  return out;
+}
+
+}  // namespace
+
+DeltaSet diff_graphs(const Graph& a, const Graph& b) {
+  DeltaSet out;
+
+  std::set<std::string> names_a;
+  std::set<std::string> names_b;
+  for (NodeId n : a.nodes()) names_a.insert(a.node_name(n));
+  for (NodeId n : b.nodes()) names_b.insert(b.node_name(n));
+
+  for (const auto& name : names_a) {
+    if (names_b.contains(name)) {
+      diff_attrs(a.node_attrs(a.find_node(name)), b.node_attrs(b.find_node(name)),
+                 DeltaKind::kNodeAttrChanged, name, "", "", out.deltas);
+    } else {
+      out.deltas.push_back({DeltaKind::kNodeRemoved, name, "", "", "", "", ""});
+    }
+  }
+  for (const auto& name : names_b) {
+    if (!names_a.contains(name)) {
+      out.deltas.push_back({DeltaKind::kNodeAdded, name, "", "", "", "", ""});
+    }
+  }
+
+  const auto pairs_a = edges_by_pair(a);
+  const auto pairs_b = edges_by_pair(b);
+  std::set<std::pair<std::string, std::string>> pairs;
+  for (const auto& [pair, edges] : pairs_a) pairs.insert(pair);
+  for (const auto& [pair, edges] : pairs_b) pairs.insert(pair);
+  for (const auto& pair : pairs) {
+    auto ia = pairs_a.find(pair);
+    auto ib = pairs_b.find(pair);
+    const std::size_t na = ia == pairs_a.end() ? 0 : ia->second.size();
+    const std::size_t nb = ib == pairs_b.end() ? 0 : ib->second.size();
+    for (std::size_t i = 0; i < std::max(na, nb); ++i) {
+      if (i < na && i < nb) {
+        diff_attrs(a.edge_attrs(ia->second[i]), b.edge_attrs(ib->second[i]),
+                   DeltaKind::kLinkAttrChanged, "", pair.first, pair.second,
+                   out.deltas);
+      } else if (i < na) {
+        out.deltas.push_back(
+            {DeltaKind::kLinkRemoved, "", pair.first, pair.second, "", "", ""});
+      } else {
+        out.deltas.push_back(
+            {DeltaKind::kLinkAdded, "", pair.first, pair.second, "", "", ""});
+      }
+    }
+  }
+  return out;
+}
+
+std::string DeltaSet::to_text() const {
+  std::string out;
+  for (const Delta& d : deltas) {
+    switch (d.kind) {
+      case DeltaKind::kNodeAdded: out += "+ node " + d.node; break;
+      case DeltaKind::kNodeRemoved: out += "- node " + d.node; break;
+      case DeltaKind::kNodeAttrChanged:
+        out += "~ node " + d.node + ": " + d.attr + " " +
+               (d.old_value.empty() ? "(unset)" : d.old_value) + " -> " +
+               (d.new_value.empty() ? "(unset)" : d.new_value);
+        break;
+      case DeltaKind::kLinkAdded: out += "+ link " + d.src + " -- " + d.dst; break;
+      case DeltaKind::kLinkRemoved: out += "- link " + d.src + " -- " + d.dst; break;
+      case DeltaKind::kLinkAttrChanged:
+        out += "~ link " + d.src + " -- " + d.dst + ": " + d.attr + " " +
+               (d.old_value.empty() ? "(unset)" : d.old_value) + " -> " +
+               (d.new_value.empty() ? "(unset)" : d.new_value);
+        break;
+    }
+    out += '\n';
+  }
+  if (deltas.empty()) out = "no differences\n";
+  return out;
+}
+
+std::string DeltaSet::to_json(bool pretty) const {
+  nidb::Array arr;
+  for (const Delta& d : deltas) {
+    nidb::Object obj;
+    obj["kind"] = std::string(to_string(d.kind));
+    if (!d.node.empty()) obj["node"] = d.node;
+    if (!d.src.empty()) {
+      obj["src"] = d.src;
+      obj["dst"] = d.dst;
+    }
+    if (!d.attr.empty()) {
+      obj["attr"] = d.attr;
+      obj["old"] = d.old_value;
+      obj["new"] = d.new_value;
+    }
+    arr.emplace_back(std::move(obj));
+  }
+  return nidb::Value(std::move(arr)).to_json(pretty);
+}
+
+}  // namespace autonet::incremental

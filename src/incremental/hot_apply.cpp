@@ -1,0 +1,90 @@
+#include "incremental/hot_apply.hpp"
+
+#include <stdexcept>
+
+#include "obs/recorder.hpp"
+#include "obs/registry.hpp"
+
+namespace autonet::incremental {
+
+std::string HotAction::to_string() const {
+  switch (kind) {
+    case Kind::kLinkCost:
+      return "set-link-cost " + a + " -- " + b + " = " + std::to_string(cost);
+    case Kind::kFailLink:
+      return "fail-link " + a + " -- " + b;
+  }
+  return "unknown";
+}
+
+HotApplyPlan plan_hot_apply(const DeltaSet& delta, const std::string& cost_attr) {
+  HotApplyPlan plan;
+  for (const Delta& d : delta.deltas) {
+    switch (d.kind) {
+      case DeltaKind::kLinkAttrChanged:
+        if (d.attr == cost_attr && !d.new_value.empty()) {
+          std::int64_t cost = 0;
+          try {
+            cost = std::stoll(d.new_value);
+          } catch (const std::exception&) {
+            plan.unsupported.push_back("~ link " + d.src + " -- " + d.dst + ": " +
+                                       d.attr + " is not an integer cost");
+            break;
+          }
+          plan.actions.push_back(
+              {HotAction::Kind::kLinkCost, d.src, d.dst, cost});
+        } else {
+          plan.unsupported.push_back("~ link " + d.src + " -- " + d.dst + ": " +
+                                     d.attr + " has no scoped action");
+        }
+        break;
+      case DeltaKind::kLinkRemoved:
+        plan.actions.push_back({HotAction::Kind::kFailLink, d.src, d.dst, 0});
+        break;
+      case DeltaKind::kLinkAdded:
+        plan.unsupported.push_back("+ link " + d.src + " -- " + d.dst +
+                                   ": new links need configured interfaces");
+        break;
+      case DeltaKind::kNodeAdded:
+      case DeltaKind::kNodeRemoved:
+      case DeltaKind::kNodeAttrChanged:
+        plan.unsupported.push_back("node change on " + d.node +
+                                   ": device-level changes need a redeploy");
+        break;
+    }
+  }
+  return plan;
+}
+
+HotApplyResult hot_apply(emulation::EmulatedNetwork& net, const HotApplyPlan& plan,
+                         std::size_t max_bgp_rounds, core::RunControl* control) {
+  HotApplyResult result;
+  obs::Registry& obs = obs::Registry::current();
+  for (const HotAction& action : plan.actions) {
+    bool ok = false;
+    switch (action.kind) {
+      case HotAction::Kind::kLinkCost:
+        ok = net.set_link_cost(action.a, action.b, action.cost);
+        break;
+      case HotAction::Kind::kFailLink:
+        ok = net.fail_link(action.a, action.b);
+        break;
+    }
+    if (ok) {
+      ++result.applied;
+      obs.counter("incr.hot_apply").inc();
+      obs::record("incr", "hot_apply", {{"action", action.to_string()}});
+    } else {
+      ++result.failed;
+      obs::record("incr", obs::Severity::kWarning, "hot_apply",
+                  {{"action", action.to_string()}, {"outcome", "rejected"}});
+    }
+  }
+  // One reconvergence settles all applied actions: partial SPF + BGP
+  // re-decision happen inside start(), scoped to the running topology —
+  // no reboot, no config re-parse.
+  result.convergence = net.start(max_bgp_rounds, control);
+  return result;
+}
+
+}  // namespace autonet::incremental

@@ -1,0 +1,62 @@
+// Hot-apply: maps an input-graph DeltaSet onto a running emulation as
+// scoped actions instead of a full reboot, reusing the fail/restore
+// machinery the incident runner drives. The action table (see
+// docs/incremental.md):
+//   link cost change   -> set_link_cost on both endpoints + reconverge
+//   link removed       -> fail_link + reconverge
+//   anything else      -> not hot-appliable (full redeploy)
+// Routers keep their identity, FIB history, and BGP sessions; one
+// reconvergence pass at the end settles every applied action.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cancel.hpp"
+#include "emulation/network.hpp"
+#include "incremental/delta.hpp"
+
+namespace autonet::incremental {
+
+struct HotAction {
+  enum class Kind { kLinkCost, kFailLink };
+  Kind kind;
+  std::string a;
+  std::string b;
+  std::int64_t cost = 0;  // kLinkCost only
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct HotApplyPlan {
+  std::vector<HotAction> actions;
+  /// Deltas with no scoped action, each rendered with the reason; any
+  /// entry here means the set is not hot-appliable.
+  std::vector<std::string> unsupported;
+
+  [[nodiscard]] bool applicable() const {
+    return unsupported.empty() && !actions.empty();
+  }
+};
+
+/// Plans scoped actions for `delta`. `cost_attr` is the input edge
+/// attribute the OSPF design rule reads as the link cost (
+/// design::OspfOptions::cost_attr); only changes to that attribute map
+/// to kLinkCost.
+[[nodiscard]] HotApplyPlan plan_hot_apply(const DeltaSet& delta,
+                                          const std::string& cost_attr);
+
+struct HotApplyResult {
+  std::size_t applied = 0;
+  std::size_t failed = 0;  // actions the network rejected (unknown link)
+  emulation::ConvergenceReport convergence;
+};
+
+/// Applies every action, then reconverges once. Publishes one
+/// "incr.hot_apply" obs counter increment per applied action.
+HotApplyResult hot_apply(emulation::EmulatedNetwork& net, const HotApplyPlan& plan,
+                         std::size_t max_bgp_rounds = 128,
+                         core::RunControl* control = nullptr);
+
+}  // namespace autonet::incremental

@@ -1,0 +1,101 @@
+#include "incremental/plan.hpp"
+
+#include <algorithm>
+
+namespace autonet::incremental {
+
+bool RecomputePlan::rule_reused(std::string_view name) const {
+  return std::find(reused_rules.begin(), reused_rules.end(), name) !=
+         reused_rules.end();
+}
+
+void plan_design(const Snapshot& baseline,
+                 const std::map<std::string, std::uint64_t>& current,
+                 const std::vector<std::string>& order, RecomputePlan& plan) {
+  plan.reused_rules.clear();
+  plan.dirty_rules.clear();
+  // Static dependencies between design rules: dns consumes the ip
+  // overlay, so a dirty ip rule dirties dns even when its own projection
+  // is unchanged (the projection covers dns's post-load reads only).
+  auto depends_dirty = [&plan](const std::string& rule) -> const char* {
+    if (rule == "dns" &&
+        std::find(plan.dirty_rules.begin(), plan.dirty_rules.end(), "ip") !=
+            plan.dirty_rules.end()) {
+      return "ip";
+    }
+    return nullptr;
+  };
+  for (const std::string& rule : order) {
+    auto base = baseline.rule_hashes.find(rule);
+    auto cur = current.find(rule);
+    if (base == baseline.rule_hashes.end() || cur == current.end()) {
+      plan.dirty_rules.push_back(rule);
+      plan.explain.push_back("design." + rule + ": re-run (no baseline hash)");
+      continue;
+    }
+    if (const char* dep = depends_dirty(rule)) {
+      plan.dirty_rules.push_back(rule);
+      plan.explain.push_back("design." + rule + ": re-run (depends on dirty " +
+                             dep + ")");
+      continue;
+    }
+    if (base->second != cur->second) {
+      plan.dirty_rules.push_back(rule);
+      plan.explain.push_back("design." + rule + ": re-run (projection changed)");
+    } else {
+      plan.reused_rules.push_back(rule);
+      plan.explain.push_back("design." + rule + ": reused (projection unchanged)");
+    }
+  }
+}
+
+void plan_devices(const Snapshot& baseline, const DeviceSignatures& current,
+                  RecomputePlan& plan) {
+  plan.reused_devices.clear();
+  plan.dirty_devices.clear();
+  if (baseline.global_digest != current.global_digest) {
+    for (const auto& [device, sig] : current.sigs) {
+      plan.dirty_devices.insert(device);
+    }
+    plan.explain.push_back(
+        "compile: all devices re-compiled (global digest changed: overlay "
+        "data, service overlays, or platform)");
+    return;
+  }
+  for (const auto& [device, sig] : current.sigs) {
+    auto base = baseline.device_sigs.find(device);
+    if (base != baseline.device_sigs.end() && base->second == sig) {
+      plan.reused_devices.insert(device);
+    } else {
+      plan.dirty_devices.insert(device);
+      plan.explain.push_back("compile." + device + ": re-compiled (" +
+                             (base == baseline.device_sigs.end()
+                                  ? "new device"
+                                  : "neighborhood changed") +
+                             ")");
+    }
+  }
+  plan.explain.push_back("compile: " + std::to_string(plan.reused_devices.size()) +
+                         " device(s) reused, " +
+                         std::to_string(plan.dirty_devices.size()) +
+                         " re-compiled");
+}
+
+void plan_lint(const Snapshot& baseline, const std::string& lint_sig,
+               const std::map<std::string, std::uint64_t>& template_hashes,
+               RecomputePlan& plan) {
+  if (baseline.lint_sig != lint_sig) {
+    plan.lint_reusable = false;
+    plan.explain.emplace_back("lint: template rules re-run (lint options changed)");
+    return;
+  }
+  if (baseline.template_hashes != template_hashes) {
+    plan.lint_reusable = false;
+    plan.explain.emplace_back("lint: template rules re-run (template sets changed)");
+    return;
+  }
+  plan.lint_reusable = true;
+  plan.explain.emplace_back("lint: template-family findings rehydrated from baseline");
+}
+
+}  // namespace autonet::incremental

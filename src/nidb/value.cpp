@@ -322,7 +322,11 @@ class JsonCursor {
   [[nodiscard]] char peek() const { return text_[pos_]; }
   char next() { return text_[pos_++]; }
   void skip_ws() {
-    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
+    while (!eof()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\n' && c != '\t' && c != '\r') break;
+      ++pos_;
+    }
   }
   void expect_word(std::string_view word) {
     if (text_.substr(pos_, word.size()) != word) fail("expected " + std::string(word));
@@ -342,13 +346,14 @@ class JsonCursor {
     if (next() != '"') fail("expected string");
     std::string out;
     while (true) {
-      if (eof()) fail("unterminated string");
+      // Bulk-copy the run up to the next quote or escape; most strings in
+      // our artifacts contain neither, so this is a single substr assign.
+      std::size_t stop = text_.find_first_of("\"\\", pos_);
+      if (stop == std::string_view::npos) fail("unterminated string");
+      out.append(text_, pos_, stop - pos_);
+      pos_ = stop;
       char c = next();
       if (c == '"') return out;
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
       if (eof()) fail("unterminated escape");
       char e = next();
       switch (e) {
@@ -404,14 +409,21 @@ class JsonCursor {
         break;
       }
     }
-    std::string raw(text_.substr(start, pos_ - start));
+    std::string_view raw = text_.substr(start, pos_ - start);
     if (raw.empty() || raw == "-" || raw == "+") fail("bad number");
-    try {
-      if (is_double) return Value(std::stod(raw));
-      return Value(static_cast<std::int64_t>(std::stoll(raw)));
-    } catch (const std::exception&) {
-      fail("bad number '" + raw + "'");
+    const char* first = raw.data();
+    const char* last = raw.data() + raw.size();
+    if (raw.front() == '+') ++first;  // from_chars rejects a leading '+'
+    if (is_double) {
+      double d = 0;
+      auto [p, ec] = std::from_chars(first, last, d);
+      if (ec != std::errc{} || p != last) fail("bad number '" + std::string(raw) + "'");
+      return Value(d);
     }
+    std::int64_t i = 0;
+    auto [p, ec] = std::from_chars(first, last, i);
+    if (ec != std::errc{} || p != last) fail("bad number '" + std::string(raw) + "'");
+    return Value(i);
   }
 
   Value parse_array() {
@@ -445,7 +457,8 @@ class JsonCursor {
       std::string key = parse_string();
       skip_ws();
       if (eof() || next() != ':') fail("expected ':'");
-      obj[key] = parse_value();
+      Value val = parse_value();
+      obj.insert_or_assign(std::move(key), std::move(val));
       skip_ws();
       if (eof()) fail("unterminated object");
       char c = next();

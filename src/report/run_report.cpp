@@ -13,6 +13,7 @@
 #include "core/workflow.hpp"
 #include "obs/export.hpp"
 #include "obs/recorder.hpp"
+#include "verify/analysis/cache.hpp"
 
 namespace autonet::report {
 
@@ -199,6 +200,14 @@ std::string run_report_json(core::Workflow& wf) {
   out << "  \"input_hash\": \"" << obs::json_escape(wf.input_hash()) << "\",\n";
   out << "  \"options_signature\": \"" << obs::json_escape(wf.options_signature())
       << "\",\n";
+  // The compiled NIDB's content hash: lets two reports assert "same
+  // design" (the incremental equivalence contract) without the artifact
+  // directories. Empty until compile() has run.
+  out << "  \"nidb_hash\": \""
+      << (wf.has_nidb()
+              ? std::to_string(verify::analysis::nidb_content_hash(wf.nidb()))
+              : "")
+      << "\",\n";
 
   out << "  \"phases\": [";
   bool first = true;
@@ -296,7 +305,7 @@ std::string ReportDiff::to_string() const {
 ReportDiff diff_reports(const nidb::Value& a, const nidb::Value& b,
                         const DiffOptions& options) {
   ReportDiff diff;
-  for (const char* key : {"status", "input_hash", "options_signature"}) {
+  for (const char* key : {"status", "input_hash", "options_signature", "nidb_hash"}) {
     const std::string va = string_of(a, key);
     const std::string vb = string_of(b, key);
     if (va != vb) {

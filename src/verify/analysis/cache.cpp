@@ -50,12 +50,16 @@ std::shared_ptr<const Prediction> FibCache::get(
     std::lock_guard lock(mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
-      future = it->second;
+      ++stats_.hits;
+      future = it->second.future;
+      lru_.splice(lru_.begin(), lru_, it->second.lru);  // bump to MRU
     } else {
-      if (entries_.size() >= kMaxEntries) entries_.clear();
+      ++stats_.misses;
       future = promise.get_future().share();
-      entries_.emplace(key, future);
+      lru_.push_front(key);
+      entries_.emplace(key, Slot{future, lru_.begin()});
       mine = true;
+      trim_locked();
     }
   }
   if (hit != nullptr) *hit = !mine;
@@ -64,18 +68,49 @@ std::shared_ptr<const Prediction> FibCache::get(
       promise.set_value(std::make_shared<const Prediction>(compute()));
     } catch (...) {
       // Propagate to every waiter, then drop the entry so a later call
-      // can retry instead of re-observing a stale failure.
+      // can retry instead of re-observing a stale failure. The entry may
+      // already be gone if trimming evicted it mid-compute.
       promise.set_exception(std::current_exception());
       std::lock_guard lock(mu_);
-      entries_.erase(key);
+      if (auto it = entries_.find(key); it != entries_.end()) {
+        lru_.erase(it->second.lru);
+        entries_.erase(it);
+      }
     }
   }
   return future.get();
 }
 
+void FibCache::trim_locked() {
+  while (entries_.size() > capacity_ && !lru_.empty()) {
+    auto victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+FibCache::Stats FibCache::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+void FibCache::set_capacity(std::size_t entries) {
+  std::lock_guard lock(mu_);
+  capacity_ = entries;
+  trim_locked();
+}
+
+std::size_t FibCache::capacity() const {
+  std::lock_guard lock(mu_);
+  return capacity_;
+}
+
 void FibCache::clear() {
   std::lock_guard lock(mu_);
   entries_.clear();
+  lru_.clear();
+  stats_ = {};
 }
 
 std::size_t FibCache::size() const {

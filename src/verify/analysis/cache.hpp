@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -30,6 +31,13 @@ namespace autonet::verify::analysis {
 /// key, the compute callback runs exactly once no matter how many
 /// threads race on it; the losers block on the winner's future. That
 /// makes hit/miss counts deterministic for the obs counters.
+///
+/// The cache is bounded: least-recently-used entries are evicted when
+/// the entry budget (default 512, configurable via set_capacity) is
+/// exceeded, so long campaign sweeps hold memory proportional to the
+/// budget rather than to the number of distinct designs visited.
+/// Evicting an in-flight entry is safe — waiters hold their own copy of
+/// the shared future.
 class FibCache {
  public:
   static FibCache& global();
@@ -41,15 +49,39 @@ class FibCache {
       std::uint64_t key, const std::function<Prediction()>& compute,
       bool* hit = nullptr);
 
+  /// Cumulative hit/miss/eviction totals since process start (or the
+  /// last clear()). Consumers publish deltas to the obs registry.
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Sets the entry budget; trims immediately if over. A capacity of 0
+  /// means "cache nothing" (every get computes and evicts itself).
+  void set_capacity(std::size_t entries);
+  [[nodiscard]] std::size_t capacity() const;
+
   void clear();
   [[nodiscard]] std::size_t size() const;
 
  private:
-  static constexpr std::size_t kMaxEntries = 512;
+  static constexpr std::size_t kDefaultCapacity = 512;
+
+  struct Slot {
+    std::shared_future<std::shared_ptr<const Prediction>> future;
+    std::list<std::uint64_t>::iterator lru;  // position in lru_
+  };
+
+  /// Drops LRU entries until size <= capacity. Caller holds mu_.
+  void trim_locked();
 
   mutable std::mutex mu_;
-  std::map<std::uint64_t, std::shared_future<std::shared_ptr<const Prediction>>>
-      entries_;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::list<std::uint64_t> lru_;  // front = most recently used
+  std::map<std::uint64_t, Slot> entries_;
+  Stats stats_;
 };
 
 }  // namespace autonet::verify::analysis

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <future>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -14,6 +15,7 @@
 #include "obs/recorder.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
+#include "verify/analysis/cache.hpp"
 #include "verify/analysis/workspace.hpp"
 #include "verify/index.hpp"
 
@@ -160,7 +162,8 @@ LintOptions LintOptions::load_config_file(const std::string& path) {
 }
 
 Report run_lint(const LintInput& input, const LintOptions& options,
-                const RuleRegistry& registry, core::RunControl* control) {
+                const RuleRegistry& registry, core::RunControl* control,
+                const LintReuse* reuse) {
   Report report;
   std::optional<detail::NidbIndex> index;
   std::optional<analysis::Workspace> workspace;
@@ -168,6 +171,7 @@ Report run_lint(const LintInput& input, const LintOptions& options,
     index = detail::NidbIndex::build(*input.nidb);
     workspace.emplace(*input.nidb);
   }
+  const analysis::FibCache::Stats fib_before = analysis::FibCache::global().stats();
 
   RuleContext ctx;
   ctx.input = &input;
@@ -189,11 +193,20 @@ Report run_lint(const LintInput& input, const LintOptions& options,
     std::future<void> finished;
   };
   std::vector<Task> tasks;
+  std::set<const Rule*> replayed;
   for (const Rule& rule : registry.rules()) {
     if (!options.rule_enabled(rule.info.id)) continue;
     if (rule.needs_nidb && input.nidb == nullptr) continue;
     if (rule.needs_templates && input.templates == nullptr &&
         input.template_files.empty()) {
+      continue;
+    }
+    // Template-family rules see only the template sets; when the caller
+    // vouches those are unchanged, the baseline's findings are this
+    // run's findings (incremental pipeline).
+    if (reuse != nullptr && reuse->baseline != nullptr &&
+        rule.needs_templates && !rule.needs_nidb) {
+      replayed.insert(&rule);
       continue;
     }
     Task task;
@@ -244,6 +257,33 @@ Report run_lint(const LintInput& input, const LintOptions& options,
   std::size_t next_task = 0;
   for (const Rule& rule : registry.rules()) {
     core::checkpoint(control, "lint." + rule.info.id);
+    if (replayed.contains(&rule)) {
+      // Replay with the exact telemetry shape of a fresh run: same span,
+      // same counters, same flight-recorder record.
+      obs::Span span(obs, "lint." + rule.info.id);
+      std::vector<Finding> hydrated;
+      for (const Finding& f : reuse->baseline->findings) {
+        if (f.code == rule.info.id) hydrated.push_back(f);
+      }
+      span.arg("findings", std::to_string(hydrated.size()));
+      scope.counter("rules_run").inc();
+      const Severity sev = options.severity_for(rule.info);
+      obs::Severity verdict = obs::Severity::kInfo;
+      if (!hydrated.empty()) {
+        scope.counter("findings").inc(hydrated.size());
+        scope.counter(sev == Severity::kError ? "errors" : "warnings")
+            .inc(hydrated.size());
+        verdict = sev == Severity::kError ? obs::Severity::kError
+                                          : obs::Severity::kWarning;
+      }
+      obs::record("lint", verdict, rule.info.id,
+                  {{"findings", std::to_string(hydrated.size())}});
+      for (Finding& finding : hydrated) {
+        report.findings.push_back(std::move(finding));
+      }
+      if (reuse->reused_out != nullptr) ++*reuse->reused_out;
+      continue;
+    }
     if (next_task >= tasks.size() || tasks[next_task].rule != &rule) continue;
     Task& task = tasks[next_task++];
     obs::Span span(obs, "lint." + rule.info.id);
@@ -285,6 +325,24 @@ Report run_lint(const LintInput& input, const LintOptions& options,
                   {{"fib_builds", std::to_string(stats.fib_builds)},
                    {"cache_hits", std::to_string(stats.fib_cache_hits)},
                    {"whatif_scenarios", std::to_string(stats.whatif_scenarios)}});
+    }
+    // FibCache traffic this run, as deltas of the process-global totals.
+    // Concurrent campaign runs share the cache, so these are advisory —
+    // counters never enter run reports.
+    const analysis::FibCache::Stats fib_after =
+        analysis::FibCache::global().stats();
+    // Saturating deltas: a concurrent FibCache::clear() resets totals.
+    auto delta = [](std::uint64_t now, std::uint64_t then) {
+      return now >= then ? now - then : now;
+    };
+    const std::uint64_t hits = delta(fib_after.hits, fib_before.hits);
+    const std::uint64_t misses = delta(fib_after.misses, fib_before.misses);
+    const std::uint64_t evictions = delta(fib_after.evictions, fib_before.evictions);
+    if (hits + misses + evictions > 0) {
+      auto fib_scope = obs.scope("fibcache");
+      fib_scope.counter("hit").inc(hits);
+      fib_scope.counter("miss").inc(misses);
+      fib_scope.counter("evict").inc(evictions);
     }
   }
   report.finalize();

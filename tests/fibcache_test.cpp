@@ -1,0 +1,172 @@
+// The bounded prediction cache behind analysis lint/what-if: LRU
+// eviction under a configurable entry budget, compute-once semantics
+// under concurrency, deterministic hit/miss/eviction stats, and the
+// obs counters the lint workspace publishes from them.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/workflow.hpp"
+#include "obs/registry.hpp"
+#include "topology/builtin.hpp"
+#include "verify/analysis/cache.hpp"
+
+namespace {
+
+using namespace autonet;
+using verify::analysis::FibCache;
+using verify::analysis::Prediction;
+
+std::function<Prediction()> make_pred(std::atomic<int>* computed) {
+  return [computed]() {
+    if (computed != nullptr) ++*computed;
+    return Prediction{};
+  };
+}
+
+std::uint64_t counter_value(obs::Registry& registry, const std::string& name) {
+  for (const auto& [key, value] : registry.counter_values()) {
+    if (key == name) return value;
+  }
+  return 0;
+}
+
+TEST(FibCache, ComputesOnceThenHits) {
+  FibCache cache;
+  EXPECT_EQ(cache.capacity(), 512u);  // default budget
+  std::atomic<int> computed{0};
+  bool hit = true;
+  const auto first = cache.get(1, make_pred(&computed), &hit);
+  EXPECT_FALSE(hit);
+  ASSERT_NE(first, nullptr);
+  const auto second = cache.get(1, make_pred(&computed), &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(computed.load(), 1);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(FibCache, EvictsLeastRecentlyUsed) {
+  FibCache cache;
+  cache.set_capacity(2);
+  std::atomic<int> computed{0};
+  (void)cache.get(1, make_pred(&computed));
+  (void)cache.get(2, make_pred(&computed));
+  // Touch 1 so 2 becomes the LRU victim.
+  bool hit = false;
+  (void)cache.get(1, make_pred(&computed), &hit);
+  EXPECT_TRUE(hit);
+  (void)cache.get(3, make_pred(&computed));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  // 1 survived, 2 was evicted and recomputes.
+  (void)cache.get(1, make_pred(&computed), &hit);
+  EXPECT_TRUE(hit);
+  (void)cache.get(2, make_pred(&computed), &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(computed.load(), 4);  // keys 1, 2, 3, and 2 again
+}
+
+TEST(FibCache, SetCapacityTrimsImmediately) {
+  FibCache cache;
+  cache.set_capacity(3);
+  std::atomic<int> computed{0};
+  (void)cache.get(1, make_pred(&computed));
+  (void)cache.get(2, make_pred(&computed));
+  (void)cache.get(3, make_pred(&computed));
+  EXPECT_EQ(cache.size(), 3u);
+  cache.set_capacity(1);
+  EXPECT_EQ(cache.capacity(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  // The survivor is the most recently used key.
+  bool hit = false;
+  (void)cache.get(3, make_pred(&computed), &hit);
+  EXPECT_TRUE(hit);
+}
+
+TEST(FibCache, CapacityZeroCachesNothingButStaysSafe) {
+  FibCache cache;
+  cache.set_capacity(0);
+  std::atomic<int> computed{0};
+  // Every get computes; the returned value stays valid because the
+  // caller holds the shared future's result.
+  const auto a = cache.get(7, make_pred(&computed));
+  const auto b = cache.get(7, make_pred(&computed));
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(computed.load(), 2);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(FibCache, ClearResetsEntriesAndStats) {
+  FibCache cache;
+  std::atomic<int> computed{0};
+  (void)cache.get(1, make_pred(&computed));
+  (void)cache.get(1, make_pred(&computed));
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(FibCache, ConcurrentGettersComputeExactlyOnce) {
+  FibCache cache;
+  std::atomic<int> computed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back(
+        [&cache, &computed]() { (void)cache.get(99, make_pred(&computed)); });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(computed.load(), 1);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 7u);
+}
+
+// The lint gate's analysis family publishes cache traffic as obs
+// counters: the first run misses, an identical re-run hits.
+TEST(FibCache, LintAnalysisPublishesHitMissCounters) {
+  FibCache::global().clear();
+  core::WorkflowOptions options;
+  options.lint.analysis = true;
+  options.lint.fail_fast = false;
+
+  obs::Registry first(std::make_unique<obs::VirtualClock>(1));
+  {
+    obs::RegistryScope scope(first);
+    core::Workflow wf(options);
+    wf.use_telemetry(&first);
+    wf.load(topology::figure5()).design().compile().render().lint();
+  }
+  EXPECT_GE(counter_value(first, "fibcache.miss"), 1u);
+  EXPECT_EQ(counter_value(first, "fibcache.hit") +
+                counter_value(first, "fibcache.miss"),
+            FibCache::global().stats().hits + FibCache::global().stats().misses);
+
+  obs::Registry second(std::make_unique<obs::VirtualClock>(1));
+  {
+    obs::RegistryScope scope(second);
+    core::Workflow wf(options);
+    wf.use_telemetry(&second);
+    wf.load(topology::figure5()).design().compile().render().lint();
+  }
+  EXPECT_GE(counter_value(second, "fibcache.hit"), 1u);
+  FibCache::global().clear();
+}
+
+}  // namespace

@@ -19,9 +19,11 @@
 //   autonet run   <topology> [--platform P] [--ibgp MODE]
 //                 [--trace SRC DST | --trace out.json] [--validate]
 //                 [--metrics FILE] [--checkpoint DIR] [--resume DIR]
+//                 [--incremental] [--since DIR] [--explain] [--hot-apply]
 //                 [--deadline MS] [--report FILE]
+//   autonet diff  <topologyA> <topologyB> [--format text|json] [--out FILE]
 //   autonet exp run <campaign.file> [--out DIR] [--jobs N] [--fresh]
-//                 [--checkpoints] [--deadline MS]
+//                 [--checkpoints] [--incremental] [--deadline MS]
 //   autonet exp report <DIR|journal.jsonl> [--format text|csv|jsonl]
 //   autonet events <run_report.json|events.jsonl> [--phase P]
 //                 [--category C] [--severity info|warning|error]
@@ -51,6 +53,7 @@
 
 #include "core/workflow.hpp"
 #include "experiment/aggregate.hpp"
+#include "incremental/delta.hpp"
 #include "experiment/campaign.hpp"
 #include "experiment/runner.hpp"
 #include "obs/export.hpp"
@@ -96,8 +99,13 @@ int usage() {
                "              [--metrics FILE] [--checkpoint DIR] "
                "[--resume DIR] [--deadline MS] [--report FILE] "
                "[--virtual-clock]\n"
+               "              [--incremental] [--since DIR] [--explain] "
+               "[--hot-apply]\n"
+               "  autonet diff <topologyA> <topologyB> "
+               "[--format text|json] [--out FILE]\n"
                "  autonet exp run <campaign.file> [--out DIR] [--jobs N] "
-               "[--fresh] [--checkpoints] [--deadline MS] [--trace OUT.json]\n"
+               "[--fresh] [--checkpoints] [--incremental] [--deadline MS] "
+               "[--trace OUT.json]\n"
                "  autonet exp report <DIR|journal.jsonl> "
                "[--format text|csv|jsonl] [--out FILE]\n"
                "  autonet events <run_report.json|events.jsonl> [--phase P] "
@@ -120,7 +128,8 @@ struct Args {
       std::string arg = argv[i];
       if (arg == "--isis" || arg == "--dns" || arg == "--validate" ||
           arg == "--list-rules" || arg == "--fresh" || arg == "--checkpoints" ||
-          arg == "--virtual-clock" || arg == "--cross-check") {
+          arg == "--virtual-clock" || arg == "--cross-check" ||
+          arg == "--incremental" || arg == "--explain" || arg == "--hot-apply") {
         args.options[arg.substr(2)] = "1";
       } else if (arg == "--trace" && i + 1 < argc &&
                  std::string_view(argv[i + 1]).ends_with(".json")) {
@@ -501,6 +510,11 @@ int cmd_exp_run(const Args& args) {
   opts.report_dir = out_dir + "/reports";
   if (args.has("jobs")) opts.jobs = std::stoi(args.get("jobs"));
   if (args.has("checkpoints")) opts.checkpoint_dir = out_dir + "/checkpoints";
+  if (args.has("incremental")) {
+    // Incremental chaining needs the per-run checkpoint directories.
+    opts.incremental = true;
+    opts.checkpoint_dir = out_dir + "/checkpoints";
+  }
   if (args.has("fresh")) {
     std::filesystem::remove(opts.journal_path);
     std::filesystem::remove_all(opts.report_dir);
@@ -738,6 +752,31 @@ int cmd_report(const Args& args) {
   return usage();
 }
 
+// `autonet diff`: the delta engine's front end — the typed input delta
+// between two topologies, exactly what an incremental run plans around.
+// Deterministic output; exit 0 when identical, 1 when they differ.
+int cmd_diff(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  const incremental::DeltaSet delta = incremental::diff_graphs(
+      load_input(args.positional[0]), load_input(args.positional[1]));
+  const std::string format = args.get("format", "text");
+  std::string rendered;
+  if (format == "json") {
+    rendered = delta.to_json(true) + "\n";
+  } else if (format == "text") {
+    rendered = delta.empty() ? "no differences\n" : delta.to_text();
+  } else {
+    std::fprintf(stderr, "autonet diff: unknown format '%s'\n", format.c_str());
+    return 2;
+  }
+  if (args.has("out")) {
+    if (write_file_checked(args.get("out"), rendered)) return 2;
+  } else {
+    std::fputs(rendered.c_str(), stdout);
+  }
+  return delta.empty() ? 0 : 1;
+}
+
 int cmd_exp(const Args& args) {
   if (args.positional.empty()) return usage();
   if (args.positional[0] == "run") return cmd_exp_run(args);
@@ -774,6 +813,17 @@ int cmd_run(const Args& args) {
   const std::string ckpt_dir =
       args.has("resume") ? args.get("resume") : args.get("checkpoint");
   if (!ckpt_dir.empty()) wf.checkpoint_to(ckpt_dir);
+
+  // Incremental: chain off a previous run's checkpoint directory. The
+  // baseline is read-only; pair with --checkpoint DIR to leave a fresh
+  // snapshot for the next edit in the chain.
+  if (args.has("incremental") && !args.has("since")) {
+    std::fprintf(stderr, "autonet run: --incremental needs --since DIR "
+                         "(a previous run's --checkpoint directory)\n");
+    return 2;
+  }
+  if (args.has("since")) wf.incremental_from(args.get("since"));
+  if (args.has("hot-apply")) wf.set_hot_apply(true);
 
   auto interrupted = [&](const core::Interrupted& e, int code) {
     std::fprintf(stderr, "autonet run: %s\n", e.what());
@@ -824,6 +874,9 @@ int cmd_run(const Args& args) {
       std::printf(" %s", phase.c_str());
     }
     std::printf("\n");
+  }
+  if (args.has("explain") && wf.incremental_report().enabled) {
+    std::fputs(wf.incremental_report().to_text().c_str(), stdout);
   }
   const auto& result = wf.deploy_result();
   std::printf("deploy: %s; %zu machines; BGP %s (%zu rounds%s)\n",
@@ -902,6 +955,7 @@ int main(int argc, char** argv) {
     if (command == "lint") return cmd_lint(args);
     if (command == "analyze") return cmd_analyze(args);
     if (command == "run") return cmd_run(args);
+    if (command == "diff") return cmd_diff(args);
     if (command == "exp") return cmd_exp(args);
     if (command == "events") return cmd_events(args);
     if (command == "report") return cmd_report(args);
