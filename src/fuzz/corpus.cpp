@@ -1,0 +1,65 @@
+#include "fuzz/corpus.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/checkpoint.hpp"
+#include "topology/graphml.hpp"
+
+namespace autonet::fuzz {
+
+namespace fs = std::filesystem;
+
+std::string save_corpus_entry(const std::string& corpus_dir,
+                              const std::string& oracle, const Scenario& s,
+                              const std::string& detail) {
+  const fs::path dir = fs::path(corpus_dir) / oracle;
+  fs::create_directories(dir);
+  const std::string stem = std::to_string(s.seed);
+  const std::string graphml_path = (dir / (stem + ".graphml")).string();
+  core::write_file_atomic(graphml_path, scenario_to_graphml(s));
+
+  std::string repro;
+  repro += "oracle: " + oracle + "\n";
+  repro += "seed: " + std::to_string(s.seed) + "\n";
+  repro += "shape: " + s.shape() + "\n";
+  repro += "summary: " + s.summary + "\n";
+  repro += "detail: " + detail + "\n";
+  // Relative to the corpus directory, so a committed corpus (and the
+  // campaign journal pointing at it) is byte-identical wherever it lives.
+  repro += "replay: autonet fuzz --replay " + oracle + "/" + stem +
+           ".graphml --oracle " + oracle + "\n";
+  core::write_file_atomic((dir / (stem + ".repro")).string(), repro);
+  return graphml_path;
+}
+
+std::vector<CorpusEntry> list_corpus(const std::string& corpus_dir) {
+  std::vector<CorpusEntry> out;
+  std::error_code ec;
+  for (const auto& oracle_dir : fs::directory_iterator(corpus_dir, ec)) {
+    if (!oracle_dir.is_directory()) continue;
+    for (const auto& file : fs::directory_iterator(oracle_dir.path())) {
+      if (file.path().extension() != ".graphml") continue;
+      out.push_back({oracle_dir.path().filename().string(),
+                     file.path().string()});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const CorpusEntry& a, const CorpusEntry& b) {
+    return a.oracle != b.oracle ? a.oracle < b.oracle : a.path < b.path;
+  });
+  return out;
+}
+
+Scenario load_corpus_entry(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw topology::ParseError("fuzz corpus: cannot open file " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return scenario_from_graphml(buf.str());
+}
+
+}  // namespace autonet::fuzz

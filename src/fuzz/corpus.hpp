@@ -1,0 +1,35 @@
+// Corpus persistence: every minimized violation is written as
+// `<corpus>/<oracle>/<seed>.graphml` (the self-contained scenario
+// serialization) plus a sibling `<seed>.repro` holding the exact CLI
+// command and the failure detail. Committed corpus entries become
+// forever-regression cases via tests/fuzz_corpus_test.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/scenario.hpp"
+
+namespace autonet::fuzz {
+
+struct CorpusEntry {
+  std::string oracle;
+  /// Path of the .graphml scenario file.
+  std::string path;
+};
+
+/// Writes the minimized scenario + repro note under `corpus_dir`; returns
+/// the .graphml path. Crash-consistent (write-temp + rename).
+std::string save_corpus_entry(const std::string& corpus_dir,
+                              const std::string& oracle, const Scenario& s,
+                              const std::string& detail);
+
+/// Every `<oracle>/<name>.graphml` under `corpus_dir`, sorted by oracle
+/// then file name (deterministic replay order). Missing directory = empty.
+[[nodiscard]] std::vector<CorpusEntry> list_corpus(const std::string& corpus_dir);
+
+/// Loads one corpus .graphml back into a scenario.
+[[nodiscard]] Scenario load_corpus_entry(const std::string& path);
+
+}  // namespace autonet::fuzz

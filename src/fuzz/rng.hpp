@@ -1,0 +1,73 @@
+// Deterministic random stream for the fuzzing subsystem. Hand-rolled
+// splitmix64 over an FNV-seeded state: unlike
+// std::uniform_int_distribution (whose output is implementation-defined
+// across standard libraries), every draw here is a pure function of the
+// seed on every platform — the property the byte-deterministic fuzz
+// journal and corpus depend on.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace autonet::fuzz {
+
+/// FNV-1a 64 over a byte string; the same hash the checkpoint and
+/// incremental layers use for content addressing.
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Mixes two 64-bit values into one (FNV-style fold); used to derive
+/// per-run seeds from the campaign seed and the run index.
+[[nodiscard]] constexpr std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (a >> (i * 8)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  for (int i = 0; i < 8; ++i) {
+    h ^= (b >> (i * 8)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// splitmix64: tiny, fast, and fully specified. Good enough statistical
+/// quality for scenario generation; never used for security.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform-ish draw in [0, n); n == 0 returns 0. Modulo bias is
+  /// irrelevant at fuzzing's n << 2^64.
+  std::uint64_t below(std::uint64_t n) { return n == 0 ? 0 : next() % n; }
+
+  /// Draw in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    if (hi <= lo) return lo;
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability ~ num/den.
+  bool chance(std::uint64_t num, std::uint64_t den) {
+    return below(den) < num;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace autonet::fuzz

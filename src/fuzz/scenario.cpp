@@ -1,0 +1,303 @@
+#include "fuzz/scenario.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "fuzz/rng.hpp"
+#include "topology/builtin.hpp"
+#include "topology/graphml.hpp"
+
+namespace autonet::fuzz {
+
+namespace {
+
+/// BFS connectivity over live nodes, optionally pretending `skip_node`
+/// (and its incident edges) or `skip_edge` is gone.
+bool is_connected(const graph::Graph& g, graph::NodeId skip_node,
+                  graph::EdgeId skip_edge) {
+  std::vector<graph::NodeId> nodes;
+  for (graph::NodeId n : g.nodes()) {
+    if (n != skip_node) nodes.push_back(n);
+  }
+  if (nodes.size() <= 1) return true;
+
+  // Node ids are dense indices; track visits in a vector sized to the
+  // max id + 1.
+  graph::NodeId max_id = 0;
+  for (graph::NodeId n : nodes) max_id = std::max(max_id, n);
+  std::vector<char> visited(max_id + 1, 0);
+
+  std::deque<graph::NodeId> queue{nodes.front()};
+  visited[nodes.front()] = 1;
+  std::size_t reached = 1;
+  while (!queue.empty()) {
+    const graph::NodeId cur = queue.front();
+    queue.pop_front();
+    for (graph::EdgeId e : g.incident_edges(cur)) {
+      if (e == skip_edge) continue;
+      const graph::NodeId other = g.edge_other(e, cur);
+      if (other == skip_node || other > max_id || visited[other]) continue;
+      visited[other] = 1;
+      ++reached;
+      queue.push_back(other);
+    }
+  }
+  return reached == nodes.size();
+}
+
+std::int64_t node_asn(const graph::Graph& g, graph::NodeId n) {
+  const auto& attrs = g.node_attrs(n);
+  auto it = attrs.find("asn");
+  if (it == attrs.end()) return 0;
+  return it->second.as_int().value_or(0);
+}
+
+/// Builds a connected multi-AS internet from the seed: AS 1..k with a
+/// seeded intra-AS structure (path / ring / star plus extra links) and
+/// ≥1 inter-AS link per non-first AS, keeping the whole graph connected.
+graph::Graph synth_multi_as(Rng& rng, std::size_t max_nodes,
+                            std::string& summary, bool& wants_rr) {
+  graph::Graph g(false, "fuzz");
+  const std::size_t budget = std::max<std::size_t>(max_nodes, 4);
+  std::size_t as_count = 2 + rng.below(3);  // 2..4
+  as_count = std::min(as_count, budget / 2);
+  if (as_count == 0) as_count = 1;
+  const std::size_t per_as_cap = std::max<std::size_t>(2, budget / as_count);
+
+  wants_rr = rng.chance(1, 4);
+
+  std::vector<std::vector<graph::NodeId>> as_nodes(as_count);
+  std::size_t used = 0;
+  for (std::size_t a = 0; a < as_count; ++a) {
+    std::size_t size = 2 + rng.below(per_as_cap - 1);
+    size = std::min(size, budget - used);
+    if (size < 2) size = std::min<std::size_t>(2, budget - used);
+    if (size == 0) break;
+    const std::int64_t asn = static_cast<std::int64_t>(100 * (a + 1));
+    for (std::size_t k = 0; k < size; ++k) {
+      const std::string name =
+          "as" + std::to_string(asn) + "r" + std::to_string(k + 1);
+      const graph::NodeId n = g.add_node(name);
+      g.set_node_attr(n, "asn", asn);
+      g.set_node_attr(n, "device_type", "router");
+      as_nodes[a].push_back(n);
+    }
+    used += size;
+
+    // Intra-AS skeleton: 0 = path, 1 = ring, 2 = star.
+    const auto& nodes = as_nodes[a];
+    const std::uint64_t shape = rng.below(3);
+    if (shape == 2 && nodes.size() > 2) {
+      for (std::size_t k = 1; k < nodes.size(); ++k) {
+        g.add_edge(nodes[0], nodes[k]);
+      }
+    } else {
+      for (std::size_t k = 1; k < nodes.size(); ++k) {
+        g.add_edge(nodes[k - 1], nodes[k]);
+      }
+      if (shape == 1 && nodes.size() > 2) {
+        g.add_edge(nodes.back(), nodes.front());
+      }
+    }
+    // Extra intra-AS links for path diversity.
+    const std::uint64_t extra = rng.below(nodes.size() / 2 + 1);
+    for (std::uint64_t k = 0; k < extra; ++k) {
+      const graph::NodeId u = nodes[rng.below(nodes.size())];
+      const graph::NodeId v = nodes[rng.below(nodes.size())];
+      if (u != v && g.find_edge(u, v) == graph::kInvalidEdge) g.add_edge(u, v);
+    }
+    // A seeded route-reflector per AS (consumed only in "rr" iBGP mode).
+    if (wants_rr) {
+      g.set_node_attr(nodes[rng.below(nodes.size())], "rr", true);
+    }
+  }
+
+  // Inter-AS links: each AS attaches to an earlier one, so the internet
+  // is connected; a second parallel attachment makes a small eBGP mesh.
+  for (std::size_t a = 1; a < as_count; ++a) {
+    if (as_nodes[a].empty()) continue;
+    const std::size_t peer = rng.below(a);
+    if (as_nodes[peer].empty()) continue;
+    const std::size_t links = 1 + (rng.chance(1, 3) ? 1 : 0);
+    for (std::size_t k = 0; k < links; ++k) {
+      const graph::NodeId u = as_nodes[a][rng.below(as_nodes[a].size())];
+      const graph::NodeId v = as_nodes[peer][rng.below(as_nodes[peer].size())];
+      if (g.find_edge(u, v) == graph::kInvalidEdge) g.add_edge(u, v);
+    }
+  }
+
+  // Seeded OSPF costs on a third of the intra-AS links.
+  for (graph::EdgeId e : g.edges()) {
+    if (node_asn(g, g.edge_src(e)) != node_asn(g, g.edge_dst(e))) continue;
+    if (rng.chance(1, 3)) {
+      g.set_edge_attr(e, "ospf_cost", rng.range(1, 10));
+    }
+  }
+
+  // A multi-area AS: both endpoints of one intra-AS link move into a
+  // non-backbone area, making them ABRs toward their area-0 neighbours.
+  if (rng.chance(1, 4)) {
+    std::string tag = apply_mutation(g, MutationKind::kAreaReassign, rng.next());
+    if (!tag.empty()) summary += tag;
+  }
+
+  summary = "multi-as(" + std::to_string(as_count) + "," +
+            std::to_string(g.node_count()) + "n)" + summary;
+  return g;
+}
+
+}  // namespace
+
+std::string Scenario::shape() const {
+  return std::to_string(graph.node_count()) + " nodes, " +
+         std::to_string(graph.edge_count()) + " links";
+}
+
+bool connected_without(const graph::Graph& g, graph::NodeId victim) {
+  return is_connected(g, victim, graph::kInvalidEdge);
+}
+
+std::string apply_mutation(graph::Graph& g, MutationKind kind,
+                           std::uint64_t seed) {
+  Rng rng(mix(seed, 0x6d75746174696f6eULL));  // "mutation"
+  const auto nodes = g.nodes();
+  const auto edges = g.edges();
+  switch (kind) {
+    case MutationKind::kAddLink: {
+      if (nodes.size() < 2) return "";
+      for (int attempt = 0; attempt < 10; ++attempt) {
+        const graph::NodeId u = nodes[rng.below(nodes.size())];
+        const graph::NodeId v = nodes[rng.below(nodes.size())];
+        if (u == v || g.find_edge(u, v) != graph::kInvalidEdge) continue;
+        const graph::EdgeId e = g.add_edge(u, v);
+        if (node_asn(g, u) == node_asn(g, v) && rng.chance(1, 2)) {
+          g.set_edge_attr(e, "ospf_cost", rng.range(1, 10));
+        }
+        return "+add-link";
+      }
+      return "";
+    }
+    case MutationKind::kRemoveLink: {
+      if (edges.empty()) return "";
+      const std::size_t start = rng.below(edges.size());
+      for (std::size_t k = 0; k < edges.size(); ++k) {
+        const graph::EdgeId e = edges[(start + k) % edges.size()];
+        // Only remove links whose loss keeps the graph connected — a
+        // partitioned input is a different scenario family, not a
+        // mutation of this one.
+        if (!is_connected(g, graph::kInvalidNode, e)) continue;
+        g.remove_edge(e);
+        return "+rm-link";
+      }
+      return "";
+    }
+    case MutationKind::kCostPerturb: {
+      if (edges.empty()) return "";
+      const graph::EdgeId e = edges[rng.below(edges.size())];
+      g.set_edge_attr(e, "ospf_cost", rng.range(1, 20));
+      return "+cost";
+    }
+    case MutationKind::kAreaReassign: {
+      // Pick an intra-AS link and move both endpoints into the same
+      // non-backbone area; their remaining links stay in area 0 (the
+      // design rule assigns each link min(endpoint areas)), so the area
+      // is always backbone-attached.
+      std::vector<graph::EdgeId> intra;
+      for (graph::EdgeId e : edges) {
+        if (node_asn(g, g.edge_src(e)) == node_asn(g, g.edge_dst(e))) {
+          intra.push_back(e);
+        }
+      }
+      if (intra.empty()) return "";
+      const graph::EdgeId e = intra[rng.below(intra.size())];
+      const std::int64_t area = rng.range(1, 3);
+      g.set_node_attr(g.edge_src(e), "ospf_area", area);
+      g.set_node_attr(g.edge_dst(e), "ospf_area", area);
+      return "+area";
+    }
+    case MutationKind::kPolicyFlip: {
+      if (nodes.empty()) return "";
+      const graph::NodeId n = nodes[rng.below(nodes.size())];
+      const auto& attrs = g.node_attrs(n);
+      auto it = attrs.find("no_transit");
+      const bool cur = it != attrs.end() && it->second.truthy();
+      g.set_node_attr(n, "no_transit", !cur);
+      return "+policy";
+    }
+  }
+  return "";
+}
+
+std::string apply_any_mutation(graph::Graph& g, std::uint64_t seed) {
+  Rng rng(mix(seed, 0x616e79ULL));
+  constexpr MutationKind kKinds[] = {
+      MutationKind::kAddLink, MutationKind::kRemoveLink,
+      MutationKind::kCostPerturb, MutationKind::kAreaReassign,
+      MutationKind::kPolicyFlip};
+  const std::size_t start = rng.below(5);
+  for (std::size_t k = 0; k < 5; ++k) {
+    const std::string tag =
+        apply_mutation(g, kKinds[(start + k) % 5], rng.next());
+    if (!tag.empty()) return tag;
+  }
+  return "";
+}
+
+Scenario generate_scenario(std::uint64_t seed, std::size_t max_nodes) {
+  Rng rng(mix(seed, fnv1a("autonet.fuzz.scenario")));
+  Scenario s;
+  s.seed = seed;
+
+  bool wants_rr = false;
+  const std::uint64_t base = rng.below(6);
+  if (base == 4) {
+    s.graph = topology::figure5();
+    s.summary = "fixture(figure5)";
+  } else if (base == 5 && max_nodes >= 14) {
+    s.graph = topology::small_internet();
+    s.summary = "fixture(small-internet)";
+  } else {
+    s.graph = synth_multi_as(rng, max_nodes, s.summary, wants_rr);
+    if (wants_rr) s.ibgp = "rr";
+  }
+
+  // 0..2 extra seeded mutations on top of the base shape.
+  const std::uint64_t mutations = rng.below(3);
+  for (std::uint64_t m = 0; m < mutations; ++m) {
+    const std::string tag = apply_any_mutation(s.graph, rng.next());
+    if (!tag.empty()) s.summary += tag;
+  }
+  return s;
+}
+
+std::string scenario_to_graphml(const Scenario& s) {
+  graph::Graph g = s.graph;
+  g.data().insert_or_assign("fuzz_seed", std::to_string(s.seed));
+  g.data().insert_or_assign("fuzz_ibgp", s.ibgp);
+  g.data().insert_or_assign("fuzz_platform", s.platform);
+  return topology::to_graphml(g);
+}
+
+Scenario scenario_from_graphml(std::string_view text) {
+  Scenario s;
+  s.graph = topology::load_graphml(text);
+  auto& data = s.graph.data();
+  if (auto it = data.find("fuzz_seed"); it != data.end()) {
+    if (const auto* str = it->second.as_string()) {
+      s.seed = std::strtoull(str->c_str(), nullptr, 10);
+    }
+  }
+  if (auto it = data.find("fuzz_ibgp"); it != data.end()) {
+    if (const auto* str = it->second.as_string()) s.ibgp = *str;
+  }
+  if (auto it = data.find("fuzz_platform"); it != data.end()) {
+    if (const auto* str = it->second.as_string()) s.platform = *str;
+  }
+  s.summary = "corpus";
+  return s;
+}
+
+}  // namespace autonet::fuzz

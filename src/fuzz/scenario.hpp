@@ -1,0 +1,78 @@
+// Seed-addressed scenario generation: every fuzz run is a Scenario — an
+// input topology plus the workflow options that drive the pipeline over
+// it — derived purely from a 64-bit seed. The generator builds multi-AS
+// graphs with tunable AS counts, degree, OSPF areas, route-reflector
+// hierarchies and eBGP meshes, or starts from a committed fixture, then
+// applies seeded mutation operators (add/remove link, cost perturbation,
+// area reassignment, policy flips). Scenarios round-trip through GraphML
+// (options ride along as graph-level `fuzz_*` attributes), which is what
+// makes a minimized corpus entry a self-contained repro.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace autonet::fuzz {
+
+struct Scenario {
+  graph::Graph graph;
+  std::uint64_t seed = 0;
+  /// iBGP mode for the workflow ("mesh" or "rr").
+  std::string ibgp = "mesh";
+  /// Target platform ("netkit" — the emulation-backed oracles need the
+  /// quagga render path).
+  std::string platform = "netkit";
+  /// Human-readable provenance ("multi-as(3) +add-link +cost", journal).
+  std::string summary;
+
+  /// One-line shape description: "N nodes, M links".
+  [[nodiscard]] std::string shape() const;
+};
+
+/// Deterministically generates a scenario from `seed`, never exceeding
+/// `max_nodes` routers. The same (seed, max_nodes) produces a
+/// byte-identical scenario on every platform.
+[[nodiscard]] Scenario generate_scenario(std::uint64_t seed,
+                                         std::size_t max_nodes);
+
+/// The mutation operators, applied by generate_scenario and reusable by
+/// oracles that need a deterministic second topology (the incremental
+/// equivalence oracle diffs a scenario against one mutation of itself).
+enum class MutationKind {
+  kAddLink,
+  kRemoveLink,
+  kCostPerturb,
+  kAreaReassign,
+  kPolicyFlip,
+};
+
+/// Applies one seeded mutation in place. Returns a short tag ("+add-link")
+/// or "" when the mutation was not applicable to this graph (nothing was
+/// changed). Mutations preserve the pipeline's input invariants:
+/// connectivity is kept, `asn`/`device_type` attributes stay intact.
+std::string apply_mutation(graph::Graph& g, MutationKind kind,
+                           std::uint64_t seed);
+
+/// Applies the first applicable mutation starting from a seeded pick;
+/// returns its tag ("" only for degenerate graphs where none applies).
+std::string apply_any_mutation(graph::Graph& g, std::uint64_t seed);
+
+/// Serializes a scenario to GraphML with its options embedded as
+/// graph-level data (`fuzz_seed`, `fuzz_ibgp`, `fuzz_platform`).
+[[nodiscard]] std::string scenario_to_graphml(const Scenario& s);
+
+/// Rebuilds a scenario from scenario_to_graphml() output (or any plain
+/// GraphML — absent fuzz_* attributes fall back to defaults).
+[[nodiscard]] Scenario scenario_from_graphml(std::string_view text);
+
+/// True when removing `victim` (a node or, with kInvalidNode, testing the
+/// graph as-is) leaves every remaining node connected. Exposed for the
+/// shrinker, which must not hand oracles disconnected inputs unless the
+/// failing input already was.
+[[nodiscard]] bool connected_without(const graph::Graph& g,
+                                     graph::NodeId victim);
+
+}  // namespace autonet::fuzz

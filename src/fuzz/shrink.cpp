@@ -1,0 +1,155 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace autonet::fuzz {
+
+namespace {
+
+/// Evaluation context threaded through the passes: the oracle, the
+/// budget, and the best (smallest) failing scenario so far.
+struct Shrinker {
+  const Oracle* oracle;
+  ShrinkLimits limits;
+  Scenario best;
+  std::size_t steps = 0;
+  std::size_t evaluations = 0;
+  std::string detail;
+  bool require_connected = false;
+
+  [[nodiscard]] bool budget_left() const {
+    return evaluations < limits.max_evals;
+  }
+
+  /// Runs the oracle on `candidate`; adopts it as the new best when it
+  /// still fails. Returns true on adoption.
+  bool try_adopt(Scenario candidate) {
+    if (!budget_left()) return false;
+    if (require_connected &&
+        !connected_without(candidate.graph, graph::kInvalidNode)) {
+      return false;  // free rejection: no oracle run spent
+    }
+    ++evaluations;
+    const OracleResult result = oracle->run(candidate);
+    if (!result.failed()) return false;
+    best = std::move(candidate);
+    detail = result.detail;
+    ++steps;
+    return true;
+  }
+};
+
+/// ddmin over nodes: chunked removal with shrinking chunk sizes. Each
+/// accepted chunk restarts the pass at the same granularity (the classic
+/// "reduce to complement" move collapsed into greedy form).
+void shrink_nodes(Shrinker& sh) {
+  std::size_t chunk = std::max<std::size_t>(1, sh.best.graph.node_count() / 2);
+  while (chunk >= 1 && sh.budget_left()) {
+    bool any = false;
+    const std::vector<graph::NodeId> nodes = sh.best.graph.nodes();
+    if (nodes.size() <= 1) break;
+    for (std::size_t at = 0; at < nodes.size() && sh.budget_left();
+         at += chunk) {
+      Scenario candidate = sh.best;
+      const std::size_t end = std::min(at + chunk, nodes.size());
+      if (end - at >= nodes.size()) continue;  // never empty the graph
+      for (std::size_t k = at; k < end; ++k) {
+        if (candidate.graph.has_node(nodes[k])) {
+          candidate.graph.remove_node(nodes[k]);
+        }
+      }
+      if (sh.try_adopt(std::move(candidate))) any = true;
+    }
+    // On progress, retry at the same granularity over the smaller graph;
+    // otherwise halve the chunk until singles are exhausted.
+    if (any) continue;
+    if (chunk == 1) break;
+    chunk = std::max<std::size_t>(1, chunk / 2);
+  }
+}
+
+/// Edge removal, one at a time (edges are cheap to enumerate and single
+/// removals already converge fast after the node pass).
+void shrink_edges(Shrinker& sh) {
+  bool progress = true;
+  while (progress && sh.budget_left()) {
+    progress = false;
+    for (graph::EdgeId e : sh.best.graph.edges()) {
+      if (!sh.budget_left()) break;
+      Scenario candidate = sh.best;
+      if (!candidate.graph.has_edge(e)) continue;
+      candidate.graph.remove_edge(e);
+      if (sh.try_adopt(std::move(candidate))) progress = true;
+    }
+  }
+}
+
+/// True for attributes the pipeline requires on every router; the
+/// shrinker never strips those.
+bool required_node_attr(const std::string& key) {
+  return key == "asn" || key == "device_type";
+}
+
+/// Optional-attribute removal: ospf_cost, ospf_area, rr, no_transit and
+/// any other decoration the generator added. One attribute per
+/// candidate.
+void shrink_attrs(Shrinker& sh) {
+  bool progress = true;
+  while (progress && sh.budget_left()) {
+    progress = false;
+    for (graph::NodeId n : sh.best.graph.nodes()) {
+      std::vector<std::string> keys;
+      for (const auto& [key, value] : sh.best.graph.node_attrs(n)) {
+        if (!required_node_attr(key)) keys.push_back(key);
+      }
+      for (const std::string& key : keys) {
+        if (!sh.budget_left()) break;
+        Scenario candidate = sh.best;
+        candidate.graph.node_attrs(n).erase(key);
+        if (sh.try_adopt(std::move(candidate))) progress = true;
+      }
+    }
+    for (graph::EdgeId e : sh.best.graph.edges()) {
+      std::vector<std::string> keys;
+      for (const auto& [key, value] : sh.best.graph.edge_attrs(e)) {
+        keys.push_back(key);
+      }
+      for (const std::string& key : keys) {
+        if (!sh.budget_left()) break;
+        Scenario candidate = sh.best;
+        if (!candidate.graph.has_edge(e)) continue;
+        candidate.graph.edge_attrs(e).erase(key);
+        if (sh.try_adopt(std::move(candidate))) progress = true;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ShrinkResult shrink(const Scenario& failing, const Oracle& oracle,
+                    const ShrinkLimits& limits) {
+  Shrinker sh;
+  sh.oracle = &oracle;
+  sh.limits = limits;
+  sh.best = failing;
+  sh.best.summary = failing.summary + " shrunk";
+  // Only preserve connectivity if the failing input had it — a repro
+  // that was already partitioned stays in its family.
+  sh.require_connected = connected_without(failing.graph, graph::kInvalidNode);
+
+  shrink_nodes(sh);
+  shrink_edges(sh);
+  shrink_attrs(sh);
+
+  ShrinkResult out;
+  out.scenario = std::move(sh.best);
+  out.steps = sh.steps;
+  out.evaluations = sh.evaluations;
+  out.detail = std::move(sh.detail);
+  return out;
+}
+
+}  // namespace autonet::fuzz

@@ -1,0 +1,44 @@
+// The shrinking minimizer: greedy delta debugging over a failing
+// scenario. Nodes are dropped in ddmin-style chunks (halves, quarters,
+// singles), then edges one by one, then optional attributes — re-running
+// the failing oracle after every candidate and keeping only reductions
+// that still fail. The result is the small repro that goes into the
+// corpus; a 40-router scenario with a two-node bug typically shrinks to
+// a handful of routers.
+#pragma once
+
+#include <cstddef>
+
+#include "fuzz/oracles.hpp"
+#include "fuzz/scenario.hpp"
+
+namespace autonet::fuzz {
+
+struct ShrinkResult {
+  /// The minimized scenario (still failing `oracle`).
+  Scenario scenario;
+  /// Accepted reductions (each one removed ≥1 node, edge, or attribute).
+  std::size_t steps = 0;
+  /// Oracle evaluations spent (bounded by ShrinkLimits::max_evals).
+  std::size_t evaluations = 0;
+  /// Detail string of the final failing evaluation.
+  std::string detail;
+};
+
+struct ShrinkLimits {
+  /// Hard cap on oracle re-evaluations; shrinking stops (keeping the
+  /// best candidate so far) when exhausted. Oracle evaluations dominate
+  /// shrink cost, so this bounds wall-clock.
+  std::size_t max_evals = 200;
+};
+
+/// Minimizes `failing` against `oracle`. Precondition: oracle.run(failing)
+/// fails — callers shrink only confirmed violations. Candidates that
+/// disconnect a previously connected graph are skipped (a partitioned
+/// input is a different scenario family), as are candidates the oracle
+/// skips. Deterministic: the same failing scenario shrinks to the same
+/// minimum every time.
+[[nodiscard]] ShrinkResult shrink(const Scenario& failing, const Oracle& oracle,
+                                  const ShrinkLimits& limits = {});
+
+}  // namespace autonet::fuzz

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <exception>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -102,12 +103,19 @@ class Lexer {
     std::string raw(text_.substr(start, pos_ - start));
     Token t;
     t.text = raw;
-    if (is_double) {
-      t.kind = Token::Kind::kDouble;
-      t.double_value = std::stod(raw);
-    } else {
-      t.kind = Token::Kind::kInt;
-      t.int_value = std::stoll(raw);
+    // stod/stoll throw untyped std::invalid_argument / std::out_of_range
+    // on a bare sign or an overflowing literal; corrupted input may only
+    // surface as ParseError.
+    try {
+      if (is_double) {
+        t.kind = Token::Kind::kDouble;
+        t.double_value = std::stod(raw);
+      } else {
+        t.kind = Token::Kind::kInt;
+        t.int_value = std::stoll(raw);
+      }
+    } catch (const std::exception&) {
+      throw ParseError("GML: bad numeric literal '" + raw + "'");
     }
     return t;
   }
@@ -158,6 +166,14 @@ GmlValue parse_value(Lexer& lex, Lexer::Token token) {
   }
 }
 
+const GmlList& as_list(const GmlValue& v, const char* what) {
+  const auto* list = std::get_if<std::unique_ptr<GmlList>>(&v);
+  if (list == nullptr) {
+    throw ParseError(std::string("GML: ") + what + " is not a [...] block");
+  }
+  return **list;
+}
+
 graph::AttrValue to_attr(const GmlValue& v) {
   if (const auto* i = std::get_if<std::int64_t>(&v)) return *i;
   if (const auto* d = std::get_if<double>(&v)) return *d;
@@ -189,7 +205,7 @@ graph::Graph load_gml(std::string_view text) {
   std::map<std::int64_t, graph::NodeId> by_gml_id;
   for (const auto& [key, value] : gl.items) {
     if (key == "node") {
-      const auto& fields = *std::get<std::unique_ptr<GmlList>>(value);
+      const GmlList& fields = as_list(value, "node");
       const GmlValue* idv = fields.first("id");
       if (idv == nullptr || !std::holds_alternative<std::int64_t>(*idv)) {
         throw ParseError("GML: node without integer id");
@@ -212,12 +228,17 @@ graph::Graph load_gml(std::string_view text) {
       g.set_node_attr(n, "_gml_id", gml_id);
       by_gml_id[gml_id] = n;
     } else if (key == "edge") {
-      const auto& fields = *std::get<std::unique_ptr<GmlList>>(value);
+      const GmlList& fields = as_list(value, "edge");
       const GmlValue* sv = fields.first("source");
       const GmlValue* tv = fields.first("target");
       if (sv == nullptr || tv == nullptr) throw ParseError("GML: edge missing endpoints");
-      auto src = by_gml_id.find(std::get<std::int64_t>(*sv));
-      auto dst = by_gml_id.find(std::get<std::int64_t>(*tv));
+      const auto* si = std::get_if<std::int64_t>(sv);
+      const auto* ti = std::get_if<std::int64_t>(tv);
+      if (si == nullptr || ti == nullptr) {
+        throw ParseError("GML: edge endpoint is not an integer id");
+      }
+      auto src = by_gml_id.find(*si);
+      auto dst = by_gml_id.find(*ti);
       if (src == by_gml_id.end() || dst == by_gml_id.end()) {
         throw ParseError("GML: edge references unknown node id");
       }
@@ -237,7 +258,11 @@ graph::Graph load_gml_file(const std::string& path) {
   if (!in) throw ParseError("GML: cannot open file " + path);
   std::ostringstream ss;
   ss << in.rdbuf();
-  return load_gml(ss.str());
+  try {
+    return load_gml(ss.str());
+  } catch (const ParseError& e) {
+    throw ParseError(path + ": " + e.what());
+  }
 }
 
 namespace {

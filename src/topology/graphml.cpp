@@ -132,7 +132,12 @@ graph::Graph load_graphml_file(const std::string& path) {
   if (!in) throw ParseError("GraphML: cannot open file " + path);
   std::ostringstream ss;
   ss << in.rdbuf();
-  return load_graphml(ss.str());
+  try {
+    return load_graphml(ss.str());
+  } catch (const ParseError& e) {
+    // file:line context — the XML layer puts the line in its message.
+    throw ParseError(path + ": " + e.what());
+  }
 }
 
 namespace {

@@ -38,11 +38,20 @@ struct CchRouter {
   std::vector<std::int64_t> externals;  // {-euid} adjacencies
 };
 
-std::optional<CchRouter> parse_line(std::string_view line) {
+/// Parses one .cch line. Blank lines and #-comments yield nullopt; a
+/// non-comment line that does not start with a router uid is malformed
+/// and throws a ParseError carrying the 1-based line number (the old
+/// behaviour of silently skipping such lines turned typos into missing
+/// routers and, downstream, "no routers parsed" on entire files).
+std::optional<CchRouter> parse_line(std::string_view line, std::size_t lineno) {
   auto tokens = tokenize(line);
   if (tokens.empty() || tokens[0].starts_with("#")) return std::nullopt;
   auto uid = parse_int(tokens[0]);
-  if (!uid) return std::nullopt;
+  if (!uid) {
+    throw ParseError("Rocketfuel: line " + std::to_string(lineno) +
+                     ": expected a router uid, got '" + std::string(tokens[0]) +
+                     "'");
+  }
 
   CchRouter r;
   r.uid = *uid;
@@ -72,14 +81,16 @@ std::optional<CchRouter> parse_line(std::string_view line) {
 graph::Graph load_rocketfuel(std::string_view text, const RocketfuelOptions& opts) {
   std::vector<CchRouter> routers;
   std::size_t start = 0;
+  std::size_t lineno = 1;
   while (start <= text.size()) {
     auto nl = text.find('\n', start);
     std::string_view line =
         text.substr(start, nl == std::string_view::npos ? text.size() - start
                                                         : nl - start);
-    if (auto r = parse_line(line)) routers.push_back(std::move(*r));
+    if (auto r = parse_line(line, lineno)) routers.push_back(std::move(*r));
     if (nl == std::string_view::npos) break;
     start = nl + 1;
+    ++lineno;
   }
   if (routers.empty()) throw ParseError("Rocketfuel: no routers parsed");
 
@@ -121,7 +132,12 @@ graph::Graph load_rocketfuel_file(const std::string& path,
   if (!in) throw ParseError("Rocketfuel: cannot open file " + path);
   std::ostringstream ss;
   ss << in.rdbuf();
-  return load_rocketfuel(ss.str(), opts);
+  try {
+    return load_rocketfuel(ss.str(), opts);
+  } catch (const ParseError& e) {
+    // file:line context — parse errors already carry the line number.
+    throw ParseError(path + ": " + e.what());
+  }
 }
 
 }  // namespace autonet::topology

@@ -1,6 +1,8 @@
 #include "topology/xml_detail.hpp"
 
+#include <algorithm>
 #include <cctype>
+#include <cstdint>
 #include <stdexcept>
 
 namespace autonet::topology::xml {
@@ -12,12 +14,15 @@ class Cursor {
   explicit Cursor(std::string_view text) : text_(text) {}
 
   [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
-  [[nodiscard]] char peek() const { return text_[pos_]; }
+  [[nodiscard]] char peek() const { return eof() ? '\0' : text_[pos_]; }
   [[nodiscard]] bool starts_with(std::string_view s) const {
     return text_.substr(pos_, s.size()) == s;
   }
-  char next() { return text_[pos_++]; }
-  void advance(std::size_t n) { pos_ += n; }
+  char next() {
+    if (eof()) fail("unexpected end of document");
+    return text_[pos_++];
+  }
+  void advance(std::size_t n) { pos_ = std::min(pos_ + n, text_.size()); }
   void skip_ws() {
     while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
   }
@@ -25,8 +30,7 @@ class Cursor {
   std::string_view until(std::string_view delim) {
     auto found = text_.find(delim, pos_);
     if (found == std::string_view::npos) {
-      throw std::runtime_error("XML: unterminated construct, expected '" +
-                               std::string(delim) + "'");
+      fail("unterminated construct, expected '" + std::string(delim) + "'");
     }
     auto out = text_.substr(pos_, found - pos_);
     pos_ = found + delim.size();
@@ -34,6 +38,21 @@ class Cursor {
   }
 
   [[nodiscard]] std::size_t pos() const { return pos_; }
+
+  /// 1-based line of the current position; computed lazily (errors only),
+  /// so the parse hot path carries no bookkeeping.
+  [[nodiscard]] std::size_t line() const {
+    const std::size_t upto = std::min(pos_, text_.size());
+    return 1 + static_cast<std::size_t>(std::count(
+                   text_.begin(),
+                   text_.begin() + static_cast<std::ptrdiff_t>(upto), '\n'));
+  }
+
+  /// All parse errors carry the line of the offending construct.
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::runtime_error("XML: " + message + " (line " +
+                             std::to_string(line()) + ")");
+  }
 
  private:
   std::string_view text_;
@@ -51,7 +70,59 @@ std::string local_name(std::string_view qname) {
                                                      : qname.substr(colon + 1));
 }
 
-std::string unescape(std::string_view text) {
+/// Appends `code` as UTF-8.
+void append_utf8(std::string& out, std::uint32_t code) {
+  if (code < 0x80) {
+    out += static_cast<char>(code);
+  } else if (code < 0x800) {
+    out += static_cast<char>(0xC0 | (code >> 6));
+    out += static_cast<char>(0x80 | (code & 0x3F));
+  } else if (code < 0x10000) {
+    out += static_cast<char>(0xE0 | (code >> 12));
+    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (code & 0x3F));
+  } else {
+    out += static_cast<char>(0xF0 | (code >> 18));
+    out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (code & 0x3F));
+  }
+}
+
+/// Decodes a numeric character reference body ("#65", "#x41"). Rejects —
+/// via Cursor::fail, carrying the line — empty, non-numeric and
+/// out-of-range references instead of crashing (the reference "&#;" used
+/// to read past the entity text, and huge values overflowed std::stoi).
+void append_char_ref(std::string& out, std::string_view entity,
+                     const Cursor& c) {
+  std::string_view digits = entity.substr(1);  // past '#'
+  const bool hex = !digits.empty() && (digits[0] == 'x' || digits[0] == 'X');
+  if (hex) digits.remove_prefix(1);
+  if (digits.empty()) {
+    c.fail("bad character reference '&" + std::string(entity) + ";'");
+  }
+  std::uint32_t code = 0;
+  for (char ch : digits) {
+    std::uint32_t v = 0;
+    if (ch >= '0' && ch <= '9') {
+      v = static_cast<std::uint32_t>(ch - '0');
+    } else if (hex && ch >= 'a' && ch <= 'f') {
+      v = static_cast<std::uint32_t>(ch - 'a' + 10);
+    } else if (hex && ch >= 'A' && ch <= 'F') {
+      v = static_cast<std::uint32_t>(ch - 'A' + 10);
+    } else {
+      c.fail("bad character reference '&" + std::string(entity) + ";'");
+    }
+    code = code * (hex ? 16u : 10u) + v;
+    if (code > 0x10FFFF) {
+      c.fail("character reference out of range '&" + std::string(entity) +
+             ";'");
+    }
+  }
+  append_utf8(out, code);
+}
+
+std::string unescape(std::string_view text, const Cursor& c) {
   std::string out;
   out.reserve(text.size());
   for (std::size_t i = 0; i < text.size();) {
@@ -71,10 +142,10 @@ std::string unescape(std::string_view text) {
     else if (entity == "quot") out += '"';
     else if (entity == "apos") out += '\'';
     else if (!entity.empty() && entity[0] == '#') {
-      int code = std::stoi(std::string(entity.substr(entity[1] == 'x' ? 2 : 1)),
-                           nullptr, entity[1] == 'x' ? 16 : 10);
-      out += static_cast<char>(code);
+      append_char_ref(out, entity, c);
     } else {
+      // Unknown named entity: passed through literally (lenient; real
+      // GraphML writers only emit the five predefined entities).
       out += '&';
       out += entity;
       out += ';';
@@ -87,25 +158,25 @@ std::string unescape(std::string_view text) {
 std::string read_name(Cursor& c) {
   std::string name;
   while (!c.eof() && is_name_char(c.peek())) name += c.next();
-  if (name.empty()) throw std::runtime_error("XML: expected a name");
+  if (name.empty()) c.fail("expected a name");
   return name;
 }
 
 void read_attrs(Cursor& c, std::map<std::string, std::string>& attrs) {
   while (true) {
     c.skip_ws();
-    if (c.eof()) throw std::runtime_error("XML: unterminated tag");
+    if (c.eof()) c.fail("unterminated tag");
     if (c.peek() == '>' || c.peek() == '/') return;
     std::string key = local_name(read_name(c));
     c.skip_ws();
-    if (c.eof() || c.next() != '=') throw std::runtime_error("XML: expected '='");
+    if (c.eof() || c.next() != '=') c.fail("expected '=' after attribute '" + key + "'");
     c.skip_ws();
     char quote = c.next();
     if (quote != '"' && quote != '\'') {
-      throw std::runtime_error("XML: expected quoted attribute value");
+      c.fail("expected quoted value for attribute '" + key + "'");
     }
     std::string_view raw = c.until(std::string_view(&quote, 1));
-    attrs[key] = unescape(raw);
+    attrs[key] = unescape(raw, c);
   }
 }
 
@@ -115,11 +186,11 @@ std::unique_ptr<Element> parse_element(Cursor& c);
 // close tag.
 void parse_body(Cursor& c, Element& elem, std::string_view qname) {
   while (true) {
-    if (c.eof()) throw std::runtime_error("XML: missing </" + std::string(qname) + ">");
+    if (c.eof()) c.fail("missing </" + std::string(qname) + ">");
     if (c.peek() != '<') {
       std::string chunk;
       while (!c.eof() && c.peek() != '<') chunk += c.next();
-      elem.text += unescape(chunk);
+      elem.text += unescape(chunk, c);
       continue;
     }
     if (c.starts_with("<!--")) {
@@ -141,10 +212,9 @@ void parse_body(Cursor& c, Element& elem, std::string_view qname) {
       c.advance(2);
       std::string close = read_name(c);
       c.skip_ws();
-      if (c.eof() || c.next() != '>') throw std::runtime_error("XML: malformed close tag");
+      if (c.eof() || c.next() != '>') c.fail("malformed close tag");
       if (local_name(close) != elem.name) {
-        throw std::runtime_error("XML: mismatched close tag </" + close + "> for <" +
-                                 elem.name + ">");
+        c.fail("mismatched close tag </" + close + "> for <" + elem.name + ">");
       }
       return;
     }
@@ -153,7 +223,7 @@ void parse_body(Cursor& c, Element& elem, std::string_view qname) {
 }
 
 std::unique_ptr<Element> parse_element(Cursor& c) {
-  if (c.eof() || c.next() != '<') throw std::runtime_error("XML: expected '<'");
+  if (c.eof() || c.next() != '<') c.fail("expected '<'");
   std::string qname = read_name(c);
   auto elem = std::make_unique<Element>();
   elem->name = local_name(qname);
@@ -161,10 +231,10 @@ std::unique_ptr<Element> parse_element(Cursor& c) {
   c.skip_ws();
   if (c.peek() == '/') {
     c.advance(1);
-    if (c.eof() || c.next() != '>') throw std::runtime_error("XML: malformed empty tag");
+    if (c.eof() || c.next() != '>') c.fail("malformed empty tag");
     return elem;
   }
-  if (c.next() != '>') throw std::runtime_error("XML: malformed tag");
+  if (c.next() != '>') c.fail("malformed tag <" + qname + ">");
   parse_body(c, *elem, qname);
   return elem;
 }
@@ -195,7 +265,7 @@ std::unique_ptr<Element> parse(std::string_view text) {
   Cursor c(text);
   while (true) {
     c.skip_ws();
-    if (c.eof()) throw std::runtime_error("XML: empty document");
+    if (c.eof()) c.fail("empty document");
     if (c.starts_with("<?")) {
       c.advance(2);
       c.until("?>");

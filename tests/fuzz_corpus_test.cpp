@@ -1,0 +1,45 @@
+// Corpus replay: every scenario committed under tests/corpus/<oracle>/
+// is re-run through its oracle and must stay green forever. Minimized
+// violations the fuzzer finds during development get promoted here —
+// once fixed, the corpus entry is the regression test.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "fuzz/corpus.hpp"
+#include "fuzz/oracles.hpp"
+#include "fuzz/session.hpp"
+
+#ifndef AUTONET_CORPUS_DIR
+#error "AUTONET_CORPUS_DIR must point at the committed tests/corpus directory"
+#endif
+
+namespace {
+
+using namespace autonet;
+
+TEST(FuzzCorpusReplay, CommittedCorpusCoversEveryOracleDirectory) {
+  const auto entries = fuzz::list_corpus(AUTONET_CORPUS_DIR);
+  ASSERT_FALSE(entries.empty())
+      << "no corpus entries under " << AUTONET_CORPUS_DIR;
+  for (const auto& entry : entries) {
+    EXPECT_NE(fuzz::find_oracle(entry.oracle), nullptr)
+        << entry.path << " sits in a directory that names no oracle: "
+        << entry.oracle;
+  }
+}
+
+TEST(FuzzCorpusReplay, EveryCommittedEntryStaysGreen) {
+  const auto entries = fuzz::list_corpus(AUTONET_CORPUS_DIR);
+  ASSERT_FALSE(entries.empty());
+  for (const auto& entry : entries) {
+    const fuzz::Oracle* oracle = fuzz::find_oracle(entry.oracle);
+    ASSERT_NE(oracle, nullptr) << entry.path;
+    const fuzz::Scenario scenario = fuzz::load_corpus_entry(entry.path);
+    const fuzz::OracleResult result = fuzz::replay_scenario(scenario, *oracle);
+    EXPECT_FALSE(result.failed())
+        << entry.path << " [" << entry.oracle << "]: " << result.detail;
+  }
+}
+
+}  // namespace

@@ -593,6 +593,74 @@ TEST(IncrementalWorkflow, HotApplyConvergesToTheScratchControlPlane) {
   fs::remove_all(base);
 }
 
+TEST(IncrementalWorkflow, LinkAddFallsBackToRebuildNotHotApply) {
+  // A *structural* edit (new link) has no scoped emulation action: the
+  // hot-apply planner must refuse it and the workflow must fall back to
+  // a full redeploy whose results match a from-scratch run — with the
+  // decision visible in the --explain report.
+  const std::string base = temp_dir("autonet_incr_linkadd_base");
+  const graph::Graph g = topology::figure5();
+  graph::Graph edited = topology::figure5();
+  edited.add_edge(edited.find_node("r1"), edited.find_node("r4"));
+
+  {
+    obs::Registry registry(std::make_unique<obs::VirtualClock>(1));
+    obs::RegistryScope scope(registry);
+    core::Workflow wf;
+    wf.use_telemetry(&registry);
+    wf.checkpoint_to(base);
+    wf.run(g);
+  }
+
+  obs::Registry scratch_registry(std::make_unique<obs::VirtualClock>(1));
+  core::Workflow scratch;
+  scratch.use_telemetry(&scratch_registry);
+  {
+    obs::RegistryScope scope(scratch_registry);
+    scratch.run(edited);
+  }
+
+  obs::Registry hot_registry(std::make_unique<obs::VirtualClock>(1));
+  core::Workflow hot;
+  hot.use_telemetry(&hot_registry);
+  {
+    obs::RegistryScope scope(hot_registry);
+    hot.incremental_from(base);
+    hot.set_hot_apply(true);  // requested, but not applicable
+    hot.run(edited);
+  }
+
+  // The planner itself rejects the delta...
+  const auto plan =
+      incremental::plan_hot_apply(hot.incremental_report().delta, "ospf_cost");
+  EXPECT_FALSE(plan.applicable());
+  EXPECT_FALSE(plan.unsupported.empty());
+  // ...so the workflow must not have hot-applied, and said so.
+  EXPECT_FALSE(hot.incremental_report().hot_applied);
+  EXPECT_EQ(counter_value(hot_registry, "incr.hot_apply"), 0u);
+  const std::string explain = hot.incremental_report().to_text();
+  EXPECT_NE(explain.find("link"), std::string::npos) << explain;
+
+  // The fall-back redeploy converges to the scratch control plane.
+  EXPECT_TRUE(hot.ok());
+  EXPECT_TRUE(hot.validate_ospf().ok);
+  const auto reach_scratch = scratch.measurement().reachability();
+  const auto reach_hot = hot.measurement().reachability();
+  EXPECT_EQ(reach_hot.routers, reach_scratch.routers);
+  EXPECT_EQ(reach_hot.reached, reach_scratch.reached);
+  // The new link carries r1->r4 traffic directly in both worlds.
+  const auto path_scratch = scratch.measurement().traceroute("r1", "r4");
+  const auto path_hot = hot.measurement().traceroute("r1", "r4");
+  EXPECT_TRUE(path_hot.reached);
+  EXPECT_EQ(path_hot.node_path, path_scratch.node_path);
+
+  // And the built artifacts are byte-identical to scratch.
+  EXPECT_EQ(hot.nidb().to_json(), scratch.nidb().to_json());
+  EXPECT_TRUE(hot.configs() == scratch.configs());
+
+  fs::remove_all(base);
+}
+
 TEST(HotApply, FailLinkActionDrainsTheLinkAndReconverges) {
   obs::Registry registry(std::make_unique<obs::VirtualClock>(1));
   obs::RegistryScope scope(registry);

@@ -3,7 +3,10 @@
 // user-supplied files and hand-edited configs.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <random>
+#include <typeinfo>
 
 #include "emulation/config_parse.hpp"
 #include "emulation/incident.hpp"
@@ -82,6 +85,169 @@ TEST(Robustness, RocketfuelNeverCrashes) {
     }
   }
   SUCCEED();
+}
+
+TEST(Robustness, GraphmlAlwaysThrowsTypedParseError) {
+  // Stronger than "no crash": every rejection is the typed ParseError,
+  // never a raw std::runtime_error / std::out_of_range escaping from the
+  // XML layer or std::stoi.
+  for (const auto& text : garbage_corpus()) {
+    try {
+      auto g = topology::load_graphml(text);
+      (void)g.node_count();
+    } catch (const topology::ParseError&) {
+      // The contract.
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "untyped exception for input " << testing::PrintToString(text)
+                    << ": " << e.what();
+    }
+  }
+}
+
+TEST(Robustness, GraphmlEntityReferenceEdgeCases) {
+  auto doc = [](const std::string& label) {
+    return "<graphml><key id=\"d0\" for=\"node\" attr.name=\"label\" "
+           "attr.type=\"string\"/><graph id=\"g\" edgedefault=\"undirected\">"
+           "<node id=\"a\"><data key=\"d0\">" +
+           label + "</data></node></graph></graphml>";
+  };
+  // "&#;" used to read one byte past the entity text; huge values used
+  // to escape as std::out_of_range from std::stoi. Both are typed now.
+  EXPECT_THROW((void)topology::load_graphml(doc("&#;")), topology::ParseError);
+  EXPECT_THROW((void)topology::load_graphml(doc("&#x;")), topology::ParseError);
+  EXPECT_THROW((void)topology::load_graphml(doc("&#99999999999999999999;")),
+               topology::ParseError);
+  EXPECT_THROW((void)topology::load_graphml(doc("&#xZZ;")), topology::ParseError);
+
+  // Valid references still decode (including UTF-8 beyond one byte).
+  auto g = topology::load_graphml(doc("&#65;&#x42;&#20013;"));
+  ASSERT_EQ(g.node_count(), 1u);
+  const auto* label = g.node_attr(g.find_node("AB\xE4\xB8\xAD"), "label").as_string();
+  ASSERT_NE(label, nullptr);
+  EXPECT_EQ(*label, "AB\xE4\xB8\xAD");
+}
+
+TEST(Robustness, GraphmlErrorsCarryLineContext) {
+  const std::string text =
+      "<graphml>\n"
+      "  <graph id=\"g\" edgedefault=\"undirected\">\n"
+      "    <node id=\"a\"></nod>\n"
+      "  </graph>\n"
+      "</graphml>\n";
+  try {
+    (void)topology::load_graphml(text);
+    FAIL() << "expected ParseError";
+  } catch (const topology::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Robustness, GraphmlFileErrorsCarryPath) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "autonet-bad.graphml").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "<graphml>\n<graph>\n";
+  }
+  try {
+    (void)topology::load_graphml_file(path);
+    FAIL() << "expected ParseError";
+  } catch (const topology::ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("line"), std::string::npos) << what;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Robustness, RocketfuelMalformedLineIsTypedError) {
+  // Comments and blank lines are fine; a non-comment line without a
+  // leading router uid is a typed error naming its line (it used to be
+  // silently dropped).
+  const std::string good =
+      "# comment\n"
+      "1 @loc bb -> <2> =r1 rn\n"
+      "\n"
+      "2 @loc -> <1> =r2 rn\n";
+  EXPECT_EQ(topology::load_rocketfuel(good).node_count(), 2u);
+
+  const std::string bad =
+      "1 @loc bb -> <2> =r1 rn\n"
+      "oops not a router\n";
+  try {
+    (void)topology::load_rocketfuel(bad);
+    FAIL() << "expected ParseError";
+  } catch (const topology::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Robustness, RocketfuelFileErrorsCarryPath) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "autonet-bad.cch").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "1 @loc -> <2> =r1 rn\nbogus\n";
+  }
+  try {
+    (void)topology::load_rocketfuel_file(path);
+    FAIL() << "expected ParseError";
+  } catch (const topology::ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Robustness, GmlMalformedInputIsTypedError) {
+  // Each of these used to escape as an untyped std::invalid_argument,
+  // std::out_of_range, or std::bad_variant_access (found by
+  // `autonet fuzz --oracle loader-robustness`); corrupted GML may only
+  // surface as ParseError.
+  const char* bad[] = {
+      "graph [ node [ id - ] ]",                 // bare sign, stoll
+      "graph [ node [ id 99999999999999999999999999 ] ]",  // overflow
+      "graph [ node [ id 1 w 1e99999 ] ]",       // stod overflow
+      "graph [ node 5 ]",                        // node value not a list
+      "graph [ edge \"x\" ]",                    // edge value not a list
+      "graph [ node [ id 1 ] edge [ source \"a\" target 1 ] ]",
+      "graph [ node [ id 1 ] edge [ source 1 target 9 ] ]",
+      "graph [ node [ id 1 ] node [ ] ]",        // node without id
+      "graph [ \"unterminated",
+      "nothing here",
+  };
+  for (const char* text : bad) {
+    try {
+      (void)topology::load_gml(text);
+      // Some corruptions still parse (GML is permissive); that is fine.
+    } catch (const topology::ParseError&) {
+      // typed: fine
+    } catch (const std::exception& e) {
+      FAIL() << "untyped " << typeid(e).name() << " for: " << text << " — "
+             << e.what();
+    }
+  }
+  EXPECT_THROW((void)topology::load_gml("graph [ node [ id - ] ]"),
+               topology::ParseError);
+}
+
+TEST(Robustness, GmlFileErrorsCarryPath) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "autonet-bad.gml").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "graph [ node [ id - ] ]";
+  }
+  try {
+    (void)topology::load_gml_file(path);
+    FAIL() << "expected ParseError";
+  } catch (const topology::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos) << e.what();
+  }
+  std::filesystem::remove(path);
 }
 
 TEST(Robustness, JsonNeverCrashes) {

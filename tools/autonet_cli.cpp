@@ -29,6 +29,9 @@
 //                 [--category C] [--severity info|warning|error]
 //                 [--min-us N] [--max-us N] [--format text|jsonl]
 //   autonet report diff <A> <B> [--threshold-pct N]
+//   autonet fuzz  [--seed N] [--runs N] [--oracle NAME] [--max-nodes N]
+//                 [--time-budget SEC] [--corpus DIR] [--shrink-evals N]
+//                 [--replay FILE|DIR] [--list-oracles]
 //
 // Supervision: `run` and `exp run` install a graceful SIGINT handler —
 // the first ^C cancels cooperatively at the next phase/sub-phase
@@ -53,6 +56,9 @@
 
 #include "core/workflow.hpp"
 #include "experiment/aggregate.hpp"
+#include "fuzz/corpus.hpp"
+#include "fuzz/oracles.hpp"
+#include "fuzz/session.hpp"
 #include "incremental/delta.hpp"
 #include "experiment/campaign.hpp"
 #include "experiment/runner.hpp"
@@ -112,7 +118,11 @@ int usage() {
                "[--category C]\n"
                "                 [--severity info|warning|error] [--min-us N] "
                "[--max-us N] [--format text|jsonl]\n"
-               "  autonet report diff <A> <B> [--threshold-pct N]\n");
+               "  autonet report diff <A> <B> [--threshold-pct N]\n"
+               "  autonet fuzz [--seed N] [--runs N] [--oracle NAME] "
+               "[--max-nodes N] [--time-budget SEC]\n"
+               "               [--corpus DIR] [--shrink-evals N] "
+               "[--replay FILE|DIR] [--list-oracles]\n");
   return 2;
 }
 
@@ -129,7 +139,8 @@ struct Args {
       if (arg == "--isis" || arg == "--dns" || arg == "--validate" ||
           arg == "--list-rules" || arg == "--fresh" || arg == "--checkpoints" ||
           arg == "--virtual-clock" || arg == "--cross-check" ||
-          arg == "--incremental" || arg == "--explain" || arg == "--hot-apply") {
+          arg == "--incremental" || arg == "--explain" || arg == "--hot-apply" ||
+          arg == "--list-oracles") {
         args.options[arg.substr(2)] = "1";
       } else if (arg == "--trace" && i + 1 < argc &&
                  std::string_view(argv[i + 1]).ends_with(".json")) {
@@ -942,6 +953,108 @@ int cmd_run(const Args& args) {
   return rc;
 }
 
+int cmd_fuzz(const Args& args) {
+  if (args.has("list-oracles")) {
+    for (const auto& oracle : fuzz::oracle_registry()) {
+      std::printf("%-18s %s\n", oracle.name.c_str(),
+                  oracle.description.c_str());
+    }
+    return 0;
+  }
+
+  const std::string oracle_name = args.get("oracle");
+  if (!oracle_name.empty() && fuzz::find_oracle(oracle_name) == nullptr) {
+    std::fprintf(stderr, "autonet fuzz: unknown oracle '%s' (see --list-oracles)\n",
+                 oracle_name.c_str());
+    return 2;
+  }
+
+  // --replay: run committed corpus entries (a file or a whole corpus
+  // directory) through their oracles; no journal, no shrinking.
+  if (args.has("replay")) {
+    const std::string target = args.get("replay");
+    std::vector<fuzz::CorpusEntry> entries;
+    if (std::filesystem::is_directory(target)) {
+      entries = fuzz::list_corpus(target);
+    } else {
+      // A single file: the oracle comes from --oracle or the parent
+      // directory name (the corpus layout).
+      std::string name = oracle_name;
+      if (name.empty()) {
+        name = std::filesystem::path(target).parent_path().filename().string();
+      }
+      entries.push_back({name, target});
+    }
+    int rc = 0;
+    std::size_t replayed = 0;
+    for (const auto& entry : entries) {
+      if (!oracle_name.empty() && entry.oracle != oracle_name) continue;
+      const fuzz::Oracle* oracle = fuzz::find_oracle(entry.oracle);
+      if (oracle == nullptr) {
+        std::fprintf(stderr, "autonet fuzz: corpus entry %s names unknown oracle '%s'\n",
+                     entry.path.c_str(), entry.oracle.c_str());
+        return 2;
+      }
+      const fuzz::Scenario scenario = fuzz::load_corpus_entry(entry.path);
+      const fuzz::OracleResult result = fuzz::replay_scenario(scenario, *oracle);
+      ++replayed;
+      const char* status = result.failed()
+                               ? "FAIL"
+                               : (result.status == fuzz::OracleResult::Status::kSkip
+                                      ? "skip"
+                                      : "pass");
+      std::printf("replay %s [%s]: %s%s%s\n", entry.path.c_str(),
+                  entry.oracle.c_str(), status, result.detail.empty() ? "" : " — ",
+                  result.detail.c_str());
+      if (result.failed()) rc = 1;
+    }
+    std::printf("fuzz replay: %zu entries, %s\n", replayed,
+                rc == 0 ? "all clean" : "violations remain");
+    return rc;
+  }
+
+  fuzz::FuzzOptions options;
+  options.seed = std::strtoull(args.get("seed", "1").c_str(), nullptr, 10);
+  options.runs = std::strtoull(args.get("runs", "100").c_str(), nullptr, 10);
+  options.max_nodes =
+      std::strtoull(args.get("max-nodes", "24").c_str(), nullptr, 10);
+  options.oracle = oracle_name;
+  options.time_budget_s =
+      std::strtoull(args.get("time-budget", "0").c_str(), nullptr, 10);
+  options.corpus_dir = args.get("corpus", "corpus");
+  if (args.has("shrink-evals")) {
+    options.shrink.max_evals =
+        std::strtoull(args.get("shrink-evals").c_str(), nullptr, 10);
+  }
+  if (options.runs == 0 || options.max_nodes < 2) {
+    std::fprintf(stderr, "autonet fuzz: --runs must be >= 1 and --max-nodes >= 2\n");
+    return 2;
+  }
+
+  core::RunControl control;
+  control.token.link_sigint();
+  try {
+    const fuzz::FuzzReport report = fuzz::run_fuzz(options, &control);
+    std::printf("fuzz: seed %llu, %zu/%zu runs executed (%zu resumed), "
+                "%zu pass, %zu skip, %zu fail, %zu shrink steps%s\n",
+                static_cast<unsigned long long>(options.seed), report.executed,
+                options.runs, report.resumed, report.passed, report.skipped,
+                report.failed, report.shrink_steps,
+                report.out_of_time ? " [time budget expired]" : "");
+    for (const auto& v : report.violations) {
+      std::printf("violation: run %zu seed %llu [%s] %s -> %s/%s\n", v.run,
+                  static_cast<unsigned long long>(v.seed), v.oracle.c_str(),
+                  v.detail.c_str(), options.corpus_dir.c_str(),
+                  v.corpus_path.c_str());
+    }
+    std::printf("journal: %s/journal.jsonl\n", options.corpus_dir.c_str());
+    return report.clean() ? 0 : 1;
+  } catch (const core::Cancelled&) {
+    std::fprintf(stderr, "fuzz: interrupted; journal resumes the campaign\n");
+    return 130;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -959,6 +1072,7 @@ int main(int argc, char** argv) {
     if (command == "exp") return cmd_exp(args);
     if (command == "events") return cmd_events(args);
     if (command == "report") return cmd_report(args);
+    if (command == "fuzz") return cmd_fuzz(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "autonet: %s\n", e.what());
     return 1;
